@@ -1,0 +1,199 @@
+// Demand-driven vs static FEC over the roaming trace — the RAPIDware
+// adaptation story quantified (Sections 2-3).
+//
+// One mobile receiver walks office -> conference room -> office while
+// receiving a live audio stream through a proxy. Three strategies:
+//
+//   never-on   — plain forwarding; loss appears as soon as she roams;
+//   always-on  — FEC(6,4) from the start; best delivery, constant +50%
+//                bandwidth even while she sits next to the access point;
+//   on-demand  — loss observer + FEC responder insert/remove the filter
+//                while the stream runs.
+//
+// Reports delivery, bandwidth overhead, and the responder's reaction time.
+#include <cstdio>
+#include <thread>
+
+#include "fec/fec_group.h"
+#include "filters/fec_filters.h"
+#include "filters/registry.h"
+#include "filters/stats_filter.h"
+#include "media/audio.h"
+#include "media/media_packet.h"
+#include "media/receiver_log.h"
+#include "proxy/proxy.h"
+#include "raplets/adaptation_manager.h"
+#include "raplets/fec_responder.h"
+#include "raplets/loss_observer.h"
+#include "raplets/receiver_report.h"
+#include "util/stats.h"
+#include "wireless/mobility.h"
+#include "wireless/wlan.h"
+
+using namespace rapidware;
+
+namespace {
+
+enum class Strategy { kNever, kAlways, kOnDemand };
+
+struct Outcome {
+  double delivery;
+  double overhead;        // wire bytes / media bytes
+  double reaction_s = -1; // time from loss onset to FEC insertion
+  int reconfigs = 0;
+};
+
+Outcome run(Strategy strategy) {
+  filters::register_builtin_filters();
+  auto clock = std::make_shared<util::SimClock>();
+  net::SimNetwork net(clock, 77);
+  const auto sender_node = net.add_node("sender");
+  const auto proxy_node = net.add_node("proxy");
+  const auto mobile_node = net.add_node("mobile");
+
+  wireless::WirelessLan wlan(net, proxy_node);
+  wlan.add_station(mobile_node, 5.0);
+
+  proxy::ProxyConfig config;
+  config.ingress_port = 4000;
+  config.egress_dst = {mobile_node, 5000};
+  proxy::Proxy proxy(net, proxy_node, config);
+  proxy.start();
+  auto egress_tap = std::make_shared<filters::StatsFilter>("egress");
+  proxy.chain().insert(egress_tap, 0);
+  if (strategy == Strategy::kAlways) {
+    proxy.chain().insert(std::make_shared<filters::FecEncodeFilter>(6, 4), 0);
+  }
+
+  // Adaptation plumbing (used only by on-demand).
+  auto observer_socket = net.open(proxy_node, 7000);
+  auto observer = std::make_shared<raplets::LossObserver>(observer_socket, 0.5);
+  raplets::FecResponderConfig rc;
+  rc.insert_threshold = 0.02;
+  rc.remove_threshold = 0.004;
+  rc.cooldown_us = 2'000'000;
+  auto responder = std::make_shared<raplets::FecResponder>(
+      core::ControlManager(proxy::network_control_transport(
+          net, proxy_node, proxy.control_address())),
+      std::nullopt, rc);
+  raplets::AdaptationManager adaptation(observer, responder);
+  if (strategy == Strategy::kOnDemand) adaptation.start();
+
+  // Mobile receiver with pass-through decoder and raw-loss reporting.
+  auto rx = net.open(mobile_node, 5000);
+  auto report_socket = net.open(mobile_node);
+  raplets::ReportSender reports("mobile", report_socket, {proxy_node, 7000},
+                                50);
+  fec::GroupDecoder decoder(4);
+  media::ReceiverLog log;
+  std::uint64_t last_ok = 0, last_miss = 0;
+  reports.set_raw_loss_provider([&]() -> double {
+    const auto& s = decoder.stats();
+    const std::uint64_t ok = s.data_received;
+    const std::uint64_t miss = s.data_recovered + s.data_lost;
+    const std::uint64_t d_ok = ok - last_ok, d_miss = miss - last_miss;
+    last_ok = ok;
+    last_miss = miss;
+    return (d_ok + d_miss) == 0 ? -1.0
+                                : static_cast<double>(d_miss) /
+                                      static_cast<double>(d_ok + d_miss);
+  });
+
+  std::thread receiver([&] {
+    for (;;) {
+      auto d = rx->recv(500);
+      if (!d) break;
+      std::vector<util::Bytes> payloads;
+      if (fec::looks_like_fec_packet(d->payload)) {
+        payloads = decoder.add(d->payload);
+      } else {
+        payloads.push_back(d->payload);
+      }
+      for (const auto& p : payloads) {
+        const auto media = media::MediaPacket::parse(p);
+        log.on_packet(media, d->deliver_at);
+        reports.on_delivered(media.seq, d->deliver_at);
+      }
+    }
+  });
+
+  // Walk: 20 s near, 30 s out to 36 m, 40 s there, 30 s back, 20 s near.
+  const wireless::WaypointWalk walk({{util::seconds_to_micros(0), 5.0},
+                                     {util::seconds_to_micros(20), 5.0},
+                                     {util::seconds_to_micros(50), 36.0},
+                                     {util::seconds_to_micros(90), 36.0},
+                                     {util::seconds_to_micros(120), 5.0},
+                                     {util::seconds_to_micros(140), 5.0}});
+  // Loss crosses the responder's 2% insert threshold at this distance:
+  const double onset_distance =
+      wireless::wavelan_model().distance_for(rc.insert_threshold);
+  double onset_s = -1;
+
+  auto tx = net.open(sender_node);
+  media::AudioSource audio;
+  media::AudioPacketizer packetizer(audio);
+  std::uint64_t media_bytes = 0;
+  const int total_packets =
+      static_cast<int>(util::micros_to_seconds(walk.end_time()) * 50);
+  for (int i = 0; i < total_packets; ++i) {
+    const double distance = walk.distance_at(clock->now());
+    if (onset_s < 0 && distance >= onset_distance) {
+      onset_s = util::micros_to_seconds(clock->now());
+    }
+    wlan.set_distance(mobile_node, distance);
+    const auto wire = packetizer.next_packet().serialize();
+    media_bytes += wire.size();
+    tx->send_to({proxy_node, 4000}, wire);
+    clock->advance(20'000);
+    if (i % 50 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  receiver.join();
+  adaptation.stop();
+  const std::uint64_t wire_bytes = egress_tap->bytes();
+  proxy.shutdown();
+
+  Outcome outcome;
+  outcome.delivery = log.delivery_rate();
+  outcome.overhead =
+      static_cast<double>(wire_bytes) / static_cast<double>(media_bytes);
+  outcome.reconfigs = static_cast<int>(responder->history().size());
+  for (const auto& action : responder->history()) {
+    if (action.inserted) {
+      outcome.reaction_s = util::micros_to_seconds(action.at) - onset_s;
+      break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Demand-driven vs static FEC over a roaming trace ===\n");
+  std::printf("(140 s walk: office 5 m -> conference room 36 m -> office)\n\n");
+  std::printf("%-10s %10s %12s %14s %10s\n", "strategy", "delivery",
+              "overhead", "reaction", "reconfigs");
+
+  const struct {
+    const char* name;
+    Strategy strategy;
+  } rows[] = {{"never", Strategy::kNever},
+              {"always", Strategy::kAlways},
+              {"on-demand", Strategy::kOnDemand}};
+  for (const auto& row : rows) {
+    const Outcome o = run(row.strategy);
+    char reaction[32] = "-";
+    if (o.reaction_s >= 0) {
+      std::snprintf(reaction, sizeof(reaction), "%.1f s", o.reaction_s);
+    }
+    std::printf("%-10s %10s %11.2fx %14s %10d\n", row.name,
+                util::percent(o.delivery).c_str(), o.overhead, reaction,
+                o.reconfigs);
+  }
+  std::printf(
+      "\nshape check: on-demand approaches always-on delivery while paying\n"
+      "the +50%% FEC bandwidth only during the lossy middle of the walk;\n"
+      "reaction time is a few report windows after loss crosses the\n"
+      "threshold.\n");
+  return 0;
+}

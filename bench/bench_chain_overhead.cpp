@@ -1,0 +1,77 @@
+// Chain-length overhead: throughput of a proxy chain as null filters are
+// added. Each filter adds one thread and one detachable-stream hop, so this
+// measures the cost of composability itself — the framework must stay
+// "lightweight" (Section 6's contrast with cluster-based proxies).
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/endpoint.h"
+#include "core/filter_chain.h"
+#include "util/stats.h"
+
+using namespace rapidware;
+
+namespace {
+
+struct Result {
+  double packets_per_sec;
+  double mbytes_per_sec;
+};
+
+Result run(std::size_t chain_len, std::size_t packet_bytes, int packets) {
+  auto source = std::make_shared<core::QueuePacketSource>();
+  auto sink = std::make_shared<core::CollectingPacketSink>();
+  auto chain = std::make_shared<core::FilterChain>(
+      std::make_shared<core::PacketReaderEndpoint>("in", source),
+      std::make_shared<core::PacketWriterEndpoint>("out", sink));
+  chain->start();
+  for (std::size_t i = 0; i < chain_len; ++i) {
+    chain->insert(std::make_shared<core::NullFilter>("n" + std::to_string(i)),
+                  i);
+  }
+
+  const util::Bytes packet(packet_bytes, 0x77);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread producer([&] {
+    for (int i = 0; i < packets; ++i) source->push(packet);
+    source->finish();
+  });
+  producer.join();
+  chain->shutdown();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  Result r;
+  r.packets_per_sec = packets / secs;
+  r.mbytes_per_sec = packets / secs * static_cast<double>(packet_bytes) / 1e6;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Chain-length overhead (null filters, end-to-end) ===\n\n");
+  std::printf("%10s %10s %16s %14s\n", "filters", "pkt B", "packets/s",
+              "MB/s");
+  constexpr int kPackets = 200'000;
+  for (const std::size_t len : {0u, 1u, 2u, 4u, 8u, 16u}) {
+    const Result r = run(len, 320, kPackets);
+    std::printf("%10zu %10u %16.0f %14.1f\n", len, 320u, r.packets_per_sec,
+                r.mbytes_per_sec);
+  }
+  std::printf("\n");
+  for (const std::size_t len : {0u, 4u, 16u}) {
+    const Result r = run(len, 65536, 50'000);
+    std::printf("%10zu %10u %16.0f %14.1f\n", len, 65536u, r.packets_per_sec,
+                r.mbytes_per_sec);
+  }
+  std::printf(
+      "\nshape check: per-filter cost is one buffer copy plus one thread\n"
+      "hand-off, so throughput stays within the same order of magnitude\n"
+      "even at 16 filters (pipeline parallelism can even help with large\n"
+      "packets) — orders of magnitude above the 2 Mbps WaveLAN the proxy\n"
+      "actually feeds.\n");
+  return 0;
+}

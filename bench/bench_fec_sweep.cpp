@@ -1,0 +1,70 @@
+// FEC (n, k) design space — why the paper picks small groups.
+//
+// Sweeps code parameters at fixed link conditions and reports, per (n, k):
+// recovery rate, bandwidth overhead (n/k), and group-assembly latency in
+// packet times (k - 1 packets must arrive before the group can be encoded;
+// the decoder adds the same again when recovering). The paper: "we use
+// small groups so as to minimize jitter" (Section 5); larger groups recover
+// more at the same overhead but delay the stream.
+#include <cstdio>
+
+#include "fec/fec_group.h"
+#include "net/loss.h"
+#include "util/stats.h"
+
+using namespace rapidware;
+
+namespace {
+
+double run_code(std::size_t n, std::size_t k, double loss_rate,
+                double burst_len, int packets, std::uint64_t seed) {
+  auto channel = net::GilbertElliottLoss::with_average(loss_rate, burst_len, 0.6);
+  util::Rng rng(seed);
+  fec::GroupEncoder encoder(n, k);
+  fec::GroupDecoder decoder(4);
+  std::size_t delivered = 0;
+  for (int i = 0; i < packets; ++i) {
+    util::Bytes payload(320, static_cast<std::uint8_t>(i));
+    for (const auto& wire : encoder.add(payload)) {
+      if (!channel->drop(rng)) delivered += decoder.add(wire).size();
+    }
+  }
+  for (const auto& wire : encoder.flush()) {
+    if (!channel->drop(rng)) delivered += decoder.add(wire).size();
+  }
+  delivered += decoder.flush().size();
+  return static_cast<double>(delivered) / packets;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kPackets = 30'000;
+  const struct {
+    std::size_t n, k;
+  } codes[] = {{5, 4},  {6, 4},  {8, 4},  {10, 8}, {12, 8},
+               {16, 8}, {24, 16}, {48, 32}, {96, 64}};
+
+  for (const double loss : {0.0146, 0.05, 0.15}) {
+    std::printf("=== FEC (n,k) sweep at %s average loss (bursty) ===\n",
+                util::percent(loss).c_str());
+    std::printf("%8s %10s %12s %14s %18s\n", "(n,k)", "overhead",
+                "recovery", "residual", "latency (pkts)");
+    for (const auto& code : codes) {
+      const double rate =
+          run_code(code.n, code.k, loss, 1.2, kPackets,
+                   code.n * 1000 + code.k + static_cast<std::uint64_t>(loss * 1e4));
+      std::printf("%4zu,%-3zu %9.2fx %12s %14s %18zu\n", code.n, code.k,
+                  static_cast<double>(code.n) / static_cast<double>(code.k),
+                  util::percent(rate).c_str(),
+                  util::percent(1.0 - rate, 3).c_str(), code.k - 1);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "shape check: at fixed overhead (6,4 vs 12,8 vs 24,16), larger groups\n"
+      "recover more (they ride out bursts) but wait k-1 packet times before\n"
+      "encoding — the jitter the paper avoids with small groups.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Hot insertion/removal latency — the cost of the pause/reconnect protocol.
+//
+// Section 3 requires that inserting a filter "should not disturb the
+// connection"; the price of a splice is a brief stall of the stream while
+// the left stream pauses, drains, and reconnects. This bench measures
+// insert and remove latency on a live stream versus chain length and
+// packet size, and verifies the no-loss guarantee each time.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/endpoint.h"
+#include "core/filter_chain.h"
+#include "util/stats.h"
+
+using namespace rapidware;
+
+namespace {
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Result {
+  util::RunningStats insert_us;
+  util::RunningStats remove_us;
+  bool lossless = false;
+};
+
+Result run(std::size_t chain_len, std::size_t packet_bytes, int cycles) {
+  auto source = std::make_shared<core::QueuePacketSource>();
+  auto sink = std::make_shared<core::CollectingPacketSink>();
+  auto chain = std::make_shared<core::FilterChain>(
+      std::make_shared<core::PacketReaderEndpoint>("in", source),
+      std::make_shared<core::PacketWriterEndpoint>("out", sink));
+  chain->start();
+  for (std::size_t i = 0; i < chain_len; ++i) {
+    chain->insert(std::make_shared<core::NullFilter>("n" + std::to_string(i)),
+                  i);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> produced{0};
+  std::thread producer([&] {
+    util::Bytes packet(packet_bytes, 0xab);
+    while (!stop.load(std::memory_order_acquire)) {
+      source->push(packet);
+      produced.fetch_add(1, std::memory_order_relaxed);
+      // ~16 KB/s media cadence scaled up: keep the pipe busy but not full.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    source->finish();
+  });
+
+  Result result;
+  std::shared_ptr<core::Filter> probe =
+      std::make_shared<core::NullFilter>("probe");
+  const std::size_t pos = chain_len / 2;
+  for (int i = 0; i < cycles; ++i) {
+    double t0 = now_us();
+    chain->insert(probe, pos);
+    result.insert_us.add(now_us() - t0);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    t0 = now_us();
+    probe = chain->remove(pos);
+    result.remove_us.add(now_us() - t0);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  stop.store(true, std::memory_order_release);
+  producer.join();
+  chain->shutdown();
+  result.lossless = sink->count() == produced.load();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Hot insertion / removal latency (live stream) ===\n\n");
+  std::printf("%10s %10s %14s %14s %14s %14s %9s\n", "chain len", "pkt B",
+              "insert mean", "insert max", "remove mean", "remove max",
+              "lossless");
+  constexpr int kCycles = 200;
+  for (const std::size_t len : {0u, 2u, 4u, 8u}) {
+    for (const std::size_t bytes : {256u, 4096u}) {
+      const Result r = run(len, bytes, kCycles);
+      std::printf("%10zu %10zu %11.1f us %11.1f us %11.1f us %11.1f us %9s\n",
+                  len, bytes, r.insert_us.mean(), r.insert_us.max(),
+                  r.remove_us.mean(), r.remove_us.max(),
+                  r.lossless ? "yes" : "NO");
+    }
+  }
+  std::printf(
+      "\nshape check: latency is micro- to milli-seconds, independent of\n"
+      "chain length (only the splice point pauses; the rest keeps flowing),\n"
+      "and removal costs more than insertion (it drains the filter twice —\n"
+      "its input pipe, then its flushed output).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Burst-loss ablation: block erasure codes vs loss burstiness, with and
+// without interleaving.
+//
+// A (6,4) code absorbs at most 2 losses per group, so burst length — not
+// just average loss — decides recovery (the reason wireless FEC papers,
+// including the paper's companion work [13,16], obsess over burstiness).
+// Interleaving across groups trades latency for burst resistance. This
+// bench sweeps Gilbert-Elliott burst lengths at fixed average loss.
+#include <cstdio>
+
+#include "fec/fec_group.h"
+#include "fec/interleaver.h"
+#include "net/loss.h"
+#include "util/stats.h"
+
+using namespace rapidware;
+
+namespace {
+
+double run(double avg_loss, double burst_len, std::size_t depth, int packets,
+           std::uint64_t seed) {
+  auto channel = net::GilbertElliottLoss::with_average(avg_loss, burst_len, 0.9);
+  util::Rng rng(seed);
+  fec::GroupEncoder encoder(6, 4);
+  // Reordering after a lossy channel must key on (group, index) — a
+  // position-based de-interleaver cannot know which slots were dropped.
+  // The GroupDecoder does exactly that; its window scales with the
+  // interleave depth (that window *is* the latency cost).
+  fec::GroupDecoder decoder(2 * depth + 2);
+  fec::BlockInterleaver interleaver(6, depth);  // depth 1 = no interleaving
+
+  std::size_t delivered = 0;
+  auto transmit = [&](const util::Bytes& wire) {
+    if (channel->drop(rng)) return;
+    delivered += decoder.add(wire).size();
+  };
+  for (int i = 0; i < packets; ++i) {
+    util::Bytes payload(320, static_cast<std::uint8_t>(i));
+    for (const auto& wire : encoder.add(payload)) {
+      for (const auto& out : interleaver.add(wire)) transmit(out);
+    }
+  }
+  for (const auto& wire : encoder.flush()) {
+    for (const auto& out : interleaver.add(wire)) transmit(out);
+  }
+  for (const auto& out : interleaver.flush()) transmit(out);
+  delivered += decoder.flush().size();
+  return static_cast<double>(delivered) / packets;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kPackets = 30'000;
+  constexpr double kLoss = 0.05;
+
+  std::printf("=== FEC(6,4) vs burst length at %s average loss ===\n\n",
+              util::percent(kLoss).c_str());
+  std::printf("%12s %14s %16s %16s\n", "burst len", "no interleave",
+              "interleave x4", "interleave x8");
+  for (const double burst : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double plain = run(kLoss, burst, 1, kPackets, 11);
+    const double il4 = run(kLoss, burst, 4, kPackets, 12);
+    const double il8 = run(kLoss, burst, 8, kPackets, 13);
+    std::printf("%12.0f %14s %16s %16s\n", burst,
+                util::percent(plain).c_str(), util::percent(il4).c_str(),
+                util::percent(il8).c_str());
+  }
+  std::printf("\nadded buffering latency: x4 = %d packets, x8 = %d packets\n",
+              6 * 4, 6 * 8);
+  std::printf(
+      "\nshape check: recovery degrades as bursts lengthen past the code's\n"
+      "parity budget; interleaving restores it at the price of block-sized\n"
+      "latency — unusable for the paper's interactive audio, which instead\n"
+      "keeps groups small and loss rates low (Figure 7's regime).\n");
+  return 0;
+}

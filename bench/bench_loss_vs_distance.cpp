@@ -1,0 +1,81 @@
+// Loss vs distance sweep — the paper's Section 3 claim that "packet loss
+// rate can change dramatically over a distance of several meters" [16], and
+// the basis for demand-driven FEC: the same walk that takes a user from her
+// office to a conference room moves the link across the FEC-useful regime.
+//
+// For each distance: modeled loss, measured raw delivery, and delivery
+// after FEC(6,4) — the distance axis of Figure 7's experiment.
+#include <cstdio>
+
+#include "fec/fec_group.h"
+#include "net/loss.h"
+#include "util/stats.h"
+#include "wireless/path_loss.h"
+#include "wireless/wlan.h"
+
+using namespace rapidware;
+
+namespace {
+
+struct Point {
+  double raw_rate;
+  double fec_rate;
+};
+
+Point run_distance(double distance, int packets) {
+  const wireless::WlanConfig wlan_defaults;
+  const double loss = wlan_defaults.path_loss.loss_at(distance);
+  auto channel = net::GilbertElliottLoss::with_average(
+      loss, wlan_defaults.mean_burst_len, wlan_defaults.loss_in_bad);
+  util::Rng rng(static_cast<std::uint64_t>(distance * 100));
+
+  fec::GroupEncoder encoder(6, 4);
+  fec::GroupDecoder decoder(4);
+  util::RateCounter raw;
+  std::size_t delivered = 0;
+  for (int i = 0; i < packets; ++i) {
+    util::Bytes payload(320, static_cast<std::uint8_t>(i));
+    for (const auto& wire : encoder.add(payload)) {
+      const bool dropped = channel->drop(rng);
+      util::Reader hr(wire);
+      if (!fec::GroupHeader::decode_from(hr).is_parity()) raw.add(!dropped);
+      if (!dropped) delivered += decoder.add(wire).size();
+    }
+  }
+  delivered += decoder.flush().size();
+  return {raw.rate(), static_cast<double>(delivered) / packets};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Loss vs distance (2 Mbps WaveLAN model, FEC(6,4)) ===\n\n");
+  std::printf("%8s %14s %12s %12s %12s\n", "dist(m)", "model loss",
+              "raw rate", "fec rate", "fec gain");
+
+  constexpr int kPackets = 40'000;
+  const wireless::PathLossModel model = wireless::wavelan_model();
+  for (const double d : {5.0, 10.0, 15.0, 20.0, 25.0, 28.0, 30.0, 32.0, 35.0,
+                         38.0, 40.0, 45.0}) {
+    const Point p = run_distance(d, kPackets);
+    const double gain =
+        (1.0 - p.raw_rate) / std::max(1e-9, 1.0 - p.fec_rate);
+    char gain_str[24];
+    if (gain > 1000.0) {
+      std::snprintf(gain_str, sizeof(gain_str), "   >1000x");
+    } else {
+      std::snprintf(gain_str, sizeof(gain_str), "%8.2fx", gain);
+    }
+    std::printf("%8.0f %14s %12s %12s %12s\n", d,
+                util::percent(model.loss_at(d)).c_str(),
+                util::percent(p.raw_rate).c_str(),
+                util::percent(p.fec_rate).c_str(), gain_str);
+  }
+
+  std::printf(
+      "\nshape check: loss grows ~e^(d/7.4m); between 30 m and 40 m the rate"
+      "\nchanges %.1fx — the 'dramatic change over several meters' of "
+      "Section 3.\n",
+      model.loss_at(40.0) / model.loss_at(30.0));
+  return 0;
+}

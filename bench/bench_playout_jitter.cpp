@@ -1,0 +1,154 @@
+// End-to-end latency analysis — WHY the paper "uses small groups so as to
+// minimize jitter" (Section 5), quantified.
+//
+// Interactive audio has an end-to-end budget: a packet generated at time t
+// must be playable by t + budget. Block FEC charges that budget twice —
+// the encoder holds data until its group fills (up to (k-1) packet times),
+// and a lost packet is recovered only when the group completes. We stream
+// 20 ms audio packets through equal-overhead codes over the 25 m WLAN
+// model, record when each packet becomes AVAILABLE (raw arrival or
+// recovery), and report the fraction playable within several end-to-end
+// budgets plus the p99 availability latency.
+#include <cstdio>
+
+#include "fec/fec_group.h"
+#include "media/playout.h"
+#include "net/loss.h"
+#include "util/rng.h"
+#include "util/serial.h"
+#include "util/stats.h"
+#include "wireless/wlan.h"
+
+using namespace rapidware;
+
+namespace {
+
+struct CodeChoice {
+  std::size_t n, k;  // k == 0 means "no FEC"
+};
+
+struct Outcome {
+  std::vector<double> playable;  // per end-to-end budget
+  util::Micros p99_latency_us;
+  double delivered;
+};
+
+constexpr util::Micros kPacketUs = 20'000;
+const std::vector<util::Micros> kBudgets = {100'000, 200'000, 400'000,
+                                            800'000};
+
+Outcome run(CodeChoice code, int packets, std::uint64_t seed) {
+  const wireless::WlanConfig wlan_defaults;
+  const double loss_rate = wlan_defaults.path_loss.loss_at(25.0);
+  auto channel = net::GilbertElliottLoss::with_average(
+      loss_rate, wlan_defaults.mean_burst_len, wlan_defaults.loss_in_bad);
+  util::Rng rng(seed);
+
+  // Availability time per media seq, fed to playout buffers afterwards.
+  std::map<std::uint32_t, util::Micros> available;
+  auto offer = [&](std::uint32_t seq, util::Micros at) {
+    auto [it, inserted] = available.try_emplace(seq, at);
+    if (!inserted) it->second = std::min(it->second, at);
+  };
+
+  std::unique_ptr<fec::GroupEncoder> encoder;
+  fec::GroupDecoder decoder(4);
+  if (code.k != 0) {
+    encoder = std::make_unique<fec::GroupEncoder>(code.n, code.k);
+  }
+
+  for (int m = 0; m < packets; ++m) {
+    const util::Micros media_time = static_cast<util::Micros>(m) * kPacketUs;
+    util::Writer w;
+    w.u32(static_cast<std::uint32_t>(m));
+    w.raw(util::Bytes(320, static_cast<std::uint8_t>(m)));
+
+    auto transmit = [&](const util::Bytes& wire, bool fec_framed) {
+      if (channel->drop(rng)) return;
+      // The whole group transmits when it completes (media_time of its
+      // last packet — the encoder held the earlier ones), plus one-hop
+      // latency and jitter.
+      const util::Micros arrival =
+          media_time + wlan_defaults.base_latency_us +
+          static_cast<util::Micros>(
+              rng.next_below(static_cast<std::uint64_t>(
+                  wlan_defaults.jitter_us + 1)));
+      if (!fec_framed) {
+        util::Reader r(wire);
+        offer(r.u32(), arrival);
+        return;
+      }
+      for (const auto& payload : decoder.add(wire)) {
+        util::Reader r(payload);
+        offer(r.u32(), arrival);
+      }
+    };
+
+    if (encoder) {
+      for (const auto& wire : encoder->add(w.bytes())) transmit(wire, true);
+    } else {
+      transmit(w.bytes(), false);
+    }
+  }
+
+  // End-to-end availability latency per media packet.
+  std::vector<util::Micros> latencies;
+  latencies.reserve(available.size());
+  for (const auto& [seq, at] : available) {
+    latencies.push_back(at - static_cast<util::Micros>(seq) * kPacketUs);
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  Outcome outcome;
+  outcome.delivered = static_cast<double>(available.size()) / packets;
+  for (const util::Micros budget : kBudgets) {
+    const auto playable = std::upper_bound(latencies.begin(), latencies.end(),
+                                           budget) -
+                          latencies.begin();
+    outcome.playable.push_back(static_cast<double>(playable) / packets);
+  }
+  outcome.p99_latency_us =
+      latencies.empty()
+          ? 0
+          : latencies[static_cast<std::size_t>(
+                0.99 * static_cast<double>(latencies.size() - 1))];
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== End-to-end playability vs FEC group size (25 m) ===\n");
+  std::printf("(equal 1.5x overhead; playable within an end-to-end budget)\n\n");
+  std::printf("%10s %10s |", "code", "hold pkts");
+  for (const auto b : kBudgets) {
+    std::printf("  @%3lld ms", static_cast<long long>(b / 1000));
+  }
+  std::printf(" | %12s %10s\n", "p99 latency", "delivered");
+
+  const CodeChoice codes[] = {{0, 0}, {6, 4}, {12, 8}, {24, 16}, {48, 32}};
+  constexpr int kPackets = 20'000;
+  for (const auto code : codes) {
+    const Outcome o = run(code, kPackets, 99);
+    if (code.k == 0) {
+      std::printf("%10s %10s |", "no FEC", "-");
+    } else {
+      char name[16];
+      std::snprintf(name, sizeof(name), "(%zu,%zu)", code.n, code.k);
+      std::printf("%10s %9zu |", name, code.k - 1);
+    }
+    for (const double rate : o.playable) {
+      std::printf(" %7.2f%%", rate * 100.0);
+    }
+    std::printf(" | %9.0f ms %10s\n",
+                static_cast<double>(o.p99_latency_us) / 1000.0,
+                util::percent(o.delivered).c_str());
+  }
+  std::printf("\n(column 2: packets of sender-side group-assembly latency)\n");
+  std::printf(
+      "\nshape check: every code delivers ~100%%, but availability latency\n"
+      "grows with k: small groups fit a 100-200 ms interactive budget while\n"
+      "large ones blow through it — the jitter argument behind the paper's\n"
+      "(6,4) choice.\n");
+  return 0;
+}

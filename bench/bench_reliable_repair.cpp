@@ -1,0 +1,122 @@
+// Reliable multicast repair traffic: ARQ vs parity repair vs receiver count.
+//
+// Section 5: "The advantage of using block erasure codes for multicasting
+// is that a single parity packet can be used to correct independent
+// single-packet losses among different receivers." This bench quantifies
+// that claim: R receivers suffer independent random loss; the sender
+// repairs via per-packet retransmission (ARQ) or aggregated parity. Repair
+// traffic per mode is the result — ARQ grows with the union of losses
+// across receivers, parity with the worst single receiver.
+#include <cstdio>
+#include <vector>
+
+#include "net/loss.h"
+#include "reliable/reliable_multicast.h"
+#include "util/stats.h"
+
+using namespace rapidware;
+using namespace rapidware::reliable;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t data_packets;
+  std::uint64_t repair_packets;
+  std::uint64_t nacks;
+  int rounds;
+  bool complete;
+};
+
+Outcome run(RepairMode mode, int receivers, double loss, std::uint64_t seed) {
+  auto clock = std::make_shared<util::SimClock>();
+  net::SimNetwork net(clock, seed);
+  const auto sender_node = net.add_node("sender");
+  const net::Address group = net::multicast_group(1, 6000);
+  auto sender_socket = net.open(sender_node, 6001);
+
+  struct Rx {
+    std::shared_ptr<net::SimSocket> socket;
+    std::unique_ptr<ReliableMulticastReceiver> receiver;
+  };
+  std::vector<Rx> rxs;
+  for (int i = 0; i < receivers; ++i) {
+    const auto node = net.add_node("rx" + std::to_string(i));
+    net::ChannelConfig config;
+    config.loss = std::make_shared<net::BernoulliLoss>(loss);
+    net.set_channel(sender_node, node, std::move(config));
+    Rx rx;
+    rx.socket = net.open(node, 6000);
+    rx.receiver = std::make_unique<ReliableMulticastReceiver>(
+        rx.socket, sender_socket->local(), group, *clock);
+    rxs.push_back(std::move(rx));
+  }
+
+  ReliableMulticastSender sender(sender_socket, group, 8, mode);
+  constexpr int kPayloads = 800;  // 100 blocks
+  const std::uint32_t last_block = kPayloads / 8 - 1;
+  util::Bytes payload(200, 0x42);
+  for (int i = 0; i < kPayloads; ++i) sender.send(payload);
+
+  Outcome outcome{};
+  for (outcome.rounds = 0; outcome.rounds < 400; ++outcome.rounds) {
+    bool all_done = true;
+    for (auto& rx : rxs) {
+      rx.receiver->poll();
+      rx.receiver->tick();
+      all_done &= rx.receiver->complete_through(last_block);
+    }
+    sender.service();
+    clock->advance(100'000);
+    if (all_done) break;
+  }
+  bool all_done = true;
+  for (auto& rx : rxs) all_done &= rx.receiver->complete_through(last_block);
+  std::uint64_t nacks = 0;
+  for (auto& rx : rxs) nacks += rx.receiver->stats().nacks_sent;
+
+  outcome.data_packets = sender.stats().data_packets;
+  outcome.repair_packets = sender.stats().repair_packets();
+  outcome.nacks = nacks;
+  outcome.complete = all_done;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Reliable multicast: repair traffic, ARQ vs parity ===\n");
+  std::printf("(100 blocks of k=8, 200 B payloads, independent loss per "
+              "receiver)\n\n");
+  std::printf("%8s %6s %10s | %14s %10s | %14s %10s | %8s\n", "loss", "rxs",
+              "data pkts", "ARQ repairs", "overhead", "parity repairs",
+              "overhead", "ratio");
+  for (const double loss : {0.02, 0.05, 0.15}) {
+    for (const int receivers : {1, 4, 16}) {
+      const Outcome arq = run(RepairMode::kArq, receivers, loss, 1000);
+      const Outcome parity = run(RepairMode::kParity, receivers, loss, 1000);
+      if (!arq.complete || !parity.complete) {
+        std::printf("  (did not converge: loss %.2f rxs %d)\n", loss,
+                    receivers);
+        continue;
+      }
+      std::printf(
+          "%7.0f%% %6d %10llu | %14llu %9.1f%% | %14llu %9.1f%% | %7.2fx\n",
+          loss * 100, receivers,
+          static_cast<unsigned long long>(arq.data_packets),
+          static_cast<unsigned long long>(arq.repair_packets),
+          100.0 * static_cast<double>(arq.repair_packets) /
+              static_cast<double>(arq.data_packets),
+          static_cast<unsigned long long>(parity.repair_packets),
+          100.0 * static_cast<double>(parity.repair_packets) /
+              static_cast<double>(parity.data_packets),
+          static_cast<double>(arq.repair_packets) /
+              std::max<std::uint64_t>(1, parity.repair_packets));
+    }
+  }
+  std::printf(
+      "\nshape check: with one receiver the modes are comparable; as the\n"
+      "receiver set grows, ARQ repairs track the UNION of losses while\n"
+      "aggregated parity tracks the WORST receiver — the paper's multicast\n"
+      "FEC advantage, growing with receiver count and loss rate.\n");
+  return 0;
+}

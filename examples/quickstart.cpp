@@ -1,0 +1,110 @@
+// Quickstart: the detachable-stream mechanism in five minutes.
+//
+// Builds a proxy chain between an in-memory packet source and sink, streams
+// text packets through it, and — while the stream is running — inserts,
+// reorders, and removes filters without losing a byte. This is the paper's
+// core claim in executable form.
+//
+// Run: ./quickstart
+#include <cstdio>
+#include <thread>
+
+#include "core/control.h"
+#include "core/endpoint.h"
+#include "core/filter_chain.h"
+#include "filters/registry.h"
+#include "util/bytes.h"
+
+using namespace rapidware;
+
+namespace {
+
+/// A tiny example filter: annotates each packet with the filter's label.
+class LabelFilter final : public core::PacketFilter {
+ public:
+  explicit LabelFilter(std::string label)
+      : PacketFilter("label-" + label), label_(std::move(label)) {}
+
+  std::string describe() const override { return "label(" + label_ + ")"; }
+
+ protected:
+  void on_packet(util::Bytes packet) override {
+    std::string text = util::to_string(packet);
+    text += " ->" + label_;
+    emit(util::to_bytes(text));
+  }
+
+ private:
+  std::string label_;
+};
+
+}  // namespace
+
+int main() {
+  filters::register_builtin_filters();
+
+  // 1. A null proxy: reader endpoint -> writer endpoint.
+  auto source = std::make_shared<core::QueuePacketSource>();
+  auto sink = std::make_shared<core::CollectingPacketSink>();
+  auto chain = std::make_shared<core::FilterChain>(
+      std::make_shared<core::PacketReaderEndpoint>("in", source),
+      std::make_shared<core::PacketWriterEndpoint>("out", sink));
+  chain->start();
+  std::printf("started a null proxy (no filters)\n\n");
+
+  auto push = [&](const std::string& text) {
+    source->push(util::to_bytes(text));
+  };
+  auto show_last = [&](std::size_t upto) {
+    sink->wait_for(upto);
+    const auto packets = sink->packets();
+    std::printf("  out: %s\n", util::to_string(packets.back()).c_str());
+  };
+
+  // 2. Traffic flows through the empty chain.
+  push("packet-1");
+  show_last(1);
+
+  // 3. Hot-insert a filter; the stream keeps running.
+  chain->insert(std::make_shared<LabelFilter>("A"), 0);
+  std::printf("\ninserted label(A) on the live stream\n");
+  push("packet-2");
+  show_last(2);
+
+  // 4. Compose: a second filter after the first, then reorder them.
+  chain->insert(std::make_shared<LabelFilter>("B"), 1);
+  std::printf("\ninserted label(B) after label(A)\n");
+  push("packet-3");
+  show_last(3);
+
+  chain->reorder(0, 1);  // A and B swap places
+  std::printf("\nreordered: label(B) now runs first\n");
+  push("packet-4");
+  show_last(4);
+
+  // 5. Manage the same chain through the control protocol, as the paper's
+  // ControlManager GUI would.
+  auto server = std::make_shared<core::ControlServer>(chain);
+  auto manager = core::ControlManager::local(server);
+  std::printf("\ncontrol view: %s\n", manager.render_chain().c_str());
+
+  // A "third-party" filter definition uploaded at run time, then used.
+  manager.upload("my-stats", {"stats", {{"name", "uploaded-tap"}}});
+  manager.insert({"my-stats", {}}, 2);
+  std::printf("uploaded + inserted a stats tap: %s\n",
+              manager.render_chain().c_str());
+
+  // 6. Remove everything; stream still intact.
+  chain->remove(2);
+  chain->remove(1);
+  chain->remove(0);
+  std::printf("\nremoved all filters\n");
+  push("packet-5");
+  show_last(5);
+
+  source->finish();
+  chain->shutdown();
+
+  std::printf("\ndelivered %zu packets, zero lost — done.\n", sink->count());
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Reliable file distribution to a heterogeneous receiver set — the "FEC for
+// reliable data delivery" companion use the paper cites [16], and a live
+// demonstration of its Section 5 observation that one parity packet repairs
+// independent single-packet losses at many receivers simultaneously.
+//
+// A ~300 KB synthetic WAV file is multicast in k=8 blocks to receivers at
+// different distances (different loss rates); the sender answers aggregated
+// NACKs with incremental parity. Prints per-receiver loss and the total
+// repair bill, then verifies every receiver holds a byte-exact copy.
+//
+// Run: ./reliable_distribution
+#include <cstdio>
+#include <vector>
+
+#include "media/audio.h"
+#include "media/wav.h"
+#include "reliable/reliable_multicast.h"
+#include "util/stats.h"
+#include "wireless/path_loss.h"
+#include "net/loss.h"
+
+using namespace rapidware;
+using namespace rapidware::reliable;
+
+int main() {
+  // The payload: a 10 s WAV in the paper's capture format, chunked to
+  // 1 KB pieces.
+  media::AudioSource audio;
+  const util::Bytes file = media::wav_encode(
+      {media::paper_audio_format(), audio.read_frames(8000 * 10)});
+  constexpr std::size_t kChunk = 1024;
+  std::vector<util::Bytes> chunks;
+  for (std::size_t off = 0; off < file.size(); off += kChunk) {
+    chunks.emplace_back(file.begin() + static_cast<std::ptrdiff_t>(off),
+                        file.begin() + static_cast<std::ptrdiff_t>(
+                                           std::min(off + kChunk, file.size())));
+  }
+  std::printf("distributing %zu bytes (%zu chunks) reliably to 4 receivers\n\n",
+              file.size(), chunks.size());
+
+  auto clock = std::make_shared<util::SimClock>();
+  net::SimNetwork net(clock, 2001);
+  const auto sender_node = net.add_node("server");
+  const net::Address group = net::multicast_group(1, 7000);
+  auto sender_socket = net.open(sender_node, 7001);
+
+  struct Rx {
+    std::string name;
+    double distance;
+    std::shared_ptr<net::SimSocket> socket;
+    std::unique_ptr<ReliableMulticastReceiver> receiver;
+  };
+  const wireless::PathLossModel path = wireless::wavelan_model();
+  std::vector<Rx> receivers;
+  for (const auto& [name, dist] :
+       {std::pair{"desk", 8.0}, {"lab", 25.0}, {"hall", 35.0},
+        {"stairwell", 42.0}}) {
+    Rx rx;
+    rx.name = name;
+    rx.distance = dist;
+    const auto node = net.add_node(name);
+    net::ChannelConfig config;
+    config.loss = net::GilbertElliottLoss::with_average(path.loss_at(dist));
+    net.set_channel(sender_node, node, std::move(config));
+    rx.socket = net.open(node, 7000);
+    rx.receiver = std::make_unique<ReliableMulticastReceiver>(
+        rx.socket, sender_socket->local(), group, *clock);
+    receivers.push_back(std::move(rx));
+  }
+
+  ReliableMulticastSender sender(sender_socket, group, 8, RepairMode::kParity);
+  for (const auto& chunk : chunks) sender.send(chunk);
+  sender.flush();
+  const auto last_block =
+      static_cast<std::uint32_t>((chunks.size() + 7) / 8 - 1);
+
+  int rounds = 0;
+  for (; rounds < 400; ++rounds) {
+    bool all_done = true;
+    for (auto& rx : receivers) {
+      rx.receiver->poll();
+      rx.receiver->tick();
+      all_done &= rx.receiver->complete_through(last_block);
+    }
+    sender.service();
+    clock->advance(100'000);
+    if (all_done) break;
+  }
+
+  std::printf("%-10s %8s %12s %10s %12s\n", "receiver", "dist", "model loss",
+              "NACKs", "complete");
+  for (auto& rx : receivers) {
+    std::printf("%-10s %6.0f m %12s %10llu %12s\n", rx.name.c_str(),
+                rx.distance, util::percent(path.loss_at(rx.distance)).c_str(),
+                static_cast<unsigned long long>(rx.receiver->stats().nacks_sent),
+                rx.receiver->complete_through(last_block) ? "yes" : "NO");
+  }
+  const auto& s = sender.stats();
+  std::printf("\nsender: %llu data packets, %llu parity repairs (%.1f%% "
+              "overhead), %llu NACKs aggregated, %d rounds\n",
+              static_cast<unsigned long long>(s.data_packets),
+              static_cast<unsigned long long>(s.parity_packets),
+              100.0 * static_cast<double>(s.repair_packets()) /
+                  static_cast<double>(s.data_packets),
+              static_cast<unsigned long long>(s.nacks_received), rounds);
+
+  // Verify byte-exact reassembly everywhere.
+  bool all_exact = true;
+  for (auto& rx : receivers) {
+    util::Bytes reassembled;
+    for (auto& chunk : rx.receiver->take_delivered()) {
+      reassembled.insert(reassembled.end(), chunk.begin(), chunk.end());
+    }
+    const bool exact = reassembled == file;
+    all_exact &= exact;
+    if (!exact) std::printf("MISMATCH at %s!\n", rx.name.c_str());
+  }
+  std::printf("%s\n", all_exact
+                          ? "\nevery receiver reassembled a byte-exact copy."
+                          : "\nERROR: corruption detected");
+  return all_exact ? 0 : 1;
+}

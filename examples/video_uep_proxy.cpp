@@ -1,0 +1,152 @@
+// Unequal error protection for video (Section 3 / ref [24]): the FEC filter
+// "may be specific to video streams (e.g., placing more redundancy in I
+// frames than in B frames)". A GOP-structured video stream crosses a proxy
+// whose UEP FEC filter protects I frames with 2x redundancy, P frames with
+// 1.5x, and B frames not at all; a uniform FEC(6,4) proxy and a no-FEC path
+// run alongside for comparison.
+//
+// Prints per-frame-class delivery rates and bandwidth overhead for the
+// three strategies — showing UEP spends parity where it matters.
+//
+// Run: ./video_uep_proxy
+#include <cstdio>
+#include <map>
+#include <thread>
+
+#include "fec/fec_group.h"
+#include "filters/fec_filters.h"
+#include "filters/stats_filter.h"
+#include "filters/registry.h"
+#include "media/media_packet.h"
+#include "media/video.h"
+#include "proxy/proxy.h"
+#include "util/stats.h"
+#include "wireless/wlan.h"
+
+using namespace rapidware;
+
+namespace {
+
+const char* class_name(fec::FrameClass cls) {
+  switch (cls) {
+    case fec::FrameClass::kKey: return "I";
+    case fec::FrameClass::kPredicted: return "P";
+    case fec::FrameClass::kBidirectional: return "B";
+    default: return "?";
+  }
+}
+
+struct Outcome {
+  std::map<fec::FrameClass, util::RateCounter> per_class;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t media_bytes = 0;
+};
+
+Outcome run_strategy(const char* label, std::shared_ptr<core::Filter> fec_filter) {
+  auto clock = std::make_shared<util::SimClock>();
+  net::SimNetwork net(clock, 7);
+  const auto sender_node = net.add_node("source");
+  const auto proxy_node = net.add_node("proxy");
+  const auto mobile_node = net.add_node("mobile");
+
+  wireless::WirelessLan wlan(net, proxy_node);
+  wlan.add_station(mobile_node, 33.0);  // ~4% loss
+
+  proxy::ProxyConfig config;
+  config.ingress_port = 4000;
+  config.egress_dst = {mobile_node, 5000};
+  proxy::Proxy proxy(net, proxy_node, config);
+  proxy.start();
+  if (fec_filter) proxy.chain().insert(std::move(fec_filter), 0);
+  // Egress tap: counts wire traffic *sent* toward the WLAN (pre-loss), so
+  // the overhead figure is a property of the strategy, not the channel.
+  auto egress_tap = std::make_shared<filters::StatsFilter>("egress");
+  proxy.chain().insert(egress_tap, proxy.chain().size());
+
+  auto rx = net.open(mobile_node, 5000);
+  Outcome outcome;
+  std::map<std::uint32_t, fec::FrameClass> sent_classes;
+  fec::GroupDecoder decoder(6);
+  std::map<std::uint32_t, bool> delivered;
+
+  std::thread receiver([&] {
+    for (;;) {
+      auto d = rx->recv(500);
+      if (!d) break;
+      std::vector<util::Bytes> payloads;
+      if (fec::looks_like_fec_packet(d->payload)) {
+        payloads = decoder.add(d->payload);
+      } else {
+        payloads.push_back(d->payload);
+      }
+      for (const auto& p : payloads) {
+        delivered[media::MediaPacket::parse(p).seq] = true;
+      }
+    }
+    for (const auto& p : decoder.flush()) {
+      delivered[media::MediaPacket::parse(p).seq] = true;
+    }
+  });
+
+  auto tx = net.open(sender_node);
+  media::VideoStreamSource video;
+  constexpr int kFrames = 2700;  // ~108 s at 25 fps
+  for (int i = 0; i < kFrames; ++i) {
+    const media::MediaPacket frame = video.next_frame();
+    sent_classes[frame.seq] = frame.frame_class;
+    const auto wire = frame.serialize();
+    outcome.media_bytes += wire.size();
+    tx->send_to({proxy_node, 4000}, wire);
+    clock->advance(video.frame_duration_us());
+    if (i % 50 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  receiver.join();
+  proxy.shutdown();
+  outcome.wire_bytes = egress_tap->bytes();
+
+  for (const auto& [seq, cls] : sent_classes) {
+    outcome.per_class[cls].add(delivered.count(seq) != 0);
+  }
+  (void)label;
+  return outcome;
+}
+
+void print_outcome(const char* label, const Outcome& o) {
+  const double overhead =
+      static_cast<double>(o.wire_bytes) / static_cast<double>(o.media_bytes);
+  std::printf("%-14s", label);
+  for (const auto cls :
+       {fec::FrameClass::kKey, fec::FrameClass::kPredicted,
+        fec::FrameClass::kBidirectional}) {
+    auto it = o.per_class.find(cls);
+    std::printf("  %s:%8s", class_name(cls),
+                it == o.per_class.end()
+                    ? "-"
+                    : util::percent(it->second.rate()).c_str());
+  }
+  std::printf("   overhead x%.2f\n", overhead);
+}
+
+}  // namespace
+
+int main() {
+  filters::register_builtin_filters();
+  std::printf("GOP pattern IBBPBBPBB, 2700 frames, mobile at 33 m (~4%% loss)\n\n");
+
+  const Outcome none = run_strategy("no-fec", nullptr);
+  const Outcome uniform = run_strategy(
+      "uniform", std::make_shared<filters::UepFecEncodeFilter>(
+                     fec::UepPolicy::uniform({6, 4})));
+  const Outcome uep = run_strategy(
+      "uep", std::make_shared<filters::UepFecEncodeFilter>(
+                 fec::UepPolicy::standard()));
+
+  print_outcome("no FEC", none);
+  print_outcome("uniform (6,4)", uniform);
+  print_outcome("UEP std", uep);
+  std::printf(
+      "\nAt comparable overhead, UEP buys full I- and P-frame delivery (the\n"
+      "frames whose loss stalls or corrupts the whole GOP) by letting the\n"
+      "self-contained B frames ride unprotected.\n");
+  return 0;
+}

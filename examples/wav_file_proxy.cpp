@@ -1,0 +1,136 @@
+// File-to-file proxy run in the paper's exact recording format: synthesizes
+// a .WAV capture ("Windows PCM-based waveform audio file format ... 8000
+// samples per second for two 8-bit/sample stereo channels", Section 5),
+// streams it through the FEC proxy over the lossy WLAN, and writes what the
+// mobile host heard back to a second .WAV — both raw (losses audible as
+// dropped 20 ms windows) and FEC-reconstructed.
+//
+// Run: ./wav_file_proxy [seconds]    (default 20 s; files in CWD)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+#include "fec/fec_group.h"
+#include "filters/fec_filters.h"
+#include "media/audio.h"
+#include "media/media_packet.h"
+#include "media/wav.h"
+#include "proxy/proxy.h"
+#include "util/stats.h"
+#include "wireless/wlan.h"
+
+using namespace rapidware;
+
+namespace {
+
+void write_file(const std::string& path, const util::Bytes& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seconds = argc > 1 ? std::atoi(argv[1]) : 20;
+
+  // 1. "Record" the capture: synthesize and save a WAV in the paper format.
+  const media::AudioFormat format = media::paper_audio_format();
+  media::AudioSource source(format);
+  media::WavFile capture{format, source.read_frames(
+                                     static_cast<std::size_t>(seconds) *
+                                     format.sample_rate)};
+  write_file("capture.wav", media::wav_encode(capture));
+  std::printf("wrote capture.wav (%zu bytes, %d s)\n",
+              capture.pcm.size() + 44, seconds);
+
+  // 2. Stream it through the FEC proxy to a mobile host 30 m out.
+  auto clock = std::make_shared<util::SimClock>();
+  net::SimNetwork net(clock, 1);
+  const auto sender_node = net.add_node("sender");
+  const auto proxy_node = net.add_node("proxy");
+  const auto mobile_node = net.add_node("mobile");
+  wireless::WirelessLan wlan(net, proxy_node);
+  wlan.add_station(mobile_node, 30.0);
+
+  proxy::ProxyConfig config;
+  config.ingress_port = 4000;
+  config.egress_dst = {mobile_node, 5000};
+  proxy::Proxy proxy(net, proxy_node, config);
+  proxy.start();
+  proxy.chain().append(std::make_shared<filters::FecEncodeFilter>(6, 4));
+
+  // The receiver reassembles two PCM tracks: raw-received only, and
+  // FEC-reconstructed. Missing packets become silence (mid-scale).
+  const std::size_t packet_bytes = format.bytes_per_second() / 50;  // 20 ms
+  const std::size_t total_packets = capture.pcm.size() / packet_bytes;
+  util::Bytes raw_pcm(capture.pcm.size(), 127);
+  util::Bytes fec_pcm(capture.pcm.size(), 127);
+  std::size_t raw_count = 0, fec_count = 0;
+
+  auto rx = net.open(mobile_node, 5000);
+  fec::GroupDecoder decoder(4);
+  std::thread receiver([&] {
+    auto place = [&](util::Bytes& track, const media::MediaPacket& p,
+                     std::size_t& count) {
+      const std::size_t offset = static_cast<std::size_t>(p.seq) * packet_bytes;
+      if (offset + p.payload.size() <= track.size()) {
+        std::copy(p.payload.begin(), p.payload.end(), track.begin() +
+                  static_cast<std::ptrdiff_t>(offset));
+        ++count;
+      }
+    };
+    for (;;) {
+      auto d = rx->recv(500);
+      if (!d) break;
+      util::Reader hr(d->payload);
+      const auto header = fec::GroupHeader::decode_from(hr);
+      if (!header.is_parity()) {
+        place(raw_pcm, media::MediaPacket::parse(hr.raw(hr.remaining())),
+              raw_count);
+      }
+      for (const auto& payload : decoder.add(d->payload)) {
+        place(fec_pcm, media::MediaPacket::parse(payload), fec_count);
+      }
+    }
+    for (const auto& payload : decoder.flush()) {
+      place(fec_pcm, media::MediaPacket::parse(payload), fec_count);
+    }
+  });
+
+  auto tx = net.open(sender_node);
+  for (std::size_t i = 0; i < total_packets; ++i) {
+    media::MediaPacket p;
+    p.seq = static_cast<std::uint32_t>(i);
+    p.timestamp_us = static_cast<std::int64_t>(i) * 20'000;
+    p.payload.assign(
+        capture.pcm.begin() + static_cast<std::ptrdiff_t>(i * packet_bytes),
+        capture.pcm.begin() +
+            static_cast<std::ptrdiff_t>((i + 1) * packet_bytes));
+    tx->send_to({proxy_node, 4000}, p.serialize());
+    clock->advance(20'000);
+    if (i % 50 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  receiver.join();
+  proxy.shutdown();
+
+  // 3. Write both tracks back out as .WAV files.
+  write_file("received_raw.wav",
+             media::wav_encode({format, raw_pcm}));
+  write_file("received_fec.wav",
+             media::wav_encode({format, fec_pcm}));
+  std::printf("streamed %zu packets over the 30 m wireless hop\n",
+              total_packets);
+  std::printf("  received_raw.wav : %s of packets (%zu dropouts)\n",
+              util::percent(static_cast<double>(raw_count) / total_packets)
+                  .c_str(),
+              total_packets - raw_count);
+  std::printf("  received_fec.wav : %s of packets (%zu dropouts)\n",
+              util::percent(static_cast<double>(fec_count) / total_packets)
+                  .c_str(),
+              total_packets - fec_count);
+  std::printf("\nFEC(6,4) turned audible dropouts into clean audio — the\n"
+              "paper's 'very clear audio quality' (Section 5).\n");
+  return 0;
+}

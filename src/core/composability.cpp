@@ -1,0 +1,42 @@
+#include "core/composability.h"
+
+namespace rapidware::core {
+
+bool type_satisfies(const std::string& requirement, const std::string& type) {
+  // "any" on either side makes the check vacuous: an unconstrained filter
+  // accepts everything, and an unknown stream cannot be proven mismatched.
+  if (requirement == kAnyType || type == kAnyType) return true;
+  if (requirement.size() > 3 &&
+      requirement.compare(requirement.size() - 3, 3, "(*)") == 0) {
+    const std::string prefix = requirement.substr(0, requirement.size() - 2);
+    return type.size() > prefix.size() + 1 &&
+           type.compare(0, prefix.size(), prefix) == 0 && type.back() == ')';
+  }
+  return requirement == type;
+}
+
+std::string wrap_type(const std::string& wrapper, const std::string& inner) {
+  if (inner == kAnyType) return kAnyType;
+  return wrapper + "(" + inner + ")";
+}
+
+std::optional<std::string> unwrap_type(const std::string& wrapper,
+                                       const std::string& type) {
+  if (type == kAnyType) return std::string(kAnyType);
+  const std::string prefix = wrapper + "(";
+  if (type.size() > prefix.size() + 0 &&
+      type.compare(0, prefix.size(), prefix) == 0 && type.back() == ')') {
+    return type.substr(prefix.size(), type.size() - prefix.size() - 1);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_step(const std::string& filter_name,
+                                      const std::string& requirement,
+                                      const std::string& incoming_type) {
+  if (type_satisfies(requirement, incoming_type)) return std::nullopt;
+  return "filter '" + filter_name + "' requires stream type '" + requirement +
+         "' but would receive '" + incoming_type + "'";
+}
+
+}  // namespace rapidware::core

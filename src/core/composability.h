@@ -1,0 +1,49 @@
+// Composability typing — the paper's Conclusions list "development of
+// language support to characterize the 'composability' of filters" as
+// continuing work. This is that support, as a lightweight structural type
+// system over the byte streams filters exchange:
+//
+//   * a filter declares what stream type it REQUIRES on input
+//     ("any", an exact type like "media", or a wrapper pattern "rle(*)")
+//     and how it TRANSFORMS the type ("media" -> "rle(media)");
+//   * a chain, given its ingress stream type, computes the type at every
+//     position and rejects reconfigurations that would wedge a filter
+//     against a stream it cannot parse — inserting a decompressor where
+//     nothing is compressed, removing the decryptor that downstream
+//     depends on, reordering decode before encode.
+//
+// Types are plain strings by design: third-party (uploaded) filters mint
+// new wrapper names without any registry coordination.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rapidware::core {
+
+/// The wildcard requirement/type.
+inline constexpr const char* kAnyType = "any";
+
+/// True if a stream of `type` satisfies `requirement`.
+///   requirement "any"      — always satisfied;
+///   requirement "name(*)"  — satisfied by any "name(...)" wrapper;
+///   otherwise              — exact match.
+bool type_satisfies(const std::string& requirement, const std::string& type);
+
+/// Wraps a type: wrap_type("rle", "media") == "rle(media)". Wrapping "any"
+/// stays "any" (unknown in, unknown out).
+std::string wrap_type(const std::string& wrapper, const std::string& inner);
+
+/// Unwraps one layer if `type` is `wrapper(...)`: unwrap_type("rle",
+/// "rle(media)") == "media". Returns nullopt when the wrapper does not
+/// match ("any" unwraps to "any").
+std::optional<std::string> unwrap_type(const std::string& wrapper,
+                                       const std::string& type);
+
+/// One step of a chain type-check: a human-readable error, or nullopt.
+std::optional<std::string> check_step(const std::string& filter_name,
+                                      const std::string& requirement,
+                                      const std::string& incoming_type);
+
+}  // namespace rapidware::core

@@ -1,0 +1,106 @@
+// Proxy control protocol — the wire interface between the ControlManager
+// (administration client, Section 4) and a proxy's filter chain.
+//
+// The protocol is transport-agnostic: ControlServer turns a request byte
+// blob into a response byte blob; bindings (in-process call, datagram
+// service in src/proxy) carry the blobs. ControlManager is the typed client
+// over any such transport, replacing the paper's Swing GUI with a
+// programmatic API that exposes the same operations: query configuration,
+// insert/remove/reorder filters, tune parameters, and upload new filter
+// definitions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/filter_chain.h"
+#include "core/filter_registry.h"
+#include "util/bytes.h"
+
+namespace rapidware::core {
+
+enum class ControlOp : std::uint8_t {
+  kListChain = 1,    // -> FilterInfo list
+  kListAvailable = 2,// -> registry names
+  kInsert = 3,       // spec + position
+  kRemove = 4,       // position
+  kReorder = 5,      // from + to
+  kSetParam = 6,     // position + key + value
+  kUpload = 7,       // alias name + base spec
+};
+
+/// Snapshot of one configured filter, as reported by kListChain.
+struct FilterInfo {
+  std::string name;
+  std::string description;
+  ParamMap params;
+
+  bool operator==(const FilterInfo&) const = default;
+};
+
+/// Raw request/response encoding helpers (exposed for tests).
+namespace wire {
+util::Bytes ok_response(util::ByteSpan payload = {});
+util::Bytes error_response(const std::string& message);
+}  // namespace wire
+
+/// Server side: applies control requests to a chain + registry.
+class ControlServer {
+ public:
+  ControlServer(std::shared_ptr<FilterChain> chain,
+                FilterRegistry* registry = &global_registry());
+
+  /// Decodes, executes, and answers one request. Never throws: failures are
+  /// reported in the response.
+  util::Bytes handle(util::ByteSpan request);
+
+ private:
+  util::Bytes dispatch(util::ByteSpan request);
+
+  std::shared_ptr<FilterChain> chain_;
+  FilterRegistry* registry_;
+};
+
+/// Thrown by ControlManager when the server reports an error.
+class ControlError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Client side. The transport maps a request blob to a response blob —
+/// a direct call into ControlServer::handle, or a network round trip.
+class ControlManager {
+ public:
+  using Transport = std::function<util::Bytes(util::ByteSpan)>;
+
+  explicit ControlManager(Transport transport);
+
+  /// Convenience: manager wired straight to an in-process server.
+  static ControlManager local(std::shared_ptr<ControlServer> server);
+
+  std::vector<FilterInfo> list_chain();
+  std::vector<std::string> list_available();
+  void insert(const FilterSpec& spec, std::size_t pos);
+  void remove(std::size_t pos);
+  void reorder(std::size_t from, std::size_t to);
+  void set_param(std::size_t pos, const std::string& key,
+                 const std::string& value);
+  /// Uploads a third-party filter definition (alias over registered
+  /// primitives); afterwards insert() accepts the new name.
+  void upload(const std::string& name, const FilterSpec& base);
+
+  /// Renders the chain configuration as a one-line summary, e.g.
+  /// "[wired-rx] -> fec-enc(6,4) -> throttle -> [wireless-tx]".
+  std::string render_chain(const std::string& head = "in",
+                           const std::string& tail = "out");
+
+ private:
+  util::Bytes roundtrip(util::ByteSpan request);
+
+  Transport transport_;
+};
+
+}  // namespace rapidware::core

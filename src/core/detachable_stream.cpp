@@ -1,0 +1,230 @@
+#include "core/detachable_stream.h"
+
+namespace rapidware::core {
+
+using detail::InputState;
+
+// ---------------------------------------------------------------------------
+// DetachableInputStream
+
+DetachableInputStream::DetachableInputStream(std::size_t capacity)
+    : st_(std::make_shared<InputState>(capacity)) {}
+
+DetachableInputStream::~DetachableInputStream() { close(); }
+
+std::size_t DetachableInputStream::read_some(util::MutableByteSpan out) {
+  if (out.empty()) return 0;
+  std::unique_lock lk(st_->mu);
+  for (;;) {
+    if (!st_->ring.empty()) {
+      const std::size_t n = st_->ring.read(out);
+      st_->bytes_out += n;
+      st_->writable.notify_all();
+      if (st_->ring.empty()) st_->drained.notify_all();
+      return n;
+    }
+    if (st_->write_closed || st_->soft_eof || st_->reader_closed) return 0;
+    // Buffer empty: tell any pauser, then wait for data or a state change.
+    st_->drained.notify_all();
+    st_->readable.wait(lk);
+  }
+}
+
+std::size_t DetachableInputStream::available() const {
+  std::lock_guard lk(st_->mu);
+  return st_->ring.size();
+}
+
+bool DetachableInputStream::connected() const {
+  std::lock_guard lk(st_->mu);
+  return st_->connected;
+}
+
+void DetachableInputStream::pause() {
+  DetachableOutputStream* src = nullptr;
+  {
+    std::lock_guard lk(st_->mu);
+    src = st_->source;
+  }
+  if (src == nullptr) throw StreamError("DIS::pause: not connected");
+  src->pause();
+}
+
+void DetachableInputStream::reconnect(DetachableOutputStream& dos) {
+  dos.reconnect(*this);
+}
+
+void DetachableInputStream::close() {
+  std::lock_guard lk(st_->mu);
+  st_->reader_closed = true;
+  st_->connected = false;
+  st_->readable.notify_all();
+  st_->writable.notify_all();
+  st_->drained.notify_all();
+}
+
+void DetachableInputStream::mark_soft_eof() {
+  std::lock_guard lk(st_->mu);
+  st_->soft_eof = true;
+  st_->readable.notify_all();
+}
+
+std::uint64_t DetachableInputStream::bytes_received() const {
+  std::lock_guard lk(st_->mu);
+  return st_->bytes_in;
+}
+
+std::uint64_t DetachableInputStream::bytes_delivered() const {
+  std::lock_guard lk(st_->mu);
+  return st_->bytes_out;
+}
+
+// ---------------------------------------------------------------------------
+// DetachableOutputStream
+
+DetachableOutputStream::~DetachableOutputStream() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw (C++ Core Guidelines C.36).
+  }
+}
+
+void DetachableOutputStream::write(util::ByteSpan in) {
+  std::shared_ptr<InputState> st;
+  {
+    std::unique_lock lk(mu_);
+    state_cv_.wait(lk, [&] { return closed_ || (connected_ && !swflag_); });
+    if (closed_) throw BrokenPipe("DOS::write: stream closed");
+    st = sink_;
+    ++active_writers_;
+  }
+  // Deliver the whole span to this sink. pause() waits for us, so a logical
+  // write is never split across two different sinks.
+  try {
+    std::unique_lock slk(st->mu);
+    while (!in.empty()) {
+      st->writable.wait(slk,
+                        [&] { return st->reader_closed || !st->ring.full(); });
+      if (st->reader_closed) {
+        throw BrokenPipe("DOS::write: reader closed the stream");
+      }
+      const std::size_t n = st->ring.write(in);
+      in = in.subspan(n);
+      st->bytes_in += n;
+      st->readable.notify_all();
+    }
+  } catch (...) {
+    std::lock_guard lk(mu_);
+    --active_writers_;
+    writers_cv_.notify_all();
+    throw;
+  }
+  std::lock_guard lk(mu_);
+  --active_writers_;
+  writers_cv_.notify_all();
+}
+
+void DetachableOutputStream::flush() {
+  std::shared_ptr<InputState> st;
+  {
+    std::lock_guard lk(mu_);
+    st = sink_;
+  }
+  if (st) {
+    std::lock_guard slk(st->mu);
+    st->readable.notify_all();
+  }
+}
+
+void DetachableOutputStream::pause() {
+  std::shared_ptr<InputState> st;
+  {
+    std::unique_lock lk(mu_);
+    if (closed_) throw StreamError("DOS::pause: stream closed");
+    if (!connected_) {
+      if (swflag_) return;  // already paused: idempotent
+      throw StreamError("DOS::pause: not connected");
+    }
+    swflag_ = true;  // new writes now block in state_cv_
+    st = sink_;
+    {
+      // Lock order: DOS::mu_ before InputState::mu (always).
+      std::lock_guard slk(st->mu);
+      st->swflag = true;
+      st->writable.notify_all();
+      st->readable.notify_all();
+    }
+    // Let in-flight writes land in full.
+    writers_cv_.wait(lk, [&] { return active_writers_ == 0; });
+    connected_ = false;
+    sink_.reset();
+  }
+  {
+    // Wait for the reader to drain the buffer (the paper's checkBuf/wait).
+    std::unique_lock slk(st->mu);
+    st->readable.notify_all();
+    st->drained.wait(slk, [&] { return st->ring.empty() || st->reader_closed; });
+    st->connected = false;
+    st->source = nullptr;
+  }
+}
+
+void DetachableOutputStream::reconnect(DetachableInputStream& dis) {
+  std::unique_lock lk(mu_);
+  if (closed_) throw StreamError("DOS::reconnect: stream closed");
+  if (connected_) throw StreamError("DOS::reconnect: already connected");
+  auto st = dis.st_;
+  {
+    std::lock_guard slk(st->mu);
+    if (st->connected) {
+      throw StreamError("DOS::reconnect: sink already connected");
+    }
+    if (st->reader_closed) {
+      throw StreamError("DOS::reconnect: sink reader closed");
+    }
+    st->source = this;
+    st->connected = true;
+    st->swflag = false;
+    st->soft_eof = false;
+    st->write_closed = false;
+    st->readable.notify_all();
+    st->writable.notify_all();
+  }
+  sink_ = st;
+  connected_ = true;
+  swflag_ = false;
+  state_cv_.notify_all();
+}
+
+void DetachableOutputStream::close() {
+  std::shared_ptr<InputState> st;
+  {
+    std::lock_guard lk(mu_);
+    if (closed_) return;
+    closed_ = true;
+    st = sink_;
+    sink_.reset();
+    connected_ = false;
+    state_cv_.notify_all();
+  }
+  if (st) {
+    std::lock_guard slk(st->mu);
+    st->write_closed = true;
+    st->connected = false;
+    st->source = nullptr;
+    st->readable.notify_all();
+    st->drained.notify_all();
+  }
+}
+
+bool DetachableOutputStream::connected() const {
+  std::lock_guard lk(mu_);
+  return connected_;
+}
+
+void connect(DetachableOutputStream& dos, DetachableInputStream& dis) {
+  dos.connect(dis);
+}
+
+}  // namespace rapidware::core

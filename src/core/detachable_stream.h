@@ -1,0 +1,176 @@
+// Detachable I/O streams — the paper's core mechanism (Section 4).
+//
+// A DetachableOutputStream (DOS) / DetachableInputStream (DIS) pair behaves
+// like a piped byte stream, with the buffer held at the input side. Unlike
+// ordinary piped streams, the pair can be:
+//
+//   * paused      — new writes block, in-flight writes complete in full,
+//                   the reader drains the buffer, then both halves are
+//                   marked disconnected;
+//   * reconnected — either half may be attached to a *different* peer,
+//                   waking any reader/writer that blocked while paused;
+//   * restarted   — data flows again with no byte lost, duplicated, or
+//                   reordered.
+//
+// This is the "glue" that lets the filter chain insert, delete, and reorder
+// proxy filters on a running data stream. As in the paper, pause() and
+// reconnect() invoked on a DIS are reference calls forwarded to the peer DOS.
+//
+// Concurrency contract: one reader thread per DIS, one writer thread per
+// DOS; any thread may invoke control operations (pause/reconnect/close),
+// but concurrent control operations on the same stream must be serialized
+// by the caller (FilterChain does this).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/io.h"
+
+namespace rapidware::core {
+
+/// Base class for stream failures (the analogue of Java's IOException).
+class StreamError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writing to a closed/abandoned stream.
+class BrokenPipe : public StreamError {
+ public:
+  using StreamError::StreamError;
+};
+
+class DetachableOutputStream;
+class DetachableInputStream;
+
+namespace detail {
+
+/// Shared state of one pipe; owned by the DIS (the paper buffers at the
+/// input side), referenced by whichever DOS is currently connected.
+struct InputState {
+  explicit InputState(std::size_t capacity) : ring(capacity) {}
+
+  std::mutex mu;
+  std::condition_variable readable;  // data arrived / state changed
+  std::condition_variable writable;  // space freed / reader closed
+  std::condition_variable drained;   // ring became empty
+  util::ByteRing ring;
+
+  DetachableOutputStream* source = nullptr;  // guarded by mu
+  bool connected = false;
+  bool swflag = false;        // pause in progress or paused
+  bool write_closed = false;  // hard EOF: source closed for good
+  bool soft_eof = false;      // detach EOF: report EOF once drained; cleared
+                              // by the next reconnect (filter removal)
+  bool reader_closed = false;
+
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+}  // namespace detail
+
+/// Input half. Owns the pipe buffer.
+class DetachableInputStream final : public util::ByteSource {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 64 * 1024;
+
+  explicit DetachableInputStream(std::size_t capacity = kDefaultCapacity);
+  ~DetachableInputStream() override;
+
+  DetachableInputStream(const DetachableInputStream&) = delete;
+  DetachableInputStream& operator=(const DetachableInputStream&) = delete;
+
+  /// Blocks until data is available, the stream reports EOF (returns 0), or
+  /// the pipe is paused-and-later-reconnected (in which case it keeps
+  /// waiting transparently — this is what makes filter insertion invisible
+  /// to downstream readers).
+  std::size_t read_some(util::MutableByteSpan out) override;
+
+  /// Bytes currently buffered.
+  std::size_t available() const;
+
+  bool connected() const;
+
+  /// Forwards to the connected DOS (reference call, as in the paper).
+  void pause();
+
+  /// Forwards to dos.reconnect(*this).
+  void reconnect(DetachableOutputStream& dos);
+
+  /// Reader abandons the stream; connected/future writers get BrokenPipe.
+  void close();
+
+  /// Control-plane detach: once the buffer drains, read_some() returns 0
+  /// exactly as on EOF, letting the owning filter flush and exit its loop
+  /// without closing its output. Cleared by the next reconnect.
+  void mark_soft_eof();
+
+  std::uint64_t bytes_received() const;
+  std::uint64_t bytes_delivered() const;
+
+ private:
+  friend class DetachableOutputStream;
+  std::shared_ptr<detail::InputState> st_;
+};
+
+/// Output half.
+class DetachableOutputStream final : public util::ByteSink {
+ public:
+  DetachableOutputStream() = default;
+  ~DetachableOutputStream() override;
+
+  DetachableOutputStream(const DetachableOutputStream&) = delete;
+  DetachableOutputStream& operator=(const DetachableOutputStream&) = delete;
+
+  /// Writes all of `in`. If the stream is paused or disconnected, blocks
+  /// until a reconnect supplies a new sink. A write that has begun always
+  /// lands contiguously in a single sink: pause() waits for it, so framed
+  /// messages are never torn across a splice.
+  void write(util::ByteSpan in) override;
+
+  /// Wakes the reader so buffered bytes are noticed promptly.
+  void flush() override;
+
+  /// Establishes the initial connection (alias for reconnect, kept for
+  /// symmetry with the paper's connect()/reconnect() pair).
+  void connect(DetachableInputStream& dis) { reconnect(dis); }
+
+  /// Pauses the pipe: blocks new writes, completes in-flight writes, waits
+  /// for the reader to drain the buffer, then marks both halves
+  /// disconnected. Idempotent when already paused. Requires an active
+  /// reader (or an already-empty buffer) to drain.
+  void pause();
+
+  /// Attaches this DOS to `dis`. Both halves must be disconnected.
+  void reconnect(DetachableInputStream& dis);
+
+  /// Hard EOF: the current sink's reader sees end-of-stream after draining;
+  /// subsequent writes throw BrokenPipe.
+  void close();
+
+  bool connected() const;
+
+ private:
+  friend class DetachableInputStream;
+
+  mutable std::mutex mu_;
+  std::condition_variable state_cv_;    // writers wait for connect/unpause
+  std::condition_variable writers_cv_;  // pause waits for in-flight writes
+  std::shared_ptr<detail::InputState> sink_;
+  bool swflag_ = false;
+  bool connected_ = false;
+  bool closed_ = false;
+  int active_writers_ = 0;
+};
+
+/// Convenience: connect a fresh pair.
+void connect(DetachableOutputStream& dos, DetachableInputStream& dis);
+
+}  // namespace rapidware::core

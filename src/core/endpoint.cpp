@@ -1,0 +1,135 @@
+#include "core/endpoint.h"
+
+#include <chrono>
+
+#include "util/framing.h"
+
+namespace rapidware::core {
+
+PacketReaderEndpoint::PacketReaderEndpoint(std::string name,
+                                           std::shared_ptr<PacketSource> source)
+    : Filter(std::move(name)), source_(std::move(source)) {}
+
+void PacketReaderEndpoint::run() {
+  for (;;) {
+    auto packet = source_->next_packet();
+    if (!packet) break;
+    util::write_frame(dos(), *packet);
+    ++packets_;
+  }
+}
+
+PacketWriterEndpoint::PacketWriterEndpoint(std::string name,
+                                           std::shared_ptr<PacketSink> sink)
+    : Filter(std::move(name)), sink_(std::move(sink)) {}
+
+void PacketWriterEndpoint::run() {
+  for (;;) {
+    auto packet = util::read_frame(dis());
+    if (!packet) break;
+    sink_->deliver(*packet);
+    ++packets_;
+  }
+  sink_->on_end();
+}
+
+ByteReaderEndpoint::ByteReaderEndpoint(std::string name,
+                                       std::shared_ptr<util::ByteSource> source,
+                                       std::size_t chunk)
+    : Filter(std::move(name)), source_(std::move(source)), chunk_(chunk) {}
+
+void ByteReaderEndpoint::run() {
+  util::Bytes buf(chunk_);
+  for (;;) {
+    const std::size_t n = source_->read_some(buf);
+    if (n == 0) break;
+    dos().write(util::ByteSpan(buf.data(), n));
+  }
+}
+
+ByteWriterEndpoint::ByteWriterEndpoint(std::string name,
+                                       std::shared_ptr<util::ByteSink> sink)
+    : Filter(std::move(name)), sink_(std::move(sink)) {}
+
+void ByteWriterEndpoint::run() {
+  util::Bytes buf(4096);
+  for (;;) {
+    const std::size_t n = dis().read_some(buf);
+    if (n == 0) break;
+    sink_->write(util::ByteSpan(buf.data(), n));
+  }
+  sink_->flush();
+}
+
+std::optional<util::Bytes> QueuePacketSource::next_packet() {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return finished_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;
+  util::Bytes packet = std::move(queue_.front());
+  queue_.pop_front();
+  return packet;
+}
+
+void QueuePacketSource::interrupt() { finish(); }
+
+void QueuePacketSource::push(util::Bytes packet) {
+  {
+    std::lock_guard lk(mu_);
+    queue_.push_back(std::move(packet));
+  }
+  cv_.notify_one();
+}
+
+void QueuePacketSource::finish() {
+  {
+    std::lock_guard lk(mu_);
+    finished_ = true;
+  }
+  cv_.notify_all();
+}
+
+void CollectingPacketSink::deliver(util::ByteSpan packet) {
+  {
+    std::lock_guard lk(mu_);
+    packets_.emplace_back(packet.begin(), packet.end());
+  }
+  cv_.notify_all();
+}
+
+void CollectingPacketSink::on_end() {
+  {
+    std::lock_guard lk(mu_);
+    ended_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool CollectingPacketSink::wait_for(std::size_t n, std::int64_t timeout_ms) {
+  std::unique_lock lk(mu_);
+  return cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                      [&] { return packets_.size() >= n || ended_; }) &&
+         packets_.size() >= n;
+}
+
+bool CollectingPacketSink::wait_end(std::int64_t timeout_ms) {
+  std::unique_lock lk(mu_);
+  return cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                      [&] { return ended_; });
+}
+
+std::vector<util::Bytes> CollectingPacketSink::packets() const {
+  std::lock_guard lk(mu_);
+  return packets_;
+}
+
+std::size_t CollectingPacketSink::count() const {
+  std::lock_guard lk(mu_);
+  return packets_.size();
+}
+
+bool CollectingPacketSink::ended() const {
+  std::lock_guard lk(mu_);
+  return ended_;
+}
+
+}  // namespace rapidware::core

@@ -1,0 +1,147 @@
+// EndPoint objects (paper, Section 4): special filters that bridge the
+// chain's detachable streams to the outside world. A reader endpoint pulls
+// from a source and writes into its DOS; a writer endpoint reads its DIS and
+// pushes into a sink. Two endpoints plus a ControlThread form a null proxy.
+//
+// Network-backed endpoints (the paper's EndPointSocketReader/Writer) live in
+// src/proxy, built on these generic classes; here we depend only on the
+// abstract byte/packet source and sink interfaces.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/filter.h"
+#include "util/io.h"
+
+namespace rapidware::core {
+
+/// Blocking packet producer for reader endpoints.
+class PacketSource {
+ public:
+  virtual ~PacketSource() = default;
+
+  /// Blocks for the next packet; nullopt means the source is exhausted or
+  /// was interrupted.
+  virtual std::optional<util::Bytes> next_packet() = 0;
+
+  /// Unblocks a pending or future next_packet() call, making it return
+  /// nullopt. Called from another thread to stop the endpoint.
+  virtual void interrupt() {}
+};
+
+/// Packet consumer for writer endpoints.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver(util::ByteSpan packet) = 0;
+  /// Called once when the stream feeding this sink ends.
+  virtual void on_end() {}
+};
+
+/// Reads whole packets from a PacketSource and sends them down the chain as
+/// framed messages (the paper's EndPointSocketReader shape).
+class PacketReaderEndpoint final : public Filter {
+ public:
+  PacketReaderEndpoint(std::string name, std::shared_ptr<PacketSource> source);
+
+  /// Asks the source to stop; run() then exits after the current packet.
+  void interrupt() override { source_->interrupt(); }
+
+  std::uint64_t packets_read() const noexcept { return packets_; }
+
+ protected:
+  void run() override;
+
+ private:
+  std::shared_ptr<PacketSource> source_;
+  std::uint64_t packets_ = 0;
+};
+
+/// Reads framed messages from the chain and delivers them to a PacketSink
+/// (the paper's EndPointSocketWriter shape).
+class PacketWriterEndpoint final : public Filter {
+ public:
+  PacketWriterEndpoint(std::string name, std::shared_ptr<PacketSink> sink);
+
+  std::uint64_t packets_written() const noexcept { return packets_; }
+
+ protected:
+  void run() override;
+
+ private:
+  std::shared_ptr<PacketSink> sink_;
+  std::uint64_t packets_ = 0;
+};
+
+/// Byte-oriented reader endpoint over any util::ByteSource (the paper's
+/// EndPointStreamReader): file, in-memory buffer, generator.
+class ByteReaderEndpoint final : public Filter {
+ public:
+  ByteReaderEndpoint(std::string name, std::shared_ptr<util::ByteSource> source,
+                     std::size_t chunk = 4096);
+
+ protected:
+  void run() override;
+
+ private:
+  std::shared_ptr<util::ByteSource> source_;
+  std::size_t chunk_;
+};
+
+/// Byte-oriented writer endpoint over any util::ByteSink.
+class ByteWriterEndpoint final : public Filter {
+ public:
+  ByteWriterEndpoint(std::string name, std::shared_ptr<util::ByteSink> sink);
+
+ protected:
+  void run() override;
+
+ private:
+  std::shared_ptr<util::ByteSink> sink_;
+};
+
+/// In-memory packet source backed by a queue; push() feeds the endpoint,
+/// finish() ends the stream. Used heavily by tests and examples.
+class QueuePacketSource final : public PacketSource {
+ public:
+  std::optional<util::Bytes> next_packet() override;
+  void interrupt() override;
+
+  void push(util::Bytes packet);
+  void finish();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<util::Bytes> queue_;
+  bool finished_ = false;
+};
+
+/// In-memory packet sink collecting everything it receives.
+class CollectingPacketSink final : public PacketSink {
+ public:
+  void deliver(util::ByteSpan packet) override;
+  void on_end() override;
+
+  /// Blocks until at least n packets arrived or the stream ended.
+  bool wait_for(std::size_t n, std::int64_t timeout_ms = 10'000);
+  /// Blocks until the stream ends.
+  bool wait_end(std::int64_t timeout_ms = 10'000);
+
+  std::vector<util::Bytes> packets() const;
+  std::size_t count() const;
+  bool ended() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<util::Bytes> packets_;
+  bool ended_ = false;
+};
+
+}  // namespace rapidware::core

@@ -1,0 +1,79 @@
+#include "core/filter.h"
+
+#include "util/framing.h"
+#include "util/logging.h"
+
+namespace rapidware::core {
+
+Filter::Filter(std::string name, std::size_t buffer_capacity)
+    : name_(std::move(name)),
+      dis_(std::make_unique<DetachableInputStream>(buffer_capacity)),
+      dos_(std::make_unique<DetachableOutputStream>()) {}
+
+Filter::~Filter() {
+  // Unblock and reap the processing thread if the owner forgot to.
+  dis_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Filter::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    throw StreamError("Filter::start: already running");
+  }
+  if (thread_.joinable()) thread_.join();  // reap a previous run
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void Filter::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Filter::detach_request() { dis_->mark_soft_eof(); }
+
+bool Filter::set_param(const std::string& key, const std::string& value) {
+  (void)key;
+  (void)value;
+  return false;
+}
+
+void Filter::thread_main() {
+  try {
+    run();
+  } catch (const BrokenPipe&) {
+    // Downstream went away; normal during teardown.
+  } catch (const std::exception& e) {
+    RW_ERROR(name_) << "filter loop failed: " << e.what();
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void ByteFilter::run() {
+  util::Bytes chunk(kChunk);
+  for (;;) {
+    const std::size_t n = dis().read_some(chunk);
+    if (n == 0) break;
+    util::Bytes out = process(
+        util::Bytes(chunk.begin(), chunk.begin() + static_cast<long>(n)));
+    if (!out.empty()) dos().write(out);
+  }
+  util::Bytes tail = flush_tail();
+  if (!tail.empty()) dos().write(tail);
+}
+
+void PacketFilter::run() {
+  for (;;) {
+    auto packet = util::read_frame(dis());
+    if (!packet) break;
+    ++packets_in_;
+    on_packet(std::move(*packet));
+  }
+  on_flush();
+}
+
+void PacketFilter::emit(util::ByteSpan packet) {
+  util::write_frame(dos(), packet);
+  ++packets_out_;
+}
+
+}  // namespace rapidware::core

@@ -1,0 +1,154 @@
+// Filter base classes (the paper's Filter class, Section 4).
+//
+// Every proxy filter owns one DetachableInputStream and one
+// DetachableOutputStream — always present, so the ControlThread/FilterChain
+// can splice the filter in and out of a running stream. A filter runs its
+// processing loop on its own thread between start() and the loop's exit.
+//
+// Two processing styles:
+//   * ByteFilter   — run() reads raw byte chunks and transforms them;
+//   * PacketFilter — run() reads length-prefixed frames (util::framing) and
+//     handles whole packets, which is how stream-type-specific insertion
+//     points ("frame boundaries", Section 3) are honoured.
+//
+// Removal protocol: the chain marks the filter's DIS with a soft EOF; the
+// loop observes end-of-stream, calls the flush hook (e.g. emit a partial FEC
+// group), and exits WITHOUT closing its DOS, so downstream stays connected.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/detachable_stream.h"
+#include "util/bytes.h"
+
+namespace rapidware::core {
+
+/// Free-form key/value parameters a filter exposes for the control manager.
+using ParamMap = std::map<std::string, std::string>;
+
+class Filter {
+ public:
+  explicit Filter(std::string name,
+                  std::size_t buffer_capacity =
+                      DetachableInputStream::kDefaultCapacity);
+  virtual ~Filter();
+
+  Filter(const Filter&) = delete;
+  Filter& operator=(const Filter&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  DetachableInputStream& dis() noexcept { return *dis_; }
+  DetachableOutputStream& dos() noexcept { return *dos_; }
+
+  /// Spawns the processing thread. May be called again after the previous
+  /// run exited (filters are restartable so a removed filter can be
+  /// re-inserted elsewhere in the chain).
+  void start();
+
+  /// True while the processing loop is executing.
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Waits for the processing loop to exit. Does not itself request the
+  /// exit — use detach_request() or close the input first.
+  void join();
+
+  /// Asks the loop to finish: drains the input via soft EOF. Pair with
+  /// join().
+  void detach_request();
+
+  /// Asks a source-driven filter (reader endpoint) to stop producing.
+  /// Default: no-op; ordinary filters stop via detach_request().
+  virtual void interrupt() {}
+
+  /// Human-readable one-line description for the control manager.
+  virtual std::string describe() const { return name_; }
+
+  /// Current tunable parameters (FEC (n,k), throttle rate, ...).
+  virtual ParamMap params() const { return {}; }
+
+  /// Reconfigures a parameter at run time; returns false if unknown/invalid.
+  virtual bool set_param(const std::string& key, const std::string& value);
+
+  // Composability typing (core/composability.h): what stream type this
+  // filter requires, and how it transforms the type. Defaults describe a
+  // type-preserving filter that accepts anything (taps, throttles, null).
+  virtual std::string input_requirement() const { return "any"; }
+  virtual std::string output_type(const std::string& input) const {
+    return input;
+  }
+
+ protected:
+  /// The processing loop body; runs on the filter's thread.
+  virtual void run() = 0;
+
+ private:
+  void thread_main();
+
+  std::string name_;
+  std::unique_ptr<DetachableInputStream> dis_;
+  std::unique_ptr<DetachableOutputStream> dos_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+/// Transforms raw byte chunks.
+class ByteFilter : public Filter {
+ public:
+  using Filter::Filter;
+
+ protected:
+  void run() final;
+
+  /// Transforms `in`; whatever it returns is written downstream. The default
+  /// passes data through unchanged.
+  virtual util::Bytes process(util::Bytes in) { return in; }
+
+  /// Called when the input reports EOF (hard or detach); emit any buffered
+  /// tail here by returning it.
+  virtual util::Bytes flush_tail() { return {}; }
+
+  /// Chunk size for reads.
+  static constexpr std::size_t kChunk = 4096;
+};
+
+/// Transforms whole framed packets; may emit zero or more packets per input.
+class PacketFilter : public Filter {
+ public:
+  using Filter::Filter;
+
+ protected:
+  void run() final;
+
+  /// Handles one input packet; call emit() for each output packet.
+  virtual void on_packet(util::Bytes packet) = 0;
+
+  /// Called on EOF before the loop exits; emit pending state here.
+  virtual void on_flush() {}
+
+  /// Writes one framed packet downstream.
+  void emit(util::ByteSpan packet);
+
+  std::uint64_t packets_in() const noexcept { return packets_in_; }
+  std::uint64_t packets_out() const noexcept { return packets_out_; }
+
+ private:
+  std::uint64_t packets_in_ = 0;
+  std::uint64_t packets_out_ = 0;
+};
+
+/// The "null" filter: forwards bytes untouched. Two EndPoints plus a null
+/// filter (or none) form the paper's null proxy.
+class NullFilter final : public ByteFilter {
+ public:
+  NullFilter() : ByteFilter("null") {}
+  explicit NullFilter(std::string name) : ByteFilter(std::move(name)) {}
+};
+
+}  // namespace rapidware::core

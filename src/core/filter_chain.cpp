@@ -1,0 +1,281 @@
+#include "core/filter_chain.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/composability.h"
+#include "util/logging.h"
+
+namespace rapidware::core {
+
+FilterChain::FilterChain(std::shared_ptr<Filter> head,
+                         std::shared_ptr<Filter> tail)
+    : head_(std::move(head)), tail_(std::move(tail)) {
+  if (!head_ || !tail_) throw std::invalid_argument("FilterChain: null endpoint");
+}
+
+FilterChain::~FilterChain() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Best-effort teardown only.
+  }
+}
+
+void FilterChain::start() {
+  std::lock_guard lk(mu_);
+  if (started_) throw StreamError("FilterChain::start: already started");
+  // Wire head -> [pre-inserted filters] -> tail, then start consumers
+  // before producers so no write ever lacks a reader.
+  Filter* prev = head_.get();
+  for (const auto& f : filters_) {
+    prev->dos().connect(f->dis());
+    prev = f.get();
+  }
+  prev->dos().connect(tail_->dis());
+  tail_->start();
+  for (auto it = filters_.rbegin(); it != filters_.rend(); ++it) {
+    (*it)->start();
+  }
+  head_->start();
+  started_ = true;
+}
+
+void FilterChain::check_pos_locked(std::size_t pos, bool inclusive) const {
+  const std::size_t limit = filters_.size() + (inclusive ? 1 : 0);
+  if (pos >= limit) throw std::out_of_range("FilterChain: bad position");
+}
+
+Filter& FilterChain::left_of_locked(std::size_t pos) {
+  return pos == 0 ? *head_ : *filters_[pos - 1];
+}
+
+Filter& FilterChain::right_of_locked(std::size_t pos) {
+  return pos == filters_.size() ? *tail_ : *filters_[pos];
+}
+
+void FilterChain::insert(std::shared_ptr<Filter> filter, std::size_t pos) {
+  if (!filter) throw std::invalid_argument("FilterChain::insert: null filter");
+  std::lock_guard lk(mu_);
+  if (shut_down_) throw StreamError("FilterChain::insert: chain shut down");
+  check_pos_locked(pos, /*inclusive=*/true);
+  if (filter->running()) {
+    throw StreamError("FilterChain::insert: filter already running");
+  }
+  if (enforce_types_) {
+    auto hypothetical = filters_;
+    hypothetical.insert(hypothetical.begin() + static_cast<std::ptrdiff_t>(pos),
+                        filter);
+    if (const auto error = check_types_locked(hypothetical)) {
+      throw StreamError("FilterChain::insert rejected: " + *error);
+    }
+  }
+
+  if (!started_) {
+    // Pre-start configuration: just record; start() wires everything.
+    filters_.insert(filters_.begin() + static_cast<std::ptrdiff_t>(pos),
+                    std::move(filter));
+    return;
+  }
+
+  Filter& left = left_of_locked(pos);
+  Filter& right = right_of_locked(pos);
+
+  // The paper's add(): pause the left DOS (the right DIS is automatically
+  // paused with it), then splice the new filter's streams in.
+  left.dos().pause();
+  left.dos().reconnect(filter->dis());
+  filter->dos().reconnect(right.dis());
+  filter->start();
+
+  filters_.insert(filters_.begin() + static_cast<std::ptrdiff_t>(pos),
+                  std::move(filter));
+}
+
+std::shared_ptr<Filter> FilterChain::remove(std::size_t pos) {
+  std::lock_guard lk(mu_);
+  if (shut_down_) throw StreamError("FilterChain::remove: chain shut down");
+  check_pos_locked(pos, /*inclusive=*/false);
+  if (enforce_types_) {
+    auto hypothetical = filters_;
+    hypothetical.erase(hypothetical.begin() + static_cast<std::ptrdiff_t>(pos));
+    if (const auto error = check_types_locked(hypothetical)) {
+      throw StreamError("FilterChain::remove rejected: " + *error);
+    }
+  }
+
+  std::shared_ptr<Filter> filter = filters_[pos];
+  if (!started_) {
+    filters_.erase(filters_.begin() + static_cast<std::ptrdiff_t>(pos));
+    return filter;
+  }
+  Filter& left = left_of_locked(pos);
+  Filter& right = right_of_locked(pos + 1);
+
+  // Drain the filter's input, let it flush buffered state downstream,
+  // drain its output, then close the gap.
+  left.dos().pause();
+  filter->detach_request();
+  filter->join();
+  filter->dos().pause();
+  left.dos().reconnect(right.dis());
+
+  filters_.erase(filters_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return filter;
+}
+
+void FilterChain::reorder(std::size_t from, std::size_t to) {
+  // remove() + insert(), as the paper's ControlThread does; `to` addresses
+  // the vector after the removal. With type enforcement, only the FINAL
+  // arrangement must type-check (the transient state between the two steps
+  // never carries data for the moved filter), so checks are applied here
+  // and bypassed in the constituent steps.
+  bool enforce = false;
+  {
+    std::lock_guard lk(mu_);
+    check_pos_locked(from, /*inclusive=*/false);
+    enforce = enforce_types_;
+    if (enforce) {
+      auto hypothetical = filters_;
+      auto moved = hypothetical[from];
+      hypothetical.erase(hypothetical.begin() +
+                         static_cast<std::ptrdiff_t>(from));
+      const std::size_t target = std::min(to, hypothetical.size());
+      hypothetical.insert(
+          hypothetical.begin() + static_cast<std::ptrdiff_t>(target),
+          std::move(moved));
+      if (const auto error = check_types_locked(hypothetical)) {
+        throw StreamError("FilterChain::reorder rejected: " + *error);
+      }
+      enforce_types_ = false;  // control ops are caller-serialized
+    }
+  }
+  try {
+    std::shared_ptr<Filter> filter = remove(from);
+    {
+      std::lock_guard lk(mu_);
+      to = std::min(to, filters_.size());
+    }
+    insert(std::move(filter), to);
+  } catch (...) {
+    std::lock_guard lk(mu_);
+    enforce_types_ = enforce;
+    throw;
+  }
+  std::lock_guard lk(mu_);
+  enforce_types_ = enforce;
+}
+
+bool FilterChain::set_param(std::size_t pos, const std::string& key,
+                            const std::string& value) {
+  std::shared_ptr<Filter> filter;
+  {
+    std::lock_guard lk(mu_);
+    check_pos_locked(pos, /*inclusive=*/false);
+    filter = filters_[pos];
+  }
+  return filter->set_param(key, value);
+}
+
+std::size_t FilterChain::size() const {
+  std::lock_guard lk(mu_);
+  return filters_.size();
+}
+
+std::vector<std::string> FilterChain::names() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(filters_.size());
+  for (const auto& f : filters_) out.push_back(f->name());
+  return out;
+}
+
+std::shared_ptr<Filter> FilterChain::at(std::size_t pos) const {
+  std::lock_guard lk(mu_);
+  check_pos_locked(pos, /*inclusive=*/false);
+  return filters_[pos];
+}
+
+bool FilterChain::started() const {
+  std::lock_guard lk(mu_);
+  return started_ && !shut_down_;
+}
+
+void FilterChain::set_stream_type(std::string type) {
+  std::lock_guard lk(mu_);
+  stream_type_ = std::move(type);
+}
+
+void FilterChain::set_type_enforcement(bool enforce) {
+  std::lock_guard lk(mu_);
+  enforce_types_ = enforce;
+}
+
+std::optional<std::string> FilterChain::check_types_locked(
+    const std::vector<std::shared_ptr<Filter>>& filters) const {
+  std::string type = stream_type_;
+  for (const auto& f : filters) {
+    if (auto error = check_step(f->name(), f->input_requirement(), type)) {
+      return error;
+    }
+    type = f->output_type(type);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> FilterChain::type_trace() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> trace;
+  trace.reserve(filters_.size() + 1);
+  std::string type = stream_type_;
+  trace.push_back(type);
+  for (const auto& f : filters_) {
+    type = f->output_type(type);
+    trace.push_back(type);
+  }
+  return trace;
+}
+
+std::optional<std::string> FilterChain::type_error() const {
+  std::lock_guard lk(mu_);
+  return check_types_locked(filters_);
+}
+
+void FilterChain::drain_shutdown() {
+  std::lock_guard lk(mu_);
+  if (!started_ || shut_down_) return;
+  shut_down_ = true;
+
+  // The removal protocol, applied to every stage left to right: drain the
+  // upstream pipe, soft-EOF the stage so it flushes, detach its output.
+  head_->join();  // exits when its source ends (caller's responsibility)
+  Filter* left = head_.get();
+  for (auto& f : filters_) {
+    left->dos().pause();
+    f->detach_request();
+    f->join();
+    left = f.get();
+  }
+  left->dos().pause();
+  tail_->detach_request();
+  tail_->join();
+}
+
+void FilterChain::shutdown() {
+  std::lock_guard lk(mu_);
+  if (!started_ || shut_down_) return;
+  shut_down_ = true;
+
+  // Stop the producer, then let hard EOF ripple down the chain: each filter
+  // drains, flushes its tail, and exits before we close its output.
+  head_->interrupt();
+  head_->join();
+  head_->dos().close();
+  for (auto& f : filters_) {
+    f->join();
+    f->dos().close();
+  }
+  tail_->join();
+}
+
+}  // namespace rapidware::core

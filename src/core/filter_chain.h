@@ -1,0 +1,124 @@
+// FilterChain — the paper's ControlThread (Section 4).
+//
+// Manages the ordered vector of filters spliced between two endpoints on a
+// single data stream, and implements the paper's add()/delete()/reorder
+// operations on a *running* stream via the pause/reconnect protocol:
+//
+//   insert(F, pos):  Left.DOS.pause()            — drain the splice point
+//                    Left.DOS.reconnect(F.DIS)   — attach new filter input
+//                    Right.DIS.reconnect(F.DOS)  — attach new filter output
+//                    F.start()
+//
+//   remove(pos):     Left.DOS.pause()            — drain F's input
+//                    F.detach_request(); F.join()— F flushes pending state
+//                    F.DOS.pause()               — drain F's output
+//                    Left.DOS.reconnect(Right.DIS)
+//
+// All control operations are serialized by one mutex; data keeps flowing
+// through the untouched part of the chain while an operation runs.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/filter.h"
+
+namespace rapidware::core {
+
+class FilterChain {
+ public:
+  /// The chain owns its endpoints: head produces data into the chain, tail
+  /// consumes it at the far end.
+  FilterChain(std::shared_ptr<Filter> head, std::shared_ptr<Filter> tail);
+  ~FilterChain();
+
+  FilterChain(const FilterChain&) = delete;
+  FilterChain& operator=(const FilterChain&) = delete;
+
+  /// Connects head directly to tail (the "null proxy") and starts both
+  /// endpoint threads.
+  void start();
+
+  /// Inserts a filter at `pos` (0 = immediately after the head endpoint;
+  /// size() = immediately before the tail). The filter must not be running.
+  /// Before start() this just configures the chain; afterwards it splices
+  /// the filter into the live stream via the pause/reconnect protocol.
+  void insert(std::shared_ptr<Filter> filter, std::size_t pos);
+
+  /// Convenience: insert at the end (before the tail endpoint).
+  void append(std::shared_ptr<Filter> filter) { insert(std::move(filter), size()); }
+
+  /// Removes and returns the filter at `pos` after letting it flush. The
+  /// returned filter is idle and can be re-inserted (possibly elsewhere).
+  std::shared_ptr<Filter> remove(std::size_t pos);
+
+  /// Moves the filter at `from` to position `to` (positions in the vector
+  /// after removal semantics, as the paper's reorder).
+  void reorder(std::size_t from, std::size_t to);
+
+  /// Forwards a parameter change to the filter at `pos`.
+  bool set_param(std::size_t pos, const std::string& key,
+                 const std::string& value);
+
+  std::size_t size() const;
+  std::vector<std::string> names() const;
+  std::shared_ptr<Filter> at(std::size_t pos) const;
+
+  Filter& head() { return *head_; }
+  Filter& tail() { return *tail_; }
+
+  bool started() const;
+
+  // --- Composability typing (core/composability.h) -----------------------
+  // Declare the type of the stream the head endpoint produces, and the
+  // chain can type-check its configuration; with enforcement on, any
+  // insert/remove/reorder that would wedge a filter against a stream it
+  // cannot parse is rejected (StreamError) before touching the stream.
+
+  /// Sets the ingress stream type (default "any": checks are vacuous).
+  void set_stream_type(std::string type);
+
+  /// Rejects type-breaking mutations when enabled (default off).
+  void set_type_enforcement(bool enforce);
+
+  /// The stream type entering each filter plus the final egress type;
+  /// size() + 1 entries.
+  std::vector<std::string> type_trace() const;
+
+  /// First type error in the current configuration, or nullopt.
+  std::optional<std::string> type_error() const;
+
+  /// Stops the head endpoint, propagates EOF through every filter (each
+  /// flushes in order), and joins all threads. Idempotent. Filters'
+  /// output streams are hard-closed: fast, final teardown.
+  void shutdown();
+
+  /// Graceful variant: waits for the head to finish on its own (the source
+  /// must already be ending), then drains and DETACHES each stage via the
+  /// pause/soft-EOF protocol. Afterwards every filter is idle with both
+  /// streams disconnected — reusable in another chain. This is how a
+  /// composite filter (PipelineFilter) tears down its nested chain.
+  void drain_shutdown();
+
+ private:
+  /// Validates a hypothetical filter vector; returns the first error.
+  std::optional<std::string> check_types_locked(
+      const std::vector<std::shared_ptr<Filter>>& filters) const;
+  Filter& left_of_locked(std::size_t pos);
+  Filter& right_of_locked(std::size_t pos);
+  void check_pos_locked(std::size_t pos, bool inclusive) const;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<Filter> head_;
+  std::shared_ptr<Filter> tail_;
+  std::vector<std::shared_ptr<Filter>> filters_;
+  bool started_ = false;
+  bool shut_down_ = false;
+  std::string stream_type_ = "any";
+  bool enforce_types_ = false;
+};
+
+}  // namespace rapidware::core

@@ -1,0 +1,119 @@
+#include "core/filter_registry.h"
+
+#include <stdexcept>
+
+#include "util/serial.h"
+
+namespace rapidware::core {
+
+util::Bytes FilterSpec::serialize() const {
+  util::Writer w;
+  w.str(name);
+  w.u32(static_cast<std::uint32_t>(params.size()));
+  for (const auto& [k, v] : params) {
+    w.str(k);
+    w.str(v);
+  }
+  return w.take();
+}
+
+FilterSpec FilterSpec::deserialize(util::ByteSpan in) {
+  util::Reader r(in);
+  FilterSpec spec;
+  spec.name = r.str();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string k = r.str();
+    spec.params[k] = r.str();
+  }
+  return spec;
+}
+
+void FilterRegistry::register_factory(std::string name, Factory factory) {
+  std::lock_guard lk(mu_);
+  factories_[std::move(name)] = std::move(factory);
+}
+
+bool FilterRegistry::contains(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  return factories_.count(name) != 0 || aliases_.count(name) != 0;
+}
+
+std::vector<std::string> FilterRegistry::names() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size() + aliases_.size());
+  for (const auto& [name, _] : factories_) out.push_back(name);
+  for (const auto& [name, _] : aliases_) out.push_back(name);
+  return out;
+}
+
+std::shared_ptr<Filter> FilterRegistry::create(const FilterSpec& spec) const {
+  FilterSpec resolved = spec;
+  {
+    std::lock_guard lk(mu_);
+    // Resolve alias chains (bounded to avoid cycles).
+    for (int depth = 0; depth < 8; ++depth) {
+      auto it = aliases_.find(resolved.name);
+      if (it == aliases_.end()) break;
+      FilterSpec base = it->second;
+      // Instantiation parameters overlay the alias's stored defaults.
+      for (const auto& [k, v] : resolved.params) base.params[k] = v;
+      resolved = std::move(base);
+    }
+  }
+  Factory factory;
+  {
+    std::lock_guard lk(mu_);
+    auto it = factories_.find(resolved.name);
+    if (it == factories_.end()) {
+      throw std::out_of_range("FilterRegistry: unknown filter '" +
+                              resolved.name + "'");
+    }
+    factory = it->second;
+  }
+  return factory(resolved.params);
+}
+
+void FilterRegistry::register_alias(std::string name, FilterSpec base) {
+  std::lock_guard lk(mu_);
+  aliases_[std::move(name)] = std::move(base);
+}
+
+FilterRegistry& global_registry() {
+  static FilterRegistry registry;
+  return registry;
+}
+
+void FilterContainer::add(std::shared_ptr<Filter> filter) {
+  if (!filter) throw std::invalid_argument("FilterContainer::add: null filter");
+  std::lock_guard lk(mu_);
+  filters_.push_back(std::move(filter));
+}
+
+std::size_t FilterContainer::size() const {
+  std::lock_guard lk(mu_);
+  return filters_.size();
+}
+
+std::vector<std::string> FilterContainer::enumerate() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(filters_.size());
+  for (const auto& f : filters_) out.push_back(f->name());
+  return out;
+}
+
+std::shared_ptr<Filter> FilterContainer::take(const std::string& name) {
+  std::lock_guard lk(mu_);
+  for (auto it = filters_.begin(); it != filters_.end(); ++it) {
+    if ((*it)->name() == name) {
+      auto f = *it;
+      filters_.erase(it);
+      return f;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace rapidware::core

@@ -1,0 +1,90 @@
+// Filter upload machinery.
+//
+// The paper uploads serialized Java filter objects into a running proxy. In
+// C++ we reproduce the behaviour with three pieces:
+//
+//   * FilterSpec     — a serializable description (factory name + parameter
+//                      map) that travels over the control channel;
+//   * FilterRegistry — maps factory names to construction functions; the
+//                      proxy's set of *loadable* filter kinds;
+//   * FilterContainer— the paper's container of uploaded Filter objects,
+//                      holding constructed-but-not-yet-inserted filters and
+//                      uploaded spec aliases (third-party "mobile" filters
+//                      defined in terms of registered primitives).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/filter.h"
+#include "util/bytes.h"
+
+namespace rapidware::core {
+
+/// Serializable filter description: which factory, with which parameters.
+struct FilterSpec {
+  std::string name;
+  ParamMap params;
+
+  util::Bytes serialize() const;
+  static FilterSpec deserialize(util::ByteSpan in);
+
+  bool operator==(const FilterSpec&) const = default;
+};
+
+/// Named filter factories. Thread-safe.
+class FilterRegistry {
+ public:
+  using Factory =
+      std::function<std::shared_ptr<Filter>(const ParamMap& params)>;
+
+  /// Registers a factory; replaces any existing one with the same name.
+  void register_factory(std::string name, Factory factory);
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// Instantiates a filter; resolves uploaded aliases transitively.
+  /// Throws std::out_of_range for unknown names.
+  std::shared_ptr<Filter> create(const FilterSpec& spec) const;
+
+  /// Registers an alias: `name` builds `base` with base.params overlaid by
+  /// the instantiation params. This is how "uploaded" third-party filters
+  /// are expressed (see header comment).
+  void register_alias(std::string name, FilterSpec base);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+  std::map<std::string, FilterSpec> aliases_;
+};
+
+/// Returns the process-wide registry pre-populated by the filter library
+/// (each concrete filter registers itself at static-init time).
+FilterRegistry& global_registry();
+
+/// Holds Filter objects that have been uploaded/constructed but not yet
+/// placed in a chain (the paper's FilterContainer).
+class FilterContainer {
+ public:
+  void add(std::shared_ptr<Filter> filter);
+
+  std::size_t size() const;
+
+  /// The paper's String enumeration of filter names.
+  std::vector<std::string> enumerate() const;
+
+  /// Removes and returns the first filter with this name, or nullptr.
+  std::shared_ptr<Filter> take(const std::string& name);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Filter>> filters_;
+};
+
+}  // namespace rapidware::core

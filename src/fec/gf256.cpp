@@ -1,0 +1,93 @@
+#include "fec/gf256.h"
+
+#include <cassert>
+
+namespace rapidware::fec::gf {
+namespace detail {
+
+namespace {
+Tables build_tables() {
+  Tables t{};
+  std::uint16_t x = 1;
+  for (int i = 0; i < kFieldSize - 1; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+    t.log[static_cast<std::uint8_t>(x)] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kPrimitivePoly;
+  }
+  // Duplicate the cycle so exp[log a + log b] needs no modulo.
+  for (int i = kFieldSize - 1; i < 2 * kFieldSize; ++i) {
+    t.exp[static_cast<std::size_t>(i)] =
+        t.exp[static_cast<std::size_t>(i - (kFieldSize - 1))];
+  }
+  t.log[0] = 0;  // log(0) is undefined; callers must not use it
+  return t;
+}
+}  // namespace
+
+const Tables& tables() {
+  static const Tables t = build_tables();
+  return t;
+}
+
+}  // namespace detail
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = detail::tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  assert(b != 0 && "division by zero in GF(2^8)");
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + (kFieldSize - 1) - t.log[b]];
+}
+
+std::uint8_t pow(std::uint8_t a, unsigned power) {
+  if (power == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  const unsigned e = (static_cast<unsigned>(t.log[a]) * power) % (kFieldSize - 1);
+  return t.exp[e];
+}
+
+std::uint8_t inverse(std::uint8_t a) {
+  assert(a != 0 && "inverse of zero in GF(2^8)");
+  const auto& t = detail::tables();
+  return t.exp[(kFieldSize - 1) - t.log[a]];
+}
+
+void mul_add(util::MutableByteSpan dst, util::ByteSpan src, std::uint8_t c) {
+  assert(dst.size() == src.size());
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  const auto& t = detail::tables();
+  const std::size_t logc = t.log[c];
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    if (src[i] != 0) dst[i] ^= t.exp[logc + t.log[src[i]]];
+  }
+}
+
+void mul_assign(util::MutableByteSpan dst, util::ByteSpan src, std::uint8_t c) {
+  assert(dst.size() == src.size());
+  if (c == 0) {
+    for (auto& b : dst) b = 0;
+    return;
+  }
+  if (c == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i];
+    return;
+  }
+  const auto& t = detail::tables();
+  const std::size_t logc = t.log[c];
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = src[i] == 0 ? 0 : t.exp[logc + t.log[src[i]]];
+  }
+}
+
+}  // namespace rapidware::fec::gf

@@ -1,0 +1,76 @@
+#include "fec/interleaver.h"
+
+#include <stdexcept>
+
+namespace rapidware::fec {
+
+BlockInterleaver::BlockInterleaver(std::size_t rows, std::size_t depth)
+    : rows_(rows), depth_(depth) {
+  if (rows == 0 || depth == 0) {
+    throw std::invalid_argument("BlockInterleaver: rows and depth must be > 0");
+  }
+  block_.reserve(rows * depth);
+}
+
+std::vector<util::Bytes> BlockInterleaver::add(util::ByteSpan packet) {
+  block_.emplace_back(packet.begin(), packet.end());
+  if (block_.size() < rows_ * depth_) return {};
+  return release();
+}
+
+std::vector<util::Bytes> BlockInterleaver::flush() {
+  if (block_.empty()) return {};
+  return release();
+}
+
+std::vector<util::Bytes> BlockInterleaver::release() {
+  // Packet (r, c) arrived at index r * depth + c; emit column-first. A
+  // partial block keeps the same column-major rule over the filled prefix.
+  std::vector<util::Bytes> out;
+  out.reserve(block_.size());
+  for (std::size_t c = 0; c < depth_; ++c) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const std::size_t idx = r * depth_ + c;
+      if (idx < block_.size()) out.push_back(std::move(block_[idx]));
+    }
+  }
+  block_.clear();
+  return out;
+}
+
+BlockDeinterleaver::BlockDeinterleaver(std::size_t rows, std::size_t depth)
+    : rows_(rows), depth_(depth) {
+  if (rows == 0 || depth == 0) {
+    throw std::invalid_argument(
+        "BlockDeinterleaver: rows and depth must be > 0");
+  }
+  block_.reserve(rows * depth);
+}
+
+std::vector<util::Bytes> BlockDeinterleaver::add(util::ByteSpan packet) {
+  block_.emplace_back(packet.begin(), packet.end());
+  if (block_.size() < rows_ * depth_) return {};
+  return release(block_.size());
+}
+
+std::vector<util::Bytes> BlockDeinterleaver::flush() {
+  if (block_.empty()) return {};
+  return release(block_.size());
+}
+
+std::vector<util::Bytes> BlockDeinterleaver::release(std::size_t count) {
+  // Arrival index a corresponds to original (r, c) where packets were sent
+  // column-major over the filled prefix of the block.
+  std::vector<util::Bytes> out(count);
+  std::size_t a = 0;
+  for (std::size_t c = 0; c < depth_ && a < count; ++c) {
+    for (std::size_t r = 0; r < rows_ && a < count; ++r) {
+      const std::size_t idx = r * depth_ + c;
+      if (idx < count) out[idx] = std::move(block_[a++]);
+    }
+  }
+  block_.clear();
+  return out;
+}
+
+}  // namespace rapidware::fec

@@ -1,0 +1,51 @@
+// Block packet interleaver.
+//
+// Block erasure codes recover at most n-k losses per group, so a burst of
+// losses (common on wireless links — the Gilbert-Elliott bad state) can
+// overwhelm a group even when the average loss rate is low. Interleaving
+// transmits packets from `depth` consecutive groups column-first, spreading
+// a burst across groups. The de-interleaver restores order. Both add
+// latency proportional to rows x depth, the classic FEC trade-off.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace rapidware::fec {
+
+/// Collects rows x depth packets (row-major arrival), releases them
+/// column-major. flush() releases a partial block in column order too.
+class BlockInterleaver {
+ public:
+  BlockInterleaver(std::size_t rows, std::size_t depth);
+
+  std::vector<util::Bytes> add(util::ByteSpan packet);
+  std::vector<util::Bytes> flush();
+
+ private:
+  std::vector<util::Bytes> release();
+
+  std::size_t rows_, depth_;
+  std::vector<util::Bytes> block_;  // row-major arrival order
+};
+
+/// Inverse permutation: collects column-major, releases row-major. Must be
+/// configured with the same (rows, depth). A short final block (from
+/// flush()) is detected by the caller passing its size via flush().
+class BlockDeinterleaver {
+ public:
+  BlockDeinterleaver(std::size_t rows, std::size_t depth);
+
+  std::vector<util::Bytes> add(util::ByteSpan packet);
+  std::vector<util::Bytes> flush();
+
+ private:
+  std::vector<util::Bytes> release(std::size_t count);
+
+  std::size_t rows_, depth_;
+  std::vector<util::Bytes> block_;
+};
+
+}  // namespace rapidware::fec

@@ -1,0 +1,93 @@
+#include "fec/matrix.h"
+
+namespace rapidware::fec {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("Matrix::multiply: shape mismatch");
+  }
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const std::uint8_t a = at(i, j);
+      if (a == 0) continue;
+      for (std::size_t k = 0; k < other.cols_; ++k) {
+        out.at(i, k) = gf::add(out.at(i, k), gf::mul(a, other.at(j, k)));
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::inverted() const {
+  if (rows_ != cols_) throw std::invalid_argument("Matrix::inverted: not square");
+  const std::size_t n = rows_;
+  Matrix a(*this);
+  Matrix inv = identity(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot.
+    std::size_t pivot = col;
+    while (pivot < n && a.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) throw SingularMatrix("Matrix::inverted: singular matrix");
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a.at(pivot, j), a.at(col, j));
+        std::swap(inv.at(pivot, j), inv.at(col, j));
+      }
+    }
+    // Normalize the pivot row.
+    const std::uint8_t scale = gf::inverse(a.at(col, col));
+    for (std::size_t j = 0; j < n; ++j) {
+      a.at(col, j) = gf::mul(a.at(col, j), scale);
+      inv.at(col, j) = gf::mul(inv.at(col, j), scale);
+    }
+    // Eliminate the column elsewhere.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = a.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        a.at(r, j) = gf::add(a.at(r, j), gf::mul(factor, a.at(col, j)));
+        inv.at(r, j) = gf::add(inv.at(r, j), gf::mul(factor, inv.at(col, j)));
+      }
+    }
+  }
+  return inv;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= rows_) {
+      throw std::out_of_range("Matrix::select_rows: bad row index");
+    }
+    for (std::size_t j = 0; j < cols_; ++j) out.at(i, j) = at(indices[i], j);
+  }
+  return out;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out.at(i, i) = 1;
+  return out;
+}
+
+Matrix Matrix::vandermonde(std::size_t n, std::size_t k) {
+  if (n >= gf::kFieldSize) {
+    throw std::invalid_argument("Matrix::vandermonde: n must be < 256");
+  }
+  Matrix out(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto x = static_cast<std::uint8_t>(i + 1);
+    for (std::size_t j = 0; j < k; ++j) {
+      out.at(i, j) = gf::pow(x, static_cast<unsigned>(j));
+    }
+  }
+  return out;
+}
+
+}  // namespace rapidware::fec

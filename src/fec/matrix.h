@@ -1,0 +1,60 @@
+// Dense matrices over GF(2^8) with Gauss-Jordan inversion — the linear
+// algebra underneath the Vandermonde-based Reed-Solomon erasure code.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "fec/gf256.h"
+
+namespace rapidware::fec {
+
+/// Thrown when a decode matrix turns out singular (cannot happen for valid
+/// Vandermonde submatrices; guards against corrupted indices).
+class SingularMatrix : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  std::uint8_t& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  std::uint8_t at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Row r as a span (length cols()).
+  util::ByteSpan row(std::size_t r) const {
+    return util::ByteSpan(data_.data() + r * cols_, cols_);
+  }
+
+  Matrix multiply(const Matrix& other) const;
+
+  /// In-place Gauss-Jordan inverse; must be square. Throws SingularMatrix.
+  Matrix inverted() const;
+
+  /// Returns a new matrix made of the given rows of this one.
+  Matrix select_rows(const std::vector<std::size_t>& indices) const;
+
+  static Matrix identity(std::size_t n);
+
+  /// n x k Vandermonde matrix V[i][j] = (i+1)^j over GF(2^8) (row i = 0 uses
+  /// element 1, ...). Any k rows are linearly independent for n <= 255.
+  static Matrix vandermonde(std::size_t n, std::size_t k);
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace rapidware::fec

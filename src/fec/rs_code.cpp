@@ -1,0 +1,172 @@
+#include "fec/rs_code.h"
+
+namespace rapidware::fec {
+namespace {
+
+std::size_t checked_symbol_length(const std::vector<util::Bytes>& symbols) {
+  const std::size_t len = symbols.front().size();
+  for (const auto& s : symbols) {
+    if (s.size() != len) {
+      throw CodingError("erasure code: symbols must share one length");
+    }
+  }
+  return len;
+}
+
+}  // namespace
+
+ReedSolomonCode::ReedSolomonCode(std::size_t n, std::size_t k)
+    : n_(n), k_(k), generator_(1, 1) {
+  if (k == 0 || k > n || n >= gf::kFieldSize) {
+    throw CodingError("ReedSolomonCode: need 0 < k <= n < 256");
+  }
+  // Systematic generator: V * inverse(V_top). Any k rows remain linearly
+  // independent because row operations on columns preserve the Vandermonde
+  // submatrix-invertibility property.
+  const Matrix v = Matrix::vandermonde(n, k);
+  std::vector<std::size_t> top(k);
+  for (std::size_t i = 0; i < k; ++i) top[i] = i;
+  generator_ = v.multiply(v.select_rows(top).inverted());
+}
+
+std::vector<util::Bytes> ReedSolomonCode::encode(
+    const std::vector<util::Bytes>& source) const {
+  if (source.size() != k_) {
+    throw CodingError("ReedSolomonCode::encode: expected k source symbols");
+  }
+  const std::size_t len = checked_symbol_length(source);
+
+  std::vector<util::Bytes> parity(parity_count(), util::Bytes(len, 0));
+  for (std::size_t p = 0; p < parity.size(); ++p) {
+    const std::size_t row = k_ + p;
+    for (std::size_t j = 0; j < k_; ++j) {
+      gf::mul_add(parity[p], source[j], generator_.at(row, j));
+    }
+  }
+  return parity;
+}
+
+util::Bytes ReedSolomonCode::encode_one(
+    const std::vector<util::Bytes>& source, std::size_t position) const {
+  if (source.size() != k_) {
+    throw CodingError("ReedSolomonCode::encode_one: expected k source symbols");
+  }
+  if (position >= n_) {
+    throw CodingError("ReedSolomonCode::encode_one: position out of range");
+  }
+  const std::size_t len = checked_symbol_length(source);
+  if (position < k_) return source[position];  // systematic prefix
+  util::Bytes out(len, 0);
+  for (std::size_t j = 0; j < k_; ++j) {
+    gf::mul_add(out, source[j], generator_.at(position, j));
+  }
+  return out;
+}
+
+std::vector<util::Bytes> ReedSolomonCode::decode(
+    const std::vector<std::optional<util::Bytes>>& received) const {
+  if (received.size() != n_) {
+    throw CodingError("ReedSolomonCode::decode: expected n positions");
+  }
+  // Fast path: all k data symbols present.
+  bool all_data = true;
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (!received[i]) {
+      all_data = false;
+      break;
+    }
+  }
+  if (all_data) {
+    std::vector<util::Bytes> out;
+    out.reserve(k_);
+    for (std::size_t i = 0; i < k_; ++i) out.push_back(*received[i]);
+    return out;
+  }
+
+  // Choose any k received positions (prefer data symbols: the identity rows
+  // make the decode matrix sparser).
+  std::vector<std::size_t> chosen;
+  chosen.reserve(k_);
+  for (std::size_t i = 0; i < n_ && chosen.size() < k_; ++i) {
+    if (received[i]) chosen.push_back(i);
+  }
+  if (chosen.size() < k_) {
+    throw CodingError("ReedSolomonCode::decode: fewer than k symbols");
+  }
+
+  std::vector<util::Bytes> symbols;
+  symbols.reserve(k_);
+  for (const std::size_t i : chosen) symbols.push_back(*received[i]);
+  const std::size_t len = checked_symbol_length(symbols);
+
+  const Matrix decode = generator_.select_rows(chosen).inverted();
+
+  std::vector<util::Bytes> out(k_, util::Bytes(len, 0));
+  for (std::size_t i = 0; i < k_; ++i) {
+    // If position i arrived, it IS the source symbol (systematic code).
+    if (received[i]) {
+      out[i] = *received[i];
+      continue;
+    }
+    for (std::size_t j = 0; j < k_; ++j) {
+      gf::mul_add(out[i], symbols[j], decode.at(i, j));
+    }
+  }
+  return out;
+}
+
+XorParityCode::XorParityCode(std::size_t k) : k_(k) {
+  if (k == 0) throw CodingError("XorParityCode: k must be positive");
+}
+
+util::Bytes XorParityCode::encode(
+    const std::vector<util::Bytes>& source) const {
+  if (source.size() != k_) {
+    throw CodingError("XorParityCode::encode: expected k source symbols");
+  }
+  const std::size_t len = checked_symbol_length(source);
+  util::Bytes parity(len, 0);
+  for (const auto& s : source) {
+    for (std::size_t i = 0; i < len; ++i) parity[i] ^= s[i];
+  }
+  return parity;
+}
+
+std::vector<util::Bytes> XorParityCode::decode(
+    const std::vector<std::optional<util::Bytes>>& received) const {
+  if (received.size() != n()) {
+    throw CodingError("XorParityCode::decode: expected n positions");
+  }
+  std::size_t missing = k_;  // sentinel: none missing
+  std::size_t missing_count = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (!received[i]) {
+      missing = i;
+      ++missing_count;
+    }
+  }
+  std::vector<util::Bytes> out;
+  out.reserve(k_);
+  if (missing_count == 0) {
+    for (std::size_t i = 0; i < k_; ++i) out.push_back(*received[i]);
+    return out;
+  }
+  if (missing_count > 1 || !received[k_]) {
+    // Unrecoverable: return only what arrived (empty slots stay empty).
+    for (std::size_t i = 0; i < k_; ++i) {
+      out.push_back(received[i] ? *received[i] : util::Bytes{});
+    }
+    return out;
+  }
+  util::Bytes rebuilt = *received[k_];
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (i == missing) continue;
+    for (std::size_t j = 0; j < rebuilt.size(); ++j) rebuilt[j] ^= (*received[i])[j];
+  }
+  for (std::size_t i = 0; i < k_; ++i) {
+    out.push_back(i == missing ? rebuilt : *received[i]);
+  }
+  return out;
+}
+
+}  // namespace rapidware::fec

@@ -1,0 +1,50 @@
+#include "fec/uep.h"
+
+namespace rapidware::fec {
+
+UepPolicy UepPolicy::standard() {
+  UepPolicy p;
+  p.set(FrameClass::kKey, {8, 4});            // 2x redundancy
+  p.set(FrameClass::kPredicted, {6, 4});      // 1.5x
+  p.set(FrameClass::kBidirectional, {4, 4});  // no parity
+  p.set(FrameClass::kAudio, {6, 4});
+  p.set(FrameClass::kOther, {6, 4});
+  return p;
+}
+
+UepPolicy UepPolicy::uniform(CodeParams params) {
+  UepPolicy p;
+  for (auto cls :
+       {FrameClass::kKey, FrameClass::kPredicted, FrameClass::kBidirectional,
+        FrameClass::kAudio, FrameClass::kOther}) {
+    p.set(cls, params);
+  }
+  return p;
+}
+
+void UepPolicy::set(FrameClass cls, CodeParams params) {
+  if (params.k == 0 || params.k > params.n) {
+    throw std::invalid_argument("UepPolicy::set: need 0 < k <= n");
+  }
+  table_[cls] = params;
+}
+
+CodeParams UepPolicy::lookup(FrameClass cls) const {
+  if (auto it = table_.find(cls); it != table_.end()) return it->second;
+  if (auto it = table_.find(FrameClass::kOther); it != table_.end()) {
+    return it->second;
+  }
+  throw std::out_of_range("UepPolicy::lookup: class not configured");
+}
+
+double UepPolicy::expected_overhead(
+    const std::map<FrameClass, double>& mix) const {
+  double total = 0.0, weight = 0.0;
+  for (const auto& [cls, fraction] : mix) {
+    total += fraction * lookup(cls).overhead();
+    weight += fraction;
+  }
+  return weight > 0 ? total / weight : 0.0;
+}
+
+}  // namespace rapidware::fec

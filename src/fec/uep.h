@@ -1,0 +1,54 @@
+// Unequal error protection (UEP) policy.
+//
+// The paper notes (Section 3) that a video FEC filter may place "more
+// redundancy in I frames than in B frames" [24]. This policy maps a media
+// frame class to an (n, k) code choice, so the UEP FEC filter can run one
+// GroupEncoder per protection class.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+
+namespace rapidware::fec {
+
+/// Media frame classes, mirroring MPEG-style GOP structure.
+enum class FrameClass : std::uint8_t {
+  kKey = 0,       // I frames: loss stalls the whole GOP
+  kPredicted = 1, // P frames: loss propagates forward
+  kBidirectional = 2,  // B frames: loss is self-contained
+  kAudio = 3,
+  kOther = 4,
+};
+
+struct CodeParams {
+  std::size_t n = 0;
+  std::size_t k = 0;
+
+  double overhead() const {
+    return static_cast<double>(n) / static_cast<double>(k);
+  }
+  bool operator==(const CodeParams&) const = default;
+};
+
+class UepPolicy {
+ public:
+  /// Default policy: heavy protection for key frames, moderate for
+  /// predicted, none (k = n) for bidirectional.
+  static UepPolicy standard();
+
+  /// Uniform protection for every class (the non-UEP baseline).
+  static UepPolicy uniform(CodeParams params);
+
+  void set(FrameClass cls, CodeParams params);
+  CodeParams lookup(FrameClass cls) const;
+
+  /// Average bandwidth overhead given a frame-class mix (fractions summing
+  /// to ~1); used by the UEP ablation bench.
+  double expected_overhead(const std::map<FrameClass, double>& mix) const;
+
+ private:
+  std::map<FrameClass, CodeParams> table_;
+};
+
+}  // namespace rapidware::fec

@@ -1,0 +1,118 @@
+#include "filters/cache_filter.h"
+
+#include "core/composability.h"
+#include "util/serial.h"
+
+namespace rapidware::filters {
+namespace {
+constexpr std::uint8_t kFull = 0;
+constexpr std::uint8_t kRef = 1;
+}  // namespace
+
+std::uint64_t content_hash(util::ByteSpan data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+ContentStore::ContentStore(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+void ContentStore::put(std::uint64_t hash, util::ByteSpan body) {
+  if (body.size() > capacity_) return;
+  if (auto it = map_.find(hash); it != map_.end()) {
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(hash);
+    it->second.lru_pos = lru_.begin();
+    return;
+  }
+  while (used_ + body.size() > capacity_ && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = map_.find(victim);
+    used_ -= it->second.body.size();
+    map_.erase(it);
+  }
+  lru_.push_front(hash);
+  map_[hash] = Entry{util::Bytes(body.begin(), body.end()), lru_.begin()};
+  used_ += body.size();
+}
+
+const util::Bytes* ContentStore::get(std::uint64_t hash) {
+  auto it = map_.find(hash);
+  if (it == map_.end()) return nullptr;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(hash);
+  it->second.lru_pos = lru_.begin();
+  return &it->second.body;
+}
+
+CachePackFilter::CachePackFilter(std::size_t capacity_bytes)
+    : PacketFilter("cache-pack"), store_(capacity_bytes) {}
+
+std::string CachePackFilter::describe() const {
+  return "cache-pack(hits=" + std::to_string(hits_) + ")";
+}
+
+core::ParamMap CachePackFilter::params() const {
+  return {{"hits", std::to_string(hits_)},
+          {"misses", std::to_string(misses_)},
+          {"entries", std::to_string(store_.entries())}};
+}
+
+std::string CachePackFilter::output_type(const std::string& input) const {
+  return core::wrap_type("cached", input);
+}
+
+void CachePackFilter::on_packet(util::Bytes packet) {
+  const std::uint64_t hash = content_hash(packet);
+  if (store_.get(hash) != nullptr) {
+    ++hits_;
+    util::Writer w(9);
+    w.u8(kRef);
+    w.u64(hash);
+    emit(w.bytes());
+    return;
+  }
+  ++misses_;
+  store_.put(hash, packet);
+  util::Writer w(packet.size() + 1);
+  w.u8(kFull);
+  w.raw(packet);
+  emit(w.bytes());
+}
+
+CacheExpandFilter::CacheExpandFilter(std::size_t capacity_bytes)
+    : PacketFilter("cache-expand"), store_(capacity_bytes) {}
+
+std::string CacheExpandFilter::describe() const { return "cache-expand"; }
+
+std::string CacheExpandFilter::input_requirement() const { return "cached(*)"; }
+
+std::string CacheExpandFilter::output_type(const std::string& input) const {
+  if (const auto inner = core::unwrap_type("cached", input)) return *inner;
+  return input;
+}
+
+void CacheExpandFilter::on_packet(util::Bytes packet) {
+  util::Reader r(packet);
+  const std::uint8_t mode = r.u8();
+  if (mode == kFull) {
+    util::Bytes body = r.raw(r.remaining());
+    store_.put(content_hash(body), body);
+    emit(body);
+    return;
+  }
+  if (mode != kRef) throw util::SerialError("cache: unknown packet mode");
+  const std::uint64_t hash = r.u64();
+  if (const util::Bytes* body = store_.get(hash)) {
+    emit(*body);
+  } else {
+    ++unresolved_;  // drop: the reference cannot be resolved
+  }
+}
+
+}  // namespace rapidware::filters

@@ -1,0 +1,91 @@
+// Content cache filter pair — the Pavilion proxies performed "data caching
+// for memory-limited handheld devices" (Section 2). In a collaborative
+// session the same resource body crosses the proxy many times (every
+// receiver fetches the leader's URL); the upstream CachePackFilter replaces
+// repeated payloads with a short content reference, and the downstream
+// CacheExpandFilter (on or near the client) reconstitutes them.
+//
+// Wire format: mode byte 0 = full body (and both sides remember it under
+// its hash), 1 = reference (u64 content hash).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+
+#include "core/filter.h"
+#include "util/bytes.h"
+
+namespace rapidware::filters {
+
+/// FNV-1a 64-bit, the content key for the cache pair.
+std::uint64_t content_hash(util::ByteSpan data);
+
+/// LRU byte-bounded content store shared by the two filter types.
+class ContentStore {
+ public:
+  explicit ContentStore(std::size_t capacity_bytes);
+
+  /// Inserts (or refreshes) a body; evicts least-recently-used entries to
+  /// stay under capacity. Bodies larger than the capacity are not stored.
+  void put(std::uint64_t hash, util::ByteSpan body);
+
+  /// Looks up a body and refreshes its recency.
+  const util::Bytes* get(std::uint64_t hash);
+
+  std::size_t size_bytes() const noexcept { return used_; }
+  std::size_t entries() const noexcept { return map_.size(); }
+
+ private:
+  struct Entry {
+    util::Bytes body;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::map<std::uint64_t, Entry> map_;
+  std::list<std::uint64_t> lru_;  // front = most recent
+};
+
+class CachePackFilter final : public core::PacketFilter {
+ public:
+  explicit CachePackFilter(std::size_t capacity_bytes = 4 * 1024 * 1024);
+
+  std::string describe() const override;
+  core::ParamMap params() const override;
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+  std::string output_type(const std::string& input) const override;
+
+ protected:
+  void on_packet(util::Bytes packet) override;
+
+ private:
+  ContentStore store_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+class CacheExpandFilter final : public core::PacketFilter {
+ public:
+  explicit CacheExpandFilter(std::size_t capacity_bytes = 4 * 1024 * 1024);
+
+  std::string describe() const override;
+  std::string input_requirement() const override;
+  std::string output_type(const std::string& input) const override;
+
+  /// References that could not be resolved (cache evicted sooner than the
+  /// packer's — indicates mismatched capacities).
+  std::uint64_t unresolved() const noexcept { return unresolved_; }
+
+ protected:
+  void on_packet(util::Bytes packet) override;
+
+ private:
+  ContentStore store_;
+  std::uint64_t unresolved_ = 0;
+};
+
+}  // namespace rapidware::filters

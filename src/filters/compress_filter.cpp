@@ -1,0 +1,130 @@
+#include "filters/compress_filter.h"
+
+#include <cstdio>
+
+#include "core/composability.h"
+#include <stdexcept>
+
+namespace rapidware::filters {
+namespace {
+
+constexpr std::uint8_t kStored = 0;
+constexpr std::uint8_t kDeltaRle = 1;
+
+// RLE body: pairs of (count, value) for runs >= 3 encoded as
+// (0xFF marker, count u8, value) and literals copied with an escape for the
+// marker itself. Simpler scheme: sequences of (count, value) pairs only —
+// robust and branch-light; compresses when runs dominate.
+util::Bytes rle_encode_body(util::ByteSpan in) {
+  util::Bytes out;
+  out.reserve(in.size());
+  std::size_t i = 0;
+  while (i < in.size()) {
+    const std::uint8_t v = in[i];
+    std::size_t run = 1;
+    while (i + run < in.size() && in[i + run] == v && run < 255) ++run;
+    out.push_back(static_cast<std::uint8_t>(run));
+    out.push_back(v);
+    i += run;
+  }
+  return out;
+}
+
+util::Bytes rle_decode_body(util::ByteSpan in) {
+  if (in.size() % 2 != 0) {
+    throw std::invalid_argument("rle: truncated body");
+  }
+  util::Bytes out;
+  for (std::size_t i = 0; i < in.size(); i += 2) {
+    const std::uint8_t run = in[i];
+    if (run == 0) throw std::invalid_argument("rle: zero-length run");
+    out.insert(out.end(), run, in[i + 1]);
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Bytes rle_compress(util::ByteSpan in) {
+  // Delta precoding turns slowly varying samples into near-zero runs.
+  util::Bytes delta(in.size());
+  std::uint8_t prev = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    delta[i] = static_cast<std::uint8_t>(in[i] - prev);
+    prev = in[i];
+  }
+  util::Bytes body = rle_encode_body(delta);
+  util::Bytes out;
+  if (body.size() < in.size()) {
+    out.reserve(body.size() + 1);
+    out.push_back(kDeltaRle);
+    out.insert(out.end(), body.begin(), body.end());
+  } else {
+    out.reserve(in.size() + 1);
+    out.push_back(kStored);
+    out.insert(out.end(), in.begin(), in.end());
+  }
+  return out;
+}
+
+util::Bytes rle_decompress(util::ByteSpan in) {
+  if (in.empty()) throw std::invalid_argument("rle: empty packet");
+  const std::uint8_t mode = in[0];
+  const util::ByteSpan body = in.subspan(1);
+  if (mode == kStored) return util::Bytes(body.begin(), body.end());
+  if (mode != kDeltaRle) throw std::invalid_argument("rle: unknown mode");
+  util::Bytes delta = rle_decode_body(body);
+  std::uint8_t prev = 0;
+  for (auto& b : delta) {
+    b = static_cast<std::uint8_t>(b + prev);
+    prev = b;
+  }
+  return delta;
+}
+
+CompressFilter::CompressFilter() : PacketFilter("compress") {}
+
+std::string CompressFilter::describe() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "compress(%.2f)", ratio());
+  return buf;
+}
+
+core::ParamMap CompressFilter::params() const {
+  return {{"bytes_in", std::to_string(bytes_in_)},
+          {"bytes_out", std::to_string(bytes_out_)}};
+}
+
+std::string CompressFilter::output_type(const std::string& input) const {
+  return core::wrap_type("rle", input);
+}
+
+double CompressFilter::ratio() const {
+  return bytes_in_ == 0 ? 1.0
+                        : static_cast<double>(bytes_out_) /
+                              static_cast<double>(bytes_in_);
+}
+
+void CompressFilter::on_packet(util::Bytes packet) {
+  bytes_in_ += packet.size();
+  const util::Bytes compressed = rle_compress(packet);
+  bytes_out_ += compressed.size();
+  emit(compressed);
+}
+
+DecompressFilter::DecompressFilter() : PacketFilter("decompress") {}
+
+std::string DecompressFilter::describe() const { return "decompress"; }
+
+std::string DecompressFilter::input_requirement() const { return "rle(*)"; }
+
+std::string DecompressFilter::output_type(const std::string& input) const {
+  if (const auto inner = core::unwrap_type("rle", input)) return *inner;
+  return input;
+}
+
+void DecompressFilter::on_packet(util::Bytes packet) {
+  emit(rle_decompress(packet));
+}
+
+}  // namespace rapidware::filters

@@ -1,0 +1,51 @@
+// Lossless per-packet compression filter pair (bandwidth conservation for
+// slow links, one of the proxy duties listed in Section 2).
+//
+// The codec is delta precoding + run-length encoding: PCM audio and
+// synthetic frame bodies become long runs after differencing, while
+// incompressible packets fall back to a stored mode (1 byte overhead), so
+// the filter never expands data beyond that byte.
+#pragma once
+
+#include "core/filter.h"
+#include "util/bytes.h"
+
+namespace rapidware::filters {
+
+/// Raw codec, exposed for tests and benches.
+/// Wire format: mode byte (0 = stored, 1 = delta+RLE) + body.
+util::Bytes rle_compress(util::ByteSpan in);
+util::Bytes rle_decompress(util::ByteSpan in);
+
+class CompressFilter final : public core::PacketFilter {
+ public:
+  CompressFilter();
+
+  std::string describe() const override;
+  core::ParamMap params() const override;
+
+  double ratio() const;  // bytes_out / bytes_in
+
+  std::string output_type(const std::string& input) const override;
+
+ protected:
+  void on_packet(util::Bytes packet) override;
+
+ private:
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+};
+
+class DecompressFilter final : public core::PacketFilter {
+ public:
+  DecompressFilter();
+
+  std::string describe() const override;
+  std::string input_requirement() const override;
+  std::string output_type(const std::string& input) const override;
+
+ protected:
+  void on_packet(util::Bytes packet) override;
+};
+
+}  // namespace rapidware::filters

@@ -1,0 +1,139 @@
+#include "filters/crypto_filter.h"
+
+#include <bit>
+#include <cstring>
+
+#include "core/composability.h"
+#include "util/serial.h"
+
+namespace rapidware::filters {
+namespace {
+
+std::uint32_t load32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void store32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+void chacha20_block(const std::uint32_t state[16], std::uint8_t out[64]) {
+  std::uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) store32(out + 4 * i, x[i] + state[i]);
+}
+
+}  // namespace
+
+void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t initial_counter, util::MutableByteSpan data) {
+  std::uint32_t state[16] = {
+      0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,  // "expand 32-byte k"
+      load32(key.data()),      load32(key.data() + 4),
+      load32(key.data() + 8),  load32(key.data() + 12),
+      load32(key.data() + 16), load32(key.data() + 20),
+      load32(key.data() + 24), load32(key.data() + 28),
+      initial_counter,
+      load32(nonce.data()),    load32(nonce.data() + 4),
+      load32(nonce.data() + 8),
+  };
+  std::uint8_t keystream[64];
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    chacha20_block(state, keystream);
+    ++state[12];
+    const std::size_t n = std::min<std::size_t>(64, data.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) data[offset + i] ^= keystream[i];
+    offset += n;
+  }
+}
+
+ChaChaKey derive_key(std::string_view passphrase) {
+  ChaChaKey key{};
+  // Absorb the passphrase into the key by repeated ChaCha mixing with the
+  // partially filled key (sponge-like; adequate for simulator use).
+  ChaChaNonce nonce{};
+  for (std::size_t i = 0; i < passphrase.size(); ++i) {
+    key[i % key.size()] ^= static_cast<std::uint8_t>(passphrase[i]);
+  }
+  for (int round = 0; round < 8; ++round) {
+    chacha20_xor(key, nonce, static_cast<std::uint32_t>(round),
+                 util::MutableByteSpan(key.data(), key.size()));
+  }
+  return key;
+}
+
+EncryptFilter::EncryptFilter(ChaChaKey key)
+    : PacketFilter("encrypt"), key_(key) {}
+
+std::string EncryptFilter::describe() const { return "encrypt(chacha20)"; }
+
+std::string EncryptFilter::output_type(const std::string& input) const {
+  return core::wrap_type("chacha20", input);
+}
+
+void EncryptFilter::on_packet(util::Bytes packet) {
+  // Wire: u64 packet index || ciphertext. The index forms the nonce.
+  const std::uint64_t index = next_index_++;
+  ChaChaNonce nonce{};
+  for (int i = 0; i < 8; ++i) {
+    nonce[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(index >> (8 * i));
+  }
+  chacha20_xor(key_, nonce, 0, packet);
+  util::Writer w(packet.size() + 8);
+  w.u64(index);
+  w.raw(packet);
+  emit(w.bytes());
+}
+
+DecryptFilter::DecryptFilter(ChaChaKey key)
+    : PacketFilter("decrypt"), key_(key) {}
+
+std::string DecryptFilter::describe() const { return "decrypt(chacha20)"; }
+
+std::string DecryptFilter::input_requirement() const { return "chacha20(*)"; }
+
+std::string DecryptFilter::output_type(const std::string& input) const {
+  if (const auto inner = core::unwrap_type("chacha20", input)) return *inner;
+  return input;
+}
+
+void DecryptFilter::on_packet(util::Bytes packet) {
+  util::Reader r(packet);
+  const std::uint64_t index = r.u64();
+  util::Bytes body = r.raw(r.remaining());
+  ChaChaNonce nonce{};
+  for (int i = 0; i < 8; ++i) {
+    nonce[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(index >> (8 * i));
+  }
+  chacha20_xor(key_, nonce, 0, body);
+  emit(body);
+}
+
+}  // namespace rapidware::filters

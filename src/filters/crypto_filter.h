@@ -1,0 +1,60 @@
+// Stream encryption filter pair — the "security services" RAPIDware lists
+// among its adaptive middleware components (Section 1). The cipher is
+// ChaCha20 (RFC 8439 block function); each packet is encrypted under a
+// per-packet counter derived from a 64-bit packet index carried on the
+// wire, so packets remain independently decryptable after loss.
+//
+// Note: this provides confidentiality for the demo pipeline; there is no
+// authentication tag, so it is not an AEAD — do not reuse outside the
+// simulator.
+#pragma once
+
+#include <array>
+
+#include "core/filter.h"
+#include "util/bytes.h"
+
+namespace rapidware::filters {
+
+using ChaChaKey = std::array<std::uint8_t, 32>;
+using ChaChaNonce = std::array<std::uint8_t, 12>;
+
+/// Raw ChaCha20 XOR-keystream transform (encrypt == decrypt).
+void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t initial_counter, util::MutableByteSpan data);
+
+/// Derives a key from a passphrase (iterated ChaCha-based mixing; fine for
+/// a simulator, not a KDF for real credentials).
+ChaChaKey derive_key(std::string_view passphrase);
+
+class EncryptFilter final : public core::PacketFilter {
+ public:
+  explicit EncryptFilter(ChaChaKey key);
+
+  std::string describe() const override;
+  std::string output_type(const std::string& input) const override;
+
+ protected:
+  void on_packet(util::Bytes packet) override;
+
+ private:
+  ChaChaKey key_;
+  std::uint64_t next_index_ = 0;
+};
+
+class DecryptFilter final : public core::PacketFilter {
+ public:
+  explicit DecryptFilter(ChaChaKey key);
+
+  std::string describe() const override;
+  std::string input_requirement() const override;
+  std::string output_type(const std::string& input) const override;
+
+ protected:
+  void on_packet(util::Bytes packet) override;
+
+ private:
+  ChaChaKey key_;
+};
+
+}  // namespace rapidware::filters

@@ -1,0 +1,158 @@
+#include "filters/fec_filters.h"
+
+#include "core/composability.h"
+#include "media/media_packet.h"
+#include "util/stats.h"
+
+namespace rapidware::filters {
+
+FecEncodeFilter::FecEncodeFilter(std::size_t n, std::size_t k)
+    : PacketFilter("fec-encode"),
+      n_(n),
+      k_(k),
+      encoder_(std::make_unique<fec::GroupEncoder>(n, k)) {}
+
+std::string FecEncodeFilter::describe() const {
+  return "fec-enc(" + std::to_string(n_.load()) + "," +
+         std::to_string(k_.load()) + ")";
+}
+
+std::string FecEncodeFilter::output_type(const std::string& input) const {
+  return core::wrap_type("fec", input);
+}
+
+core::ParamMap FecEncodeFilter::params() const {
+  return {{"n", std::to_string(n_.load())}, {"k", std::to_string(k_.load())}};
+}
+
+bool FecEncodeFilter::set_param(const std::string& key,
+                                const std::string& value) {
+  std::size_t v = 0;
+  try {
+    v = std::stoul(value);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (key == "n") {
+    if (v == 0 || v >= 256 || v < k_.load()) return false;
+    n_.store(v);
+    return true;
+  }
+  if (key == "k") {
+    if (v == 0 || v > n_.load()) return false;
+    k_.store(v);
+    return true;
+  }
+  return false;
+}
+
+void FecEncodeFilter::maybe_apply_params() {
+  // Parameter changes land between groups, never mid-group.
+  if (encoder_->held_count() != 0) return;
+  if (encoder_->n() == n_.load() && encoder_->k() == k_.load()) return;
+  // Preserve the group-id sequence across encoder swaps.
+  group_id_base_ += static_cast<std::uint32_t>(encoder_->groups_emitted());
+  auto fresh = std::make_unique<fec::GroupEncoder>(n_.load(), k_.load());
+  fresh->set_next_group_id(group_id_base_);
+  encoder_ = std::move(fresh);
+}
+
+void FecEncodeFilter::on_packet(util::Bytes packet) {
+  maybe_apply_params();
+  for (const auto& wire : encoder_->add(packet)) emit(wire);
+}
+
+void FecEncodeFilter::on_flush() {
+  for (const auto& wire : encoder_->flush()) emit(wire);
+}
+
+FecDecodeFilter::FecDecodeFilter(std::size_t window)
+    : PacketFilter("fec-decode"), decoder_(window) {}
+
+std::string FecDecodeFilter::describe() const { return "fec-dec"; }
+
+std::string FecDecodeFilter::output_type(const std::string& input) const {
+  if (const auto inner = core::unwrap_type("fec", input)) return *inner;
+  return input;  // pass-through for never-encoded streams
+}
+
+core::ParamMap FecDecodeFilter::params() const {
+  const auto& s = decoder_.stats();
+  return {
+      {"packets_seen", std::to_string(s.packets_seen)},
+      {"data_received", std::to_string(s.data_received)},
+      {"data_recovered", std::to_string(s.data_recovered)},
+      {"data_lost", std::to_string(s.data_lost)},
+      {"groups_complete", std::to_string(s.groups_complete)},
+      {"groups_incomplete", std::to_string(s.groups_incomplete)},
+  };
+}
+
+void FecDecodeFilter::on_packet(util::Bytes packet) {
+  if (!fec::looks_like_fec_packet(packet)) {
+    // Raw (never-encoded) packet: release pending FEC state first so order
+    // is preserved across an encoder removal upstream, then pass through.
+    for (const auto& payload : decoder_.flush()) emit(payload);
+    emit(packet);
+    return;
+  }
+  for (const auto& payload : decoder_.add(packet)) emit(payload);
+}
+
+void FecDecodeFilter::on_flush() {
+  for (const auto& payload : decoder_.flush()) emit(payload);
+}
+
+UepFecEncodeFilter::UepFecEncodeFilter(fec::UepPolicy policy)
+    : PacketFilter("uep-fec-encode"), policy_(std::move(policy)) {}
+
+std::string UepFecEncodeFilter::describe() const { return "uep-fec-enc"; }
+
+std::string UepFecEncodeFilter::output_type(const std::string& input) const {
+  return core::wrap_type("fec", input);
+}
+
+fec::GroupEncoder& UepFecEncodeFilter::encoder_for(fec::FrameClass cls) {
+  auto it = encoders_.find(cls);
+  if (it == encoders_.end()) {
+    const fec::CodeParams code = policy_.lookup(cls);
+    it = encoders_
+             .emplace(cls, std::make_unique<fec::GroupEncoder>(code.n, code.k))
+             .first;
+  }
+  return *it->second;
+}
+
+void UepFecEncodeFilter::emit_wire(const std::vector<util::Bytes>& wire,
+                                   std::size_t k) {
+  for (const auto& w : wire) emit(w);
+  if (wire.size() > k) parity_out_ += wire.size() - k;
+}
+
+void UepFecEncodeFilter::on_packet(util::Bytes packet) {
+  fec::FrameClass cls = fec::FrameClass::kOther;
+  try {
+    cls = media::MediaPacket::parse(packet).frame_class;
+  } catch (const util::SerialError&) {
+    // Not a media packet; protect at the default class level.
+  }
+  fec::GroupEncoder& encoder = encoder_for(cls);
+  // Group ids are issued at completion time across all classes, keeping the
+  // merged stream's ids monotonic for the decoder.
+  encoder.set_next_group_id(next_group_id_);
+  const std::uint64_t before = encoder.groups_emitted();
+  const auto wire = encoder.add(packet);
+  if (encoder.groups_emitted() > before) ++next_group_id_;
+  emit_wire(wire, encoder.k());
+}
+
+void UepFecEncodeFilter::on_flush() {
+  for (auto& [cls, encoder] : encoders_) {
+    const std::size_t held = encoder->held_count();
+    if (held == 0) continue;
+    encoder->set_next_group_id(next_group_id_++);
+    emit_wire(encoder->flush(), held);
+  }
+}
+
+}  // namespace rapidware::filters

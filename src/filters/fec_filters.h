@@ -1,0 +1,101 @@
+// FEC proxy filters — the paper's flagship example (Section 5): an encoder
+// filter inserted before the wireless hop and a decoder filter at (or for)
+// the receiver. Both are PacketFilters, so insertion happens on packet
+// boundaries, and both flush buffered group state when removed from a chain
+// (the detach protocol), so no audio is lost when the proxy reconfigures.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+
+#include "core/filter.h"
+#include "fec/fec_group.h"
+#include "fec/uep.h"
+
+namespace rapidware::filters {
+
+/// Collects k payload packets, emits n FEC-framed packets per group.
+/// Parameters "n"/"k" may be retuned at run time; the change applies at the
+/// next group boundary.
+class FecEncodeFilter final : public core::PacketFilter {
+ public:
+  FecEncodeFilter(std::size_t n, std::size_t k);
+
+  std::string describe() const override;
+  core::ParamMap params() const override;
+  bool set_param(const std::string& key, const std::string& value) override;
+
+  std::size_t n() const noexcept { return n_.load(); }
+  std::size_t k() const noexcept { return k_.load(); }
+
+  std::string output_type(const std::string& input) const override;
+
+ protected:
+  void on_packet(util::Bytes packet) override;
+  void on_flush() override;
+
+ private:
+  void maybe_apply_params();
+
+  std::atomic<std::size_t> n_, k_;
+  std::unique_ptr<fec::GroupEncoder> encoder_;
+  std::uint32_t group_id_base_ = 0;
+};
+
+/// Rebuilds the original payload stream from FEC-framed packets, recovering
+/// erased packets whenever any k of a group's n packets arrive. Packets
+/// without FEC framing pass through untouched, so the decoder can sit in a
+/// receiver chain permanently while the encoder comes and goes on demand.
+class FecDecodeFilter final : public core::PacketFilter {
+ public:
+  explicit FecDecodeFilter(std::size_t window = 2);
+
+  std::string describe() const override;
+  core::ParamMap params() const override;
+
+  // Accepts anything (raw packets pass through); strips one FEC layer.
+  std::string output_type(const std::string& input) const override;
+
+  const fec::DecoderStats& stats() const { return decoder_.stats(); }
+
+ protected:
+  void on_packet(util::Bytes packet) override;
+  void on_flush() override;
+
+ private:
+  fec::GroupDecoder decoder_;
+};
+
+/// Unequal error protection for video: frames are grouped *per frame
+/// class*, each class encoded with the (n, k) its policy entry dictates —
+/// more parity for I frames than B frames (Section 3 / [24]). All class
+/// encoders share one group-id sequence (ids issued in group-completion
+/// order), so a single downstream FecDecodeFilter handles the merged
+/// stream. Frames may be released in completion order rather than strict
+/// capture order across classes; video receivers reorder by media sequence
+/// number, as they already must for B frames.
+class UepFecEncodeFilter final : public core::PacketFilter {
+ public:
+  explicit UepFecEncodeFilter(fec::UepPolicy policy = fec::UepPolicy::standard());
+
+  std::string describe() const override;
+  std::string output_type(const std::string& input) const override;
+
+  std::uint64_t parity_packets_emitted() const noexcept { return parity_out_; }
+
+ protected:
+  void on_packet(util::Bytes packet) override;
+  void on_flush() override;
+
+ private:
+  fec::GroupEncoder& encoder_for(fec::FrameClass cls);
+  void emit_wire(const std::vector<util::Bytes>& wire, std::size_t k);
+
+  fec::UepPolicy policy_;
+  std::map<fec::FrameClass, std::unique_ptr<fec::GroupEncoder>> encoders_;
+  std::uint32_t next_group_id_ = 0;
+  std::uint64_t parity_out_ = 0;
+};
+
+}  // namespace rapidware::filters

@@ -1,0 +1,51 @@
+#include "filters/interleave_filter.h"
+
+namespace rapidware::filters {
+
+InterleaveFilter::InterleaveFilter(std::size_t rows, std::size_t depth)
+    : PacketFilter("interleave"),
+      rows_(rows),
+      depth_(depth),
+      interleaver_(rows, depth) {}
+
+std::string InterleaveFilter::describe() const {
+  return "interleave(" + std::to_string(rows_) + "x" + std::to_string(depth_) +
+         ")";
+}
+
+core::ParamMap InterleaveFilter::params() const {
+  return {{"rows", std::to_string(rows_)}, {"depth", std::to_string(depth_)}};
+}
+
+void InterleaveFilter::on_packet(util::Bytes packet) {
+  for (const auto& out : interleaver_.add(packet)) emit(out);
+}
+
+void InterleaveFilter::on_flush() {
+  for (const auto& out : interleaver_.flush()) emit(out);
+}
+
+DeinterleaveFilter::DeinterleaveFilter(std::size_t rows, std::size_t depth)
+    : PacketFilter("deinterleave"),
+      rows_(rows),
+      depth_(depth),
+      deinterleaver_(rows, depth) {}
+
+std::string DeinterleaveFilter::describe() const {
+  return "deinterleave(" + std::to_string(rows_) + "x" +
+         std::to_string(depth_) + ")";
+}
+
+core::ParamMap DeinterleaveFilter::params() const {
+  return {{"rows", std::to_string(rows_)}, {"depth", std::to_string(depth_)}};
+}
+
+void DeinterleaveFilter::on_packet(util::Bytes packet) {
+  for (const auto& out : deinterleaver_.add(packet)) emit(out);
+}
+
+void DeinterleaveFilter::on_flush() {
+  for (const auto& out : deinterleaver_.flush()) emit(out);
+}
+
+}  // namespace rapidware::filters

@@ -1,0 +1,43 @@
+// Packet interleaving filters: spread wireless loss bursts across FEC
+// groups (insert InterleaveFilter after the FEC encoder and
+// DeinterleaveFilter before the decoder).
+#pragma once
+
+#include "core/filter.h"
+#include "fec/interleaver.h"
+
+namespace rapidware::filters {
+
+class InterleaveFilter final : public core::PacketFilter {
+ public:
+  InterleaveFilter(std::size_t rows, std::size_t depth);
+
+  std::string describe() const override;
+  core::ParamMap params() const override;
+
+ protected:
+  void on_packet(util::Bytes packet) override;
+  void on_flush() override;
+
+ private:
+  std::size_t rows_, depth_;
+  fec::BlockInterleaver interleaver_;
+};
+
+class DeinterleaveFilter final : public core::PacketFilter {
+ public:
+  DeinterleaveFilter(std::size_t rows, std::size_t depth);
+
+  std::string describe() const override;
+  core::ParamMap params() const override;
+
+ protected:
+  void on_packet(util::Bytes packet) override;
+  void on_flush() override;
+
+ private:
+  std::size_t rows_, depth_;
+  fec::BlockDeinterleaver deinterleaver_;
+};
+
+}  // namespace rapidware::filters

@@ -1,0 +1,106 @@
+#include "filters/pipeline_filter.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/endpoint.h"
+
+namespace rapidware::filters {
+
+PipelineFilter::PipelineFilter(
+    std::string name, std::vector<std::shared_ptr<core::Filter>> children)
+    : Filter(std::move(name)), children_(std::move(children)) {
+  for (const auto& child : children_) {
+    if (!child) {
+      throw std::invalid_argument("PipelineFilter: null child");
+    }
+    if (child->running()) {
+      throw std::invalid_argument("PipelineFilter: child already running");
+    }
+  }
+}
+
+std::string PipelineFilter::describe() const {
+  std::ostringstream os;
+  os << name() << "[";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    os << (i ? " -> " : "") << children_[i]->describe();
+  }
+  os << "]";
+  return os.str();
+}
+
+core::ParamMap PipelineFilter::params() const {
+  core::ParamMap out;
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    for (const auto& [k, v] : children_[i]->params()) {
+      out[std::to_string(i) + "." + children_[i]->name() + "." + k] = v;
+    }
+  }
+  return out;
+}
+
+std::string PipelineFilter::input_requirement() const {
+  return children_.empty() ? "any" : children_.front()->input_requirement();
+}
+
+std::string PipelineFilter::output_type(const std::string& input) const {
+  std::string type = input;
+  for (const auto& child : children_) type = child->output_type(type);
+  return type;
+}
+
+void PipelineFilter::run() {
+  // Nested chain over this composite's own streams. Endpoints are created
+  // per run so the composite is restartable like any other filter; the
+  // child filter objects themselves are restartable and reused.
+  struct DisSource final : util::ByteSource {
+    explicit DisSource(core::DetachableInputStream& dis) : dis(dis) {}
+    std::size_t read_some(util::MutableByteSpan out) override {
+      return dis.read_some(out);
+    }
+    core::DetachableInputStream& dis;
+  };
+  struct DosSink final : util::ByteSink {
+    explicit DosSink(core::DetachableOutputStream& dos) : dos(dos) {}
+    void write(util::ByteSpan in) override { dos.write(in); }
+    void flush() override { dos.flush(); }
+    core::DetachableOutputStream& dos;
+  };
+
+  core::FilterChain nested(
+      std::make_shared<core::ByteReaderEndpoint>(
+          name() + ".in", std::make_shared<DisSource>(dis())),
+      std::make_shared<core::ByteWriterEndpoint>(
+          name() + ".out", std::make_shared<DosSink>(dos())));
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    nested.insert(children_[i], i);  // pre-start: wired atomically below
+  }
+  nested.start();
+  // drain_shutdown() joins the nested head, which exits when THIS
+  // composite's DIS reports EOF (hard or detach); the cascade then flushes
+  // every child in order into this composite's DOS and DETACHES each child
+  // — the composite's flush-on-detach obligation, and what keeps the
+  // children (and therefore the composite) reusable after removal.
+  nested.drain_shutdown();
+}
+
+void register_pipeline_factory(core::FilterRegistry& registry) {
+  registry.register_factory(
+      "pipeline", [&registry](const core::ParamMap& params) {
+        std::vector<std::shared_ptr<core::Filter>> children;
+        std::string names;
+        if (auto it = params.find("of"); it != params.end()) names = it->second;
+        std::string piece;
+        std::istringstream in(names);
+        while (std::getline(in, piece, ',')) {
+          if (!piece.empty()) children.push_back(registry.create({piece, {}}));
+        }
+        std::string name = "pipeline";
+        if (auto it = params.find("name"); it != params.end()) name = it->second;
+        return std::make_shared<PipelineFilter>(std::move(name),
+                                                std::move(children));
+      });
+}
+
+}  // namespace rapidware::filters

@@ -1,0 +1,53 @@
+// Composite filter: a named pipeline of child filters that inserts and
+// removes as ONE unit. This is how a third party uploads a multi-stage
+// transformation (e.g. "compress, then encrypt") into a running proxy — the
+// chained-worker composition the paper contrasts with TranSend's TACC
+// model (Section 6), packaged as a mobile component.
+//
+// Internally the composite runs a nested FilterChain whose endpoints adapt
+// the composite's own detachable streams: the nested head reads the
+// composite's DIS (a ByteSource), the nested tail writes its DOS (a
+// ByteSink). Soft EOF on the composite's DIS drains the whole nested chain
+// — every child flushes in order — before the composite detaches, so the
+// chain-removal contract holds transitively.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/filter.h"
+#include "core/filter_chain.h"
+#include "core/filter_registry.h"
+
+namespace rapidware::filters {
+
+class PipelineFilter final : public core::Filter {
+ public:
+  /// Children must be idle; they are started/stopped with the composite.
+  PipelineFilter(std::string name,
+                 std::vector<std::shared_ptr<core::Filter>> children);
+
+  std::string describe() const override;
+  core::ParamMap params() const override;
+
+  /// Composability: the pipeline requires what its first child requires and
+  /// transforms types by folding the children.
+  std::string input_requirement() const override;
+  std::string output_type(const std::string& input) const override;
+
+  std::size_t child_count() const noexcept { return children_.size(); }
+
+ protected:
+  void run() override;
+
+ private:
+  std::vector<std::shared_ptr<core::Filter>> children_;
+};
+
+/// Registers the "pipeline" factory with a registry. The parameter "of" is
+/// a comma-separated list of registered filter names, each instantiated
+/// with defaults, e.g. {"pipeline", {{"of", "compress,encrypt"}}}. Combine
+/// with upload aliases to parameterize members.
+void register_pipeline_factory(core::FilterRegistry& registry);
+
+}  // namespace rapidware::filters

@@ -1,0 +1,109 @@
+#include "filters/registry.h"
+
+#include <mutex>
+
+#include "filters/cache_filter.h"
+#include "filters/compress_filter.h"
+#include "filters/crypto_filter.h"
+#include "filters/fec_filters.h"
+#include "filters/interleave_filter.h"
+#include "filters/pipeline_filter.h"
+#include "filters/stats_filter.h"
+#include "filters/throttle_filter.h"
+#include "filters/transcode_filter.h"
+
+namespace rapidware::filters {
+namespace {
+
+using core::ParamMap;
+
+std::size_t get_size(const ParamMap& params, const std::string& key,
+                     std::size_t fallback) {
+  if (auto it = params.find(key); it != params.end()) {
+    return static_cast<std::size_t>(std::stoul(it->second));
+  }
+  return fallback;
+}
+
+std::string get_string(const ParamMap& params, const std::string& key,
+                       const std::string& fallback) {
+  if (auto it = params.find(key); it != params.end()) return it->second;
+  return fallback;
+}
+
+}  // namespace
+
+void register_builtin_filters(core::FilterRegistry& registry) {
+  registry.register_factory("null", [](const ParamMap&) {
+    return std::make_shared<core::NullFilter>();
+  });
+  register_pipeline_factory(registry);
+  registry.register_factory("fec-encode", [](const ParamMap& p) {
+    return std::make_shared<FecEncodeFilter>(get_size(p, "n", 6),
+                                             get_size(p, "k", 4));
+  });
+  registry.register_factory("fec-decode", [](const ParamMap& p) {
+    return std::make_shared<FecDecodeFilter>(get_size(p, "window", 2));
+  });
+  registry.register_factory("uep-fec-encode", [](const ParamMap&) {
+    return std::make_shared<UepFecEncodeFilter>();
+  });
+  registry.register_factory("audio-transcode", [](const ParamMap& p) {
+    media::AudioFormat format;
+    format.sample_rate =
+        static_cast<std::uint32_t>(get_size(p, "rate", format.sample_rate));
+    format.channels =
+        static_cast<std::uint16_t>(get_size(p, "channels", format.channels));
+    format.bits_per_sample = static_cast<std::uint16_t>(
+        get_size(p, "bits", format.bits_per_sample));
+    const std::string mode = get_string(p, "mode", "mono");
+    TranscodeMode m = TranscodeMode::kMono;
+    if (mode == "half") m = TranscodeMode::kHalfRate;
+    if (mode == "mono+half") m = TranscodeMode::kMonoHalf;
+    return std::make_shared<AudioTranscodeFilter>(format, m);
+  });
+  registry.register_factory("compress", [](const ParamMap&) {
+    return std::make_shared<CompressFilter>();
+  });
+  registry.register_factory("decompress", [](const ParamMap&) {
+    return std::make_shared<DecompressFilter>();
+  });
+  registry.register_factory("encrypt", [](const ParamMap& p) {
+    return std::make_shared<EncryptFilter>(
+        derive_key(get_string(p, "passphrase", "rapidware")));
+  });
+  registry.register_factory("decrypt", [](const ParamMap& p) {
+    return std::make_shared<DecryptFilter>(
+        derive_key(get_string(p, "passphrase", "rapidware")));
+  });
+  registry.register_factory("throttle", [](const ParamMap& p) {
+    return std::make_shared<ThrottleFilter>(
+        static_cast<double>(get_size(p, "bytes_per_sec", 16'000)));
+  });
+  registry.register_factory("stats", [](const ParamMap& p) {
+    return std::make_shared<StatsFilter>(get_string(p, "name", "stats"));
+  });
+  registry.register_factory("interleave", [](const ParamMap& p) {
+    return std::make_shared<InterleaveFilter>(get_size(p, "rows", 6),
+                                              get_size(p, "depth", 4));
+  });
+  registry.register_factory("deinterleave", [](const ParamMap& p) {
+    return std::make_shared<DeinterleaveFilter>(get_size(p, "rows", 6),
+                                                get_size(p, "depth", 4));
+  });
+  registry.register_factory("cache-pack", [](const ParamMap& p) {
+    return std::make_shared<CachePackFilter>(
+        get_size(p, "capacity_bytes", 4 * 1024 * 1024));
+  });
+  registry.register_factory("cache-expand", [](const ParamMap& p) {
+    return std::make_shared<CacheExpandFilter>(
+        get_size(p, "capacity_bytes", 4 * 1024 * 1024));
+  });
+}
+
+void register_builtin_filters() {
+  static std::once_flag once;
+  std::call_once(once, [] { register_builtin_filters(core::global_registry()); });
+}
+
+}  // namespace rapidware::filters

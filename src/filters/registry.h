@@ -1,0 +1,27 @@
+// Registers every built-in filter kind with a FilterRegistry so proxies can
+// instantiate them from FilterSpecs arriving over the control channel.
+#pragma once
+
+#include "core/filter_registry.h"
+
+namespace rapidware::filters {
+
+/// Registered names and their parameters:
+///   null            —
+///   fec-encode      n (default 6), k (default 4)
+///   fec-decode      window (default 2)
+///   uep-fec-encode  — (standard UEP policy)
+///   audio-transcode mode ("mono" | "half" | "mono+half"), rate, channels,
+///                   bits (input format; defaults: paper format)
+///   compress / decompress —
+///   encrypt / decrypt     passphrase (default "rapidware")
+///   throttle        bytes_per_sec (default 16000)
+///   stats           name
+///   interleave / deinterleave  rows (default 6), depth (default 4)
+///   cache-pack / cache-expand  capacity_bytes (default 4 MiB)
+void register_builtin_filters(core::FilterRegistry& registry);
+
+/// Registers into the process-wide registry (idempotent).
+void register_builtin_filters();
+
+}  // namespace rapidware::filters

@@ -1,0 +1,39 @@
+// Pass-through measurement tap: counts packets/bytes and exposes a rate,
+// usable anywhere in a chain without altering the stream. Observer raplets
+// read taps like this one to detect condition changes.
+#pragma once
+
+#include <atomic>
+
+#include "core/filter.h"
+#include "util/clock.h"
+
+namespace rapidware::filters {
+
+class StatsFilter final : public core::PacketFilter {
+ public:
+  explicit StatsFilter(std::string name = "stats",
+                       util::Clock* clock = nullptr);
+
+  std::string describe() const override;
+  core::ParamMap params() const override;
+
+  std::uint64_t packets() const noexcept { return packets_.load(); }
+  std::uint64_t bytes() const noexcept { return bytes_.load(); }
+
+  /// Average throughput since the first packet, bytes/second.
+  double throughput_bps() const;
+
+ protected:
+  void on_packet(util::Bytes packet) override;
+
+ private:
+  util::Clock* clock_;
+  util::WallClock wall_;
+  std::atomic<std::uint64_t> packets_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<util::Micros> first_at_{-1};
+  std::atomic<util::Micros> last_at_{-1};
+};
+
+}  // namespace rapidware::filters

@@ -1,0 +1,67 @@
+#include "filters/throttle_filter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+namespace rapidware::filters {
+
+ThrottleFilter::ThrottleFilter(double bytes_per_sec, double burst_bytes,
+                               util::Clock* clock)
+    : PacketFilter("throttle"),
+      rate_(bytes_per_sec),
+      burst_(burst_bytes > 0 ? burst_bytes : bytes_per_sec / 2),
+      clock_(clock != nullptr ? clock : &wall_) {
+  if (bytes_per_sec <= 0) {
+    throw std::invalid_argument("ThrottleFilter: rate must be positive");
+  }
+}
+
+std::string ThrottleFilter::describe() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "throttle(%.0fB/s)", rate_.load());
+  return buf;
+}
+
+core::ParamMap ThrottleFilter::params() const {
+  return {{"bytes_per_sec", std::to_string(rate_.load())}};
+}
+
+bool ThrottleFilter::set_param(const std::string& key,
+                               const std::string& value) {
+  if (key != "bytes_per_sec") return false;
+  try {
+    const double v = std::stod(value);
+    if (v <= 0) return false;
+    rate_.store(v);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void ThrottleFilter::on_packet(util::Bytes packet) {
+  const double rate = rate_.load();
+  if (!primed_) {
+    tokens_ = burst_;
+    last_refill_ = clock_->now();
+    primed_ = true;
+  }
+  const auto cost = static_cast<double>(packet.size());
+  for (;;) {
+    const util::Micros now = clock_->now();
+    tokens_ = std::min(
+        burst_, tokens_ + rate * static_cast<double>(now - last_refill_) / 1e6);
+    last_refill_ = now;
+    if (tokens_ >= cost) break;
+    const double deficit = cost - tokens_;
+    const auto wait_us = static_cast<std::int64_t>(deficit / rate * 1e6) + 1;
+    std::this_thread::sleep_for(std::chrono::microseconds(wait_us));
+  }
+  tokens_ -= cost;
+  emit(packet);
+}
+
+}  // namespace rapidware::filters

@@ -1,0 +1,74 @@
+#include "filters/transcode_filter.h"
+
+#include "media/codecs.h"
+#include "media/media_packet.h"
+
+namespace rapidware::filters {
+
+AudioTranscodeFilter::AudioTranscodeFilter(media::AudioFormat input_format,
+                                           TranscodeMode mode)
+    : PacketFilter("audio-transcode"),
+      input_format_(input_format),
+      mode_(static_cast<int>(mode)) {}
+
+std::string AudioTranscodeFilter::describe() const {
+  switch (static_cast<TranscodeMode>(mode_.load())) {
+    case TranscodeMode::kMono: return "transcode(mono)";
+    case TranscodeMode::kHalfRate: return "transcode(half-rate)";
+    case TranscodeMode::kMonoHalf: return "transcode(mono+half)";
+  }
+  return "transcode(?)";
+}
+
+core::ParamMap AudioTranscodeFilter::params() const {
+  return {{"mode", std::to_string(mode_.load())},
+          {"reduction", std::to_string(reduction_factor())}};
+}
+
+bool AudioTranscodeFilter::set_param(const std::string& key,
+                                     const std::string& value) {
+  if (key != "mode") return false;
+  if (value == "mono") {
+    mode_.store(static_cast<int>(TranscodeMode::kMono));
+  } else if (value == "half") {
+    mode_.store(static_cast<int>(TranscodeMode::kHalfRate));
+  } else if (value == "mono+half") {
+    mode_.store(static_cast<int>(TranscodeMode::kMonoHalf));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+double AudioTranscodeFilter::reduction_factor() const {
+  const auto mode = static_cast<TranscodeMode>(mode_.load());
+  double f = 1.0;
+  if (mode == TranscodeMode::kMono || mode == TranscodeMode::kMonoHalf) {
+    f *= input_format_.channels;
+  }
+  if (mode == TranscodeMode::kHalfRate || mode == TranscodeMode::kMonoHalf) {
+    f *= 2.0;
+  }
+  return f;
+}
+
+void AudioTranscodeFilter::on_packet(util::Bytes packet) {
+  media::MediaPacket media = media::MediaPacket::parse(packet);
+  bytes_in_ += media.payload.size();
+
+  const auto mode = static_cast<TranscodeMode>(mode_.load());
+  media::AudioFormat fmt = input_format_;
+  if (mode == TranscodeMode::kMono || mode == TranscodeMode::kMonoHalf) {
+    media.payload = media::to_mono(media.payload, fmt);
+    fmt.channels = 1;
+  }
+  if (mode == TranscodeMode::kHalfRate || mode == TranscodeMode::kMonoHalf) {
+    media.payload = media::downsample_half(media.payload, fmt);
+    fmt.sample_rate /= 2;
+  }
+
+  bytes_out_ += media.payload.size();
+  emit(media.serialize());
+}
+
+}  // namespace rapidware::filters

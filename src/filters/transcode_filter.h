@@ -1,0 +1,47 @@
+// Audio transcoder filter: reduces stream bandwidth for constrained
+// wireless clients (the paper's proxies "transcode the stream to a lower
+// bandwidth format", Section 3). Operates on MediaPackets and rewrites
+// their PCM payload: stereo -> mono and/or half sample rate.
+#pragma once
+
+#include <atomic>
+
+#include "core/filter.h"
+#include "media/audio.h"
+
+namespace rapidware::filters {
+
+enum class TranscodeMode : int {
+  kMono = 1,       // drop to one channel        (2x reduction for stereo)
+  kHalfRate = 2,   // halve the sample rate      (2x reduction)
+  kMonoHalf = 3,   // both                       (4x reduction)
+};
+
+class AudioTranscodeFilter final : public core::PacketFilter {
+ public:
+  AudioTranscodeFilter(media::AudioFormat input_format,
+                       TranscodeMode mode = TranscodeMode::kMono);
+
+  std::string describe() const override;
+  core::ParamMap params() const override;
+  bool set_param(const std::string& key, const std::string& value) override;
+
+  /// Bandwidth reduction factor of the current mode.
+  double reduction_factor() const;
+
+  std::string input_requirement() const override { return "media"; }
+
+  std::uint64_t bytes_in() const noexcept { return bytes_in_; }
+  std::uint64_t bytes_out() const noexcept { return bytes_out_; }
+
+ protected:
+  void on_packet(util::Bytes packet) override;
+
+ private:
+  media::AudioFormat input_format_;
+  std::atomic<int> mode_;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+};
+
+}  // namespace rapidware::filters

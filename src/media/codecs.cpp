@@ -1,0 +1,120 @@
+#include "media/codecs.h"
+
+#include <stdexcept>
+
+namespace rapidware::media {
+namespace {
+
+std::int32_t read_sample(util::ByteSpan pcm, std::size_t index,
+                         const AudioFormat& f) {
+  if (f.bits_per_sample == 8) return pcm[index];
+  const std::size_t o = index * 2;
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(pcm[o]) |
+                                   static_cast<std::uint16_t>(pcm[o + 1]) << 8);
+}
+
+void write_sample(util::Bytes& out, std::int32_t v, const AudioFormat& f) {
+  if (f.bits_per_sample == 8) {
+    out.push_back(static_cast<std::uint8_t>(v));
+  } else {
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  }
+}
+
+void check_alignment(util::ByteSpan pcm, const AudioFormat& f) {
+  if (f.bytes_per_frame() == 0 || pcm.size() % f.bytes_per_frame() != 0) {
+    throw std::invalid_argument("codec: PCM not aligned to sample frames");
+  }
+}
+
+}  // namespace
+
+util::Bytes to_mono(util::ByteSpan pcm, const AudioFormat& format) {
+  check_alignment(pcm, format);
+  const std::size_t frames = pcm.size() / format.bytes_per_frame();
+  util::Bytes out;
+  out.reserve(frames * (format.bits_per_sample / 8));
+  for (std::size_t fr = 0; fr < frames; ++fr) {
+    std::int64_t acc = 0;
+    for (std::uint16_t c = 0; c < format.channels; ++c) {
+      acc += read_sample(pcm, fr * format.channels + c, format);
+    }
+    write_sample(out, static_cast<std::int32_t>(acc / format.channels), format);
+  }
+  return out;
+}
+
+util::Bytes downsample_half(util::ByteSpan pcm, const AudioFormat& format) {
+  check_alignment(pcm, format);
+  const std::size_t frames = pcm.size() / format.bytes_per_frame();
+  util::Bytes out;
+  out.reserve(pcm.size() / 2);
+  for (std::size_t fr = 0; fr + 1 < frames; fr += 2) {
+    for (std::uint16_t c = 0; c < format.channels; ++c) {
+      const std::int32_t a = read_sample(pcm, fr * format.channels + c, format);
+      const std::int32_t b =
+          read_sample(pcm, (fr + 1) * format.channels + c, format);
+      write_sample(out, (a + b) / 2, format);
+    }
+  }
+  return out;
+}
+
+std::uint8_t mulaw_encode_sample(std::int16_t linear) {
+  constexpr std::int16_t kBias = 0x84;
+  constexpr std::int16_t kClip = 32635;
+  const std::uint8_t sign = linear < 0 ? 0x80 : 0;
+  std::int32_t magnitude = linear < 0 ? -static_cast<std::int32_t>(linear)
+                                      : linear;
+  if (magnitude > kClip) magnitude = kClip;
+  magnitude += kBias;
+  // Find the segment (position of the highest set bit above bit 5).
+  int segment = 7;
+  for (std::int32_t mask = 0x4000; segment > 0 && !(magnitude & mask);
+       mask >>= 1) {
+    --segment;
+  }
+  const auto mantissa =
+      static_cast<std::uint8_t>((magnitude >> (segment + 3)) & 0x0f);
+  return static_cast<std::uint8_t>(
+      ~(sign | static_cast<std::uint8_t>(segment << 4) | mantissa));
+}
+
+std::int16_t mulaw_decode_sample(std::uint8_t mulaw) {
+  constexpr std::int16_t kBias = 0x84;
+  mulaw = static_cast<std::uint8_t>(~mulaw);
+  const int segment = (mulaw >> 4) & 0x07;
+  const int mantissa = mulaw & 0x0f;
+  std::int32_t magnitude = ((mantissa << 3) + kBias) << segment;
+  magnitude -= kBias;
+  return static_cast<std::int16_t>((mulaw & 0x80) ? -magnitude : magnitude);
+}
+
+util::Bytes mulaw_encode(util::ByteSpan pcm16) {
+  if (pcm16.size() % 2 != 0) {
+    throw std::invalid_argument("mulaw_encode: odd PCM16 byte count");
+  }
+  util::Bytes out;
+  out.reserve(pcm16.size() / 2);
+  for (std::size_t i = 0; i < pcm16.size(); i += 2) {
+    const auto s = static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(pcm16[i]) |
+        static_cast<std::uint16_t>(pcm16[i + 1]) << 8);
+    out.push_back(mulaw_encode_sample(s));
+  }
+  return out;
+}
+
+util::Bytes mulaw_decode(util::ByteSpan mulaw) {
+  util::Bytes out;
+  out.reserve(mulaw.size() * 2);
+  for (const std::uint8_t b : mulaw) {
+    const std::int16_t s = mulaw_decode_sample(b);
+    out.push_back(static_cast<std::uint8_t>(s & 0xff));
+    out.push_back(static_cast<std::uint8_t>((s >> 8) & 0xff));
+  }
+  return out;
+}
+
+}  // namespace rapidware::media

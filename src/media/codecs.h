@@ -1,0 +1,31 @@
+// Audio transcoding primitives for the proxy's transcoder filters: the
+// paper's proxies "transcode the stream to a lower bandwidth format" before
+// the wireless hop (Section 3).
+#pragma once
+
+#include <cstdint>
+
+#include "media/audio.h"
+#include "util/bytes.h"
+
+namespace rapidware::media {
+
+/// Mixes interleaved multichannel PCM down to mono (per-sample average).
+/// Works for 8-bit unsigned and 16-bit signed formats.
+util::Bytes to_mono(util::ByteSpan pcm, const AudioFormat& format);
+
+/// Halves the sample rate by averaging adjacent sample frames (a crude
+/// low-pass + decimate). Channel count is preserved.
+util::Bytes downsample_half(util::ByteSpan pcm, const AudioFormat& format);
+
+/// ITU-T G.711 mu-law companding: 16-bit signed linear <-> 8-bit mu-law.
+std::uint8_t mulaw_encode_sample(std::int16_t linear);
+std::int16_t mulaw_decode_sample(std::uint8_t mulaw);
+
+/// Encodes 16-bit signed little-endian PCM to mu-law bytes (2:1 smaller).
+util::Bytes mulaw_encode(util::ByteSpan pcm16);
+
+/// Decodes mu-law bytes back to 16-bit signed little-endian PCM.
+util::Bytes mulaw_decode(util::ByteSpan mulaw);
+
+}  // namespace rapidware::media

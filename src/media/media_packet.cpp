@@ -1,0 +1,28 @@
+#include "media/media_packet.h"
+
+namespace rapidware::media {
+
+util::Bytes MediaPacket::serialize() const {
+  util::Writer w(kHeaderSize + payload.size());
+  w.u32(seq);
+  w.i64(timestamp_us);
+  w.u8(static_cast<std::uint8_t>(frame_class));
+  w.raw(payload);
+  return w.take();
+}
+
+MediaPacket MediaPacket::parse(util::ByteSpan wire) {
+  util::Reader r(wire);
+  MediaPacket p;
+  p.seq = r.u32();
+  p.timestamp_us = r.i64();
+  const std::uint8_t cls = r.u8();
+  if (cls > static_cast<std::uint8_t>(fec::FrameClass::kOther)) {
+    throw util::SerialError("MediaPacket: unknown frame class");
+  }
+  p.frame_class = static_cast<fec::FrameClass>(cls);
+  p.payload = r.raw(r.remaining());
+  return p;
+}
+
+}  // namespace rapidware::media

@@ -1,0 +1,69 @@
+#include "media/playout.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace rapidware::media {
+
+PlayoutBuffer::PlayoutBuffer(util::Micros packet_duration_us,
+                             util::Micros playout_delay_us)
+    : packet_duration_us_(packet_duration_us),
+      playout_delay_us_(playout_delay_us) {
+  if (packet_duration_us_ <= 0) {
+    throw std::invalid_argument("PlayoutBuffer: packet duration must be > 0");
+  }
+  if (playout_delay_us_ < 0) {
+    throw std::invalid_argument("PlayoutBuffer: negative playout delay");
+  }
+}
+
+void PlayoutBuffer::on_available(std::uint32_t seq, util::Micros at) {
+  if (!anchored_) {
+    // Anchor playout to the stream start implied by the first arrival:
+    // that packet plays `playout_delay` after it arrived.
+    anchored_ = true;
+    t0_ = at - static_cast<util::Micros>(seq) * packet_duration_us_;
+  }
+  auto [it, inserted] = available_at_.try_emplace(seq, at);
+  if (!inserted) it->second = std::min(it->second, at);
+}
+
+util::Micros PlayoutBuffer::deadline(std::uint32_t seq) const {
+  return t0_ + playout_delay_us_ +
+         static_cast<util::Micros>(seq) * packet_duration_us_;
+}
+
+PlayoutBuffer::Report PlayoutBuffer::report(std::uint32_t through) const {
+  Report out;
+  std::vector<util::Micros> lateness;  // of available packets
+  for (std::uint32_t seq = 0; seq <= through; ++seq) {
+    auto it = available_at_.find(seq);
+    if (it == available_at_.end()) {
+      ++out.missing;
+      continue;
+    }
+    const util::Micros slack = deadline(seq) - it->second;
+    lateness.push_back(-slack);
+    if (slack >= 0) {
+      ++out.on_time;
+    } else {
+      ++out.late;
+    }
+  }
+  const std::uint64_t total = out.on_time + out.late + out.missing;
+  out.on_time_rate =
+      total ? static_cast<double>(out.on_time) / static_cast<double>(total)
+            : 0.0;
+  if (!lateness.empty()) {
+    std::sort(lateness.begin(), lateness.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(0.99 * static_cast<double>(lateness.size())));
+    const std::size_t idx = rank == 0 ? 0 : rank - 1;
+    out.p99_extra_delay_us = std::max<util::Micros>(0, lateness[idx]);
+  }
+  return out;
+}
+
+}  // namespace rapidware::media

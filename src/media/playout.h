@@ -1,0 +1,58 @@
+// Receiver-side playout buffer for isochronous media.
+//
+// Audio is played on a fixed schedule: packet seq must be in hand by
+//     deadline(seq) = t0 + playout_delay + seq * packet_duration
+// where t0 anchors to the first arrival. A packet that misses its deadline
+// is a dropout regardless of eventual delivery — which is why FEC group
+// size matters beyond bandwidth: a lost packet is only recovered when its
+// group completes, k-1 packets later. The paper keeps groups small "so as
+// to minimize jitter"; this buffer turns that argument into a measurable
+// deadline-miss rate (see bench_playout_jitter).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "util/clock.h"
+#include "util/stats.h"
+
+namespace rapidware::media {
+
+class PlayoutBuffer {
+ public:
+  /// `packet_duration_us`: media time per packet (20 ms audio);
+  /// `playout_delay_us`: buffering between first arrival and first playout.
+  PlayoutBuffer(util::Micros packet_duration_us,
+                util::Micros playout_delay_us);
+
+  /// Records that packet `seq` became available at `at` (arrival or FEC
+  /// recovery time). Duplicates keep the earliest availability.
+  void on_available(std::uint32_t seq, util::Micros at);
+
+  /// Deadline for a sequence number (anchored to the first arrival).
+  util::Micros deadline(std::uint32_t seq) const;
+
+  /// Playout accounting over sequence numbers [0, through]: a packet is ON
+  /// TIME if it was available at or before its deadline.
+  struct Report {
+    std::uint64_t on_time = 0;
+    std::uint64_t late = 0;     // available after the deadline
+    std::uint64_t missing = 0;  // never available
+    double on_time_rate = 0.0;
+    /// How much later the playout delay would have needed to be for 99 %
+    /// of available packets to make their deadline.
+    util::Micros p99_extra_delay_us = 0;
+  };
+  Report report(std::uint32_t through) const;
+
+  bool anchored() const noexcept { return anchored_; }
+
+ private:
+  util::Micros packet_duration_us_;
+  util::Micros playout_delay_us_;
+  bool anchored_ = false;
+  util::Micros t0_ = 0;
+  std::map<std::uint32_t, util::Micros> available_at_;
+};
+
+}  // namespace rapidware::media

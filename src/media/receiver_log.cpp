@@ -1,0 +1,61 @@
+#include "media/receiver_log.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rapidware::media {
+
+ReceiverLog::ReceiverLog(std::size_t bin_size) : bin_size_(bin_size) {
+  if (bin_size_ == 0) throw std::invalid_argument("ReceiverLog: bin_size 0");
+}
+
+void ReceiverLog::on_packet(const MediaPacket& packet,
+                            util::Micros deliver_at) {
+  if (packet.seq >= seen_.size()) seen_.resize(packet.seq + 1, false);
+  if (seen_[packet.seq]) {
+    ++duplicates_;
+    return;
+  }
+  seen_[packet.seq] = true;
+  ++delivered_;
+
+  if (has_last_) {
+    if (packet.seq < last_seq_) ++out_of_order_;
+    // RFC 3550 interarrival jitter: deviation between arrival spacing and
+    // media-timestamp spacing, smoothed with gain 1/16.
+    const double d =
+        static_cast<double>(deliver_at - last_arrival_) -
+        static_cast<double>(packet.timestamp_us - last_media_ts_);
+    jitter_stats_.add(std::abs(d));
+    jitter_us_ += (std::abs(d) - jitter_us_) / 16.0;
+  }
+  has_last_ = true;
+  last_seq_ = packet.seq;
+  last_arrival_ = deliver_at;
+  last_media_ts_ = packet.timestamp_us;
+}
+
+double ReceiverLog::delivery_rate() const {
+  const std::uint64_t total = expected();
+  return total == 0 ? 0.0
+                    : static_cast<double>(delivered_) /
+                          static_cast<double>(total);
+}
+
+std::vector<ReceiverLog::Bin> ReceiverLog::bins() const {
+  std::vector<Bin> out;
+  for (std::size_t start = 0; start < seen_.size(); start += bin_size_) {
+    const std::size_t end = std::min(start + bin_size_, seen_.size());
+    std::size_t got = 0;
+    for (std::size_t i = start; i < end; ++i) got += seen_[i];
+    Bin bin;
+    bin.first_seq = static_cast<std::uint32_t>(start);
+    bin.expected = end - start;
+    bin.delivered = got;
+    bin.rate = static_cast<double>(got) / static_cast<double>(end - start);
+    out.push_back(bin);
+  }
+  return out;
+}
+
+}  // namespace rapidware::media

@@ -1,0 +1,71 @@
+// Receiver-side accounting: turns a stream of delivered MediaPackets into
+// exactly the quantities the paper's Figure 7 plots — per-bin and overall
+// delivery percentages over packet sequence numbers — plus jitter stats.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "media/media_packet.h"
+#include "util/clock.h"
+#include "util/stats.h"
+
+namespace rapidware::media {
+
+class ReceiverLog {
+ public:
+  /// `bin_size`: sequence numbers per report bin. Figure 7 bins its ~5400
+  /// packet trace into 432-packet windows.
+  explicit ReceiverLog(std::size_t bin_size = 432);
+
+  /// Records a delivered packet. `deliver_at` is the modeled arrival time.
+  void on_packet(const MediaPacket& packet, util::Micros deliver_at);
+
+  /// Number of distinct sequence numbers delivered.
+  std::uint64_t delivered() const noexcept { return delivered_; }
+  std::uint64_t duplicates() const noexcept { return duplicates_; }
+  std::uint64_t out_of_order() const noexcept { return out_of_order_; }
+
+  /// Highest sequence number seen + 1 (== packets the sender must have
+  /// emitted, assuming it started at 0).
+  std::uint64_t expected() const noexcept {
+    return seen_.empty() ? 0 : seen_.size();
+  }
+
+  /// Overall delivery fraction: delivered / expected.
+  double delivery_rate() const;
+
+  struct Bin {
+    std::uint32_t first_seq;
+    std::size_t expected;
+    std::size_t delivered;
+    double rate;
+  };
+
+  /// Per-bin delivery rates over the whole sequence range (Figure 7's
+  /// series). The final partial bin is included.
+  std::vector<Bin> bins() const;
+
+  /// RFC 3550-style smoothed interarrival jitter, microseconds.
+  double smoothed_jitter_us() const noexcept { return jitter_us_; }
+
+  /// Raw |interarrival deviation| statistics.
+  const util::RunningStats& jitter_stats() const noexcept {
+    return jitter_stats_;
+  }
+
+ private:
+  std::size_t bin_size_;
+  std::vector<bool> seen_;  // index = seq
+  std::uint64_t delivered_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t out_of_order_ = 0;
+  bool has_last_ = false;
+  std::uint32_t last_seq_ = 0;
+  util::Micros last_arrival_ = 0;
+  std::int64_t last_media_ts_ = 0;
+  double jitter_us_ = 0.0;
+  util::RunningStats jitter_stats_;
+};
+
+}  // namespace rapidware::media

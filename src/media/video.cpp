@@ -1,0 +1,55 @@
+#include "media/video.h"
+
+#include <stdexcept>
+
+namespace rapidware::media {
+
+VideoStreamSource::VideoStreamSource(VideoFormat format, std::uint64_t seed)
+    : format_(std::move(format)), rng_(seed) {
+  if (format_.gop_pattern.empty() || format_.fps <= 0) {
+    throw std::invalid_argument("VideoStreamSource: bad format");
+  }
+  for (char c : format_.gop_pattern) {
+    if (c != 'I' && c != 'P' && c != 'B') {
+      throw std::invalid_argument("VideoStreamSource: GOP pattern uses I/P/B");
+    }
+  }
+}
+
+MediaPacket VideoStreamSource::next_frame() {
+  const char kind = format_.gop_pattern[gop_pos_];
+  gop_pos_ = (gop_pos_ + 1) % format_.gop_pattern.size();
+
+  std::size_t nominal = 0;
+  fec::FrameClass cls = fec::FrameClass::kOther;
+  switch (kind) {
+    case 'I':
+      nominal = format_.i_frame_bytes;
+      cls = fec::FrameClass::kKey;
+      break;
+    case 'P':
+      nominal = format_.p_frame_bytes;
+      cls = fec::FrameClass::kPredicted;
+      break;
+    case 'B':
+      nominal = format_.b_frame_bytes;
+      cls = fec::FrameClass::kBidirectional;
+      break;
+    default:
+      break;
+  }
+  const double jitter =
+      1.0 + format_.size_jitter * (rng_.next_double() * 2.0 - 1.0);
+  const auto size = static_cast<std::size_t>(
+      std::max(16.0, static_cast<double>(nominal) * jitter));
+
+  MediaPacket p;
+  p.seq = next_seq_++;
+  p.timestamp_us = static_cast<std::int64_t>(p.seq) * frame_duration_us();
+  p.frame_class = cls;
+  p.payload.resize(size);
+  for (auto& b : p.payload) b = static_cast<std::uint8_t>(rng_.next_u64());
+  return p;
+}
+
+}  // namespace rapidware::media

@@ -1,0 +1,44 @@
+// Synthetic GOP-structured video source (I/P/B frames), the stream type the
+// paper's UEP discussion targets ("placing more redundancy in I frames than
+// in B frames", Section 3 / [24]).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "media/media_packet.h"
+#include "util/rng.h"
+
+namespace rapidware::media {
+
+struct VideoFormat {
+  double fps = 25.0;
+  std::string gop_pattern = "IBBPBBPBB";  // repeats
+  std::size_t i_frame_bytes = 6000;
+  std::size_t p_frame_bytes = 2000;
+  std::size_t b_frame_bytes = 700;
+  double size_jitter = 0.25;  // +- fraction of nominal size
+};
+
+class VideoStreamSource {
+ public:
+  explicit VideoStreamSource(VideoFormat format = {}, std::uint64_t seed = 11);
+
+  const VideoFormat& format() const noexcept { return format_; }
+
+  /// Produces the next frame as a MediaPacket whose frame_class reflects
+  /// the GOP position and whose payload is a synthetic frame body.
+  MediaPacket next_frame();
+
+  std::int64_t frame_duration_us() const {
+    return static_cast<std::int64_t>(1e6 / format_.fps);
+  }
+
+ private:
+  VideoFormat format_;
+  util::Rng rng_;
+  std::uint32_t next_seq_ = 0;
+  std::size_t gop_pos_ = 0;
+};
+
+}  // namespace rapidware::media

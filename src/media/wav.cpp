@@ -1,0 +1,78 @@
+#include "media/wav.h"
+
+#include "util/serial.h"
+
+namespace rapidware::media {
+namespace {
+
+constexpr std::uint32_t fourcc(const char (&s)[5]) {
+  return static_cast<std::uint32_t>(s[0]) |
+         static_cast<std::uint32_t>(s[1]) << 8 |
+         static_cast<std::uint32_t>(s[2]) << 16 |
+         static_cast<std::uint32_t>(s[3]) << 24;
+}
+
+constexpr std::uint32_t kRiff = fourcc("RIFF");
+constexpr std::uint32_t kWave = fourcc("WAVE");
+constexpr std::uint32_t kFmt = fourcc("fmt ");
+constexpr std::uint32_t kData = fourcc("data");
+constexpr std::uint16_t kPcm = 1;
+
+}  // namespace
+
+util::Bytes wav_encode(const WavFile& wav) {
+  const auto& f = wav.format;
+  util::Writer w(44 + wav.pcm.size());
+  w.u32(kRiff);
+  w.u32(static_cast<std::uint32_t>(36 + wav.pcm.size()));
+  w.u32(kWave);
+  w.u32(kFmt);
+  w.u32(16);  // PCM fmt chunk size
+  w.u16(kPcm);
+  w.u16(f.channels);
+  w.u32(f.sample_rate);
+  w.u32(static_cast<std::uint32_t>(f.bytes_per_second()));
+  w.u16(static_cast<std::uint16_t>(f.bytes_per_frame()));  // block align
+  w.u16(f.bits_per_sample);
+  w.u32(kData);
+  w.u32(static_cast<std::uint32_t>(wav.pcm.size()));
+  w.raw(wav.pcm);
+  return w.take();
+}
+
+WavFile wav_decode(util::ByteSpan bytes) {
+  util::Reader r(bytes);
+  if (r.u32() != kRiff) throw util::SerialError("wav: missing RIFF");
+  r.u32();  // riff size (trusted from chunk walk below)
+  if (r.u32() != kWave) throw util::SerialError("wav: missing WAVE");
+
+  WavFile out;
+  bool have_fmt = false, have_data = false;
+  while (r.remaining() >= 8) {
+    const std::uint32_t id = r.u32();
+    const std::uint32_t size = r.u32();
+    if (size > r.remaining()) throw util::SerialError("wav: truncated chunk");
+    const util::Bytes chunk = r.raw(size);
+    if (size % 2 == 1 && r.remaining() > 0) r.u8();  // RIFF chunk padding
+    if (id == kFmt) {
+      if (size < 16) throw util::SerialError("wav: short fmt chunk");
+      util::Reader fr(chunk);
+      if (fr.u16() != kPcm) throw util::SerialError("wav: not PCM");
+      out.format.channels = fr.u16();
+      out.format.sample_rate = fr.u32();
+      fr.u32();  // byte rate (derived)
+      fr.u16();  // block align (derived)
+      out.format.bits_per_sample = fr.u16();
+      have_fmt = true;
+    } else if (id == kData) {
+      out.pcm = chunk;
+      have_data = true;
+    }
+    // Unknown chunks are skipped.
+  }
+  if (!have_fmt) throw util::SerialError("wav: missing fmt chunk");
+  if (!have_data) throw util::SerialError("wav: missing data chunk");
+  return out;
+}
+
+}  // namespace rapidware::media

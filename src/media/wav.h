@@ -1,0 +1,25 @@
+// Minimal RIFF/WAVE PCM encoding — the paper records audio "in Windows
+// PCM-based waveform audio file format (.WAV)". Enough of the format to
+// round-trip the capture format and feed file-based examples.
+#pragma once
+
+#include "media/audio.h"
+#include "util/bytes.h"
+
+namespace rapidware::media {
+
+struct WavFile {
+  AudioFormat format;
+  util::Bytes pcm;
+
+  bool operator==(const WavFile&) const = default;
+};
+
+/// Serializes PCM to a canonical 44-byte-header WAV file.
+util::Bytes wav_encode(const WavFile& wav);
+
+/// Parses a PCM WAV file; throws util::SerialError on malformed input or
+/// non-PCM encodings.
+WavFile wav_decode(util::ByteSpan bytes);
+
+}  // namespace rapidware::media

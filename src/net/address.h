@@ -1,0 +1,42 @@
+// Addressing for the in-process datagram fabric: a node id plus a port,
+// with a reserved id range acting as multicast group addresses (the
+// simulator's analogue of 224.0.0.0/4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rapidware::net {
+
+using NodeId = std::uint32_t;
+
+/// Node ids at or above this value denote multicast groups.
+inline constexpr NodeId kMulticastBase = 0xE0000000;
+
+struct Address {
+  NodeId node = 0;
+  std::uint16_t port = 0;
+
+  bool is_multicast() const noexcept { return node >= kMulticastBase; }
+
+  bool operator==(const Address&) const = default;
+  auto operator<=>(const Address&) const = default;
+
+  std::string to_string() const;
+};
+
+/// Convenience constructor for group addresses.
+constexpr Address multicast_group(std::uint32_t group_index,
+                                  std::uint16_t port) {
+  return Address{kMulticastBase + group_index, port};
+}
+
+}  // namespace rapidware::net
+
+template <>
+struct std::hash<rapidware::net::Address> {
+  std::size_t operator()(const rapidware::net::Address& a) const noexcept {
+    return (static_cast<std::size_t>(a.node) << 16) ^ a.port;
+  }
+};

@@ -1,0 +1,54 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+namespace rapidware::net {
+
+Channel::Channel(ChannelConfig config, util::Rng rng)
+    : config_(std::move(config)), rng_(rng) {}
+
+std::optional<util::Micros> Channel::transit(std::size_t bytes,
+                                             util::Micros now) {
+  std::lock_guard lk(mu_);
+  ++stats_.attempted;
+  if (config_.loss && config_.loss->drop(rng_)) {
+    ++stats_.dropped_loss;
+    return std::nullopt;
+  }
+
+  util::Micros deliver_at = now + config_.latency_us;
+  if (config_.jitter_us > 0) {
+    deliver_at += static_cast<util::Micros>(
+        rng_.next_below(static_cast<std::uint64_t>(config_.jitter_us) + 1));
+  }
+  if (config_.bandwidth_bps > 0) {
+    const auto serialization_us = static_cast<util::Micros>(
+        static_cast<double>(bytes) * 8.0 * 1e6 /
+        static_cast<double>(config_.bandwidth_bps));
+    const util::Micros start = std::max(now, link_free_at_);
+    if (start - now > config_.max_queue_delay_us) {
+      ++stats_.dropped_queue;
+      return std::nullopt;
+    }
+    link_free_at_ = start + serialization_us;
+    deliver_at += (start - now) + serialization_us;
+  }
+  return deliver_at;
+}
+
+ChannelStats Channel::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+double Channel::average_loss() const {
+  std::lock_guard lk(mu_);
+  return config_.loss ? config_.loss->average_loss() : 0.0;
+}
+
+void Channel::set_average_loss(double p) {
+  std::lock_guard lk(mu_);
+  if (config_.loss) config_.loss->set_average_loss(p);
+}
+
+}  // namespace rapidware::net

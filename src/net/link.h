@@ -1,0 +1,64 @@
+// Directed channel model: loss + latency + jitter + serialization over a
+// finite-bandwidth link. Used by SimNetwork for each (source, destination)
+// node pair; the wireless layer installs per-station channels here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "net/loss.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace rapidware::net {
+
+struct ChannelConfig {
+  /// Loss model; null means lossless.
+  std::shared_ptr<LossModel> loss;
+  /// Fixed propagation delay.
+  std::int64_t latency_us = 0;
+  /// Uniform random extra delay in [0, jitter_us].
+  std::int64_t jitter_us = 0;
+  /// Link rate; 0 means infinite (no serialization delay, no queueing).
+  std::int64_t bandwidth_bps = 0;
+  /// Maximum queueing delay before tail drop (only with finite bandwidth).
+  std::int64_t max_queue_delay_us = 200'000;
+};
+
+struct ChannelStats {
+  std::uint64_t attempted = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_queue = 0;
+
+  std::uint64_t delivered() const noexcept {
+    return attempted - dropped_loss - dropped_queue;
+  }
+};
+
+class Channel {
+ public:
+  Channel(ChannelConfig config, util::Rng rng);
+
+  /// Models one packet transiting the channel at (virtual or wall) time
+  /// `now`. Returns the modeled delivery time, or nullopt if dropped.
+  std::optional<util::Micros> transit(std::size_t bytes, util::Micros now);
+
+  ChannelStats stats() const;
+
+  /// Current average loss probability of the underlying model.
+  double average_loss() const;
+
+  /// Retunes the loss model (mobility support).
+  void set_average_loss(double p);
+
+ private:
+  mutable std::mutex mu_;
+  ChannelConfig config_;
+  util::Rng rng_;
+  util::Micros link_free_at_ = 0;
+  ChannelStats stats_;
+};
+
+}  // namespace rapidware::net

@@ -1,0 +1,101 @@
+#include "net/loss.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rapidware::net {
+
+BernoulliLoss::BernoulliLoss(double p) : p_(p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("BernoulliLoss: p must be in [0, 1]");
+  }
+}
+
+bool BernoulliLoss::drop(util::Rng& rng) {
+  std::lock_guard lk(mu_);
+  return rng.chance(p_);
+}
+
+double BernoulliLoss::average_loss() const {
+  std::lock_guard lk(mu_);
+  return p_;
+}
+
+void BernoulliLoss::set_average_loss(double p) {
+  std::lock_guard lk(mu_);
+  p_ = std::clamp(p, 0.0, 1.0);
+}
+
+GilbertElliottLoss::GilbertElliottLoss(double p_good_to_bad,
+                                       double p_bad_to_good,
+                                       double loss_in_bad)
+    : p_gb_(p_good_to_bad), p_bg_(p_bad_to_good), loss_in_bad_(loss_in_bad) {
+  for (double p : {p_gb_, p_bg_, loss_in_bad_}) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument("GilbertElliottLoss: probabilities in [0,1]");
+    }
+  }
+}
+
+std::unique_ptr<GilbertElliottLoss> GilbertElliottLoss::with_average(
+    double average_loss, double mean_burst_len, double loss_in_bad) {
+  if (average_loss < 0.0 || average_loss >= loss_in_bad) {
+    // Cannot reach an average at or above the bad-state drop rate.
+    average_loss = std::clamp(average_loss, 0.0, loss_in_bad * 0.999);
+  }
+  const double p_bg = 1.0 / std::max(1.0, mean_burst_len);
+  // Stationary bad share pi_b = p_gb / (p_gb + p_bg); average = pi_b * h.
+  const double pi_b = average_loss / loss_in_bad;
+  const double p_gb =
+      pi_b >= 1.0 ? 1.0 : std::min(1.0, pi_b * p_bg / (1.0 - pi_b));
+  return std::make_unique<GilbertElliottLoss>(p_gb, p_bg, loss_in_bad);
+}
+
+bool GilbertElliottLoss::drop(util::Rng& rng) {
+  std::lock_guard lk(mu_);
+  if (bad_) {
+    if (rng.chance(p_bg_)) bad_ = false;
+  } else if (rng.chance(p_gb_)) {
+    bad_ = true;
+  }
+  return bad_ && rng.chance(loss_in_bad_);
+}
+
+double GilbertElliottLoss::average_loss() const {
+  std::lock_guard lk(mu_);
+  const double denom = p_gb_ + p_bg_;
+  if (denom == 0.0) return 0.0;
+  return p_gb_ / denom * loss_in_bad_;
+}
+
+void GilbertElliottLoss::set_average_loss(double p) {
+  std::lock_guard lk(mu_);
+  p = std::clamp(p, 0.0, loss_in_bad_ * 0.999);
+  const double pi_b = p / loss_in_bad_;
+  p_gb_ = pi_b >= 1.0 ? 1.0 : std::min(1.0, pi_b * p_bg_ / (1.0 - pi_b));
+}
+
+bool GilbertElliottLoss::in_bad_state() const {
+  std::lock_guard lk(mu_);
+  return bad_;
+}
+
+TraceLoss::TraceLoss(std::vector<bool> trace) : trace_(std::move(trace)) {
+  if (trace_.empty()) throw std::invalid_argument("TraceLoss: empty trace");
+}
+
+bool TraceLoss::drop(util::Rng&) {
+  std::lock_guard lk(mu_);
+  const bool d = trace_[pos_];
+  pos_ = (pos_ + 1) % trace_.size();
+  return d;
+}
+
+double TraceLoss::average_loss() const {
+  std::lock_guard lk(mu_);
+  std::size_t drops = 0;
+  for (bool d : trace_) drops += d;
+  return static_cast<double>(drops) / static_cast<double>(trace_.size());
+}
+
+}  // namespace rapidware::net

@@ -1,0 +1,96 @@
+// Packet-loss models for simulated channels.
+//
+// The evaluation needs both memoryless loss (calibration, sweeps) and the
+// bursty loss characteristic of wireless LANs, which the literature models
+// with the Gilbert-Elliott two-state chain. All models are thread-safe:
+// the wireless layer retunes loss rates while traffic flows (user mobility).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rapidware::net {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+
+  /// Returns true if the packet should be dropped.
+  virtual bool drop(util::Rng& rng) = 0;
+
+  /// Long-run average loss probability (for reporting).
+  virtual double average_loss() const = 0;
+
+  /// Retunes the model to a new average loss probability, preserving its
+  /// burst structure. Default: unsupported models ignore the call.
+  virtual void set_average_loss(double p) { (void)p; }
+};
+
+/// No loss at all.
+class PerfectChannel final : public LossModel {
+ public:
+  bool drop(util::Rng&) override { return false; }
+  double average_loss() const override { return 0.0; }
+};
+
+/// Independent (memoryless) loss with probability p.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p);
+
+  bool drop(util::Rng& rng) override;
+  double average_loss() const override;
+  void set_average_loss(double p) override;
+
+ private:
+  mutable std::mutex mu_;
+  double p_;
+};
+
+/// Gilbert-Elliott burst loss: a good state (lossless) and a bad state that
+/// drops packets with probability `loss_in_bad`. Transition probabilities
+/// control burst length; the stationary bad-state share times loss_in_bad
+/// gives the average loss.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  /// Direct parameterization.
+  GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good,
+                     double loss_in_bad);
+
+  /// Convenience: target average loss with a given mean burst length
+  /// (packets spent in the bad state per visit) and bad-state drop rate.
+  static std::unique_ptr<GilbertElliottLoss> with_average(
+      double average_loss, double mean_burst_len = 4.0,
+      double loss_in_bad = 0.75);
+
+  bool drop(util::Rng& rng) override;
+  double average_loss() const override;
+  void set_average_loss(double p) override;
+
+  bool in_bad_state() const;
+
+ private:
+  mutable std::mutex mu_;
+  double p_gb_, p_bg_, loss_in_bad_;
+  bool bad_ = false;
+};
+
+/// Replays a recorded loss trace (true = drop), looping at the end. Lets
+/// benches reproduce an exact loss pattern.
+class TraceLoss final : public LossModel {
+ public:
+  explicit TraceLoss(std::vector<bool> trace);
+
+  bool drop(util::Rng&) override;
+  double average_loss() const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<bool> trace_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rapidware::net

@@ -1,0 +1,211 @@
+#include "net/sim_network.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace rapidware::net {
+
+std::string Address::to_string() const {
+  if (is_multicast()) {
+    return "mc" + std::to_string(node - kMulticastBase) + ":" +
+           std::to_string(port);
+  }
+  return "n" + std::to_string(node) + ":" + std::to_string(port);
+}
+
+// ---------------------------------------------------------------------------
+// SimSocket
+
+SimSocket::SimSocket(SimNetwork* net, Address local)
+    : net_(net), local_(local) {}
+
+SimSocket::~SimSocket() { close(); }
+
+void SimSocket::send_to(const Address& dst, util::ByteSpan payload) {
+  {
+    std::lock_guard lk(mu_);
+    if (closed_) throw std::runtime_error("SimSocket::send_to: socket closed");
+    ++sent_;
+  }
+  net_->route(*this, dst, payload);
+}
+
+std::optional<Datagram> SimSocket::recv(int timeout_ms) {
+  std::unique_lock lk(mu_);
+  const auto ready = [&] { return closed_ || !queue_.empty(); };
+  if (timeout_ms < 0) {
+    cv_.wait(lk, ready);
+  } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms), ready)) {
+    return std::nullopt;
+  }
+  if (queue_.empty()) return std::nullopt;  // closed
+  Datagram d = std::move(queue_.front());
+  queue_.pop_front();
+  ++received_;
+  return d;
+}
+
+void SimSocket::join(const Address& group) { net_->join_group(group, this); }
+
+void SimSocket::leave(const Address& group) { net_->leave_group(group, this); }
+
+void SimSocket::close() {
+  {
+    std::lock_guard lk(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  net_->unbind(this);
+  cv_.notify_all();
+}
+
+bool SimSocket::is_closed() const {
+  std::lock_guard lk(mu_);
+  return closed_;
+}
+
+std::uint64_t SimSocket::packets_sent() const {
+  std::lock_guard lk(mu_);
+  return sent_;
+}
+
+std::uint64_t SimSocket::packets_received() const {
+  std::lock_guard lk(mu_);
+  return received_;
+}
+
+void SimSocket::enqueue(Datagram d) {
+  {
+    std::lock_guard lk(mu_);
+    if (closed_) return;
+    queue_.push_back(std::move(d));
+  }
+  cv_.notify_one();
+}
+
+// ---------------------------------------------------------------------------
+// SimNetwork
+
+SimNetwork::SimNetwork(std::shared_ptr<util::Clock> clock, std::uint64_t seed)
+    : clock_(clock ? std::move(clock) : std::make_shared<util::WallClock>()),
+      rng_(seed) {}
+
+NodeId SimNetwork::add_node(std::string name) {
+  std::lock_guard lk(mu_);
+  nodes_.push_back(std::move(name));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+const std::string& SimNetwork::node_name(NodeId id) const {
+  std::lock_guard lk(mu_);
+  return nodes_.at(id);
+}
+
+std::shared_ptr<SimSocket> SimNetwork::open(NodeId node, std::uint16_t port) {
+  std::lock_guard lk(mu_);
+  if (node >= nodes_.size()) {
+    throw std::invalid_argument("SimNetwork::open: unknown node");
+  }
+  if (port == 0) {
+    while (bound_.count(Address{node, next_ephemeral_}) != 0) ++next_ephemeral_;
+    port = next_ephemeral_++;
+  } else if (bound_.count(Address{node, port}) != 0) {
+    throw std::invalid_argument("SimNetwork::open: port in use");
+  }
+  const Address local{node, port};
+  auto socket = std::shared_ptr<SimSocket>(new SimSocket(this, local));
+  socket->self_ = socket;
+  bound_[local] = socket;
+  return socket;
+}
+
+void SimNetwork::set_channel(NodeId from, NodeId to, ChannelConfig config) {
+  std::lock_guard lk(mu_);
+  channels_[{from, to}] =
+      std::make_unique<Channel>(std::move(config), rng_.split());
+}
+
+Channel* SimNetwork::channel(NodeId from, NodeId to) {
+  std::lock_guard lk(mu_);
+  auto it = channels_.find({from, to});
+  return it == channels_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t SimNetwork::datagrams_routed() const {
+  std::lock_guard lk(mu_);
+  return routed_;
+}
+
+void SimNetwork::route(const SimSocket& from, const Address& dst,
+                       util::ByteSpan payload) {
+  Datagram d;
+  d.src = from.local();
+  d.dst = dst;
+  d.payload.assign(payload.begin(), payload.end());
+  d.sent_at = clock_->now();
+
+  // Snapshot receivers under the lock (pinned via shared_ptr); run channel
+  // models and enqueue outside it so slow receivers never serialize the
+  // whole fabric and a concurrently destroyed socket is simply skipped.
+  std::vector<std::pair<std::shared_ptr<SimSocket>, Channel*>> targets;
+  {
+    std::lock_guard lk(mu_);
+    ++routed_;
+    if (dst.is_multicast()) {
+      if (auto it = groups_.find(dst); it != groups_.end()) {
+        for (auto& [raw, weak] : it->second) {
+          if (raw == &from) continue;  // no loopback to the sender
+          auto s = weak.lock();
+          if (!s) continue;
+          auto ch = channels_.find({d.src.node, s->local().node});
+          targets.emplace_back(
+              std::move(s), ch == channels_.end() ? nullptr : ch->second.get());
+        }
+      }
+    } else if (auto it = bound_.find(dst); it != bound_.end()) {
+      if (auto s = it->second.lock()) {
+        auto ch = channels_.find({d.src.node, dst.node});
+        targets.emplace_back(
+            std::move(s), ch == channels_.end() ? nullptr : ch->second.get());
+      }
+    }
+  }
+
+  for (auto& [socket, channel] : targets) {
+    Datagram copy = d;
+    copy.deliver_at = d.sent_at;
+    if (channel != nullptr) {
+      const auto at = channel->transit(payload.size(), d.sent_at);
+      if (!at) continue;  // dropped
+      copy.deliver_at = *at;
+    }
+    socket->enqueue(std::move(copy));
+  }
+}
+
+void SimNetwork::join_group(const Address& group, SimSocket* socket) {
+  if (!group.is_multicast()) {
+    throw std::invalid_argument("SimSocket::join: not a multicast address");
+  }
+  std::lock_guard lk(mu_);
+  groups_[group][socket] = socket->self_;
+}
+
+void SimNetwork::leave_group(const Address& group, SimSocket* socket) {
+  std::lock_guard lk(mu_);
+  if (auto it = groups_.find(group); it != groups_.end()) {
+    it->second.erase(socket);
+    if (it->second.empty()) groups_.erase(it);
+  }
+}
+
+void SimNetwork::unbind(SimSocket* socket) {
+  std::lock_guard lk(mu_);
+  bound_.erase(socket->local());
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    it->second.erase(socket);
+    it = it->second.empty() ? groups_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace rapidware::net

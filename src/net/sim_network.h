@@ -1,0 +1,137 @@
+// In-process datagram network: UDP-flavoured sockets, IP-style multicast
+// groups, and per-directed-link channel models.
+//
+// This substrate replaces the paper's testbed LANs. Delivery is synchronous
+// (the sender's thread runs the channel model and enqueues at receivers),
+// which keeps tests and benchmarks deterministic; latency/bandwidth appear
+// as *modeled* timestamps on each datagram (`deliver_at`), which receivers
+// use for jitter and throughput accounting.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+#include "net/link.h"
+#include "util/bytes.h"
+#include "util/clock.h"
+
+namespace rapidware::net {
+
+struct Datagram {
+  Address src;
+  Address dst;
+  util::Bytes payload;
+  util::Micros sent_at = 0;     // modeled send time
+  util::Micros deliver_at = 0;  // modeled arrival time (>= sent_at)
+};
+
+class SimNetwork;
+
+/// A bound datagram socket. Thread-safe; receive blocks with an optional
+/// timeout. Obtain via SimNetwork::open().
+class SimSocket {
+ public:
+  ~SimSocket();
+
+  SimSocket(const SimSocket&) = delete;
+  SimSocket& operator=(const SimSocket&) = delete;
+
+  const Address& local() const noexcept { return local_; }
+
+  /// Sends one datagram (unicast or multicast destination).
+  void send_to(const Address& dst, util::ByteSpan payload);
+
+  /// Blocks for the next datagram; `timeout_ms` < 0 waits forever. Returns
+  /// nullopt on timeout or once the socket is closed and drained.
+  std::optional<Datagram> recv(int timeout_ms = -1);
+
+  /// Joins/leaves a multicast group.
+  void join(const Address& group);
+  void leave(const Address& group);
+
+  /// Unblocks receivers and detaches from the network. Idempotent.
+  void close();
+
+  bool is_closed() const;
+
+  std::uint64_t packets_sent() const;
+  std::uint64_t packets_received() const;
+
+ private:
+  friend class SimNetwork;
+  SimSocket(SimNetwork* net, Address local);
+
+  void enqueue(Datagram d);
+
+  SimNetwork* net_;
+  const Address local_;
+  std::weak_ptr<SimSocket> self_;  // set by SimNetwork::open
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Datagram> queue_;
+  bool closed_ = false;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+class SimNetwork {
+ public:
+  /// The clock drives modeled timestamps; pass a SimClock for virtual-time
+  /// experiments or nothing for wall time.
+  explicit SimNetwork(std::shared_ptr<util::Clock> clock = nullptr,
+                      std::uint64_t seed = 1);
+
+  /// Registers a node; returns its id.
+  NodeId add_node(std::string name);
+  const std::string& node_name(NodeId id) const;
+
+  /// Binds a socket on `node`. Port 0 picks an unused ephemeral port.
+  /// Throws std::invalid_argument for unknown nodes or ports in use.
+  std::shared_ptr<SimSocket> open(NodeId node, std::uint16_t port = 0);
+
+  /// Installs a channel model on the directed link from -> to. Without one,
+  /// delivery is instant and lossless.
+  void set_channel(NodeId from, NodeId to, ChannelConfig config);
+
+  /// The channel on from -> to, or nullptr.
+  Channel* channel(NodeId from, NodeId to);
+
+  util::Micros now() const { return clock_->now(); }
+  util::Clock& clock() { return *clock_; }
+
+  std::uint64_t datagrams_routed() const;
+
+ private:
+  friend class SimSocket;
+  void route(const SimSocket& from, const Address& dst,
+             util::ByteSpan payload);
+  void deliver(const Datagram& d, NodeId dst_node, SimSocket* socket);
+  void join_group(const Address& group, SimSocket* socket);
+  void leave_group(const Address& group, SimSocket* socket);
+  void unbind(SimSocket* socket);
+
+  std::shared_ptr<util::Clock> clock_;
+
+  mutable std::mutex mu_;
+  util::Rng rng_;
+  std::vector<std::string> nodes_;
+  // weak_ptr registries: routing pins sockets alive for the duration of a
+  // delivery, so a socket destroyed mid-route is skipped, never dangling.
+  std::map<Address, std::weak_ptr<SimSocket>> bound_;
+  std::map<Address, std::map<SimSocket*, std::weak_ptr<SimSocket>>> groups_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Channel>> channels_;
+  std::uint16_t next_ephemeral_ = 50'000;
+  std::uint64_t routed_ = 0;
+};
+
+}  // namespace rapidware::net

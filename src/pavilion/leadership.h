@@ -1,0 +1,94 @@
+// Pavilion's leadership protocol (Section 2, Figure 1): session floor
+// control. One participant holds the floor (the "leader"); others send a
+// Request, the leader Grants to exactly one of them, and a NewLeader
+// announcement (with a sequence number) tells every participant who drives
+// the session now.
+//
+// The protocol runs over the control port of each participant and a
+// session-wide multicast group for announcements. It tolerates lost
+// announcements by sequencing: a participant accepts any announcement with
+// a newer sequence number.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "net/sim_network.h"
+#include "util/bytes.h"
+
+namespace rapidware::pavilion {
+
+enum class FloorMsg : std::uint8_t {
+  kRequest = 1,   // member -> leader: may I lead?
+  kGrant = 2,     // leader -> member: you lead now
+  kNewLeader = 3, // multicast: leader change announcement (seq, who)
+};
+
+struct FloorMessage {
+  FloorMsg type = FloorMsg::kRequest;
+  std::string member;       // requester / new leader name
+  net::Address reply_to{};  // where the requester listens
+  std::uint64_t seq = 0;    // for kNewLeader
+
+  util::Bytes serialize() const;
+  static FloorMessage parse(util::ByteSpan wire);
+
+  bool operator==(const FloorMessage&) const = default;
+};
+
+/// One participant's view of the floor-control protocol.
+class FloorControl {
+ public:
+  /// `control` is this member's bound control socket; `announce` the
+  /// session's announcement multicast group (joined by this constructor).
+  FloorControl(std::string member, std::shared_ptr<net::SimSocket> control,
+               net::Address announce_group, bool initial_leader = false);
+  ~FloorControl();
+
+  FloorControl(const FloorControl&) = delete;
+  FloorControl& operator=(const FloorControl&) = delete;
+
+  void start();
+  void stop();
+
+  /// Asks the current leader for the floor. Returns true when granted (the
+  /// grant arrives and this member announces itself as the new leader);
+  /// false on timeout.
+  bool request_floor(net::Address leader_control, int timeout_ms = 2000);
+
+  bool is_leader() const;
+  std::string current_leader() const;
+  std::uint64_t leadership_seq() const;
+
+  /// Invoked (from the service thread) whenever leadership changes.
+  void set_on_leader_change(std::function<void(const std::string&)> cb);
+
+  /// Policy hook: should an incoming request be granted? Default: yes.
+  void set_grant_policy(std::function<bool(const std::string&)> policy);
+
+ private:
+  void service_loop();
+  void announce_leadership(std::uint64_t seq);
+
+  std::string member_;
+  std::shared_ptr<net::SimSocket> control_;
+  net::Address announce_group_;
+
+  mutable std::mutex mu_;
+  bool leader_;
+  std::string current_leader_;
+  std::uint64_t seq_ = 0;
+  std::function<void(const std::string&)> on_change_;
+  std::function<bool(const std::string&)> grant_policy_;
+  std::optional<FloorMessage> pending_grant_;
+  std::condition_variable grant_cv_;
+  std::thread thread_;
+  bool running_ = false;
+};
+
+}  // namespace rapidware::pavilion

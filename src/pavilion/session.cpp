@@ -1,0 +1,162 @@
+#include "pavilion/session.h"
+
+#include "util/logging.h"
+#include "util/serial.h"
+
+namespace rapidware::pavilion {
+
+SessionMember::SessionMember(std::string name, net::SimNetwork& net,
+                             net::NodeId node, SessionGroups groups,
+                             WebServer* web, bool initial_leader,
+                             std::shared_ptr<net::SimSocket> content_socket)
+    : name_(std::move(name)),
+      net_(net),
+      groups_(groups),
+      web_(web),
+      floor_socket_(net.open(node)),
+      data_socket_(net.open(node)),
+      content_socket_(std::move(content_socket)),
+      floor_(name_, floor_socket_, groups.floor, initial_leader) {
+  // A proxy-fed member hears the session only through its proxy (Figure
+  // 2): everything a wired member would take from the data group arrives
+  // relayed on the content socket instead.
+  if (!content_socket_) data_socket_->join(groups_.data);
+}
+
+SessionMember::~SessionMember() { stop(); }
+
+void SessionMember::start() {
+  {
+    std::lock_guard lk(mu_);
+    if (running_) return;
+    running_ = true;
+  }
+  floor_.start();
+  if (content_socket_) {
+    content_thread_ = std::thread([this] { content_loop(); });
+  } else {
+    data_thread_ = std::thread([this] { data_loop(); });
+  }
+}
+
+void SessionMember::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  floor_.stop();
+  data_socket_->close();
+  if (content_socket_) content_socket_->close();
+  if (data_thread_.joinable()) data_thread_.join();
+  if (content_thread_.joinable()) content_thread_.join();
+}
+
+bool SessionMember::navigate(const std::string& url,
+                             const std::vector<std::string>& assets) {
+  if (!floor_.is_leader()) return false;
+  const auto main = web_->get(url);
+  if (!main) return false;
+
+  // Figure 1: the browser interface multicasts the URL request; the
+  // leader's proxy multicasts contents as they are retrieved.
+  util::Writer announce;
+  announce.u8(static_cast<std::uint8_t>(SessionMsg::kUrlAnnounce));
+  announce.str(url);
+  data_socket_->send_to(groups_.data, announce.bytes());
+
+  auto publish = [&](const std::string& resource_url,
+                     const WebResource& resource) {
+    ResourcePacket packet{resource_url, resource.content_type, resource.body};
+    util::Writer w;
+    w.u8(static_cast<std::uint8_t>(SessionMsg::kResource));
+    w.raw(packet.serialize());
+    data_socket_->send_to(groups_.data, w.bytes());
+  };
+  publish(url, *main);
+  // The leader sees its own navigation immediately (no multicast loopback).
+  handle_message([&] {
+    util::Writer w;
+    w.u8(static_cast<std::uint8_t>(SessionMsg::kResource));
+    w.raw(ResourcePacket{url, main->content_type, main->body}.serialize());
+    return w.take();
+  }());
+  for (const auto& asset : assets) {
+    if (const auto body = web_->get(asset)) publish(asset, *body);
+  }
+  return true;
+}
+
+void SessionMember::data_loop() {
+  for (;;) {
+    auto d = data_socket_->recv(-1);
+    if (!d) break;
+    handle_message(d->payload);
+  }
+}
+
+void SessionMember::content_loop() {
+  // Proxy-fed path: the RAPIDware proxy delivers (possibly transcoded or
+  // cache-compacted) resource packets over unicast.
+  for (;;) {
+    auto d = content_socket_->recv(-1);
+    if (!d) break;
+    handle_message(d->payload);
+  }
+}
+
+void SessionMember::handle_message(util::ByteSpan payload) {
+  try {
+    util::Reader r(payload);
+    const auto kind = static_cast<SessionMsg>(r.u8());
+    if (kind == SessionMsg::kUrlAnnounce) {
+      const std::string url = r.str();
+      std::lock_guard lk(mu_);
+      urls_.push_back(url);
+      cv_.notify_all();
+      return;
+    }
+    if (kind == SessionMsg::kResource) {
+      const ResourcePacket packet = ResourcePacket::parse(
+          util::ByteSpan(payload.data() + 1, payload.size() - 1));
+      std::lock_guard lk(mu_);
+      bytes_ += packet.body.size();
+      pages_[packet.url] = WebResource{packet.content_type, packet.body};
+      cv_.notify_all();
+      return;
+    }
+    RW_WARN(name_) << "unknown session message kind";
+  } catch (const std::exception& e) {
+    RW_WARN(name_) << "bad session message: " << e.what();
+  }
+}
+
+std::vector<std::string> SessionMember::urls_seen() const {
+  std::lock_guard lk(mu_);
+  return urls_;
+}
+
+std::optional<WebResource> SessionMember::page(const std::string& url) const {
+  std::lock_guard lk(mu_);
+  auto it = pages_.find(url);
+  if (it == pages_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t SessionMember::resources_received() const {
+  std::lock_guard lk(mu_);
+  return pages_.size();
+}
+
+std::uint64_t SessionMember::bytes_received() const {
+  std::lock_guard lk(mu_);
+  return bytes_;
+}
+
+bool SessionMember::wait_for_page(const std::string& url, int timeout_ms) {
+  std::unique_lock lk(mu_);
+  return cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                      [&] { return pages_.count(url) != 0; });
+}
+
+}  // namespace rapidware::pavilion

@@ -1,0 +1,105 @@
+// Collaborative browsing session — Pavilion's default mode (Section 2,
+// Figure 1). The leader's browser interface multicasts URL announcements;
+// the leader's HTTP proxy fetches each resource and multicasts the
+// contents; member browser interfaces render what arrives. Floor control
+// decides who leads (leadership.h).
+//
+// A member normally joins the session's multicast groups directly (wired
+// hosts); a resource-limited member may instead receive contents through a
+// RAPIDware proxy chain by passing its own content-delivery socket.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pavilion/leadership.h"
+#include "pavilion/web.h"
+
+namespace rapidware::pavilion {
+
+/// The session's multicast groups.
+struct SessionGroups {
+  net::Address floor;     // leadership announcements
+  net::Address data;      // URL announcements + resource contents
+
+  /// Conventional layout: floor on group index `base`, data on `base + 1`.
+  static SessionGroups standard(std::uint32_t base = 100) {
+    return {net::multicast_group(base, 4100),
+            net::multicast_group(base + 1, 4200)};
+  }
+};
+
+enum class SessionMsg : std::uint8_t {
+  kUrlAnnounce = 1,
+  kResource = 2,
+};
+
+class SessionMember {
+ public:
+  /// `web` is the origin-server fabric the leader fetches from (shared by
+  /// all members; only the leader uses it). If `content_socket` is given,
+  /// resource contents are read from it instead of the data group — the
+  /// hook for proxy-fed wireless members.
+  SessionMember(std::string name, net::SimNetwork& net, net::NodeId node,
+                SessionGroups groups, WebServer* web,
+                bool initial_leader = false,
+                std::shared_ptr<net::SimSocket> content_socket = nullptr);
+  ~SessionMember();
+
+  SessionMember(const SessionMember&) = delete;
+  SessionMember& operator=(const SessionMember&) = delete;
+
+  void start();
+  void stop();
+
+  const std::string& name() const noexcept { return name_; }
+  FloorControl& floor() { return floor_; }
+  net::Address control_address() const { return floor_socket_->local(); }
+
+  /// Leader-only: announce the URL, fetch it (plus `assets`), and
+  /// multicast the contents. Returns false if this member does not hold
+  /// the floor or the main resource does not exist.
+  bool navigate(const std::string& url,
+                const std::vector<std::string>& assets = {});
+
+  /// Member-side browsing state.
+  std::vector<std::string> urls_seen() const;
+  std::optional<WebResource> page(const std::string& url) const;
+  std::size_t resources_received() const;
+  std::uint64_t bytes_received() const;
+
+  /// Blocks until a resource body for `url` has arrived.
+  bool wait_for_page(const std::string& url, int timeout_ms = 5000);
+
+ private:
+  void data_loop();
+  void content_loop();
+  void handle_message(util::ByteSpan payload);
+
+  std::string name_;
+  net::SimNetwork& net_;
+  SessionGroups groups_;
+  WebServer* web_;
+
+  std::shared_ptr<net::SimSocket> floor_socket_;
+  std::shared_ptr<net::SimSocket> data_socket_;
+  std::shared_ptr<net::SimSocket> content_socket_;  // optional proxy feed
+  FloorControl floor_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::string> urls_;
+  std::map<std::string, WebResource> pages_;
+  std::uint64_t bytes_ = 0;
+  std::thread data_thread_;
+  std::thread content_thread_;
+  bool running_ = false;
+};
+
+}  // namespace rapidware::pavilion

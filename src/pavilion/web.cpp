@@ -1,0 +1,70 @@
+#include "pavilion/web.h"
+
+#include "util/serial.h"
+
+namespace rapidware::pavilion {
+
+WebServer::WebServer(std::uint64_t seed) : rng_(seed) {}
+
+void WebServer::put(const std::string& url, WebResource resource) {
+  std::lock_guard lk(mu_);
+  content_[url] = std::move(resource);
+}
+
+std::optional<WebResource> WebServer::get(const std::string& url) {
+  std::lock_guard lk(mu_);
+  ++requests_;
+  if (auto it = content_.find(url); it != content_.end()) return it->second;
+  if (url.size() >= 5 && url.substr(url.size() - 5) == ".html") {
+    WebResource page = synthesize_page(url);
+    content_[url] = page;  // stable across repeat fetches
+    return page;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t WebServer::requests() const {
+  std::lock_guard lk(mu_);
+  return requests_;
+}
+
+WebResource WebServer::synthesize_page(const std::string& url) {
+  // Deterministic pseudo-HTML: repetitive structure (compressible, like
+  // real markup) with a sprinkle of unique content.
+  std::string html = "<html><head><title>" + url + "</title>";
+  html += "<link rel=stylesheet href=/style.css></head><body>";
+  const int paragraphs = 3 + static_cast<int>(rng_.next_below(6));
+  for (int p = 0; p < paragraphs; ++p) {
+    html += "<p class=\"body-text\">";
+    const int words = 30 + static_cast<int>(rng_.next_below(40));
+    for (int w = 0; w < words; ++w) {
+      static const char* kWords[] = {"adaptive", "middleware", "proxy",
+                                     "stream",   "wireless",  "filter",
+                                     "mobile",   "session",   "composable"};
+      html += kWords[rng_.next_below(std::size(kWords))];
+      html += ' ';
+    }
+    html += "</p>";
+  }
+  html += "<img src=/logo.png></body></html>";
+  return WebResource{"text/html", util::to_bytes(html)};
+}
+
+util::Bytes ResourcePacket::serialize() const {
+  util::Writer w;
+  w.str(url);
+  w.str(content_type);
+  w.blob(body);
+  return w.take();
+}
+
+ResourcePacket ResourcePacket::parse(util::ByteSpan wire) {
+  util::Reader r(wire);
+  ResourcePacket p;
+  p.url = r.str();
+  p.content_type = r.str();
+  p.body = r.blob();
+  return p;
+}
+
+}  // namespace rapidware::pavilion

@@ -1,0 +1,63 @@
+// Simulated web: origin servers with URL -> resource bodies and an HTTP
+// proxy fetcher. Pavilion's default mode is collaborative web browsing
+// (Section 2, Figure 1): the leader's proxy GETs each resource and
+// multicasts the contents to the group. This substrate provides the GET.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace rapidware::pavilion {
+
+struct WebResource {
+  std::string content_type;
+  util::Bytes body;
+
+  bool operator==(const WebResource&) const = default;
+};
+
+/// In-process origin server: a URL-keyed content store with deterministic
+/// synthetic page generation for URLs that were never explicitly published.
+class WebServer {
+ public:
+  explicit WebServer(std::uint64_t seed = 2001);
+
+  /// Publishes a resource at a URL.
+  void put(const std::string& url, WebResource resource);
+
+  /// Fetches a resource. Unknown ".html" URLs are synthesized (a page of
+  /// deterministic pseudo-markup referencing shared assets) so that
+  /// arbitrary browsing sessions work out of the box; other unknown URLs
+  /// return nullopt (a 404).
+  std::optional<WebResource> get(const std::string& url);
+
+  std::uint64_t requests() const;
+
+ private:
+  WebResource synthesize_page(const std::string& url);
+
+  mutable std::mutex mu_;
+  std::map<std::string, WebResource> content_;
+  util::Rng rng_;
+  std::uint64_t requests_ = 0;
+};
+
+/// The wire form of a multicast resource announcement: URL + content.
+struct ResourcePacket {
+  std::string url;
+  std::string content_type;
+  util::Bytes body;
+
+  util::Bytes serialize() const;
+  static ResourcePacket parse(util::ByteSpan wire);
+
+  bool operator==(const ResourcePacket&) const = default;
+};
+
+}  // namespace rapidware::pavilion

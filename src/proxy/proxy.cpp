@@ -1,0 +1,85 @@
+#include "proxy/proxy.h"
+
+#include <stdexcept>
+
+#include "proxy/socket_endpoints.h"
+#include "util/logging.h"
+
+namespace rapidware::proxy {
+
+Proxy::Proxy(net::SimNetwork& net, net::NodeId node, ProxyConfig config,
+             core::FilterRegistry* registry)
+    : net_(net), node_(node), config_(std::move(config)) {
+  ingress_ = net_.open(node_, config_.ingress_port);
+  if (config_.ingress_group) ingress_->join(*config_.ingress_group);
+  egress_ = net_.open(node_);
+  control_socket_ = net_.open(node_, config_.control_port);
+
+  auto endpoints = make_socket_endpoints(ingress_, egress_, config_.egress_dst);
+  egress_sink_ = endpoints.sink;
+  chain_ = std::make_shared<core::FilterChain>(std::move(endpoints.head),
+                                               std::move(endpoints.tail));
+  control_server_ = std::make_unique<core::ControlServer>(chain_, registry);
+}
+
+Proxy::~Proxy() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Best-effort teardown.
+  }
+}
+
+void Proxy::start() {
+  if (started_) throw std::runtime_error("Proxy::start: already started");
+  started_ = true;
+  chain_->start();
+  control_thread_ = std::thread([this] { control_loop(); });
+}
+
+void Proxy::shutdown() {
+  if (!started_) return;
+  started_ = false;
+  control_socket_->close();
+  if (control_thread_.joinable()) control_thread_.join();
+  chain_->shutdown();
+}
+
+void Proxy::retarget_egress(net::Address dst) {
+  egress_sink_->set_destination(dst);
+}
+
+net::Address Proxy::egress_destination() const {
+  return egress_sink_->destination();
+}
+
+void Proxy::control_loop() {
+  for (;;) {
+    auto request = control_socket_->recv(-1);
+    if (!request) break;  // socket closed: shutting down
+    const util::Bytes response = control_server_->handle(request->payload);
+    try {
+      control_socket_->send_to(request->src, response);
+    } catch (const std::exception& e) {
+      RW_WARN(config_.name) << "control reply failed: " << e.what();
+      break;
+    }
+  }
+}
+
+core::ControlManager::Transport network_control_transport(
+    net::SimNetwork& net, net::NodeId client_node, net::Address control_addr,
+    int timeout_ms) {
+  auto socket = net.open(client_node);
+  return [socket = std::move(socket), control_addr,
+          timeout_ms](util::ByteSpan request) -> util::Bytes {
+    socket->send_to(control_addr, request);
+    auto response = socket->recv(timeout_ms);
+    if (!response) {
+      throw core::ControlError("control request timed out");
+    }
+    return std::move(response->payload);
+  };
+}
+
+}  // namespace rapidware::proxy

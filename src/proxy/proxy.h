@@ -1,0 +1,85 @@
+// Proxy assembly: one data stream (ingress socket -> filter chain -> egress
+// destination) plus a control service answering ControlManager requests
+// over the network — the full RAPIDware proxy of Figure 4, including the
+// remote-administration path the paper's Swing ControlManager used.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "core/control.h"
+#include "core/filter_chain.h"
+#include "net/sim_network.h"
+#include "proxy/socket_endpoints.h"
+
+namespace rapidware::proxy {
+
+struct ProxyConfig {
+  std::string name = "proxy";
+  /// Port the proxy's data ingress binds on its node.
+  std::uint16_t ingress_port = 4000;
+  /// Multicast group the ingress joins (nullopt: plain unicast ingress).
+  std::optional<net::Address> ingress_group;
+  /// Where processed packets are sent (unicast address or multicast group).
+  net::Address egress_dst;
+  /// Port of the control service on the proxy's node.
+  std::uint16_t control_port = 4999;
+};
+
+class Proxy {
+ public:
+  Proxy(net::SimNetwork& net, net::NodeId node, ProxyConfig config,
+        core::FilterRegistry* registry = &core::global_registry());
+  ~Proxy();
+
+  Proxy(const Proxy&) = delete;
+  Proxy& operator=(const Proxy&) = delete;
+
+  /// Starts the data chain (as a null proxy) and the control service.
+  void start();
+
+  /// Stops the control service, drains and stops the chain.
+  void shutdown();
+
+  core::FilterChain& chain() { return *chain_; }
+  std::shared_ptr<core::FilterChain> chain_ptr() { return chain_; }
+
+  /// Redirects the data egress to a new destination — device handoff: the
+  /// stream follows the user from laptop to palmtop without restarting the
+  /// chain (pair with a transcode insertion for the weaker device).
+  void retarget_egress(net::Address dst);
+  net::Address egress_destination() const;
+
+  net::NodeId node() const noexcept { return node_; }
+  net::Address control_address() const {
+    return {node_, config_.control_port};
+  }
+  const std::string& name() const noexcept { return config_.name; }
+
+ private:
+  void control_loop();
+
+  net::SimNetwork& net_;
+  net::NodeId node_;
+  ProxyConfig config_;
+
+  std::shared_ptr<net::SimSocket> ingress_;
+  std::shared_ptr<net::SimSocket> egress_;
+  std::shared_ptr<net::SimSocket> control_socket_;
+  std::shared_ptr<SocketPacketSink> egress_sink_;
+  std::shared_ptr<core::FilterChain> chain_;
+  std::unique_ptr<core::ControlServer> control_server_;
+  std::thread control_thread_;
+  bool started_ = false;
+};
+
+/// ControlManager transport that performs datagram request/response against
+/// a proxy's control service. Each client instance owns one ephemeral
+/// socket on `client_node`.
+core::ControlManager::Transport network_control_transport(
+    net::SimNetwork& net, net::NodeId client_node, net::Address control_addr,
+    int timeout_ms = 2000);
+
+}  // namespace rapidware::proxy

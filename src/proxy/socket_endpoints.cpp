@@ -1,0 +1,57 @@
+#include "proxy/socket_endpoints.h"
+
+namespace rapidware::proxy {
+
+SocketPacketSource::SocketPacketSource(std::shared_ptr<net::SimSocket> socket)
+    : socket_(std::move(socket)) {}
+
+std::optional<util::Bytes> SocketPacketSource::next_packet() {
+  // Poll with a short timeout so interrupt() takes effect promptly even
+  // when the stream is idle; socket close also unblocks immediately.
+  while (!interrupted_.load(std::memory_order_acquire)) {
+    auto datagram = socket_->recv(50);
+    if (datagram) return std::move(datagram->payload);
+    if (socket_->is_closed()) break;  // closed elsewhere, not just idle
+  }
+  return std::nullopt;
+}
+
+void SocketPacketSource::interrupt() {
+  interrupted_.store(true, std::memory_order_release);
+  socket_->close();
+}
+
+SocketPacketSink::SocketPacketSink(std::shared_ptr<net::SimSocket> socket,
+                                   net::Address dst)
+    : socket_(std::move(socket)), dst_(dst) {}
+
+void SocketPacketSink::deliver(util::ByteSpan packet) {
+  net::Address dst;
+  {
+    std::lock_guard lk(mu_);
+    dst = dst_;
+  }
+  socket_->send_to(dst, packet);
+}
+
+void SocketPacketSink::set_destination(net::Address dst) {
+  std::lock_guard lk(mu_);
+  dst_ = dst;
+}
+
+net::Address SocketPacketSink::destination() const {
+  std::lock_guard lk(mu_);
+  return dst_;
+}
+
+SocketEndpoints make_socket_endpoints(std::shared_ptr<net::SimSocket> in,
+                                      std::shared_ptr<net::SimSocket> out,
+                                      net::Address out_dst) {
+  auto sink = std::make_shared<SocketPacketSink>(std::move(out), out_dst);
+  auto head = std::make_shared<core::PacketReaderEndpoint>(
+      "socket-in", std::make_shared<SocketPacketSource>(std::move(in)));
+  auto tail = std::make_shared<core::PacketWriterEndpoint>("socket-out", sink);
+  return {std::move(head), std::move(tail), std::move(sink)};
+}
+
+}  // namespace rapidware::proxy

@@ -1,0 +1,31 @@
+#include "raplets/adaptation_manager.h"
+
+#include <stdexcept>
+
+namespace rapidware::raplets {
+
+AdaptationManager::AdaptationManager(std::shared_ptr<Observer> observer,
+                                     std::shared_ptr<Responder> responder)
+    : observer_(std::move(observer)), responder_(std::move(responder)) {
+  if (!observer_ || !responder_) {
+    throw std::invalid_argument("AdaptationManager: null observer/responder");
+  }
+  observer_->set_sink(
+      [responder = responder_](const Event& e) { responder->on_event(e); });
+}
+
+AdaptationManager::~AdaptationManager() { stop(); }
+
+void AdaptationManager::start() {
+  if (running_) return;
+  running_ = true;
+  observer_->start();
+}
+
+void AdaptationManager::stop() {
+  if (!running_) return;
+  running_ = false;
+  observer_->stop();
+}
+
+}  // namespace rapidware::raplets

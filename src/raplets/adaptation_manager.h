@@ -1,0 +1,34 @@
+// AdaptationManager: owns an observer/responder pair and their wiring —
+// the minimal RAPIDware control loop of Figure 2 for one adaptation
+// concern. Keeping the wiring in one object makes tear-down ordering
+// (stop observer before destroying the responder) automatic.
+#pragma once
+
+#include <memory>
+
+#include "raplets/raplet.h"
+
+namespace rapidware::raplets {
+
+class AdaptationManager {
+ public:
+  AdaptationManager(std::shared_ptr<Observer> observer,
+                    std::shared_ptr<Responder> responder);
+  ~AdaptationManager();
+
+  AdaptationManager(const AdaptationManager&) = delete;
+  AdaptationManager& operator=(const AdaptationManager&) = delete;
+
+  void start();
+  void stop();
+
+  Observer& observer() { return *observer_; }
+  Responder& responder() { return *responder_; }
+
+ private:
+  std::shared_ptr<Observer> observer_;
+  std::shared_ptr<Responder> responder_;
+  bool running_ = false;
+};
+
+}  // namespace rapidware::raplets

@@ -1,0 +1,94 @@
+#include "raplets/fec_responder.h"
+
+#include "util/logging.h"
+
+namespace rapidware::raplets {
+
+FecResponder::FecResponder(core::ControlManager encoder_side,
+                           std::optional<core::ControlManager> decoder_side,
+                           FecResponderConfig config)
+    : encoder_side_(std::move(encoder_side)),
+      decoder_side_(std::move(decoder_side)),
+      config_(config) {
+  if (config_.remove_threshold > config_.insert_threshold) {
+    throw std::invalid_argument(
+        "FecResponder: remove threshold must not exceed insert threshold");
+  }
+}
+
+void FecResponder::on_event(const Event& event) {
+  if (event.type != "loss-rate") return;
+  std::lock_guard lk(mu_);
+  if (ever_changed_ && event.at - last_change_ < config_.cooldown_us) return;
+  if (!active_ && event.value >= config_.insert_threshold) {
+    activate(event);
+  } else if (active_ && event.value <= config_.remove_threshold) {
+    deactivate(event);
+  }
+}
+
+void FecResponder::activate(const Event& event) {
+  try {
+    // Decoder first: every FEC-framed packet must find a decoder downstream.
+    if (decoder_side_) {
+      decoder_side_->insert({"fec-decode", {}}, config_.decoder_pos);
+    }
+    encoder_side_.insert({"fec-encode",
+                          {{"n", std::to_string(config_.n)},
+                           {"k", std::to_string(config_.k)}}},
+                         config_.encoder_pos);
+  } catch (const std::exception& e) {
+    RW_WARN("fec-responder") << "activate failed: " << e.what();
+    return;
+  }
+  active_ = true;
+  ever_changed_ = true;
+  last_change_ = event.at;
+  history_.push_back({event.at, true, event.value});
+  RW_INFO("fec-responder") << "inserted FEC(" << config_.n << ","
+                           << config_.k << ") at loss " << event.value;
+}
+
+void FecResponder::deactivate(const Event& event) {
+  try {
+    // Encoder first, so no new FEC frames enter the pipe; the decoder (if
+    // we manage one) drains in pass-through mode before removal.
+    if (const auto pos = find_filter(encoder_side_, "fec-encode")) {
+      encoder_side_.remove(*pos);
+    }
+    if (decoder_side_) {
+      if (const auto pos = find_filter(*decoder_side_, "fec-decode")) {
+        decoder_side_->remove(*pos);
+      }
+    }
+  } catch (const std::exception& e) {
+    RW_WARN("fec-responder") << "deactivate failed: " << e.what();
+    return;
+  }
+  active_ = false;
+  ever_changed_ = true;
+  last_change_ = event.at;
+  history_.push_back({event.at, false, event.value});
+  RW_INFO("fec-responder") << "removed FEC at loss " << event.value;
+}
+
+std::optional<std::size_t> FecResponder::find_filter(
+    core::ControlManager& manager, const std::string& name) {
+  const auto infos = manager.list_chain();
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    if (infos[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+bool FecResponder::fec_active() const {
+  std::lock_guard lk(mu_);
+  return active_;
+}
+
+std::vector<FecResponder::Action> FecResponder::history() const {
+  std::lock_guard lk(mu_);
+  return history_;
+}
+
+}  // namespace rapidware::raplets

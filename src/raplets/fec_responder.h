@@ -1,0 +1,71 @@
+// FEC responder raplet: demand-driven forward error correction.
+//
+// Reacts to "loss-rate" events by inserting an FEC encoder into the
+// sender-side proxy (and a decoder into the receiver-side chain) when loss
+// crosses a threshold, and removing them again when the link recovers —
+// exactly the scenario of Section 3: "When losses rise above a given level,
+// the RAPIDware system should insert an FEC filter into the video stream"
+// without disturbing the connection. Hysteresis plus a cooldown keeps the
+// responder from flapping on bursty channels.
+#pragma once
+
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/control.h"
+#include "raplets/raplet.h"
+#include "util/clock.h"
+
+namespace rapidware::raplets {
+
+struct FecResponderConfig {
+  double insert_threshold = 0.01;   // smoothed loss to switch FEC on
+  double remove_threshold = 0.002;  // smoothed loss to switch FEC off
+  std::size_t n = 6;                // the paper's FEC(6,4)
+  std::size_t k = 4;
+  util::Micros cooldown_us = 2'000'000;  // min gap between reconfigurations
+  std::size_t encoder_pos = 0;      // chain position for the encoder
+  std::size_t decoder_pos = 0;      // chain position for the decoder
+};
+
+class FecResponder final : public Responder {
+ public:
+  /// `encoder_side` manages the proxy before the lossy hop. The optional
+  /// `decoder_side` manages the receiver-side chain; without it the
+  /// receiver is assumed to keep a permanent pass-through-capable decoder.
+  FecResponder(core::ControlManager encoder_side,
+               std::optional<core::ControlManager> decoder_side,
+               FecResponderConfig config = {});
+
+  void on_event(const Event& event) override;
+
+  bool fec_active() const;
+
+  struct Action {
+    util::Micros at;
+    bool inserted;  // true = FEC switched on, false = switched off
+    double loss;    // smoothed loss that triggered the change
+  };
+  std::vector<Action> history() const;
+
+ private:
+  void activate(const Event& event);
+  void deactivate(const Event& event);
+  /// Position of the named filter in a chain listing, or nullopt.
+  static std::optional<std::size_t> find_filter(
+      core::ControlManager& manager, const std::string& name);
+
+  core::ControlManager encoder_side_;
+  std::optional<core::ControlManager> decoder_side_;
+  FecResponderConfig config_;
+
+  mutable std::mutex mu_;
+  bool active_ = false;
+  bool ever_changed_ = false;
+  util::Micros last_change_ = 0;
+  std::vector<Action> history_;
+};
+
+}  // namespace rapidware::raplets

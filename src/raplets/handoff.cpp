@@ -1,0 +1,80 @@
+#include "raplets/handoff.h"
+
+#include "util/logging.h"
+
+namespace rapidware::raplets {
+
+HandoffCoordinator::HandoffCoordinator(proxy::Proxy& proxy,
+                                       core::ControlManager manager)
+    : proxy_(proxy), manager_(std::move(manager)) {}
+
+void HandoffCoordinator::register_device(DeviceProfile profile) {
+  std::lock_guard lk(mu_);
+  devices_[profile.name] = std::move(profile);
+}
+
+int HandoffCoordinator::reduction_for(double stream_bps, double budget_bps) {
+  for (const int reduction : {1, 2, 4}) {
+    if (stream_bps / reduction <= budget_bps) return reduction;
+  }
+  return 4;
+}
+
+std::optional<std::size_t> HandoffCoordinator::find_filter(
+    const std::string& name) {
+  const auto infos = manager_.list_chain();
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    if (infos[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+void HandoffCoordinator::handoff_to(const std::string& device,
+                                    double stream_bps) {
+  std::lock_guard lk(mu_);
+  const DeviceProfile& profile = devices_.at(device);
+
+  // 1. Reshape the chain FIRST, so the new device never sees packets in a
+  // format it cannot afford. Transcode: insert, retune, or remove.
+  const int reduction = reduction_for(stream_bps, profile.link_budget_bps);
+  const std::string mode = reduction == 4 ? "mono+half" : "mono";
+  if (const auto pos = find_filter("audio-transcode")) {
+    if (reduction == 1) {
+      manager_.remove(*pos);
+    } else {
+      manager_.set_param(*pos, "mode", mode);
+    }
+  } else if (reduction > 1) {
+    manager_.insert({"audio-transcode", {{"mode", mode}}}, 0);
+  }
+
+  // FEC sits AFTER the transcoder (protect the bytes actually sent).
+  const auto fec_pos = find_filter("fec-encode");
+  if (profile.wants_fec && !fec_pos) {
+    manager_.insert({"fec-encode",
+                     {{"n", std::to_string(profile.fec_n)},
+                      {"k", std::to_string(profile.fec_k)}}},
+                    manager_.list_chain().size());
+  } else if (!profile.wants_fec && fec_pos) {
+    manager_.remove(*fec_pos);
+  }
+
+  // 2. Retarget the egress: the next packet out goes to the new device.
+  proxy_.retarget_egress(profile.delivery);
+  active_ = device;
+  history_.push_back({device, reduction, profile.wants_fec});
+  RW_INFO("handoff") << "stream handed to '" << device << "' (x" << reduction
+                     << (profile.wants_fec ? ", fec)" : ")");
+}
+
+std::string HandoffCoordinator::active_device() const {
+  std::lock_guard lk(mu_);
+  return active_;
+}
+
+std::vector<HandoffCoordinator::Event> HandoffCoordinator::history() const {
+  std::lock_guard lk(mu_);
+  return history_;
+}
+
+}  // namespace rapidware::raplets

@@ -1,0 +1,94 @@
+#include "raplets/loss_observer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rapidware::raplets {
+
+LossObserver::LossObserver(std::shared_ptr<net::SimSocket> socket,
+                           double alpha)
+    : socket_(std::move(socket)), alpha_(alpha) {
+  if (alpha_ <= 0.0 || alpha_ > 1.0) {
+    throw std::invalid_argument("LossObserver: alpha in (0, 1]");
+  }
+}
+
+LossObserver::~LossObserver() { stop(); }
+
+void LossObserver::set_sink(EventSink sink) {
+  std::lock_guard lk(mu_);
+  sink_ = std::move(sink);
+}
+
+void LossObserver::start() {
+  {
+    std::lock_guard lk(mu_);
+    if (running_) return;
+    running_ = true;
+  }
+  thread_ = std::thread([this] { service_loop(); });
+}
+
+void LossObserver::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  socket_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+double LossObserver::loss_for(const std::string& receiver) const {
+  std::lock_guard lk(mu_);
+  auto it = smoothed_.find(receiver);
+  return it == smoothed_.end() ? 0.0 : it->second;
+}
+
+double LossObserver::worst_loss() const {
+  std::lock_guard lk(mu_);
+  double worst = 0.0;
+  for (const auto& [_, loss] : smoothed_) worst = std::max(worst, loss);
+  return worst;
+}
+
+std::uint64_t LossObserver::reports_seen() const {
+  std::lock_guard lk(mu_);
+  return reports_;
+}
+
+void LossObserver::service_loop() {
+  for (;;) {
+    auto datagram = socket_->recv(-1);
+    if (!datagram) break;  // closed
+    ReceiverReport report;
+    try {
+      report = ReceiverReport::parse(datagram->payload);
+    } catch (const std::exception& e) {
+      RW_WARN("loss-observer") << "bad report: " << e.what();
+      continue;
+    }
+
+    Event event;
+    EventSink sink;
+    {
+      std::lock_guard lk(mu_);
+      ++reports_;
+      // Prefer the raw link-loss measurement when the receiver supplies
+      // one; post-recovery loss hides the very condition FEC should react
+      // to (see ReceiverReport::raw_loss).
+      const double sample =
+          report.raw_loss >= 0.0 ? report.raw_loss : report.window_loss;
+      auto [it, created] = smoothed_.try_emplace(report.receiver, 0.0);
+      it->second =
+          created ? sample : alpha_ * sample + (1.0 - alpha_) * it->second;
+      event = Event{"loss-rate", report.receiver, it->second,
+                    datagram->deliver_at};
+      sink = sink_;
+    }
+    if (sink) sink(event);
+  }
+}
+
+}  // namespace rapidware::raplets

@@ -1,0 +1,50 @@
+// Loss observer raplet: a service thread that receives ReceiverReports on
+// a datagram socket, smooths per-receiver loss, and emits "loss-rate"
+// events toward its responder.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "raplets/raplet.h"
+#include "raplets/receiver_report.h"
+
+namespace rapidware::raplets {
+
+class LossObserver final : public Observer {
+ public:
+  /// `socket` must be bound where receivers send their reports. `alpha` is
+  /// the exponential smoothing weight of new samples.
+  explicit LossObserver(std::shared_ptr<net::SimSocket> socket,
+                        double alpha = 0.4);
+  ~LossObserver() override;
+
+  void set_sink(EventSink sink) override;
+  void start() override;
+  void stop() override;
+
+  /// Smoothed loss for one receiver (0 if unheard from).
+  double loss_for(const std::string& receiver) const;
+
+  /// Highest smoothed loss across receivers — what a multicast FEC
+  /// responder keys on (one parity stream must cover the worst receiver).
+  double worst_loss() const;
+
+  std::uint64_t reports_seen() const;
+
+ private:
+  void service_loop();
+
+  std::shared_ptr<net::SimSocket> socket_;
+  double alpha_;
+
+  mutable std::mutex mu_;
+  EventSink sink_;
+  std::map<std::string, double> smoothed_;
+  std::uint64_t reports_ = 0;
+  std::thread thread_;
+  bool running_ = false;
+};
+
+}  // namespace rapidware::raplets

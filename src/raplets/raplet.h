@@ -1,0 +1,45 @@
+// Raplets — RAPIDware's adaptive components (Section 2, Figure 2).
+//
+// Observers monitor system state (here: receiver loss reports) and fire
+// events; responders react by reconfiguring middleware — instantiating or
+// removing filters through proxy control channels. The separation keeps
+// adaptive logic out of the core data path, the project's key principle.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "util/clock.h"
+
+namespace rapidware::raplets {
+
+/// An observation worth reacting to.
+struct Event {
+  std::string type;      // e.g. "loss-rate"
+  std::string source;    // receiver / link identifier
+  double value = 0.0;    // e.g. loss fraction
+  util::Micros at = 0;
+};
+
+/// Responders consume events. Implementations must be thread-safe: events
+/// may arrive from an observer's service thread.
+class Responder {
+ public:
+  virtual ~Responder() = default;
+  virtual void on_event(const Event& event) = 0;
+};
+
+/// Observers produce events into a callback (usually a Responder).
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  using EventSink = std::function<void(const Event&)>;
+  virtual void set_sink(EventSink sink) = 0;
+
+  /// Begins/ends monitoring (threads, sockets).
+  virtual void start() = 0;
+  virtual void stop() = 0;
+};
+
+}  // namespace rapidware::raplets

@@ -1,0 +1,73 @@
+// Receiver feedback: mobile hosts periodically report their delivery rate
+// to the proxy's loss observer (the monitoring input of Figure 2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "media/receiver_log.h"
+#include "net/sim_network.h"
+#include "util/bytes.h"
+
+namespace rapidware::raplets {
+
+struct ReceiverReport {
+  std::string receiver;       // who is reporting
+  std::uint64_t delivered = 0;
+  std::uint64_t expected = 0;
+  double window_loss = 0.0;   // post-recovery loss over the report window
+  std::int64_t at_us = 0;
+  /// Raw *link* loss over the window, measured before FEC recovery (the
+  /// "% received" of Figure 7). Negative when unknown — e.g. no FEC layer
+  /// is present to observe raw arrivals — in which case observers fall
+  /// back to window_loss. Keying adaptation on raw loss is what prevents
+  /// the insert/remove flap: once FEC masks the losses, window_loss goes
+  /// to zero even though the link is still bad.
+  double raw_loss = -1.0;
+
+  util::Bytes serialize() const;
+  static ReceiverReport parse(util::ByteSpan wire);
+
+  bool operator==(const ReceiverReport&) const = default;
+};
+
+/// Receiver-side helper: tracks deliveries between reports and sends a
+/// ReceiverReport datagram every `interval_packets` packets.
+class ReportSender {
+ public:
+  ReportSender(std::string receiver_name,
+               std::shared_ptr<net::SimSocket> socket, net::Address observer,
+               std::size_t interval_packets = 50);
+
+  /// Supplies raw link-loss measurements (fraction in [0,1], or negative
+  /// for unknown), sampled when each report is emitted. Typically a lambda
+  /// over fec::DecoderStats deltas.
+  using RawLossProvider = std::function<double()>;
+  void set_raw_loss_provider(RawLossProvider provider) {
+    raw_loss_provider_ = std::move(provider);
+  }
+
+  /// Notes one delivered packet (seq for gap detection) and sends a report
+  /// when the interval elapses.
+  void on_delivered(std::uint32_t seq, util::Micros now);
+
+  std::uint64_t reports_sent() const noexcept { return reports_; }
+
+ private:
+  std::string name_;
+  std::shared_ptr<net::SimSocket> socket_;
+  net::Address observer_;
+  std::size_t interval_;
+
+  bool has_last_ = false;
+  std::uint32_t highest_seq_ = 0;
+  std::uint64_t window_delivered_ = 0;
+  std::uint32_t window_start_seq_ = 0;
+  std::uint64_t total_delivered_ = 0;
+  std::uint64_t reports_ = 0;
+  RawLossProvider raw_loss_provider_;
+};
+
+}  // namespace rapidware::raplets

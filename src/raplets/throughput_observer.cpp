@@ -1,0 +1,72 @@
+#include "raplets/throughput_observer.h"
+
+#include <stdexcept>
+
+namespace rapidware::raplets {
+
+ThroughputObserver::ThroughputObserver(std::string source, ByteCounter counter,
+                                       int interval_ms, util::Clock* clock,
+                                       double alpha)
+    : source_(std::move(source)),
+      counter_(std::move(counter)),
+      interval_ms_(interval_ms),
+      clock_(clock != nullptr ? clock : &wall_),
+      alpha_(alpha) {
+  if (!counter_) {
+    throw std::invalid_argument("ThroughputObserver: null counter");
+  }
+  if (interval_ms_ <= 0) {
+    throw std::invalid_argument("ThroughputObserver: interval must be > 0");
+  }
+  if (alpha_ <= 0.0 || alpha_ > 1.0) {
+    throw std::invalid_argument("ThroughputObserver: alpha in (0, 1]");
+  }
+}
+
+ThroughputObserver::~ThroughputObserver() { stop(); }
+
+void ThroughputObserver::set_sink(EventSink sink) {
+  std::lock_guard lk(mu_);
+  sink_ = std::move(sink);
+}
+
+void ThroughputObserver::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] { poll_loop(); });
+}
+
+void ThroughputObserver::stop() {
+  running_.store(false);
+  if (thread_.joinable()) thread_.join();
+}
+
+void ThroughputObserver::poll_loop() {
+  std::uint64_t last_bytes = counter_();
+  util::Micros last_at = clock_->now();
+  bool primed = false;
+  double smoothed = 0.0;
+  while (running_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms_));
+    const std::uint64_t bytes = counter_();
+    const util::Micros now = clock_->now();
+    if (now <= last_at) continue;  // virtual clock not advanced
+    const double sample = static_cast<double>(bytes - last_bytes) * 1e6 /
+                          static_cast<double>(now - last_at);
+    last_bytes = bytes;
+    last_at = now;
+    smoothed = primed ? alpha_ * sample + (1.0 - alpha_) * smoothed : sample;
+    primed = true;
+    const double bps = smoothed;
+    last_bps_.store(bps);
+
+    EventSink sink;
+    {
+      std::lock_guard lk(mu_);
+      sink = sink_;
+    }
+    if (sink) sink(Event{"throughput-bps", source_, bps, now});
+  }
+}
+
+}  // namespace rapidware::raplets

@@ -1,0 +1,52 @@
+// Throughput observer raplet: samples a byte counter (typically a
+// StatsFilter tap at a proxy's ingress) on a fixed interval and emits
+// "throughput-bps" events — the demand side of the bandwidth-adaptation
+// loop (the paper's "disparities among collaborating devices").
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+#include "raplets/raplet.h"
+#include "util/clock.h"
+
+namespace rapidware::raplets {
+
+class ThroughputObserver final : public Observer {
+ public:
+  using ByteCounter = std::function<std::uint64_t()>;
+
+  /// `counter` returns a monotonically increasing byte total; the observer
+  /// differentiates it every `interval_ms` of real time, smooths the rate
+  /// with an EWMA (`alpha` weight on the new sample, damping scheduling
+  /// burstiness), and emits the smoothed value. `source` labels events.
+  ThroughputObserver(std::string source, ByteCounter counter,
+                     int interval_ms = 100, util::Clock* clock = nullptr,
+                     double alpha = 0.4);
+  ~ThroughputObserver() override;
+
+  void set_sink(EventSink sink) override;
+  void start() override;
+  void stop() override;
+
+  double last_bps() const { return last_bps_.load(); }
+
+ private:
+  void poll_loop();
+
+  std::string source_;
+  ByteCounter counter_;
+  int interval_ms_;
+  util::Clock* clock_;
+  double alpha_;
+  util::WallClock wall_;
+
+  std::mutex mu_;
+  EventSink sink_;
+  std::atomic<double> last_bps_{0.0};
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace rapidware::raplets

@@ -1,0 +1,91 @@
+#include "raplets/transcode_responder.h"
+
+#include "util/logging.h"
+
+namespace rapidware::raplets {
+
+TranscodeResponder::TranscodeResponder(core::ControlManager manager,
+                                       TranscodeResponderConfig config)
+    : manager_(std::move(manager)), config_(config) {
+  if (config_.link_budget_bps <= 0) {
+    throw std::invalid_argument("TranscodeResponder: budget must be > 0");
+  }
+  if (config_.hysteresis <= 0 || config_.hysteresis > 1.0) {
+    throw std::invalid_argument("TranscodeResponder: hysteresis in (0, 1]");
+  }
+}
+
+int TranscodeResponder::desired_reduction(double demand_bps) const {
+  for (const int reduction : {1, 2, 4}) {
+    if (demand_bps / reduction <= config_.link_budget_bps) return reduction;
+  }
+  return 4;  // deepest available step
+}
+
+void TranscodeResponder::on_event(const Event& event) {
+  if (event.type != "throughput-bps") return;
+  std::lock_guard lk(mu_);
+  if (ever_changed_ && event.at - last_change_ < config_.cooldown_us) return;
+
+  const int desired = desired_reduction(event.value);
+  if (desired > reduction_) {
+    apply(desired, event);  // escalate promptly: the link is overrun
+  } else if (desired < reduction_) {
+    // De-escalate only with headroom: the shallower step must still fit
+    // within the hysteresis fraction of the budget.
+    if (event.value / desired <=
+        config_.link_budget_bps * config_.hysteresis) {
+      apply(desired, event);
+    }
+  }
+}
+
+void TranscodeResponder::apply(int reduction, const Event& event) {
+  try {
+    const auto pos = find_filter();
+    if (reduction == 1) {
+      if (pos) manager_.remove(*pos);
+    } else {
+      const std::string mode = reduction == 2 ? "mono" : "mono+half";
+      if (pos) {
+        manager_.set_param(*pos, "mode", mode);
+      } else {
+        manager_.insert({"audio-transcode",
+                         {{"mode", mode},
+                          {"rate", config_.rate},
+                          {"channels", config_.channels},
+                          {"bits", config_.bits}}},
+                        config_.position);
+      }
+    }
+  } catch (const std::exception& e) {
+    RW_WARN("transcode-responder") << "reconfiguration failed: " << e.what();
+    return;
+  }
+  reduction_ = reduction;
+  ever_changed_ = true;
+  last_change_ = event.at;
+  history_.push_back({event.at, reduction, event.value});
+  RW_INFO("transcode-responder")
+      << "reduction x" << reduction << " at demand " << event.value << " B/s";
+}
+
+std::optional<std::size_t> TranscodeResponder::find_filter() {
+  const auto infos = manager_.list_chain();
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    if (infos[i].name == "audio-transcode") return i;
+  }
+  return std::nullopt;
+}
+
+int TranscodeResponder::current_reduction() const {
+  std::lock_guard lk(mu_);
+  return reduction_;
+}
+
+std::vector<TranscodeResponder::Action> TranscodeResponder::history() const {
+  std::lock_guard lk(mu_);
+  return history_;
+}
+
+}  // namespace rapidware::raplets

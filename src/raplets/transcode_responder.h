@@ -1,0 +1,69 @@
+// Transcode responder raplet: matches a stream to a constrained client.
+//
+// Consumes "throughput-bps" events (stream demand) and escalates through a
+// transcoding ladder until the stream fits the client's link budget:
+//
+//     off  ->  mono (2x smaller)  ->  mono+half (4x smaller)
+//
+// and de-escalates with hysteresis when demand drops. This is the paper's
+// "transcode the stream to a lower bandwidth format" proxy duty, run by a
+// responder instead of a human — the heterogeneity counterpart to the FEC
+// responder's loss adaptation.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/control.h"
+#include "raplets/raplet.h"
+
+namespace rapidware::raplets {
+
+struct TranscodeResponderConfig {
+  /// The client's sustainable link budget in bytes/second.
+  double link_budget_bps = 8'000;
+  /// Keep this fraction of budget as headroom before de-escalating.
+  double hysteresis = 0.85;
+  util::Micros cooldown_us = 1'000'000;
+  std::size_t position = 0;  // chain slot for the transcode filter
+  /// Input audio format parameters passed to the filter.
+  std::string rate = "8000";
+  std::string channels = "2";
+  std::string bits = "8";
+};
+
+class TranscodeResponder final : public Responder {
+ public:
+  TranscodeResponder(core::ControlManager manager,
+                     TranscodeResponderConfig config = {});
+
+  void on_event(const Event& event) override;
+
+  /// Current reduction factor: 1 (off), 2 (mono), or 4 (mono+half).
+  int current_reduction() const;
+
+  struct Action {
+    util::Micros at;
+    int reduction;  // new reduction factor
+    double demand_bps;
+  };
+  std::vector<Action> history() const;
+
+ private:
+  /// Smallest ladder step whose reduced rate fits the budget.
+  int desired_reduction(double demand_bps) const;
+  void apply(int reduction, const Event& event);
+  std::optional<std::size_t> find_filter();
+
+  core::ControlManager manager_;
+  TranscodeResponderConfig config_;
+
+  mutable std::mutex mu_;
+  int reduction_ = 1;
+  bool ever_changed_ = false;
+  util::Micros last_change_ = 0;
+  std::vector<Action> history_;
+};
+
+}  // namespace rapidware::raplets

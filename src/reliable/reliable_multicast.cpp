@@ -1,0 +1,312 @@
+#include "reliable/reliable_multicast.h"
+
+#include <algorithm>
+
+#include "util/serial.h"
+
+namespace rapidware::reliable {
+namespace {
+
+constexpr std::size_t kHistoryLimit = 1024;  // blocks kept for repair
+
+const fec::ReedSolomonCode& code_for(std::size_t n, std::size_t k) {
+  thread_local std::map<std::pair<std::size_t, std::size_t>,
+                        fec::ReedSolomonCode>
+      cache;
+  auto it = cache.find({n, k});
+  if (it == cache.end()) {
+    it = cache.try_emplace({n, k}, fec::ReedSolomonCode(n, k)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+util::Bytes Nack::serialize() const {
+  util::Writer w;
+  w.u32(block_id);
+  w.u16(received);
+  w.u16(static_cast<std::uint16_t>(missing_data.size()));
+  for (const std::uint8_t idx : missing_data) w.u8(idx);
+  return w.take();
+}
+
+Nack Nack::parse(util::ByteSpan wire) {
+  util::Reader r(wire);
+  Nack nack;
+  nack.block_id = r.u32();
+  nack.received = r.u16();
+  const std::uint16_t count = r.u16();
+  nack.missing_data.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) nack.missing_data.push_back(r.u8());
+  return nack;
+}
+
+// ---------------------------------------------------------------------------
+// Sender
+
+ReliableMulticastSender::ReliableMulticastSender(
+    std::shared_ptr<net::SimSocket> socket, net::Address group, std::size_t k,
+    RepairMode mode, std::size_t max_parity)
+    : socket_(std::move(socket)),
+      group_(group),
+      k_(k),
+      mode_(mode),
+      max_parity_(max_parity) {
+  if (k_ == 0 || max_parity_ == 0 || k_ + max_parity_ >= 256) {
+    throw fec::CodingError(
+        "ReliableMulticastSender: need 0 < k, 0 < parity, k+parity < 256");
+  }
+}
+
+void ReliableMulticastSender::send(util::ByteSpan payload) {
+  pending_.emplace_back(payload.begin(), payload.end());
+  if (pending_.size() == k_) transmit_block();
+}
+
+void ReliableMulticastSender::flush() {
+  if (!pending_.empty()) transmit_block();
+}
+
+void ReliableMulticastSender::transmit_block() {
+  const std::uint32_t block_id = next_block_id_++;
+  Block block;
+  block.k = pending_.size();
+  std::size_t max_payload = 0;
+  for (const auto& p : pending_) max_payload = std::max(max_payload, p.size());
+  block.symbol_len = static_cast<std::uint16_t>(max_payload + 2);
+  block.data = std::move(pending_);
+  pending_.clear();
+
+  auto [it, _] = history_.emplace(block_id, std::move(block));
+  for (std::size_t i = 0; i < it->second.k; ++i) {
+    send_symbol(block_id, it->second, i);
+    ++stats_.data_packets;
+  }
+  ++stats_.blocks_sent;
+  while (history_.size() > kHistoryLimit) history_.erase(history_.begin());
+}
+
+void ReliableMulticastSender::send_symbol(std::uint32_t block_id,
+                                          Block& block, std::size_t index) {
+  const auto n = static_cast<std::uint8_t>(block.k + max_parity_);
+  util::Writer w;
+  fec::GroupHeader{block_id, static_cast<std::uint8_t>(index),
+                   static_cast<std::uint8_t>(block.k), n, block.symbol_len}
+      .encode_to(w);
+  if (index < block.k) {
+    w.raw(block.data[index]);
+  } else {
+    // Lazily build the padded RS symbols, then synthesize one parity.
+    if (block.symbols.empty()) {
+      block.symbols.reserve(block.k);
+      for (const auto& p : block.data) {
+        block.symbols.push_back(fec::make_symbol(p, block.symbol_len));
+      }
+    }
+    w.raw(code_for(block.k + max_parity_, block.k)
+              .encode_one(block.symbols, index));
+  }
+  socket_->send_to(group_, w.bytes());
+}
+
+void ReliableMulticastSender::service() {
+  // Drain and AGGREGATE the pending NACKs per block before repairing.
+  // Aggregation is where multicast FEC wins: many receivers missing
+  // different packets of one block collapse into max(needed) parity
+  // symbols, while ARQ must cover the union of their losses.
+  struct Demand {
+    std::set<std::uint8_t> missing_union;
+    std::size_t max_needed = 0;
+  };
+  std::map<std::uint32_t, Demand> demands;
+  for (;;) {
+    auto datagram = socket_->recv(0);
+    if (!datagram) break;
+    try {
+      const Nack nack = Nack::parse(datagram->payload);
+      ++stats_.nacks_received;
+      Demand& demand = demands[nack.block_id];
+      demand.missing_union.insert(nack.missing_data.begin(),
+                                  nack.missing_data.end());
+      const std::size_t needed = nack.missing_data.size();
+      demand.max_needed = std::max(demand.max_needed, needed);
+    } catch (const std::exception&) {
+      // Malformed NACK: drop.
+    }
+  }
+  for (const auto& [block_id, demand] : demands) {
+    repair_block(block_id, demand.missing_union, demand.max_needed);
+  }
+}
+
+void ReliableMulticastSender::repair_block(
+    std::uint32_t block_id, const std::set<std::uint8_t>& missing_union,
+    std::size_t max_needed) {
+  auto it = history_.find(block_id);
+  if (it == history_.end()) return;  // too old to repair
+  Block& block = it->second;
+
+  if (mode_ == RepairMode::kArq) {
+    for (const std::uint8_t idx : missing_union) {
+      if (idx >= block.k) continue;
+      send_symbol(block_id, block, idx);
+      ++stats_.retransmissions;
+    }
+    return;
+  }
+  // Parity repair: max_needed fresh parity symbols cover every NACKing
+  // receiver simultaneously; when the budget wraps we re-send earlier
+  // parity (still useful to receivers that lost it).
+  for (std::size_t i = 0; i < max_needed; ++i) {
+    const std::size_t slot = (block.next_parity_index + i) % max_parity_;
+    send_symbol(block_id, block, block.k + slot);
+    ++stats_.parity_packets;
+  }
+  block.next_parity_index =
+      (block.next_parity_index + max_needed) % max_parity_;
+}
+
+// ---------------------------------------------------------------------------
+// Receiver
+
+ReliableMulticastReceiver::ReliableMulticastReceiver(
+    std::shared_ptr<net::SimSocket> socket, net::Address sender,
+    net::Address group, util::Clock& clock, util::Micros nack_interval_us)
+    : socket_(std::move(socket)),
+      sender_(sender),
+      clock_(clock),
+      nack_interval_us_(nack_interval_us) {
+  socket_->join(group);
+}
+
+std::size_t ReliableMulticastReceiver::poll() {
+  std::size_t count = 0;
+  for (;;) {
+    auto datagram = socket_->recv(0);
+    if (!datagram) break;
+    on_packet(*datagram);
+    ++count;
+  }
+  return count;
+}
+
+void ReliableMulticastReceiver::on_packet(const net::Datagram& datagram) {
+  fec::GroupHeader header;
+  util::Bytes body;
+  try {
+    util::Reader r(datagram.payload);
+    header = fec::GroupHeader::decode_from(r);
+    body = r.raw(r.remaining());
+  } catch (const std::exception&) {
+    return;  // not a data packet
+  }
+  ++stats_.packets_received;
+  if (header.group_id < next_release_) return;  // already delivered
+
+  Block& block = blocks_[header.group_id];
+  if (block.symbols.empty()) {
+    block.k = header.k;
+    block.symbol_len = header.symbol_len;
+  }
+  if (block.done) return;
+  block.symbols.emplace(header.index, std::move(body));
+  try_complete(header.group_id, block);
+
+  // Gap detection: an arrival for this block implies older incomplete
+  // blocks lost packets; give them a first NACK right away.
+  const util::Micros now = clock_.now();
+  for (auto& [id, older] : blocks_) {
+    if (id >= header.group_id) break;
+    if (!older.done && older.last_nack_at < 0) {
+      send_nack(id, older);
+      older.last_nack_at = now;
+    }
+  }
+  release_in_order();
+}
+
+void ReliableMulticastReceiver::try_complete(std::uint32_t block_id,
+                                             Block& block) {
+  if (block.done || block.symbols.size() < block.k) return;
+  const std::size_t n = block.symbols.rbegin()->first + 1;
+  std::vector<std::optional<util::Bytes>> received(
+      std::max<std::size_t>(n, block.k));
+  bool used_parity = false;
+  for (const auto& [index, body] : block.symbols) {
+    if (index < block.k) {
+      received[index] = fec::make_symbol(body, block.symbol_len);
+    } else {
+      received[index] = body;
+      used_parity = true;
+    }
+  }
+  // Generator rows depend only on the row index, not on n, so a code sized
+  // to the highest index seen decodes symbols the sender produced under
+  // its (k + max_parity, k) code.
+  const auto& code = code_for(received.size(), block.k);
+  std::vector<util::Bytes> symbols = code.decode(received);
+
+  std::vector<util::Bytes> payloads;
+  payloads.reserve(block.k);
+  bool data_was_missing = false;
+  for (std::size_t i = 0; i < block.k; ++i) {
+    if (block.symbols.count(static_cast<std::uint8_t>(i)) == 0) {
+      data_was_missing = true;
+    }
+    payloads.push_back(fec::parse_symbol(symbols[i]));
+  }
+  completed_[block_id] = std::move(payloads);
+  block.done = true;
+  block.symbols.clear();
+  ++stats_.blocks_completed;
+  if (used_parity && data_was_missing) ++stats_.recovered_via_parity;
+}
+
+void ReliableMulticastReceiver::send_nack(std::uint32_t block_id,
+                                          Block& block) {
+  Nack nack;
+  nack.block_id = block_id;
+  nack.received = static_cast<std::uint16_t>(block.symbols.size());
+  for (std::uint8_t i = 0; i < block.k; ++i) {
+    if (block.symbols.count(i) == 0) nack.missing_data.push_back(i);
+  }
+  socket_->send_to(sender_, nack.serialize());
+  ++stats_.nacks_sent;
+}
+
+void ReliableMulticastReceiver::tick() {
+  const util::Micros now = clock_.now();
+  for (auto& [id, block] : blocks_) {
+    if (block.done) continue;
+    if (block.last_nack_at >= 0 && now - block.last_nack_at < nack_interval_us_) {
+      continue;
+    }
+    send_nack(id, block);
+    block.last_nack_at = now;
+  }
+}
+
+void ReliableMulticastReceiver::release_in_order() {
+  while (true) {
+    auto it = completed_.find(next_release_);
+    if (it == completed_.end()) break;
+    for (auto& payload : it->second) delivered_.push_back(std::move(payload));
+    completed_.erase(it);
+    blocks_.erase(next_release_);
+    ++next_release_;
+  }
+}
+
+std::vector<util::Bytes> ReliableMulticastReceiver::take_delivered() {
+  std::vector<util::Bytes> out(delivered_.begin(), delivered_.end());
+  delivered_.clear();
+  return out;
+}
+
+bool ReliableMulticastReceiver::complete_through(
+    std::uint32_t last_block) const {
+  return next_release_ > last_block;
+}
+
+}  // namespace rapidware::reliable

@@ -1,0 +1,175 @@
+// Reliable multicast with FEC-assisted repair — the proxy duty the paper
+// cites as "forward error correction for ... reliable data delivery [16]",
+// and the quantitative basis of its Section 5 observation that for
+// multicast "a single parity packet can be used to correct independent
+// single-packet losses among different receivers".
+//
+// The sender packs payloads into blocks of k, transmits the k data symbols
+// (FEC group wire format), and answers receiver NACKs in one of two modes:
+//
+//   * kArq    — retransmit exactly the data packets each receiver missed;
+//               repair traffic grows with the number of *distinct* losses
+//               across the receiver set.
+//   * kParity — transmit fresh parity symbols for the block; ONE parity
+//               symbol simultaneously repairs any single (different!) loss
+//               at every receiver, so repair traffic grows with the *worst
+//               single receiver*, not the union.
+//
+// Receivers detect gaps when a newer block opens (and on explicit tick()),
+// NACK the sender, rebuild blocks from any k of the received symbols, and
+// deliver payloads in order. Everything is deterministic: no internal
+// timers — the harness drives tick().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "fec/fec_group.h"
+#include "net/sim_network.h"
+#include "util/bytes.h"
+#include "util/clock.h"
+
+namespace rapidware::reliable {
+
+enum class RepairMode : std::uint8_t {
+  kArq = 0,     // retransmit the exact missing data symbols
+  kParity = 1,  // transmit additional parity symbols
+};
+
+/// Receiver -> sender: "block `block_id`: I hold `received` symbols; the
+/// data indices in `missing_data` are gone."
+struct Nack {
+  std::uint32_t block_id = 0;
+  std::uint16_t received = 0;          // symbols held (data + parity)
+  std::vector<std::uint8_t> missing_data;  // missing data indices (< k)
+
+  util::Bytes serialize() const;
+  static Nack parse(util::ByteSpan wire);
+
+  bool operator==(const Nack&) const = default;
+};
+
+struct SenderStats {
+  std::uint64_t blocks_sent = 0;
+  std::uint64_t data_packets = 0;
+  std::uint64_t retransmissions = 0;   // ARQ repair packets
+  std::uint64_t parity_packets = 0;    // parity repair packets
+  std::uint64_t nacks_received = 0;
+
+  std::uint64_t repair_packets() const {
+    return retransmissions + parity_packets;
+  }
+};
+
+/// Block-based reliable multicast sender. Not thread-safe; the owner calls
+/// send()/flush()/service() from one thread (or locks externally).
+class ReliableMulticastSender {
+ public:
+  /// `k`: block size; `max_parity`: repair-parity budget per block.
+  ReliableMulticastSender(std::shared_ptr<net::SimSocket> socket,
+                          net::Address group, std::size_t k,
+                          RepairMode mode, std::size_t max_parity = 32);
+
+  /// Queues one payload; transmits the block when it fills.
+  void send(util::ByteSpan payload);
+
+  /// Transmits any partial block (short code, same parity budget).
+  void flush();
+
+  /// Drains pending NACKs from the socket and transmits repairs. Call
+  /// regularly (it uses a zero timeout).
+  void service();
+
+  const SenderStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Block {
+    std::size_t k = 0;
+    std::uint16_t symbol_len = 0;
+    std::vector<util::Bytes> data;          // raw payloads
+    std::vector<util::Bytes> symbols;       // padded RS symbols (lazy)
+    std::size_t next_parity_index = 0;      // next unused parity slot
+  };
+
+  void transmit_block();
+  void send_symbol(std::uint32_t block_id, Block& block, std::size_t index);
+  void repair_block(std::uint32_t block_id,
+                    const std::set<std::uint8_t>& missing_union,
+                    std::size_t max_needed);
+
+  std::shared_ptr<net::SimSocket> socket_;
+  net::Address group_;
+  std::size_t k_;
+  RepairMode mode_;
+  std::size_t max_parity_;
+
+  std::uint32_t next_block_id_ = 0;
+  std::vector<util::Bytes> pending_;
+  std::map<std::uint32_t, Block> history_;
+  SenderStats stats_;
+};
+
+struct ReceiverStats {
+  std::uint64_t packets_received = 0;
+  std::uint64_t blocks_completed = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t recovered_via_parity = 0;
+};
+
+/// Reliable multicast receiver. Drive it by calling poll() (drains the
+/// socket) and tick() (re-NACK overdue blocks); deliveries come out of
+/// take_delivered() in order.
+class ReliableMulticastReceiver {
+ public:
+  ReliableMulticastReceiver(std::shared_ptr<net::SimSocket> socket,
+                            net::Address sender, net::Address group,
+                            util::Clock& clock,
+                            util::Micros nack_interval_us = 50'000);
+
+  /// Drains available packets (zero timeout); returns how many arrived.
+  std::size_t poll();
+
+  /// Sends NACKs for incomplete blocks whose last NACK is older than the
+  /// interval. Call on the harness's cadence.
+  void tick();
+
+  /// In-order delivered payloads accumulated so far.
+  std::vector<util::Bytes> take_delivered();
+
+  /// True when every block up to and including `last_block` is delivered.
+  bool complete_through(std::uint32_t last_block) const;
+
+  const ReceiverStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Block {
+    std::uint8_t k = 0;
+    std::uint16_t symbol_len = 0;
+    std::map<std::uint8_t, util::Bytes> symbols;  // index -> body
+    util::Micros last_nack_at = -1;
+    bool done = false;
+  };
+
+  void on_packet(const net::Datagram& datagram);
+  void try_complete(std::uint32_t block_id, Block& block);
+  void send_nack(std::uint32_t block_id, Block& block);
+  void release_in_order();
+
+  std::shared_ptr<net::SimSocket> socket_;
+  net::Address sender_;
+  util::Clock& clock_;
+  util::Micros nack_interval_us_;
+
+  std::map<std::uint32_t, Block> blocks_;
+  std::map<std::uint32_t, std::vector<util::Bytes>> completed_;  // payloads
+  std::uint32_t next_release_ = 0;
+  std::deque<util::Bytes> delivered_;
+  ReceiverStats stats_;
+};
+
+}  // namespace rapidware::reliable

@@ -1,0 +1,59 @@
+#include "util/bytes.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rapidware::util {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(ByteSpan b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+std::string to_hex(ByteSpan b) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t v : b) {
+    out.push_back(kDigits[v >> 4]);
+    out.push_back(kDigits[v & 0xf]);
+  }
+  return out;
+}
+
+ByteRing::ByteRing(std::size_t capacity) : buf_(capacity) {}
+
+std::size_t ByteRing::write(ByteSpan in) {
+  const std::size_t n = std::min(in.size(), free_space());
+  const std::size_t tail = (head_ + size_) % buf_.size();
+  const std::size_t first = std::min(n, buf_.size() - tail);
+  std::memcpy(buf_.data() + tail, in.data(), first);
+  if (n > first) std::memcpy(buf_.data(), in.data() + first, n - first);
+  size_ += n;
+  return n;
+}
+
+std::size_t ByteRing::read(MutableByteSpan out) {
+  const std::size_t n = peek(out);
+  head_ = (head_ + n) % buf_.size();
+  size_ -= n;
+  return n;
+}
+
+std::size_t ByteRing::peek(MutableByteSpan out) const {
+  const std::size_t n = std::min(out.size(), size_);
+  const std::size_t first = std::min(n, buf_.size() - head_);
+  std::memcpy(out.data(), buf_.data() + head_, first);
+  if (n > first) std::memcpy(out.data() + first, buf_.data(), n - first);
+  return n;
+}
+
+void ByteRing::clear() noexcept {
+  head_ = 0;
+  size_ = 0;
+}
+
+}  // namespace rapidware::util

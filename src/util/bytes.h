@@ -1,0 +1,59 @@
+// Byte-buffer utilities shared by the stream, network, and codec layers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rapidware::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+
+/// Converts a string to a byte vector (no terminator).
+Bytes to_bytes(std::string_view s);
+
+/// Converts bytes back to a std::string.
+std::string to_string(ByteSpan b);
+
+/// Hex-encodes bytes, e.g. {0xde, 0xad} -> "dead". For logs and tests.
+std::string to_hex(ByteSpan b);
+
+/// Bounded single-producer/single-consumer style ring buffer of bytes.
+///
+/// This is a plain data structure: it performs no locking. The detachable
+/// stream layer wraps it with a mutex and condition variables. Capacity is
+/// fixed at construction.
+class ByteRing {
+ public:
+  explicit ByteRing(std::size_t capacity);
+
+  std::size_t capacity() const noexcept { return buf_.size(); }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t free_space() const noexcept { return buf_.size() - size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == buf_.size(); }
+
+  /// Appends up to `in.size()` bytes; returns how many were written.
+  std::size_t write(ByteSpan in);
+
+  /// Removes up to `out.size()` bytes into `out`; returns how many were read.
+  std::size_t read(MutableByteSpan out);
+
+  /// Copies up to `out.size()` bytes without consuming them.
+  std::size_t peek(MutableByteSpan out) const;
+
+  /// Discards all contents.
+  void clear() noexcept;
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;  // next read position
+  std::size_t size_ = 0;  // bytes currently stored
+};
+
+}  // namespace rapidware::util

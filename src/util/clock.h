@@ -1,0 +1,51 @@
+// Clock abstraction: simulated components take a Clock& so that tests and
+// benchmarks can run on virtual time while live examples use the wall clock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace rapidware::util {
+
+/// Monotonic time in microseconds since an arbitrary epoch.
+using Micros = std::int64_t;
+
+constexpr Micros kMicrosPerSecond = 1'000'000;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Micros now() const = 0;
+};
+
+/// Real time, monotonic.
+class WallClock final : public Clock {
+ public:
+  Micros now() const override {
+    const auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::microseconds>(t).count();
+  }
+};
+
+/// Manually advanced virtual clock; thread-safe.
+class SimClock final : public Clock {
+ public:
+  Micros now() const override { return t_.load(std::memory_order_acquire); }
+  void advance(Micros dt) { t_.fetch_add(dt, std::memory_order_acq_rel); }
+  void set(Micros t) { t_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<Micros> t_{0};
+};
+
+/// Converts seconds (double) to Micros, rounding to nearest.
+constexpr Micros seconds_to_micros(double s) {
+  return static_cast<Micros>(s * 1e6 + (s >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double micros_to_seconds(Micros us) {
+  return static_cast<double>(us) / 1e6;
+}
+
+}  // namespace rapidware::util

@@ -1,0 +1,31 @@
+#include "util/framing.h"
+
+namespace rapidware::util {
+
+void write_frame(ByteSink& sink, ByteSpan payload) {
+  Writer w(payload.size() + 6);
+  w.u16(kFrameMagic);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  sink.write(w.bytes());
+}
+
+std::optional<Bytes> read_frame(ByteSource& source) {
+  std::uint8_t header[6];
+  const std::size_t got = source.read_exact(header);
+  if (got == 0) return std::nullopt;  // clean EOF between frames
+  if (got < sizeof(header)) throw SerialError("framing: truncated header");
+
+  Reader r(header);
+  if (r.u16() != kFrameMagic) throw SerialError("framing: bad magic");
+  const std::uint32_t len = r.u32();
+  if (len > kMaxFrameSize) throw SerialError("framing: oversized frame");
+
+  Bytes payload(len);
+  if (source.read_exact(payload) < len) {
+    throw SerialError("framing: truncated payload");
+  }
+  return payload;
+}
+
+}  // namespace rapidware::util

@@ -1,0 +1,33 @@
+// Length-prefixed message framing over byte streams.
+//
+// Detachable streams carry raw bytes (like their Java counterparts); packet
+// oriented filters — FEC above all — need message boundaries so that filters
+// can be inserted "at a frame boundary in the stream" (paper, Section 3).
+// A frame is: magic (u16) | length (u32) | payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+#include "util/io.h"
+#include "util/serial.h"
+
+namespace rapidware::util {
+
+/// Magic marker at the start of every frame; catches desynchronization bugs
+/// (reading mid-frame after an incorrect splice) immediately.
+inline constexpr std::uint16_t kFrameMagic = 0x5257;  // "RW"
+
+/// Frames larger than this are rejected as corrupt.
+inline constexpr std::uint32_t kMaxFrameSize = 16 * 1024 * 1024;
+
+/// Writes one framed message to the sink (single write call, so a frame is
+/// never interleaved even if multiple writers share a sink).
+void write_frame(ByteSink& sink, ByteSpan payload);
+
+/// Reads one framed message. Returns nullopt on clean end-of-stream before
+/// the first header byte. Throws SerialError on a torn/corrupt frame.
+std::optional<Bytes> read_frame(ByteSource& source);
+
+}  // namespace rapidware::util

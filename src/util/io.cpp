@@ -1,0 +1,15 @@
+#include "util/io.h"
+
+namespace rapidware::util {
+
+std::size_t ByteSource::read_exact(MutableByteSpan out) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const std::size_t n = read_some(out.subspan(got));
+    if (n == 0) break;  // end of stream
+    got += n;
+  }
+  return got;
+}
+
+}  // namespace rapidware::util

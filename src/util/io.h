@@ -1,0 +1,38 @@
+// Abstract byte-stream interfaces. The detachable stream classes in
+// src/core implement these; framing and filters are written against them so
+// they are testable without threads.
+#pragma once
+
+#include <cstddef>
+
+#include "util/bytes.h"
+
+namespace rapidware::util {
+
+/// Blocking byte producer.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  /// Blocks until at least one byte is available or the stream ends.
+  /// Returns the number of bytes placed in `out`; 0 means end-of-stream.
+  virtual std::size_t read_some(MutableByteSpan out) = 0;
+
+  /// Reads exactly `out.size()` bytes unless EOF intervenes; returns the
+  /// number read (== out.size() normally, < on EOF).
+  std::size_t read_exact(MutableByteSpan out);
+};
+
+/// Blocking byte consumer.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+
+  /// Blocks until all of `in` is accepted.
+  virtual void write(ByteSpan in) = 0;
+
+  /// Pushes any buffered bytes toward the consumer. Default: no-op.
+  virtual void flush() {}
+};
+
+}  // namespace rapidware::util

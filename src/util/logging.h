@@ -1,0 +1,60 @@
+// Tiny leveled logger. Thread-safe (one global mutex around emission);
+// disabled levels cost one atomic load.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace rapidware::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line: "[LEVEL component] message". Not for hot paths.
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { log_message(level_, component_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+}  // namespace rapidware::util
+
+#define RW_LOG(level, component)                                      \
+  if (!::rapidware::util::log_enabled(level)) {                      \
+  } else                                                              \
+    ::rapidware::util::detail::LogLine(level, component)
+
+#define RW_DEBUG(component) RW_LOG(::rapidware::util::LogLevel::kDebug, component)
+#define RW_INFO(component) RW_LOG(::rapidware::util::LogLevel::kInfo, component)
+#define RW_WARN(component) RW_LOG(::rapidware::util::LogLevel::kWarn, component)
+#define RW_ERROR(component) RW_LOG(::rapidware::util::LogLevel::kError, component)

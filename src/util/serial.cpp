@@ -1,0 +1,93 @@
+#include "util/serial.h"
+
+#include <bit>
+#include <cstring>
+
+namespace rapidware::util {
+
+void Writer::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::f64(double v) {
+  u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void Writer::blob(ByteSpan b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  raw(b);
+}
+
+void Writer::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+void Reader::need(std::size_t n) const {
+  if (remaining() < n) throw SerialError("serial: truncated input");
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return in_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(in_[pos_]) |
+                    static_cast<std::uint16_t>(in_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+double Reader::f64() {
+  return std::bit_cast<double>(u64());
+}
+
+Bytes Reader::blob() {
+  const std::uint32_t n = u32();
+  return raw(n);
+}
+
+std::string Reader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(in_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Bytes Reader::raw(std::size_t n) {
+  need(n);
+  Bytes b(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
+          in_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return b;
+}
+
+}  // namespace rapidware::util

@@ -1,0 +1,71 @@
+// Minimal binary serialization: little-endian fixed-width writer/reader with
+// range checking. Used for packet headers, FEC group headers, and the proxy
+// control protocol (the stand-in for Java object serialization).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace rapidware::util {
+
+/// Thrown when a reader runs past the end of its input or a decoded value
+/// is structurally invalid.
+class SerialError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { out_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  /// Length-prefixed (u32) byte blob.
+  void blob(ByteSpan b);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+  /// Raw bytes, no length prefix.
+  void raw(ByteSpan b) { out_.insert(out_.end(), b.begin(), b.end()); }
+
+  const Bytes& bytes() const noexcept { return out_; }
+  Bytes take() noexcept { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(ByteSpan in) : in_(in) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  Bytes blob();
+  std::string str();
+  /// Consumes exactly n raw bytes.
+  Bytes raw(std::size_t n);
+
+  std::size_t remaining() const noexcept { return in_.size() - pos_; }
+  bool done() const noexcept { return remaining() == 0; }
+
+ private:
+  void need(std::size_t n) const;
+  ByteSpan in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rapidware::util

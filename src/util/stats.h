@@ -1,0 +1,99 @@
+// Statistics helpers used by the evaluation harness: running moments,
+// histograms, windowed rates, and percentage formatting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace rapidware::util {
+
+/// Welford running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  // population variance
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin. Supports percentile queries over recorded samples.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t total() const noexcept { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double bin_low(std::size_t i) const noexcept;
+
+  /// Approximate percentile (0..100) from bin midpoints.
+  double percentile(double p) const noexcept;
+
+  /// Renders a compact ASCII summary for bench output.
+  std::string summary() const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Ratio counter for hit/delivery rates: add successes/failures, read a rate.
+class RateCounter {
+ public:
+  void add(bool success) noexcept { (success ? hits_ : misses_)++; }
+  void add_hits(std::uint64_t n) noexcept { hits_ += n; }
+  void add_misses(std::uint64_t n) noexcept { misses_ += n; }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t total() const noexcept { return hits_ + misses_; }
+  double rate() const noexcept {
+    const std::uint64_t t = total();
+    return t ? static_cast<double>(hits_) / static_cast<double>(t) : 0.0;
+  }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Sliding-window success rate over the last `window` observations. This is
+/// what the loss observer raplet uses to decide when to insert FEC.
+class WindowedRate {
+ public:
+  explicit WindowedRate(std::size_t window) : window_(window) {}
+
+  void add(bool success);
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool full() const noexcept { return samples_.size() == window_; }
+  double rate() const noexcept;
+
+ private:
+  std::size_t window_;
+  std::deque<bool> samples_;
+  std::size_t successes_ = 0;
+};
+
+/// Formats 0.9854 as "98.54%".
+std::string percent(double fraction, int decimals = 2);
+
+}  // namespace rapidware::util

@@ -1,0 +1,43 @@
+#include "wireless/mobility.h"
+
+namespace rapidware::wireless {
+
+WaypointWalk::WaypointWalk(std::vector<Waypoint> waypoints)
+    : waypoints_(std::move(waypoints)) {
+  if (waypoints_.empty()) {
+    throw std::invalid_argument("WaypointWalk: need at least one waypoint");
+  }
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    if (waypoints_[i].at < waypoints_[i - 1].at) {
+      throw std::invalid_argument("WaypointWalk: waypoints not time-ordered");
+    }
+  }
+}
+
+double WaypointWalk::distance_at(util::Micros t) const {
+  if (t <= waypoints_.front().at) return waypoints_.front().distance_m;
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    const auto& a = waypoints_[i - 1];
+    const auto& b = waypoints_[i];
+    if (t <= b.at) {
+      if (b.at == a.at) return b.distance_m;
+      const double f = static_cast<double>(t - a.at) /
+                       static_cast<double>(b.at - a.at);
+      return a.distance_m + f * (b.distance_m - a.distance_m);
+    }
+  }
+  return waypoints_.back().distance_m;
+}
+
+WaypointWalk WaypointWalk::office_to_conference(double near_m, double far_m,
+                                                double dwell_s, double walk_s) {
+  using util::seconds_to_micros;
+  return WaypointWalk({
+      {0, near_m},
+      {seconds_to_micros(dwell_s), near_m},
+      {seconds_to_micros(dwell_s + walk_s), far_m},
+      {seconds_to_micros(dwell_s + walk_s + dwell_s), far_m},
+  });
+}
+
+}  // namespace rapidware::wireless

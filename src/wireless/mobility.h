@@ -1,0 +1,43 @@
+// Mobility traces: distance-from-AP as a function of time.
+//
+// The paper's motivating scenario (Section 3): a user keeps a live stream
+// while walking from her office near the access point to a conference room
+// down the hall — loss rises with distance and the middleware must adapt.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace rapidware::wireless {
+
+/// Piecewise-linear distance trace through (time, distance) waypoints.
+class WaypointWalk {
+ public:
+  struct Waypoint {
+    util::Micros at;
+    double distance_m;
+  };
+
+  /// Waypoints must be time-ordered and non-empty. Before the first
+  /// waypoint the first distance holds; after the last, the last holds.
+  explicit WaypointWalk(std::vector<Waypoint> waypoints);
+
+  double distance_at(util::Micros t) const;
+
+  util::Micros start_time() const { return waypoints_.front().at; }
+  util::Micros end_time() const { return waypoints_.back().at; }
+
+  /// The office -> conference-room walk used across the evaluation: dwell
+  /// near the AP, walk out to `far_m` over `walk_s` seconds, dwell there.
+  static WaypointWalk office_to_conference(double near_m = 5.0,
+                                           double far_m = 35.0,
+                                           double dwell_s = 5.0,
+                                           double walk_s = 20.0);
+
+ private:
+  std::vector<Waypoint> waypoints_;
+};
+
+}  // namespace rapidware::wireless

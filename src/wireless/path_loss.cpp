@@ -1,0 +1,20 @@
+#include "wireless/path_loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rapidware::wireless {
+
+double PathLossModel::loss_at(double distance_m) const {
+  const double d = std::max(0.0, distance_m);
+  return std::clamp(p0 * std::exp(d / tau_m), floor, cap);
+}
+
+double PathLossModel::distance_for(double loss) const {
+  loss = std::clamp(loss, floor, cap);
+  return tau_m * std::log(loss / p0);
+}
+
+PathLossModel wavelan_model() { return {}; }
+
+}  // namespace rapidware::wireless

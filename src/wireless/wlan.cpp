@@ -1,0 +1,77 @@
+#include "wireless/wlan.h"
+
+#include <stdexcept>
+
+namespace rapidware::wireless {
+
+WirelessLan::WirelessLan(net::SimNetwork& net, net::NodeId access_point,
+                         WlanConfig config)
+    : net_(net), ap_(access_point), config_(config) {}
+
+void WirelessLan::add_station(net::NodeId station, double distance_m) {
+  {
+    std::lock_guard lk(mu_);
+    if (!distance_m_.try_emplace(station, distance_m).second) {
+      throw std::invalid_argument("WirelessLan::add_station: already added");
+    }
+  }
+  const double loss = config_.path_loss.loss_at(distance_m);
+
+  net::ChannelConfig down;
+  down.loss = net::GilbertElliottLoss::with_average(loss, config_.mean_burst_len,
+                                                    config_.loss_in_bad);
+  down.latency_us = config_.base_latency_us;
+  down.jitter_us = config_.jitter_us;
+  down.bandwidth_bps = config_.bandwidth_bps;
+  down.max_queue_delay_us = config_.max_queue_delay_us;
+  net_.set_channel(ap_, station, std::move(down));
+
+  net::ChannelConfig up;
+  up.loss = net::GilbertElliottLoss::with_average(
+      loss * config_.uplink_loss_factor, config_.mean_burst_len,
+      config_.loss_in_bad);
+  up.latency_us = config_.base_latency_us;
+  up.jitter_us = config_.jitter_us;
+  up.bandwidth_bps = config_.bandwidth_bps;
+  up.max_queue_delay_us = config_.max_queue_delay_us;
+  net_.set_channel(station, ap_, std::move(up));
+}
+
+void WirelessLan::set_distance(net::NodeId station, double distance_m) {
+  {
+    std::lock_guard lk(mu_);
+    auto it = distance_m_.find(station);
+    if (it == distance_m_.end()) {
+      throw std::invalid_argument("WirelessLan::set_distance: unknown station");
+    }
+    it->second = distance_m;
+  }
+  const double loss = config_.path_loss.loss_at(distance_m);
+  if (auto* ch = net_.channel(ap_, station)) ch->set_average_loss(loss);
+  if (auto* ch = net_.channel(station, ap_)) {
+    ch->set_average_loss(loss * config_.uplink_loss_factor);
+  }
+}
+
+double WirelessLan::distance(net::NodeId station) const {
+  std::lock_guard lk(mu_);
+  auto it = distance_m_.find(station);
+  if (it == distance_m_.end()) {
+    throw std::invalid_argument("WirelessLan::distance: unknown station");
+  }
+  return it->second;
+}
+
+double WirelessLan::downlink_loss(net::NodeId station) const {
+  return config_.path_loss.loss_at(distance(station));
+}
+
+net::ChannelStats WirelessLan::downlink_stats(net::NodeId station) {
+  auto* ch = net_.channel(ap_, station);
+  if (ch == nullptr) {
+    throw std::invalid_argument("WirelessLan::downlink_stats: unknown station");
+  }
+  return ch->stats();
+}
+
+}  // namespace rapidware::wireless

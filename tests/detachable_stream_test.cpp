@@ -1,0 +1,533 @@
+// Tests for the paper's core mechanism: detachable streams.
+//
+// Covers the blocking pipe contract, pause/drain/reconnect semantics, hard
+// and soft EOF, error paths, and — most importantly — the integrity
+// property: across arbitrary pause/reconnect (splice) cycles under
+// concurrent load, the byte sequence observed downstream equals the byte
+// sequence written upstream.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/detachable_stream.h"
+#include "util/framing.h"
+#include "util/rng.h"
+
+namespace rapidware::core {
+namespace {
+
+using util::ByteSpan;
+using util::Bytes;
+using util::to_bytes;
+using util::to_string;
+
+Bytes sequential_bytes(std::size_t n, std::uint8_t start = 0) {
+  Bytes b(n);
+  std::uint8_t v = start;
+  for (auto& x : b) x = v++;
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Basic pipe behaviour
+
+TEST(DetachableStream, ConnectThenWriteThenRead) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  EXPECT_TRUE(dos.connected());
+  EXPECT_TRUE(dis.connected());
+
+  dos.write(to_bytes("hello"));
+  EXPECT_EQ(dis.available(), 5u);
+
+  Bytes out(5);
+  EXPECT_EQ(dis.read_some(out), 5u);
+  EXPECT_EQ(to_string(out), "hello");
+}
+
+TEST(DetachableStream, ReadBlocksUntilDataArrives) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+
+  std::atomic<bool> got{false};
+  std::thread reader([&] {
+    Bytes out(3);
+    EXPECT_EQ(dis.read_some(out), 3u);
+    EXPECT_EQ(to_string(out), "abc");
+    got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  dos.write(to_bytes("abc"));
+  reader.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(DetachableStream, WriteBlocksWhenBufferFull) {
+  DetachableInputStream dis(8);
+  DetachableOutputStream dos;
+  connect(dos, dis);
+
+  dos.write(sequential_bytes(8));  // fills the ring
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    dos.write(sequential_bytes(4, 8));  // must wait for space
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(done.load());
+
+  Bytes out(12);
+  std::size_t got = 0;
+  while (got < 12) got += dis.read_some(util::MutableByteSpan(out).subspan(got));
+  writer.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_EQ(out, sequential_bytes(12));
+}
+
+TEST(DetachableStream, LargeWriteSpansManyRingFillings) {
+  DetachableInputStream dis(64);
+  DetachableOutputStream dos;
+  connect(dos, dis);
+
+  const Bytes payload = sequential_bytes(10'000);
+  std::thread writer([&] { dos.write(payload); });
+
+  Bytes received;
+  Bytes chunk(37);
+  while (received.size() < payload.size()) {
+    const std::size_t n = dis.read_some(chunk);
+    ASSERT_GT(n, 0u);
+    received.insert(received.end(), chunk.begin(),
+                    chunk.begin() + static_cast<long>(n));
+  }
+  writer.join();
+  EXPECT_EQ(received, payload);
+}
+
+TEST(DetachableStream, AvailableReflectsBufferedBytes) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  EXPECT_EQ(dis.available(), 0u);
+  dos.write(sequential_bytes(10));
+  EXPECT_EQ(dis.available(), 10u);
+  Bytes out(4);
+  dis.read_some(out);
+  EXPECT_EQ(dis.available(), 6u);
+}
+
+TEST(DetachableStream, ByteCountersTrackTraffic) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  dos.write(sequential_bytes(100));
+  Bytes out(60);
+  dis.read_some(out);
+  EXPECT_EQ(dis.bytes_received(), 100u);
+  EXPECT_EQ(dis.bytes_delivered(), 60u);
+}
+
+// ---------------------------------------------------------------------------
+// Connection state errors
+
+TEST(DetachableStream, DoubleConnectThrows) {
+  DetachableInputStream dis1, dis2;
+  DetachableOutputStream dos;
+  connect(dos, dis1);
+  EXPECT_THROW(dos.reconnect(dis2), StreamError);
+}
+
+TEST(DetachableStream, ConnectToAttachedSinkThrows) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos1, dos2;
+  connect(dos1, dis);
+  EXPECT_THROW(dos2.reconnect(dis), StreamError);
+}
+
+TEST(DetachableStream, PauseWithoutConnectionThrows) {
+  DetachableOutputStream dos;
+  EXPECT_THROW(dos.pause(), StreamError);
+}
+
+TEST(DetachableStream, DisPauseWithoutSourceThrows) {
+  DetachableInputStream dis;
+  EXPECT_THROW(dis.pause(), StreamError);
+}
+
+TEST(DetachableStream, PauseIsIdempotent) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  dos.pause();
+  EXPECT_NO_THROW(dos.pause());
+}
+
+TEST(DetachableStream, WriteAfterCloseThrows) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  dos.close();
+  EXPECT_THROW(dos.write(to_bytes("x")), BrokenPipe);
+}
+
+TEST(DetachableStream, WriteToClosedReaderThrows) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  dis.close();
+  EXPECT_THROW(dos.write(to_bytes("x")), BrokenPipe);
+}
+
+TEST(DetachableStream, ReconnectToClosedReaderThrows) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  dis.close();
+  EXPECT_THROW(dos.reconnect(dis), StreamError);
+}
+
+// ---------------------------------------------------------------------------
+// EOF semantics
+
+TEST(DetachableStream, CloseDeliversEofAfterDrain) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  dos.write(to_bytes("tail"));
+  dos.close();
+
+  Bytes out(16);
+  EXPECT_EQ(dis.read_some(out), 4u);  // buffered data first
+  EXPECT_EQ(dis.read_some(out), 0u);  // then EOF
+  EXPECT_EQ(dis.read_some(out), 0u);  // EOF is sticky
+}
+
+TEST(DetachableStream, CloseWakesBlockedReader) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  std::thread reader([&] {
+    Bytes out(4);
+    EXPECT_EQ(dis.read_some(out), 0u);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  dos.close();
+  reader.join();
+}
+
+TEST(DetachableStream, SoftEofDrainsThenSignals) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  dos.write(to_bytes("pending"));
+  dis.mark_soft_eof();
+
+  Bytes out(16);
+  EXPECT_EQ(dis.read_some(out), 7u);
+  EXPECT_EQ(dis.read_some(out), 0u);
+}
+
+TEST(DetachableStream, SoftEofClearedByReconnect) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos1, dos2;
+  connect(dos1, dis);
+  dos1.pause();
+  dis.mark_soft_eof();
+  Bytes out(4);
+  EXPECT_EQ(dis.read_some(out), 0u);
+
+  dos2.reconnect(dis);  // clears soft EOF: the filter is reusable
+  dos2.write(to_bytes("more"));
+  EXPECT_EQ(dis.read_some(out), 4u);
+  EXPECT_EQ(to_string(out), "more");
+}
+
+// ---------------------------------------------------------------------------
+// Pause / reconnect — the paper's contribution
+
+TEST(DetachableStream, PauseDrainsBufferBeforeReturning) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  dos.write(sequential_bytes(100));
+
+  std::atomic<bool> paused{false};
+  std::thread pauser([&] {
+    dos.pause();
+    paused = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(paused.load());  // buffer not yet drained
+
+  Bytes out(100);
+  std::size_t got = 0;
+  while (got < 100) got += dis.read_some(util::MutableByteSpan(out).subspan(got));
+  pauser.join();
+  EXPECT_TRUE(paused.load());
+  EXPECT_FALSE(dos.connected());
+  EXPECT_FALSE(dis.connected());
+  EXPECT_EQ(out, sequential_bytes(100));
+}
+
+TEST(DetachableStream, PauseOnEmptyBufferIsImmediate) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  dos.pause();
+  EXPECT_FALSE(dos.connected());
+}
+
+TEST(DetachableStream, DisPauseForwardsToSource) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  dis.pause();  // reference call to dos.pause(), as in the paper
+  EXPECT_FALSE(dos.connected());
+  EXPECT_FALSE(dis.connected());
+}
+
+TEST(DetachableStream, ReaderBlockedAcrossPauseResumessAfterReconnect) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos1, dos2;
+  connect(dos1, dis);
+
+  Bytes out(5);
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    EXPECT_EQ(dis.read_some(out), 5u);  // blocks across the splice
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  dos1.pause();
+  EXPECT_FALSE(done.load());
+
+  dos2.reconnect(dis);
+  dos2.write(to_bytes("after"));
+  reader.join();
+  EXPECT_EQ(to_string(out), "after");
+}
+
+TEST(DetachableStream, WriterBlockedAcrossPauseResumesAfterReconnect) {
+  DetachableInputStream dis1, dis2;
+  DetachableOutputStream dos;
+  connect(dos, dis1);
+  dos.pause();
+
+  std::atomic<bool> delivered{false};
+  std::thread writer([&] {
+    dos.write(to_bytes("redirected"));  // blocks: stream is paused
+    delivered = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(delivered.load());
+
+  dos.reconnect(dis2);  // the write lands in the NEW sink
+  Bytes out(10);
+  std::size_t got = 0;
+  while (got < 10) got += dis2.read_some(util::MutableByteSpan(out).subspan(got));
+  writer.join();
+  EXPECT_EQ(to_string(out), "redirected");
+  EXPECT_EQ(dis1.available(), 0u);
+}
+
+TEST(DetachableStream, InFlightWriteLandsEntirelyInOneSink) {
+  // A write that began before pause() must not be torn across two sinks:
+  // this is what keeps framed packets intact across filter insertion.
+  DetachableInputStream dis1, dis2;
+  DetachableOutputStream dos;
+  connect(dos, dis1);
+
+  const Bytes payload = sequential_bytes(200'000);
+  std::thread writer([&] { dos.write(payload); });
+
+  // Reader drains dis1 slowly while a pause is requested mid-write.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Bytes received;
+  std::thread reader([&] {
+    Bytes chunk(1024);
+    while (received.size() < payload.size()) {
+      const std::size_t n = dis1.read_some(chunk);
+      if (n == 0) break;
+      received.insert(received.end(), chunk.begin(),
+                      chunk.begin() + static_cast<long>(n));
+    }
+  });
+
+  dos.pause();  // returns only after the whole in-flight write drained
+  writer.join();
+  reader.join();
+  EXPECT_EQ(received, payload);  // nothing left for dis2
+  dos.reconnect(dis2);
+  EXPECT_EQ(dis2.available(), 0u);
+}
+
+TEST(DetachableStream, SpliceRedirectsSubsequentTraffic) {
+  DetachableInputStream dis1, dis2;
+  DetachableOutputStream dos;
+  connect(dos, dis1);
+  dos.write(to_bytes("one"));
+  Bytes out(3);
+  dis1.read_some(out);
+  EXPECT_EQ(to_string(out), "one");
+
+  dos.pause();
+  dos.reconnect(dis2);
+  dos.write(to_bytes("two"));
+  dis2.read_some(out);
+  EXPECT_EQ(to_string(out), "two");
+  EXPECT_EQ(dis1.available(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Integrity property tests
+
+struct SpliceParam {
+  std::size_t ring_capacity;
+  std::size_t total_bytes;
+  int splices;
+};
+
+class SpliceIntegrityTest : public ::testing::TestWithParam<SpliceParam> {};
+
+// One writer streams a known byte sequence through a DOS while the control
+// thread repeatedly pauses it and bounces it between two DIS sinks; two
+// readers concatenate what they see per-epoch. Total received must equal
+// the sequence sent: nothing lost, duplicated, or reordered.
+TEST_P(SpliceIntegrityTest, NoBytesLostDuplicatedOrReordered) {
+  const auto param = GetParam();
+  DetachableInputStream dis_a(param.ring_capacity), dis_b(param.ring_capacity);
+  DetachableOutputStream dos;
+  connect(dos, dis_a);
+
+  const Bytes payload = [&] {
+    Bytes b(param.total_bytes);
+    util::Rng rng(1234);
+    for (auto& x : b) x = static_cast<std::uint8_t>(rng.next_u64());
+    return b;
+  }();
+
+  std::thread writer([&] {
+    util::Rng rng(99);
+    std::size_t sent = 0;
+    while (sent < payload.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(rng.next_below(1500) + 1, payload.size() - sent);
+      dos.write(ByteSpan(payload.data() + sent, n));
+      sent += n;
+    }
+    dos.close();
+  });
+
+  // One reader follows the stream across splices: it drains the currently
+  // attached sink until the per-epoch soft EOF, then moves to the other
+  // sink — exactly the hand-off a downstream filter experiences. The
+  // resulting byte sequence must equal the payload.
+  Bytes log;
+  std::thread reader([&] {
+    DetachableInputStream* current = &dis_a;
+    Bytes chunk(777);
+    while (log.size() < payload.size()) {
+      const std::size_t n = current->read_some(chunk);
+      if (n == 0) {
+        current = (current == &dis_a) ? &dis_b : &dis_a;
+        std::this_thread::yield();
+        continue;
+      }
+      log.insert(log.end(), chunk.begin(), chunk.begin() + static_cast<long>(n));
+    }
+  });
+
+  // Control thread: splice between sinks `splices` times. After each pause
+  // the old sink is given a soft EOF so the reader knows to switch over.
+  bool on_a = true;
+  for (int i = 0; i < param.splices; ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+    try {
+      dos.pause();
+      (on_a ? dis_a : dis_b).mark_soft_eof();
+      dos.reconnect(on_a ? dis_b : dis_a);
+      on_a = !on_a;
+    } catch (const StreamError&) {
+      break;  // writer finished and closed the stream
+    }
+  }
+
+  writer.join();
+  reader.join();
+
+  ASSERT_EQ(log.size(), payload.size());
+  EXPECT_EQ(log, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpliceSweep, SpliceIntegrityTest,
+    ::testing::Values(SpliceParam{64, 50'000, 20},
+                      SpliceParam{256, 100'000, 50},
+                      SpliceParam{4096, 500'000, 30},
+                      SpliceParam{65536, 1'000'000, 10},
+                      SpliceParam{17, 20'000, 40}),
+    [](const auto& info) {
+      return "ring" + std::to_string(info.param.ring_capacity) + "_bytes" +
+             std::to_string(info.param.total_bytes) + "_splices" +
+             std::to_string(info.param.splices);
+    });
+
+// Frames written through splices stay intact (the frame-boundary property).
+TEST(DetachableStream, FramesSurviveSplices) {
+  DetachableInputStream dis_a, dis_b;
+  DetachableOutputStream dos;
+  connect(dos, dis_a);
+
+  constexpr int kFrames = 2000;
+  std::thread writer([&] {
+    util::Rng rng(5);
+    for (int i = 0; i < kFrames; ++i) {
+      Bytes payload(rng.next_below(900) + 4);
+      util::Writer w;
+      w.u32(static_cast<std::uint32_t>(i));
+      std::copy(w.bytes().begin(), w.bytes().end(), payload.begin());
+      util::write_frame(dos, payload);
+    }
+    dos.close();
+  });
+
+  std::vector<std::uint32_t> ids;
+  std::thread reader([&] {
+    DetachableInputStream* current = &dis_a;
+    while (ids.size() < static_cast<std::size_t>(kFrames)) {
+      auto frame = util::read_frame(*current);
+      if (!frame) {
+        current = (current == &dis_a) ? &dis_b : &dis_a;
+        std::this_thread::yield();
+        continue;
+      }
+      util::Reader r(*frame);
+      ids.push_back(r.u32());
+    }
+  });
+
+  bool on_a = true;
+  for (int i = 0; i < 30; ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+    try {
+      dos.pause();
+      (on_a ? dis_a : dis_b).mark_soft_eof();
+      dos.reconnect(on_a ? dis_b : dis_a);
+      on_a = !on_a;
+    } catch (const StreamError&) {
+      break;
+    }
+  }
+
+  writer.join();
+  reader.join();
+
+  ASSERT_EQ(ids.size(), static_cast<std::size_t>(kFrames));
+  for (int i = 0; i < kFrames; ++i) EXPECT_EQ(ids[i], static_cast<std::uint32_t>(i));
+}
+
+}  // namespace
+}  // namespace rapidware::core

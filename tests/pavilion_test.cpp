@@ -1,0 +1,315 @@
+// Tests for the Pavilion substrate: leadership/floor control, the simulated
+// web, resource packets, and collaborative browsing sessions — including a
+// session whose wireless member is fed through a RAPIDware proxy.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "filters/cache_filter.h"
+#include "pavilion/leadership.h"
+#include "pavilion/session.h"
+#include "pavilion/web.h"
+#include "proxy/proxy.h"
+#include "util/serial.h"
+
+namespace rapidware::pavilion {
+namespace {
+
+using util::Bytes;
+using util::to_bytes;
+
+// ---------------------------------------------------------------------------
+// FloorMessage
+
+TEST(FloorMessage, SerializationRoundTrips) {
+  FloorMessage m{FloorMsg::kGrant, "alice", {3, 99}, 42};
+  EXPECT_EQ(FloorMessage::parse(m.serialize()), m);
+}
+
+TEST(FloorMessage, RejectsUnknownType) {
+  FloorMessage m{FloorMsg::kRequest, "x", {}, 0};
+  Bytes wire = m.serialize();
+  wire[0] = 9;
+  EXPECT_THROW(FloorMessage::parse(wire), util::SerialError);
+}
+
+// ---------------------------------------------------------------------------
+// FloorControl
+
+struct FloorWorld {
+  std::shared_ptr<util::SimClock> clock = std::make_shared<util::SimClock>();
+  net::SimNetwork net{clock, 31};
+  net::Address announce = net::multicast_group(50, 4100);
+
+  struct Member {
+    net::NodeId node;
+    std::shared_ptr<net::SimSocket> socket;
+    std::unique_ptr<FloorControl> floor;
+  };
+
+  Member make(const std::string& name, bool leader) {
+    Member m;
+    m.node = net.add_node(name);
+    m.socket = net.open(m.node);
+    m.floor = std::make_unique<FloorControl>(name, m.socket, announce, leader);
+    m.floor->start();
+    return m;
+  }
+};
+
+TEST(FloorControl, InitialLeaderHoldsFloor) {
+  FloorWorld w;
+  auto alice = w.make("alice", true);
+  auto bob = w.make("bob", false);
+  EXPECT_TRUE(alice.floor->is_leader());
+  EXPECT_FALSE(bob.floor->is_leader());
+  EXPECT_EQ(alice.floor->current_leader(), "alice");
+  alice.floor->stop();
+  bob.floor->stop();
+}
+
+TEST(FloorControl, RequestGrantTransfersFloor) {
+  FloorWorld w;
+  auto alice = w.make("alice", true);
+  auto bob = w.make("bob", false);
+  auto carol = w.make("carol", false);
+
+  ASSERT_TRUE(bob.floor->request_floor(alice.socket->local()));
+  EXPECT_TRUE(bob.floor->is_leader());
+  EXPECT_FALSE(alice.floor->is_leader());
+
+  // Everyone learns the new leader via the multicast announcement; the
+  // observers' service threads converge independently.
+  for (int i = 0; i < 200 && (carol.floor->current_leader() != "bob" ||
+                              alice.floor->current_leader() != "bob");
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(carol.floor->current_leader(), "bob");
+  EXPECT_EQ(alice.floor->current_leader(), "bob");
+  EXPECT_GT(bob.floor->leadership_seq(), 0u);
+
+  alice.floor->stop();
+  bob.floor->stop();
+  carol.floor->stop();
+}
+
+TEST(FloorControl, RequestToNonLeaderTimesOut) {
+  FloorWorld w;
+  auto alice = w.make("alice", true);
+  auto bob = w.make("bob", false);
+  auto carol = w.make("carol", false);
+  EXPECT_FALSE(carol.floor->request_floor(bob.socket->local(), 100));
+  EXPECT_FALSE(carol.floor->is_leader());
+  alice.floor->stop();
+  bob.floor->stop();
+  carol.floor->stop();
+}
+
+TEST(FloorControl, RequestWhileAlreadyLeaderSucceedsImmediately) {
+  FloorWorld w;
+  auto alice = w.make("alice", true);
+  EXPECT_TRUE(alice.floor->request_floor(alice.socket->local(), 100));
+  alice.floor->stop();
+}
+
+TEST(FloorControl, GrantPolicyCanRefuse) {
+  FloorWorld w;
+  auto alice = w.make("alice", true);
+  auto bob = w.make("bob", false);
+  alice.floor->set_grant_policy([](const std::string&) { return false; });
+  EXPECT_FALSE(bob.floor->request_floor(alice.socket->local(), 150));
+  EXPECT_TRUE(alice.floor->is_leader());
+  alice.floor->stop();
+  bob.floor->stop();
+}
+
+TEST(FloorControl, LeadershipChainAcrossThreeMembers) {
+  FloorWorld w;
+  auto alice = w.make("alice", true);
+  auto bob = w.make("bob", false);
+  auto carol = w.make("carol", false);
+
+  ASSERT_TRUE(bob.floor->request_floor(alice.socket->local()));
+  ASSERT_TRUE(carol.floor->request_floor(bob.socket->local()));
+  EXPECT_TRUE(carol.floor->is_leader());
+  EXPECT_FALSE(bob.floor->is_leader());
+  // Sequence numbers strictly increase across hand-offs.
+  EXPECT_GT(carol.floor->leadership_seq(), 1u);
+
+  alice.floor->stop();
+  bob.floor->stop();
+  carol.floor->stop();
+}
+
+TEST(FloorControl, ChangeCallbackFires) {
+  FloorWorld w;
+  auto alice = w.make("alice", true);
+  auto bob = w.make("bob", false);
+  std::atomic<bool> saw_bob{false};
+  alice.floor->set_on_leader_change([&](const std::string& who) {
+    if (who == "bob") saw_bob = true;
+  });
+  ASSERT_TRUE(bob.floor->request_floor(alice.socket->local()));
+  for (int i = 0; i < 100 && !saw_bob.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(saw_bob.load());
+  alice.floor->stop();
+  bob.floor->stop();
+}
+
+// ---------------------------------------------------------------------------
+// WebServer
+
+TEST(Web, PutGetRoundTrips) {
+  WebServer web;
+  web.put("/logo.png", {"image/png", Bytes(100, 0x89)});
+  const auto r = web.get("/logo.png");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->content_type, "image/png");
+  EXPECT_EQ(r->body.size(), 100u);
+}
+
+TEST(Web, UnknownNonHtmlIs404) {
+  WebServer web;
+  EXPECT_FALSE(web.get("/missing.png").has_value());
+}
+
+TEST(Web, SynthesizesStableHtmlPages) {
+  WebServer web;
+  const auto a = web.get("/any/page.html");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->content_type, "text/html");
+  EXPECT_GT(a->body.size(), 200u);
+  EXPECT_EQ(web.get("/any/page.html"), a);  // repeat fetch identical
+  EXPECT_EQ(web.requests(), 2u);
+}
+
+TEST(ResourcePacketTest, SerializationRoundTrips) {
+  ResourcePacket p{"/x.html", "text/html", to_bytes("<html/>")};
+  EXPECT_EQ(ResourcePacket::parse(p.serialize()), p);
+}
+
+// ---------------------------------------------------------------------------
+// Collaborative session
+
+struct SessionWorld {
+  std::shared_ptr<util::SimClock> clock = std::make_shared<util::SimClock>();
+  net::SimNetwork net{clock, 61};
+  SessionGroups groups = SessionGroups::standard();
+  WebServer web;
+};
+
+TEST(Session, LeaderNavigationReachesAllMembers) {
+  SessionWorld w;
+  SessionMember alice("alice", w.net, w.net.add_node("alice"), w.groups,
+                      &w.web, true);
+  SessionMember bob("bob", w.net, w.net.add_node("bob"), w.groups, &w.web);
+  SessionMember carol("carol", w.net, w.net.add_node("carol"), w.groups,
+                      &w.web);
+  alice.start();
+  bob.start();
+  carol.start();
+
+  ASSERT_TRUE(alice.navigate("/home.html"));
+  EXPECT_TRUE(bob.wait_for_page("/home.html"));
+  EXPECT_TRUE(carol.wait_for_page("/home.html"));
+  EXPECT_EQ(bob.page("/home.html"), w.web.get("/home.html"));
+  EXPECT_EQ(bob.urls_seen(), std::vector<std::string>{"/home.html"});
+  // The leader records its own navigation too.
+  EXPECT_TRUE(alice.page("/home.html").has_value());
+
+  alice.stop();
+  bob.stop();
+  carol.stop();
+}
+
+TEST(Session, NonLeaderCannotNavigate) {
+  SessionWorld w;
+  SessionMember alice("alice", w.net, w.net.add_node("alice"), w.groups,
+                      &w.web, true);
+  SessionMember bob("bob", w.net, w.net.add_node("bob"), w.groups, &w.web);
+  alice.start();
+  bob.start();
+  EXPECT_FALSE(bob.navigate("/home.html"));
+  alice.stop();
+  bob.stop();
+}
+
+TEST(Session, MissingResourceFails) {
+  SessionWorld w;
+  SessionMember alice("alice", w.net, w.net.add_node("alice"), w.groups,
+                      &w.web, true);
+  alice.start();
+  EXPECT_FALSE(alice.navigate("/missing.png"));
+  alice.stop();
+}
+
+TEST(Session, AssetsTravelWithThePage) {
+  SessionWorld w;
+  w.web.put("/style.css", {"text/css", Bytes(500, 'c')});
+  SessionMember alice("alice", w.net, w.net.add_node("alice"), w.groups,
+                      &w.web, true);
+  SessionMember bob("bob", w.net, w.net.add_node("bob"), w.groups, &w.web);
+  alice.start();
+  bob.start();
+  ASSERT_TRUE(alice.navigate("/home.html", {"/style.css"}));
+  EXPECT_TRUE(bob.wait_for_page("/style.css"));
+  alice.stop();
+  bob.stop();
+}
+
+TEST(Session, FloorHandoffChangesWhoCanNavigate) {
+  SessionWorld w;
+  SessionMember alice("alice", w.net, w.net.add_node("alice"), w.groups,
+                      &w.web, true);
+  SessionMember bob("bob", w.net, w.net.add_node("bob"), w.groups, &w.web);
+  alice.start();
+  bob.start();
+
+  ASSERT_TRUE(bob.floor().request_floor(alice.control_address()));
+  EXPECT_TRUE(bob.navigate("/bobs-page.html"));
+  EXPECT_FALSE(alice.navigate("/alices-page.html"));
+  EXPECT_TRUE(alice.wait_for_page("/bobs-page.html"));
+
+  alice.stop();
+  bob.stop();
+}
+
+TEST(Session, ProxyFedWirelessMemberReceivesContents) {
+  // The handheld cannot join the wired data group; a RAPIDware proxy joins
+  // on its behalf and relays over the wireless hop (Figure 2's shape), with
+  // a cache-expand present to match a cache-pack on the proxy.
+  SessionWorld w;
+  const auto proxy_node = w.net.add_node("proxy");
+  const auto handheld_node = w.net.add_node("handheld");
+
+  proxy::ProxyConfig pc;
+  pc.ingress_port = w.groups.data.port;
+  pc.ingress_group = w.groups.data;
+  pc.egress_dst = {handheld_node, 4600};
+  proxy::Proxy proxy(w.net, proxy_node, pc);
+  proxy.start();
+
+  SessionMember alice("alice", w.net, w.net.add_node("alice"), w.groups,
+                      &w.web, true);
+  auto handheld_feed = w.net.open(handheld_node, 4600);
+  // A proxy-fed member does not join the wired data group at all — every
+  // session byte it sees travelled through the proxy.
+  SessionMember dave("dave", w.net, handheld_node, w.groups, &w.web,
+                     /*initial_leader=*/false, handheld_feed);
+  alice.start();
+  dave.start();
+
+  ASSERT_TRUE(alice.navigate("/shared.html"));
+  EXPECT_TRUE(dave.wait_for_page("/shared.html"));
+  EXPECT_EQ(dave.page("/shared.html"), w.web.get("/shared.html"));
+
+  alice.stop();
+  dave.stop();
+  proxy.shutdown();
+}
+
+}  // namespace
+}  // namespace rapidware::pavilion

@@ -1,0 +1,263 @@
+// Tests for the proxy assembly: socket endpoints, the data path through a
+// networked proxy, remote control (ControlManager over datagrams), and the
+// end-to-end FEC path over a lossy simulated WLAN.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "filters/fec_filters.h"
+#include "filters/registry.h"
+#include "media/audio.h"
+#include "media/media_packet.h"
+#include "media/receiver_log.h"
+#include "proxy/proxy.h"
+#include "proxy/socket_endpoints.h"
+#include "util/rng.h"
+#include "wireless/wlan.h"
+
+namespace rapidware::proxy {
+namespace {
+
+using util::Bytes;
+using util::to_bytes;
+using util::to_string;
+
+struct World {
+  std::shared_ptr<util::SimClock> clock = std::make_shared<util::SimClock>();
+  net::SimNetwork net{clock, 99};
+  net::NodeId sender = net.add_node("sender");
+  net::NodeId proxy_node = net.add_node("proxy");
+  net::NodeId mobile = net.add_node("mobile");
+
+  ProxyConfig config() {
+    ProxyConfig c;
+    c.ingress_port = 4000;
+    c.egress_dst = {mobile, 5000};
+    c.control_port = 4999;
+    return c;
+  }
+};
+
+TEST(SocketEndpointsTest, SourceDeliversAndInterrupts) {
+  World w;
+  auto in = w.net.open(w.proxy_node, 4000);
+  auto out = w.net.open(w.sender);
+  SocketPacketSource source(in);
+  out->send_to({w.proxy_node, 4000}, to_bytes("datagram"));
+  auto packet = source.next_packet();
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(to_string(*packet), "datagram");
+
+  std::thread interrupter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    source.interrupt();
+  });
+  EXPECT_FALSE(source.next_packet().has_value());
+  interrupter.join();
+}
+
+TEST(SocketEndpointsTest, SourceStopsWhenSocketClosedElsewhere) {
+  World w;
+  auto in = w.net.open(w.proxy_node, 4000);
+  SocketPacketSource source(in);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    in->close();
+  });
+  EXPECT_FALSE(source.next_packet().has_value());
+  closer.join();
+}
+
+TEST(SocketEndpointsTest, SinkSendsToDestination) {
+  World w;
+  auto out = w.net.open(w.proxy_node);
+  auto rx = w.net.open(w.mobile, 5000);
+  SocketPacketSink sink(out, {w.mobile, 5000});
+  sink.deliver(to_bytes("payload"));
+  auto d = rx->recv(1000);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(to_string(d->payload), "payload");
+}
+
+TEST(Proxy, NullProxyForwards) {
+  World w;
+  Proxy proxy(w.net, w.proxy_node, w.config());
+  proxy.start();
+
+  auto tx = w.net.open(w.sender);
+  auto rx = w.net.open(w.mobile, 5000);
+  for (int i = 0; i < 20; ++i) {
+    tx->send_to({w.proxy_node, 4000}, to_bytes("p" + std::to_string(i)));
+  }
+  for (int i = 0; i < 20; ++i) {
+    auto d = rx->recv(2000);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(to_string(d->payload), "p" + std::to_string(i));
+  }
+  proxy.shutdown();
+}
+
+TEST(Proxy, StartTwiceThrows) {
+  World w;
+  Proxy proxy(w.net, w.proxy_node, w.config());
+  proxy.start();
+  EXPECT_THROW(proxy.start(), std::runtime_error);
+  proxy.shutdown();
+}
+
+TEST(Proxy, MulticastIngress) {
+  World w;
+  auto config = w.config();
+  const net::Address group = net::multicast_group(1, 4000);
+  config.ingress_group = group;
+  Proxy proxy(w.net, w.proxy_node, config);
+  proxy.start();
+
+  auto tx = w.net.open(w.sender);
+  auto rx = w.net.open(w.mobile, 5000);
+  tx->send_to(group, to_bytes("via-group"));
+  auto d = rx->recv(2000);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(to_string(d->payload), "via-group");
+  proxy.shutdown();
+}
+
+TEST(Proxy, RemoteControlInsertAndList) {
+  filters::register_builtin_filters();
+  World w;
+  Proxy proxy(w.net, w.proxy_node, w.config());
+  proxy.start();
+
+  core::ControlManager manager(
+      network_control_transport(w.net, w.sender, proxy.control_address()));
+  EXPECT_TRUE(manager.list_chain().empty());
+  manager.insert({"stats", {{"name", "tap"}}}, 0);
+  manager.insert({"fec-encode", {{"n", "6"}, {"k", "4"}}}, 1);
+  const auto infos = manager.list_chain();
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].name, "tap");
+  EXPECT_EQ(infos[1].description, "fec-enc(6,4)");
+
+  manager.remove(0);
+  EXPECT_EQ(manager.list_chain().size(), 1u);
+  proxy.shutdown();
+}
+
+TEST(Proxy, RemoteControlErrorsPropagate) {
+  filters::register_builtin_filters();
+  World w;
+  Proxy proxy(w.net, w.proxy_node, w.config());
+  proxy.start();
+  core::ControlManager manager(
+      network_control_transport(w.net, w.sender, proxy.control_address()));
+  EXPECT_THROW(manager.insert({"no-such", {}}, 0), core::ControlError);
+  EXPECT_THROW(manager.remove(9), core::ControlError);
+  proxy.shutdown();
+}
+
+TEST(Proxy, ControlTimeoutWhenProxyDown) {
+  World w;
+  core::ControlManager manager(network_control_transport(
+      w.net, w.sender, {w.proxy_node, 4999}, /*timeout_ms=*/50));
+  EXPECT_THROW(manager.list_chain(), core::ControlError);
+}
+
+TEST(Proxy, UploadedFilterUsableRemotely) {
+  World w;
+  core::FilterRegistry registry;
+  filters::register_builtin_filters(registry);
+  Proxy proxy(w.net, w.proxy_node, w.config(), &registry);
+  proxy.start();
+  core::ControlManager manager(
+      network_control_transport(w.net, w.sender, proxy.control_address()));
+
+  // Upload a "third-party" low-bandwidth filter definition, then insert it.
+  manager.upload("lowband", {"fec-encode", {{"n", "5"}, {"k", "4"}}});
+  manager.insert({"lowband", {}}, 0);
+  EXPECT_EQ(manager.list_chain()[0].description, "fec-enc(5,4)");
+  proxy.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// End to end: audio through an FEC proxy over a lossy WLAN
+
+struct E2eParam {
+  double distance_m;
+  bool fec;
+  double fec_min_rate;  // lower bound on post-FEC delivery
+};
+
+class ProxyWlanE2e : public ::testing::TestWithParam<E2eParam> {};
+
+TEST_P(ProxyWlanE2e, DeliveryMatchesModelAndFecRecovers) {
+  const auto param = GetParam();
+  World w;
+  wireless::WirelessLan wlan(w.net, w.proxy_node);
+  wlan.add_station(w.mobile, param.distance_m);
+
+  Proxy proxy(w.net, w.proxy_node, w.config());
+  proxy.start();
+  if (param.fec) {
+    proxy.chain().insert(std::make_shared<filters::FecEncodeFilter>(6, 4), 0);
+  }
+
+  // The mobile host runs its own receive chain with a permanent decoder.
+  auto rx = w.net.open(w.mobile, 5000);
+  media::ReceiverLog log(432);
+  fec::GroupDecoder decoder(4);
+
+  auto tx = w.net.open(w.sender);
+  media::AudioSource audio;
+  media::AudioPacketizer packetizer(audio);
+  constexpr int kPackets = 3000;
+
+  std::thread receiver([&] {
+    for (;;) {
+      auto d = rx->recv(500);
+      if (!d) break;
+      if (fec::looks_like_fec_packet(d->payload)) {
+        for (const auto& payload : decoder.add(d->payload)) {
+          log.on_packet(media::MediaPacket::parse(payload), d->deliver_at);
+        }
+      } else {
+        log.on_packet(media::MediaPacket::parse(d->payload), d->deliver_at);
+      }
+    }
+    for (const auto& payload : decoder.flush()) {
+      log.on_packet(media::MediaPacket::parse(payload), 0);
+    }
+  });
+
+  for (int i = 0; i < kPackets; ++i) {
+    tx->send_to({w.proxy_node, 4000}, packetizer.next_packet().serialize());
+    w.clock->advance(20'000);  // 20 ms media cadence (virtual)
+    // Pace the producer so the proxy pipeline (real threads) keeps up with
+    // the virtual clock and the modeled AP queue reflects steady state.
+    if (i % 50 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  receiver.join();
+  proxy.shutdown();
+
+  const double modeled_loss = wlan.downlink_loss(w.mobile);
+  const double rate = log.delivery_rate();
+  if (!param.fec) {
+    // Raw delivery tracks 1 - loss within statistical noise.
+    EXPECT_NEAR(rate, 1.0 - modeled_loss, 0.02);
+  } else {
+    EXPECT_GT(rate, param.fec_min_rate);
+    EXPECT_GT(rate, 1.0 - modeled_loss);  // strictly better than raw
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistanceSweep, ProxyWlanE2e,
+    ::testing::Values(E2eParam{25.0, false, 0}, E2eParam{25.0, true, 0.995},
+                      E2eParam{35.0, false, 0}, E2eParam{35.0, true, 0.97}),
+    [](const auto& info) {
+      return std::string("d") +
+             std::to_string(static_cast<int>(info.param.distance_m)) +
+             (info.param.fec ? "_fec" : "_raw");
+    });
+
+}  // namespace
+}  // namespace rapidware::proxy

@@ -1,0 +1,251 @@
+// Tests for reliable multicast with FEC-assisted repair: NACK wire format,
+// lossless fast path, ARQ and parity repair under loss, multi-receiver
+// independent losses (the paper's "single parity packet corrects
+// independent single-packet losses among different receivers"), and
+// ordering guarantees.
+#include <gtest/gtest.h>
+
+#include "net/loss.h"
+#include "reliable/reliable_multicast.h"
+#include "util/rng.h"
+
+namespace rapidware::reliable {
+namespace {
+
+using util::Bytes;
+
+Bytes payload_for(int i) {
+  util::Writer w;
+  w.u32(static_cast<std::uint32_t>(i));
+  for (int j = 0; j < 40; ++j) w.u8(static_cast<std::uint8_t>(i + j));
+  return w.take();
+}
+
+struct World {
+  std::shared_ptr<util::SimClock> clock = std::make_shared<util::SimClock>();
+  net::SimNetwork net{clock, 314};
+  net::NodeId sender_node = net.add_node("sender");
+  net::Address group = net::multicast_group(9, 6000);
+  std::shared_ptr<net::SimSocket> sender_socket = net.open(sender_node, 6001);
+
+  struct Rx {
+    net::NodeId node;
+    std::shared_ptr<net::SimSocket> socket;
+    std::unique_ptr<ReliableMulticastReceiver> receiver;
+  };
+
+  Rx make_receiver(const std::string& name) {
+    Rx rx;
+    rx.node = net.add_node(name);
+    rx.socket = net.open(rx.node, 6000);
+    rx.receiver = std::make_unique<ReliableMulticastReceiver>(
+        rx.socket, sender_socket->local(), group, *clock);
+    return rx;
+  }
+
+  void set_loss(net::NodeId to, double p) {
+    net::ChannelConfig config;
+    config.loss = std::make_shared<net::BernoulliLoss>(p);
+    net.set_channel(sender_node, to, std::move(config));
+  }
+
+  /// Runs the NACK/repair loop until the receivers complete or the round
+  /// budget runs out.
+  void converge(ReliableMulticastSender& sender, std::vector<Rx*> receivers,
+                std::uint32_t last_block, int max_rounds = 50) {
+    for (int round = 0; round < max_rounds; ++round) {
+      bool all_done = true;
+      for (auto* rx : receivers) {
+        rx->receiver->poll();
+        rx->receiver->tick();
+        all_done &= rx->receiver->complete_through(last_block);
+      }
+      sender.service();
+      clock->advance(100'000);
+      if (all_done) return;
+    }
+  }
+};
+
+TEST(NackWire, SerializationRoundTrips) {
+  Nack nack{7, 3, {0, 2, 5}};
+  EXPECT_EQ(Nack::parse(nack.serialize()), nack);
+}
+
+TEST(NackWire, TruncatedThrows) {
+  Nack nack{7, 3, {0, 2, 5}};
+  Bytes wire = nack.serialize();
+  wire.resize(wire.size() - 2);
+  EXPECT_THROW(Nack::parse(wire), util::SerialError);
+}
+
+TEST(ReliableSender, RejectsBadParameters) {
+  World w;
+  EXPECT_THROW(
+      ReliableMulticastSender(w.sender_socket, w.group, 0, RepairMode::kArq),
+      fec::CodingError);
+  EXPECT_THROW(ReliableMulticastSender(w.sender_socket, w.group, 200,
+                                       RepairMode::kArq, 60),
+               fec::CodingError);
+}
+
+TEST(Reliable, LosslessDeliveryInOrder) {
+  World w;
+  auto rx = w.make_receiver("rx");
+  ReliableMulticastSender sender(w.sender_socket, w.group, 8,
+                                 RepairMode::kParity);
+  std::vector<Bytes> sent;
+  for (int i = 0; i < 50; ++i) {
+    sent.push_back(payload_for(i));
+    sender.send(sent.back());
+  }
+  sender.flush();  // short final block
+  w.converge(sender, {&rx}, 6);
+
+  EXPECT_EQ(rx.receiver->take_delivered(), sent);
+  EXPECT_EQ(sender.stats().repair_packets(), 0u);
+  EXPECT_EQ(rx.receiver->stats().nacks_sent, 0u);
+}
+
+class RepairModeTest : public ::testing::TestWithParam<RepairMode> {};
+
+TEST_P(RepairModeTest, RecoversUnderHeavyLoss) {
+  World w;
+  auto rx = w.make_receiver("rx");
+  w.set_loss(rx.node, 0.3);
+  ReliableMulticastSender sender(w.sender_socket, w.group, 8, GetParam());
+
+  std::vector<Bytes> sent;
+  constexpr int kPayloads = 160;  // 20 blocks
+  for (int i = 0; i < kPayloads; ++i) {
+    sent.push_back(payload_for(i));
+    sender.send(sent.back());
+  }
+  w.converge(sender, {&rx}, 19, 200);
+
+  ASSERT_TRUE(rx.receiver->complete_through(19));
+  EXPECT_EQ(rx.receiver->take_delivered(), sent);
+  EXPECT_GT(sender.stats().repair_packets(), 0u);
+  EXPECT_GT(rx.receiver->stats().nacks_sent, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, RepairModeTest,
+                         ::testing::Values(RepairMode::kArq,
+                                           RepairMode::kParity),
+                         [](const auto& info) {
+                           return info.param == RepairMode::kArq ? "arq"
+                                                                 : "parity";
+                         });
+
+TEST(Reliable, ParityRepairsIndependentLossesWithSharedPackets) {
+  // The Section 5 multicast claim, as a controlled experiment: N receivers
+  // each lose a DIFFERENT single data packet of one block. ARQ must send
+  // one retransmission per receiver; parity mode serves all of them with a
+  // single round of (here: one) parity packets.
+  for (const RepairMode mode : {RepairMode::kArq, RepairMode::kParity}) {
+    World w;
+    constexpr int kReceivers = 6;
+    std::vector<World::Rx> receivers;
+    for (int i = 0; i < kReceivers; ++i) {
+      receivers.push_back(w.make_receiver("rx" + std::to_string(i)));
+      // Receiver i drops exactly the i-th packet of the 8-packet block.
+      std::vector<bool> trace(8, false);
+      trace[static_cast<std::size_t>(i)] = true;
+      net::ChannelConfig config;
+      config.loss = std::make_shared<net::TraceLoss>(trace);
+      w.net.set_channel(w.sender_node, receivers.back().node,
+                        std::move(config));
+    }
+
+    ReliableMulticastSender sender(w.sender_socket, w.group, 8, mode);
+    std::vector<Bytes> sent;
+    for (int i = 0; i < 8; ++i) {
+      sent.push_back(payload_for(i));
+      sender.send(sent.back());
+    }
+    // After the block: disable loss so repairs get through cleanly.
+    for (auto& rx : receivers) {
+      net::ChannelConfig clean;
+      w.net.set_channel(w.sender_node, rx.node, std::move(clean));
+    }
+    std::vector<World::Rx*> ptrs;
+    for (auto& rx : receivers) ptrs.push_back(&rx);
+    w.converge(sender, ptrs, 0);
+
+    for (auto& rx : receivers) {
+      ASSERT_TRUE(rx.receiver->complete_through(0));
+      EXPECT_EQ(rx.receiver->take_delivered(), sent);
+    }
+    if (mode == RepairMode::kArq) {
+      // One distinct retransmission per receiver.
+      EXPECT_EQ(sender.stats().retransmissions,
+                static_cast<std::uint64_t>(kReceivers));
+    } else {
+      // Parity repair with aggregation: the six aggregated NACKs (each
+      // needing one symbol) collapse into a single parity packet — the
+      // paper's multicast FEC advantage, verbatim.
+      EXPECT_LE(sender.stats().parity_packets, 2u);
+      EXPECT_GE(sender.stats().parity_packets, 1u);
+    }
+  }
+}
+
+TEST(Reliable, DeliveryOrderAcrossRepairedGaps) {
+  // Block 0 loses packets and completes only after repair; block 1 arrives
+  // clean meanwhile. Delivery must still be 0 before 1.
+  World w;
+  auto rx = w.make_receiver("rx");
+  std::vector<bool> trace(16, false);
+  trace[2] = trace[3] = true;  // lose two packets of block 0
+  net::ChannelConfig config;
+  config.loss = std::make_shared<net::TraceLoss>(trace);
+  w.net.set_channel(w.sender_node, rx.node, std::move(config));
+
+  ReliableMulticastSender sender(w.sender_socket, w.group, 8,
+                                 RepairMode::kParity);
+  std::vector<Bytes> sent;
+  for (int i = 0; i < 16; ++i) {
+    sent.push_back(payload_for(i));
+    sender.send(sent.back());
+  }
+  w.converge(sender, {&rx}, 1);
+
+  EXPECT_EQ(rx.receiver->take_delivered(), sent);
+  EXPECT_GE(rx.receiver->stats().recovered_via_parity, 1u);
+}
+
+TEST(Reliable, NackForUnknownBlockIsIgnored) {
+  World w;
+  auto rx_socket = w.net.open(w.net.add_node("stranger"));
+  ReliableMulticastSender sender(w.sender_socket, w.group, 4,
+                                 RepairMode::kArq);
+  rx_socket->send_to(w.sender_socket->local(), Nack{999, 0, {0}}.serialize());
+  rx_socket->send_to(w.sender_socket->local(), util::to_bytes("junk"));
+  EXPECT_NO_THROW(sender.service());
+  EXPECT_EQ(sender.stats().retransmissions, 0u);
+  EXPECT_EQ(sender.stats().nacks_received, 1u);  // junk didn't parse
+}
+
+TEST(Reliable, ShortFinalBlockRepairable) {
+  World w;
+  auto rx = w.make_receiver("rx");
+  std::vector<bool> trace(3, false);
+  trace[1] = true;  // lose the middle packet of a 3-payload short block
+  net::ChannelConfig config;
+  config.loss = std::make_shared<net::TraceLoss>(trace);
+  w.net.set_channel(w.sender_node, rx.node, std::move(config));
+
+  ReliableMulticastSender sender(w.sender_socket, w.group, 8,
+                                 RepairMode::kParity);
+  std::vector<Bytes> sent;
+  for (int i = 0; i < 3; ++i) {
+    sent.push_back(payload_for(i));
+    sender.send(sent.back());
+  }
+  sender.flush();
+  w.converge(sender, {&rx}, 0);
+  EXPECT_EQ(rx.receiver->take_delivered(), sent);
+}
+
+}  // namespace
+}  // namespace rapidware::reliable

@@ -1,0 +1,475 @@
+// Unit tests for src/util: buffers, RNG, stats, serialization, framing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/bytes.h"
+#include "util/clock.h"
+#include "util/framing.h"
+#include "util/io.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/serial.h"
+#include "util/stats.h"
+
+namespace rapidware::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ByteRing
+
+TEST(ByteRing, StartsEmpty) {
+  ByteRing ring(16);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.full());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), 16u);
+  EXPECT_EQ(ring.free_space(), 16u);
+}
+
+TEST(ByteRing, WriteThenReadRoundTrips) {
+  ByteRing ring(16);
+  const Bytes in = to_bytes("hello");
+  EXPECT_EQ(ring.write(in), 5u);
+  EXPECT_EQ(ring.size(), 5u);
+  Bytes out(5);
+  EXPECT_EQ(ring.read(out), 5u);
+  EXPECT_EQ(out, in);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(ByteRing, WriteIsBoundedByFreeSpace) {
+  ByteRing ring(4);
+  const Bytes in = to_bytes("abcdef");
+  EXPECT_EQ(ring.write(in), 4u);
+  EXPECT_TRUE(ring.full());
+  EXPECT_EQ(ring.write(in), 0u);
+}
+
+TEST(ByteRing, WrapAroundPreservesOrder) {
+  ByteRing ring(8);
+  Bytes tmp(5);
+  ASSERT_EQ(ring.write(to_bytes("abcde")), 5u);
+  ASSERT_EQ(ring.read(tmp), 5u);  // head now at 5
+  ASSERT_EQ(ring.write(to_bytes("123456")), 6u);  // wraps
+  Bytes out(6);
+  ASSERT_EQ(ring.read(out), 6u);
+  EXPECT_EQ(to_string(out), "123456");
+}
+
+TEST(ByteRing, PeekDoesNotConsume) {
+  ByteRing ring(8);
+  ring.write(to_bytes("xyz"));
+  Bytes peeked(3);
+  EXPECT_EQ(ring.peek(peeked), 3u);
+  EXPECT_EQ(ring.size(), 3u);
+  Bytes read(3);
+  EXPECT_EQ(ring.read(read), 3u);
+  EXPECT_EQ(read, peeked);
+}
+
+TEST(ByteRing, PartialReadReturnsAvailable) {
+  ByteRing ring(8);
+  ring.write(to_bytes("ab"));
+  Bytes out(5);
+  EXPECT_EQ(ring.read(out), 2u);
+}
+
+TEST(ByteRing, ClearEmptiesBuffer) {
+  ByteRing ring(8);
+  ring.write(to_bytes("abcd"));
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.write(to_bytes("12345678")), 8u);
+}
+
+TEST(ByteRing, ManyWrapCyclesKeepFifoOrder) {
+  ByteRing ring(7);  // odd capacity stresses wrap arithmetic
+  Rng rng(42);
+  Bytes sent, received;
+  std::uint8_t next = 0;
+  for (int iter = 0; iter < 1000; ++iter) {
+    Bytes chunk(rng.next_below(5) + 1);
+    for (auto& b : chunk) b = next++;
+    const std::size_t w = ring.write(chunk);
+    sent.insert(sent.end(), chunk.begin(), chunk.begin() + static_cast<long>(w));
+    // Resume the sequence from the first unsent byte (if any were refused).
+    next = w < chunk.size() ? chunk[w]
+                            : static_cast<std::uint8_t>(chunk.back() + 1);
+    Bytes out(rng.next_below(5) + 1);
+    const std::size_t r = ring.read(out);
+    received.insert(received.end(), out.begin(),
+                    out.begin() + static_cast<long>(r));
+  }
+  Bytes rest(ring.size());
+  ring.read(rest);
+  received.insert(received.end(), rest.begin(), rest.end());
+  EXPECT_EQ(sent, received);
+}
+
+TEST(BytesHelpers, HexEncoding) {
+  EXPECT_EQ(to_hex(Bytes{0xde, 0xad, 0x00, 0x0f}), "dead000f");
+  EXPECT_EQ(to_hex(Bytes{}), "");
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(5);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) seen[rng.next_below(10)]++;
+  for (int count : seen) EXPECT_GT(count, 800);  // ~1000 expected each
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(7);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(8);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.next_gaussian(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.next_exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(10);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.next_u64() == child.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  Rng rng(11);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_gaussian();
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps to first bin
+  h.add(100.0);   // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+}
+
+TEST(Histogram, PercentileOrdering) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_LT(h.percentile(10), h.percentile(50));
+  EXPECT_LT(h.percentile(50), h.percentile(99));
+  EXPECT_NEAR(h.percentile(50), 50.0, 2.0);
+}
+
+TEST(RateCounter, ComputesRate) {
+  RateCounter c;
+  EXPECT_EQ(c.rate(), 0.0);
+  for (int i = 0; i < 98; ++i) c.add(true);
+  for (int i = 0; i < 2; ++i) c.add(false);
+  EXPECT_DOUBLE_EQ(c.rate(), 0.98);
+  EXPECT_EQ(c.total(), 100u);
+}
+
+TEST(WindowedRate, SlidesOverWindow) {
+  WindowedRate w(4);
+  EXPECT_EQ(w.rate(), 1.0);  // vacuous
+  w.add(false);
+  w.add(false);
+  w.add(false);
+  w.add(false);
+  EXPECT_EQ(w.rate(), 0.0);
+  w.add(true);
+  w.add(true);
+  w.add(true);
+  w.add(true);
+  EXPECT_EQ(w.rate(), 1.0);  // old samples fell out
+  EXPECT_TRUE(w.full());
+}
+
+TEST(PercentFormat, Renders) {
+  EXPECT_EQ(percent(0.9854), "98.54%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+// ---------------------------------------------------------------------------
+// Clocks
+
+TEST(Clocks, SimClockAdvancesManually) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(1500);
+  EXPECT_EQ(clock.now(), 1500);
+  clock.set(42);
+  EXPECT_EQ(clock.now(), 42);
+}
+
+TEST(Clocks, WallClockIsMonotonic) {
+  WallClock clock;
+  const Micros a = clock.now();
+  const Micros b = clock.now();
+  EXPECT_GE(b, a);
+}
+
+TEST(Clocks, SecondsConversionRoundTrips) {
+  EXPECT_EQ(seconds_to_micros(1.5), 1'500'000);
+  EXPECT_EQ(seconds_to_micros(0.0), 0);
+  EXPECT_DOUBLE_EQ(micros_to_seconds(250'000), 0.25);
+  EXPECT_DOUBLE_EQ(micros_to_seconds(seconds_to_micros(12.75)), 12.75);
+}
+
+// ---------------------------------------------------------------------------
+// Logging
+
+TEST(Logging, LevelGatingWorks) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+  set_log_level(saved);
+}
+
+TEST(Logging, EmissionDoesNotCrash) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kDebug);
+  RW_DEBUG("test") << "value=" << 42;
+  RW_INFO("test") << "info line";
+  set_log_level(saved);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+
+TEST(Serial, RoundTripsScalars) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serial, RoundTripsBlobsAndStrings) {
+  Writer w;
+  w.blob(to_bytes("payload"));
+  w.str("a string");
+  w.str("");
+  Reader r(w.bytes());
+  EXPECT_EQ(to_string(r.blob()), "payload");
+  EXPECT_EQ(r.str(), "a string");
+  EXPECT_EQ(r.str(), "");
+}
+
+TEST(Serial, TruncatedInputThrows) {
+  Writer w;
+  w.u32(7);
+  Reader r(w.bytes());
+  r.u16();
+  EXPECT_THROW(r.u32(), SerialError);
+}
+
+TEST(Serial, OversizedBlobLengthThrows) {
+  Writer w;
+  w.u32(1000);  // claims 1000 bytes, provides none
+  Reader r(w.bytes());
+  EXPECT_THROW(r.blob(), SerialError);
+}
+
+TEST(Serial, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.bytes().size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+/// ByteSource/ByteSink over an in-memory vector, for framing tests.
+class MemoryStream final : public ByteSource, public ByteSink {
+ public:
+  void write(ByteSpan in) override {
+    data_.insert(data_.end(), in.begin(), in.end());
+  }
+  std::size_t read_some(MutableByteSpan out) override {
+    const std::size_t n = std::min(out.size(), data_.size() - pos_);
+    std::copy_n(data_.begin() + static_cast<long>(pos_), n, out.begin());
+    pos_ += n;
+    return n;
+  }
+  Bytes data_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Framing, RoundTripsSingleFrame) {
+  MemoryStream s;
+  write_frame(s, to_bytes("hello frame"));
+  auto frame = read_frame(s);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(to_string(*frame), "hello frame");
+  EXPECT_FALSE(read_frame(s).has_value());  // clean EOF
+}
+
+TEST(Framing, RoundTripsManyFramesInOrder) {
+  MemoryStream s;
+  for (int i = 0; i < 100; ++i) write_frame(s, to_bytes("frame " + std::to_string(i)));
+  for (int i = 0; i < 100; ++i) {
+    auto frame = read_frame(s);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(to_string(*frame), "frame " + std::to_string(i));
+  }
+  EXPECT_FALSE(read_frame(s).has_value());
+}
+
+TEST(Framing, EmptyPayloadAllowed) {
+  MemoryStream s;
+  write_frame(s, {});
+  auto frame = read_frame(s);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->empty());
+}
+
+TEST(Framing, BadMagicThrows) {
+  MemoryStream s;
+  s.write(to_bytes("garbage data here"));
+  EXPECT_THROW(read_frame(s), SerialError);
+}
+
+TEST(Framing, TruncatedHeaderThrows) {
+  MemoryStream s;
+  Writer w;
+  w.u16(kFrameMagic);
+  w.u8(1);  // header cut short
+  s.write(w.bytes());
+  EXPECT_THROW(read_frame(s), SerialError);
+}
+
+TEST(Framing, TruncatedPayloadThrows) {
+  MemoryStream s;
+  Writer w;
+  w.u16(kFrameMagic);
+  w.u32(100);
+  w.str("short");  // far fewer than 100 bytes
+  s.write(w.bytes());
+  EXPECT_THROW(read_frame(s), SerialError);
+}
+
+TEST(Framing, OversizedFrameRejected) {
+  MemoryStream s;
+  Writer w;
+  w.u16(kFrameMagic);
+  w.u32(kMaxFrameSize + 1);
+  s.write(w.bytes());
+  EXPECT_THROW(read_frame(s), SerialError);
+}
+
+TEST(ReadExact, StopsAtEof) {
+  MemoryStream s;
+  s.write(to_bytes("abc"));
+  Bytes out(10);
+  EXPECT_EQ(s.read_exact(out), 3u);
+}
+
+}  // namespace
+}  // namespace rapidware::util

@@ -1,0 +1,191 @@
+// Tests for the wireless LAN simulator: path-loss calibration, per-station
+// channels, mobility-driven retuning, and the mobility trace itself.
+#include <gtest/gtest.h>
+
+#include "net/sim_network.h"
+#include "util/rng.h"
+#include "wireless/mobility.h"
+#include "wireless/path_loss.h"
+#include "wireless/wlan.h"
+
+namespace rapidware::wireless {
+namespace {
+
+using util::to_bytes;
+
+// ---------------------------------------------------------------------------
+// Path loss
+
+TEST(PathLoss, CalibratedToPaperAt25m) {
+  // The paper measured 98.54% raw receipt at 25 m => ~1.46% loss.
+  const PathLossModel model = wavelan_model();
+  EXPECT_NEAR(model.loss_at(25.0), 0.0146, 0.002);
+}
+
+TEST(PathLoss, MonotonicallyIncreasesWithDistance) {
+  const PathLossModel model = wavelan_model();
+  double prev = 0.0;
+  for (double d = 0.0; d <= 60.0; d += 1.0) {
+    const double p = model.loss_at(d);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PathLoss, DramaticChangeOverSeveralMeters) {
+  // Section 3: "packet loss rate can change dramatically over a distance of
+  // several meters". From 30 m to 40 m loss must grow by several-fold.
+  const PathLossModel model = wavelan_model();
+  EXPECT_GT(model.loss_at(40.0) / model.loss_at(30.0), 3.0);
+}
+
+TEST(PathLoss, RespectsFloorAndCap) {
+  const PathLossModel model = wavelan_model();
+  EXPECT_DOUBLE_EQ(model.loss_at(0.0), model.p0);  // p0 already above floor
+  EXPECT_DOUBLE_EQ(model.loss_at(1000.0), model.cap);
+  PathLossModel high_floor = model;
+  high_floor.floor = 0.01;
+  EXPECT_DOUBLE_EQ(high_floor.loss_at(0.0), 0.01);
+}
+
+TEST(PathLoss, DistanceForInvertsLossAt) {
+  const PathLossModel model = wavelan_model();
+  for (double d : {10.0, 20.0, 25.0, 35.0}) {
+    EXPECT_NEAR(model.distance_for(model.loss_at(d)), d, 0.01);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WirelessLan
+
+struct WlanFixture {
+  std::shared_ptr<util::SimClock> clock = std::make_shared<util::SimClock>();
+  net::SimNetwork net{clock, 7};
+  net::NodeId ap = net.add_node("ap");
+  net::NodeId mobile = net.add_node("mobile");
+  WirelessLan wlan{net, ap};
+};
+
+TEST(WirelessLan, StationLossTracksDistance) {
+  WlanFixture f;
+  f.wlan.add_station(f.mobile, 25.0);
+  EXPECT_NEAR(f.wlan.downlink_loss(f.mobile), 0.0146, 0.002);
+  EXPECT_DOUBLE_EQ(f.wlan.distance(f.mobile), 25.0);
+}
+
+TEST(WirelessLan, DuplicateStationThrows) {
+  WlanFixture f;
+  f.wlan.add_station(f.mobile, 10.0);
+  EXPECT_THROW(f.wlan.add_station(f.mobile, 10.0), std::invalid_argument);
+}
+
+TEST(WirelessLan, UnknownStationQueriesThrow) {
+  WlanFixture f;
+  EXPECT_THROW(f.wlan.distance(f.mobile), std::invalid_argument);
+  EXPECT_THROW(f.wlan.set_distance(f.mobile, 5.0), std::invalid_argument);
+  EXPECT_THROW(f.wlan.downlink_stats(f.mobile), std::invalid_argument);
+}
+
+TEST(WirelessLan, DownlinkDropsMatchModeledLoss) {
+  WlanFixture f;
+  f.wlan.add_station(f.mobile, 35.0);  // ~5.7% loss
+  auto ap_sock = f.net.open(f.ap);
+  auto mob_sock = f.net.open(f.mobile, 99);
+
+  const int kPackets = 40'000;
+  for (int i = 0; i < kPackets; ++i) {
+    ap_sock->send_to({f.mobile, 99}, to_bytes("pkt"));
+  }
+  const auto stats = f.wlan.downlink_stats(f.mobile);
+  EXPECT_EQ(stats.attempted, static_cast<std::uint64_t>(kPackets));
+  const double observed =
+      static_cast<double>(stats.dropped_loss) / stats.attempted;
+  EXPECT_NEAR(observed, f.wlan.downlink_loss(f.mobile), 0.02);
+  // Queue drops are possible at 2 Mbps, but loss should dominate here.
+  (void)mob_sock;
+}
+
+TEST(WirelessLan, MobilityRetunesLossLive) {
+  WlanFixture f;
+  f.wlan.add_station(f.mobile, 5.0);
+  auto ap_sock = f.net.open(f.ap);
+  auto mob_sock = f.net.open(f.mobile, 99);
+
+  auto measure = [&](int packets) {
+    const auto before = f.wlan.downlink_stats(f.mobile);
+    for (int i = 0; i < packets; ++i) {
+      ap_sock->send_to({f.mobile, 99}, to_bytes("x"));
+    }
+    const auto after = f.wlan.downlink_stats(f.mobile);
+    return static_cast<double>(after.dropped_loss - before.dropped_loss) /
+           static_cast<double>(after.attempted - before.attempted);
+  };
+
+  const double near_loss = measure(30'000);
+  f.wlan.set_distance(f.mobile, 40.0);
+  const double far_loss = measure(30'000);
+  EXPECT_LT(near_loss, 0.01);
+  EXPECT_GT(far_loss, 0.05);
+  (void)mob_sock;
+}
+
+TEST(WirelessLan, UplinkIsCleanerThanDownlink) {
+  WlanFixture f;
+  f.wlan.add_station(f.mobile, 30.0);
+  auto* down = f.net.channel(f.ap, f.mobile);
+  auto* up = f.net.channel(f.mobile, f.ap);
+  ASSERT_NE(down, nullptr);
+  ASSERT_NE(up, nullptr);
+  EXPECT_LT(up->average_loss(), down->average_loss());
+}
+
+TEST(WirelessLan, SharedMediumHasFiniteBandwidth) {
+  WlanFixture f;
+  f.wlan.add_station(f.mobile, 5.0);
+  auto* down = f.net.channel(f.ap, f.mobile);
+  ASSERT_NE(down, nullptr);
+  // 2 Mbps: a 250-byte packet serializes in 1 ms.
+  const auto t = down->transit(250, 0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_GE(*t, 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Mobility
+
+TEST(WaypointWalk, InterpolatesLinearly) {
+  WaypointWalk walk({{0, 0.0}, {1'000'000, 10.0}});
+  EXPECT_DOUBLE_EQ(walk.distance_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(walk.distance_at(500'000), 5.0);
+  EXPECT_DOUBLE_EQ(walk.distance_at(1'000'000), 10.0);
+}
+
+TEST(WaypointWalk, ClampsOutsideRange) {
+  WaypointWalk walk({{1'000, 3.0}, {2'000, 7.0}});
+  EXPECT_DOUBLE_EQ(walk.distance_at(0), 3.0);
+  EXPECT_DOUBLE_EQ(walk.distance_at(10'000), 7.0);
+}
+
+TEST(WaypointWalk, RejectsEmptyAndUnordered) {
+  EXPECT_THROW(WaypointWalk({}), std::invalid_argument);
+  EXPECT_THROW(WaypointWalk({{100, 1.0}, {50, 2.0}}), std::invalid_argument);
+}
+
+TEST(WaypointWalk, OfficeToConferenceShape) {
+  const auto walk = WaypointWalk::office_to_conference(5.0, 35.0, 5.0, 20.0);
+  EXPECT_DOUBLE_EQ(walk.distance_at(0), 5.0);
+  EXPECT_DOUBLE_EQ(walk.distance_at(util::seconds_to_micros(5.0)), 5.0);
+  EXPECT_DOUBLE_EQ(walk.distance_at(util::seconds_to_micros(15.0)), 20.0);
+  EXPECT_DOUBLE_EQ(walk.distance_at(util::seconds_to_micros(30.0)), 35.0);
+}
+
+TEST(WaypointWalk, ZeroDurationSegment) {
+  // Two waypoints at the same instant: the earlier value holds up to and
+  // including that instant; the later one takes over just after.
+  WaypointWalk walk({{100, 1.0}, {100, 9.0}});
+  EXPECT_DOUBLE_EQ(walk.distance_at(100), 1.0);
+  EXPECT_DOUBLE_EQ(walk.distance_at(101), 9.0);
+}
+
+}  // namespace
+}  // namespace rapidware::wireless
