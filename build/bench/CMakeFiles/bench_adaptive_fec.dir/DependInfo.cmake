@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_adaptive_fec.cpp" "bench/CMakeFiles/bench_adaptive_fec.dir/bench_adaptive_fec.cpp.o" "gcc" "bench/CMakeFiles/bench_adaptive_fec.dir/bench_adaptive_fec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/raplets/CMakeFiles/rw_raplets.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/rw_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/rw_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/rw_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/rw_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/rw_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_fec.dir/bench_adaptive_fec.cpp.o"
+  "CMakeFiles/bench_adaptive_fec.dir/bench_adaptive_fec.cpp.o.d"
+  "bench_adaptive_fec"
+  "bench_adaptive_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

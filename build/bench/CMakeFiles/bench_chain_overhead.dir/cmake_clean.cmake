@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chain_overhead.dir/bench_chain_overhead.cpp.o"
+  "CMakeFiles/bench_chain_overhead.dir/bench_chain_overhead.cpp.o.d"
+  "bench_chain_overhead"
+  "bench_chain_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chain_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fec_sweep.dir/bench_fec_sweep.cpp.o"
+  "CMakeFiles/bench_fec_sweep.dir/bench_fec_sweep.cpp.o.d"
+  "bench_fec_sweep"
+  "bench_fec_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fec_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

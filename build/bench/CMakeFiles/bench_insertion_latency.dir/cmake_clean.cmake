@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_insertion_latency.dir/bench_insertion_latency.cpp.o"
+  "CMakeFiles/bench_insertion_latency.dir/bench_insertion_latency.cpp.o.d"
+  "bench_insertion_latency"
+  "bench_insertion_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_insertion_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reliable_repair.dir/bench_reliable_repair.cpp.o"
+  "CMakeFiles/bench_reliable_repair.dir/bench_reliable_repair.cpp.o.d"
+  "bench_reliable_repair"
+  "bench_reliable_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reliable_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rs_codec.dir/bench_rs_codec.cpp.o"
+  "CMakeFiles/bench_rs_codec.dir/bench_rs_codec.cpp.o.d"
+  "bench_rs_codec"
+  "bench_rs_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rs_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_fec_proxy.dir/audio_fec_proxy.cpp.o"
+  "CMakeFiles/audio_fec_proxy.dir/audio_fec_proxy.cpp.o.d"
+  "audio_fec_proxy"
+  "audio_fec_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_fec_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

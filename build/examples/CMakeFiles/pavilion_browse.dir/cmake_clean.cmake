@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pavilion_browse.dir/pavilion_browse.cpp.o"
+  "CMakeFiles/pavilion_browse.dir/pavilion_browse.cpp.o.d"
+  "pavilion_browse"
+  "pavilion_browse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pavilion_browse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

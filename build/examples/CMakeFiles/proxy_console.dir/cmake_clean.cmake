@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_console.dir/proxy_console.cpp.o"
+  "CMakeFiles/proxy_console.dir/proxy_console.cpp.o.d"
+  "proxy_console"
+  "proxy_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

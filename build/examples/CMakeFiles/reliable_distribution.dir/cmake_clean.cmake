@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_distribution.dir/reliable_distribution.cpp.o"
+  "CMakeFiles/reliable_distribution.dir/reliable_distribution.cpp.o.d"
+  "reliable_distribution"
+  "reliable_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_uep_proxy.dir/video_uep_proxy.cpp.o"
+  "CMakeFiles/video_uep_proxy.dir/video_uep_proxy.cpp.o.d"
+  "video_uep_proxy"
+  "video_uep_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_uep_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

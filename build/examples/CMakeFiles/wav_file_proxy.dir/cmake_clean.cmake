@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wav_file_proxy.dir/wav_file_proxy.cpp.o"
+  "CMakeFiles/wav_file_proxy.dir/wav_file_proxy.cpp.o.d"
+  "wav_file_proxy"
+  "wav_file_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wav_file_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/composability.cpp" "src/core/CMakeFiles/rw_core.dir/composability.cpp.o" "gcc" "src/core/CMakeFiles/rw_core.dir/composability.cpp.o.d"
+  "/root/repo/src/core/control.cpp" "src/core/CMakeFiles/rw_core.dir/control.cpp.o" "gcc" "src/core/CMakeFiles/rw_core.dir/control.cpp.o.d"
+  "/root/repo/src/core/detachable_stream.cpp" "src/core/CMakeFiles/rw_core.dir/detachable_stream.cpp.o" "gcc" "src/core/CMakeFiles/rw_core.dir/detachable_stream.cpp.o.d"
+  "/root/repo/src/core/endpoint.cpp" "src/core/CMakeFiles/rw_core.dir/endpoint.cpp.o" "gcc" "src/core/CMakeFiles/rw_core.dir/endpoint.cpp.o.d"
+  "/root/repo/src/core/filter.cpp" "src/core/CMakeFiles/rw_core.dir/filter.cpp.o" "gcc" "src/core/CMakeFiles/rw_core.dir/filter.cpp.o.d"
+  "/root/repo/src/core/filter_chain.cpp" "src/core/CMakeFiles/rw_core.dir/filter_chain.cpp.o" "gcc" "src/core/CMakeFiles/rw_core.dir/filter_chain.cpp.o.d"
+  "/root/repo/src/core/filter_registry.cpp" "src/core/CMakeFiles/rw_core.dir/filter_registry.cpp.o" "gcc" "src/core/CMakeFiles/rw_core.dir/filter_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_core.dir/composability.cpp.o"
+  "CMakeFiles/rw_core.dir/composability.cpp.o.d"
+  "CMakeFiles/rw_core.dir/control.cpp.o"
+  "CMakeFiles/rw_core.dir/control.cpp.o.d"
+  "CMakeFiles/rw_core.dir/detachable_stream.cpp.o"
+  "CMakeFiles/rw_core.dir/detachable_stream.cpp.o.d"
+  "CMakeFiles/rw_core.dir/endpoint.cpp.o"
+  "CMakeFiles/rw_core.dir/endpoint.cpp.o.d"
+  "CMakeFiles/rw_core.dir/filter.cpp.o"
+  "CMakeFiles/rw_core.dir/filter.cpp.o.d"
+  "CMakeFiles/rw_core.dir/filter_chain.cpp.o"
+  "CMakeFiles/rw_core.dir/filter_chain.cpp.o.d"
+  "CMakeFiles/rw_core.dir/filter_registry.cpp.o"
+  "CMakeFiles/rw_core.dir/filter_registry.cpp.o.d"
+  "librw_core.a"
+  "librw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

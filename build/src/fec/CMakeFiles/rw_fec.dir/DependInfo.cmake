@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fec/fec_group.cpp" "src/fec/CMakeFiles/rw_fec.dir/fec_group.cpp.o" "gcc" "src/fec/CMakeFiles/rw_fec.dir/fec_group.cpp.o.d"
+  "/root/repo/src/fec/gf256.cpp" "src/fec/CMakeFiles/rw_fec.dir/gf256.cpp.o" "gcc" "src/fec/CMakeFiles/rw_fec.dir/gf256.cpp.o.d"
+  "/root/repo/src/fec/interleaver.cpp" "src/fec/CMakeFiles/rw_fec.dir/interleaver.cpp.o" "gcc" "src/fec/CMakeFiles/rw_fec.dir/interleaver.cpp.o.d"
+  "/root/repo/src/fec/matrix.cpp" "src/fec/CMakeFiles/rw_fec.dir/matrix.cpp.o" "gcc" "src/fec/CMakeFiles/rw_fec.dir/matrix.cpp.o.d"
+  "/root/repo/src/fec/rs_code.cpp" "src/fec/CMakeFiles/rw_fec.dir/rs_code.cpp.o" "gcc" "src/fec/CMakeFiles/rw_fec.dir/rs_code.cpp.o.d"
+  "/root/repo/src/fec/uep.cpp" "src/fec/CMakeFiles/rw_fec.dir/uep.cpp.o" "gcc" "src/fec/CMakeFiles/rw_fec.dir/uep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_fec.dir/fec_group.cpp.o"
+  "CMakeFiles/rw_fec.dir/fec_group.cpp.o.d"
+  "CMakeFiles/rw_fec.dir/gf256.cpp.o"
+  "CMakeFiles/rw_fec.dir/gf256.cpp.o.d"
+  "CMakeFiles/rw_fec.dir/interleaver.cpp.o"
+  "CMakeFiles/rw_fec.dir/interleaver.cpp.o.d"
+  "CMakeFiles/rw_fec.dir/matrix.cpp.o"
+  "CMakeFiles/rw_fec.dir/matrix.cpp.o.d"
+  "CMakeFiles/rw_fec.dir/rs_code.cpp.o"
+  "CMakeFiles/rw_fec.dir/rs_code.cpp.o.d"
+  "CMakeFiles/rw_fec.dir/uep.cpp.o"
+  "CMakeFiles/rw_fec.dir/uep.cpp.o.d"
+  "librw_fec.a"
+  "librw_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

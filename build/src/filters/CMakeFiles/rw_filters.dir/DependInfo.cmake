@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filters/cache_filter.cpp" "src/filters/CMakeFiles/rw_filters.dir/cache_filter.cpp.o" "gcc" "src/filters/CMakeFiles/rw_filters.dir/cache_filter.cpp.o.d"
+  "/root/repo/src/filters/compress_filter.cpp" "src/filters/CMakeFiles/rw_filters.dir/compress_filter.cpp.o" "gcc" "src/filters/CMakeFiles/rw_filters.dir/compress_filter.cpp.o.d"
+  "/root/repo/src/filters/crypto_filter.cpp" "src/filters/CMakeFiles/rw_filters.dir/crypto_filter.cpp.o" "gcc" "src/filters/CMakeFiles/rw_filters.dir/crypto_filter.cpp.o.d"
+  "/root/repo/src/filters/fec_filters.cpp" "src/filters/CMakeFiles/rw_filters.dir/fec_filters.cpp.o" "gcc" "src/filters/CMakeFiles/rw_filters.dir/fec_filters.cpp.o.d"
+  "/root/repo/src/filters/interleave_filter.cpp" "src/filters/CMakeFiles/rw_filters.dir/interleave_filter.cpp.o" "gcc" "src/filters/CMakeFiles/rw_filters.dir/interleave_filter.cpp.o.d"
+  "/root/repo/src/filters/pipeline_filter.cpp" "src/filters/CMakeFiles/rw_filters.dir/pipeline_filter.cpp.o" "gcc" "src/filters/CMakeFiles/rw_filters.dir/pipeline_filter.cpp.o.d"
+  "/root/repo/src/filters/registry.cpp" "src/filters/CMakeFiles/rw_filters.dir/registry.cpp.o" "gcc" "src/filters/CMakeFiles/rw_filters.dir/registry.cpp.o.d"
+  "/root/repo/src/filters/stats_filter.cpp" "src/filters/CMakeFiles/rw_filters.dir/stats_filter.cpp.o" "gcc" "src/filters/CMakeFiles/rw_filters.dir/stats_filter.cpp.o.d"
+  "/root/repo/src/filters/throttle_filter.cpp" "src/filters/CMakeFiles/rw_filters.dir/throttle_filter.cpp.o" "gcc" "src/filters/CMakeFiles/rw_filters.dir/throttle_filter.cpp.o.d"
+  "/root/repo/src/filters/transcode_filter.cpp" "src/filters/CMakeFiles/rw_filters.dir/transcode_filter.cpp.o" "gcc" "src/filters/CMakeFiles/rw_filters.dir/transcode_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/rw_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/rw_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_filters.dir/cache_filter.cpp.o"
+  "CMakeFiles/rw_filters.dir/cache_filter.cpp.o.d"
+  "CMakeFiles/rw_filters.dir/compress_filter.cpp.o"
+  "CMakeFiles/rw_filters.dir/compress_filter.cpp.o.d"
+  "CMakeFiles/rw_filters.dir/crypto_filter.cpp.o"
+  "CMakeFiles/rw_filters.dir/crypto_filter.cpp.o.d"
+  "CMakeFiles/rw_filters.dir/fec_filters.cpp.o"
+  "CMakeFiles/rw_filters.dir/fec_filters.cpp.o.d"
+  "CMakeFiles/rw_filters.dir/interleave_filter.cpp.o"
+  "CMakeFiles/rw_filters.dir/interleave_filter.cpp.o.d"
+  "CMakeFiles/rw_filters.dir/pipeline_filter.cpp.o"
+  "CMakeFiles/rw_filters.dir/pipeline_filter.cpp.o.d"
+  "CMakeFiles/rw_filters.dir/registry.cpp.o"
+  "CMakeFiles/rw_filters.dir/registry.cpp.o.d"
+  "CMakeFiles/rw_filters.dir/stats_filter.cpp.o"
+  "CMakeFiles/rw_filters.dir/stats_filter.cpp.o.d"
+  "CMakeFiles/rw_filters.dir/throttle_filter.cpp.o"
+  "CMakeFiles/rw_filters.dir/throttle_filter.cpp.o.d"
+  "CMakeFiles/rw_filters.dir/transcode_filter.cpp.o"
+  "CMakeFiles/rw_filters.dir/transcode_filter.cpp.o.d"
+  "librw_filters.a"
+  "librw_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

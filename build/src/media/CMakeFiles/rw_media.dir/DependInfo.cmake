@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/audio.cpp" "src/media/CMakeFiles/rw_media.dir/audio.cpp.o" "gcc" "src/media/CMakeFiles/rw_media.dir/audio.cpp.o.d"
+  "/root/repo/src/media/codecs.cpp" "src/media/CMakeFiles/rw_media.dir/codecs.cpp.o" "gcc" "src/media/CMakeFiles/rw_media.dir/codecs.cpp.o.d"
+  "/root/repo/src/media/media_packet.cpp" "src/media/CMakeFiles/rw_media.dir/media_packet.cpp.o" "gcc" "src/media/CMakeFiles/rw_media.dir/media_packet.cpp.o.d"
+  "/root/repo/src/media/playout.cpp" "src/media/CMakeFiles/rw_media.dir/playout.cpp.o" "gcc" "src/media/CMakeFiles/rw_media.dir/playout.cpp.o.d"
+  "/root/repo/src/media/receiver_log.cpp" "src/media/CMakeFiles/rw_media.dir/receiver_log.cpp.o" "gcc" "src/media/CMakeFiles/rw_media.dir/receiver_log.cpp.o.d"
+  "/root/repo/src/media/video.cpp" "src/media/CMakeFiles/rw_media.dir/video.cpp.o" "gcc" "src/media/CMakeFiles/rw_media.dir/video.cpp.o.d"
+  "/root/repo/src/media/wav.cpp" "src/media/CMakeFiles/rw_media.dir/wav.cpp.o" "gcc" "src/media/CMakeFiles/rw_media.dir/wav.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/rw_fec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

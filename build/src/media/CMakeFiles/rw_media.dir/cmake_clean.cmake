@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_media.dir/audio.cpp.o"
+  "CMakeFiles/rw_media.dir/audio.cpp.o.d"
+  "CMakeFiles/rw_media.dir/codecs.cpp.o"
+  "CMakeFiles/rw_media.dir/codecs.cpp.o.d"
+  "CMakeFiles/rw_media.dir/media_packet.cpp.o"
+  "CMakeFiles/rw_media.dir/media_packet.cpp.o.d"
+  "CMakeFiles/rw_media.dir/playout.cpp.o"
+  "CMakeFiles/rw_media.dir/playout.cpp.o.d"
+  "CMakeFiles/rw_media.dir/receiver_log.cpp.o"
+  "CMakeFiles/rw_media.dir/receiver_log.cpp.o.d"
+  "CMakeFiles/rw_media.dir/video.cpp.o"
+  "CMakeFiles/rw_media.dir/video.cpp.o.d"
+  "CMakeFiles/rw_media.dir/wav.cpp.o"
+  "CMakeFiles/rw_media.dir/wav.cpp.o.d"
+  "librw_media.a"
+  "librw_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/rw_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/rw_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/loss.cpp" "src/net/CMakeFiles/rw_net.dir/loss.cpp.o" "gcc" "src/net/CMakeFiles/rw_net.dir/loss.cpp.o.d"
+  "/root/repo/src/net/sim_network.cpp" "src/net/CMakeFiles/rw_net.dir/sim_network.cpp.o" "gcc" "src/net/CMakeFiles/rw_net.dir/sim_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_net.dir/link.cpp.o"
+  "CMakeFiles/rw_net.dir/link.cpp.o.d"
+  "CMakeFiles/rw_net.dir/loss.cpp.o"
+  "CMakeFiles/rw_net.dir/loss.cpp.o.d"
+  "CMakeFiles/rw_net.dir/sim_network.cpp.o"
+  "CMakeFiles/rw_net.dir/sim_network.cpp.o.d"
+  "librw_net.a"
+  "librw_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pavilion/leadership.cpp" "src/pavilion/CMakeFiles/rw_pavilion.dir/leadership.cpp.o" "gcc" "src/pavilion/CMakeFiles/rw_pavilion.dir/leadership.cpp.o.d"
+  "/root/repo/src/pavilion/session.cpp" "src/pavilion/CMakeFiles/rw_pavilion.dir/session.cpp.o" "gcc" "src/pavilion/CMakeFiles/rw_pavilion.dir/session.cpp.o.d"
+  "/root/repo/src/pavilion/web.cpp" "src/pavilion/CMakeFiles/rw_pavilion.dir/web.cpp.o" "gcc" "src/pavilion/CMakeFiles/rw_pavilion.dir/web.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/rw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_pavilion.dir/leadership.cpp.o"
+  "CMakeFiles/rw_pavilion.dir/leadership.cpp.o.d"
+  "CMakeFiles/rw_pavilion.dir/session.cpp.o"
+  "CMakeFiles/rw_pavilion.dir/session.cpp.o.d"
+  "CMakeFiles/rw_pavilion.dir/web.cpp.o"
+  "CMakeFiles/rw_pavilion.dir/web.cpp.o.d"
+  "librw_pavilion.a"
+  "librw_pavilion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_pavilion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librw_pavilion.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for rw_pavilion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_proxy.dir/proxy.cpp.o"
+  "CMakeFiles/rw_proxy.dir/proxy.cpp.o.d"
+  "CMakeFiles/rw_proxy.dir/socket_endpoints.cpp.o"
+  "CMakeFiles/rw_proxy.dir/socket_endpoints.cpp.o.d"
+  "librw_proxy.a"
+  "librw_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raplets/adaptation_manager.cpp" "src/raplets/CMakeFiles/rw_raplets.dir/adaptation_manager.cpp.o" "gcc" "src/raplets/CMakeFiles/rw_raplets.dir/adaptation_manager.cpp.o.d"
+  "/root/repo/src/raplets/fec_responder.cpp" "src/raplets/CMakeFiles/rw_raplets.dir/fec_responder.cpp.o" "gcc" "src/raplets/CMakeFiles/rw_raplets.dir/fec_responder.cpp.o.d"
+  "/root/repo/src/raplets/handoff.cpp" "src/raplets/CMakeFiles/rw_raplets.dir/handoff.cpp.o" "gcc" "src/raplets/CMakeFiles/rw_raplets.dir/handoff.cpp.o.d"
+  "/root/repo/src/raplets/loss_observer.cpp" "src/raplets/CMakeFiles/rw_raplets.dir/loss_observer.cpp.o" "gcc" "src/raplets/CMakeFiles/rw_raplets.dir/loss_observer.cpp.o.d"
+  "/root/repo/src/raplets/receiver_report.cpp" "src/raplets/CMakeFiles/rw_raplets.dir/receiver_report.cpp.o" "gcc" "src/raplets/CMakeFiles/rw_raplets.dir/receiver_report.cpp.o.d"
+  "/root/repo/src/raplets/throughput_observer.cpp" "src/raplets/CMakeFiles/rw_raplets.dir/throughput_observer.cpp.o" "gcc" "src/raplets/CMakeFiles/rw_raplets.dir/throughput_observer.cpp.o.d"
+  "/root/repo/src/raplets/transcode_responder.cpp" "src/raplets/CMakeFiles/rw_raplets.dir/transcode_responder.cpp.o" "gcc" "src/raplets/CMakeFiles/rw_raplets.dir/transcode_responder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/rw_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/rw_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/rw_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/rw_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_raplets.dir/adaptation_manager.cpp.o"
+  "CMakeFiles/rw_raplets.dir/adaptation_manager.cpp.o.d"
+  "CMakeFiles/rw_raplets.dir/fec_responder.cpp.o"
+  "CMakeFiles/rw_raplets.dir/fec_responder.cpp.o.d"
+  "CMakeFiles/rw_raplets.dir/handoff.cpp.o"
+  "CMakeFiles/rw_raplets.dir/handoff.cpp.o.d"
+  "CMakeFiles/rw_raplets.dir/loss_observer.cpp.o"
+  "CMakeFiles/rw_raplets.dir/loss_observer.cpp.o.d"
+  "CMakeFiles/rw_raplets.dir/receiver_report.cpp.o"
+  "CMakeFiles/rw_raplets.dir/receiver_report.cpp.o.d"
+  "CMakeFiles/rw_raplets.dir/throughput_observer.cpp.o"
+  "CMakeFiles/rw_raplets.dir/throughput_observer.cpp.o.d"
+  "CMakeFiles/rw_raplets.dir/transcode_responder.cpp.o"
+  "CMakeFiles/rw_raplets.dir/transcode_responder.cpp.o.d"
+  "librw_raplets.a"
+  "librw_raplets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_raplets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

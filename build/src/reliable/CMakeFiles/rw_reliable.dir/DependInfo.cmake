@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliable/reliable_multicast.cpp" "src/reliable/CMakeFiles/rw_reliable.dir/reliable_multicast.cpp.o" "gcc" "src/reliable/CMakeFiles/rw_reliable.dir/reliable_multicast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fec/CMakeFiles/rw_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

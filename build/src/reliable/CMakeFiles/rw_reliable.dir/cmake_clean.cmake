@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_reliable.dir/reliable_multicast.cpp.o"
+  "CMakeFiles/rw_reliable.dir/reliable_multicast.cpp.o.d"
+  "librw_reliable.a"
+  "librw_reliable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_reliable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

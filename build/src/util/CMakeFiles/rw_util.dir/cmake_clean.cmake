@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_util.dir/bytes.cpp.o"
+  "CMakeFiles/rw_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/rw_util.dir/framing.cpp.o"
+  "CMakeFiles/rw_util.dir/framing.cpp.o.d"
+  "CMakeFiles/rw_util.dir/io.cpp.o"
+  "CMakeFiles/rw_util.dir/io.cpp.o.d"
+  "CMakeFiles/rw_util.dir/logging.cpp.o"
+  "CMakeFiles/rw_util.dir/logging.cpp.o.d"
+  "CMakeFiles/rw_util.dir/rng.cpp.o"
+  "CMakeFiles/rw_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rw_util.dir/serial.cpp.o"
+  "CMakeFiles/rw_util.dir/serial.cpp.o.d"
+  "CMakeFiles/rw_util.dir/stats.cpp.o"
+  "CMakeFiles/rw_util.dir/stats.cpp.o.d"
+  "librw_util.a"
+  "librw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

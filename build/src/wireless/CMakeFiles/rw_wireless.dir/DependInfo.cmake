@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wireless/mobility.cpp" "src/wireless/CMakeFiles/rw_wireless.dir/mobility.cpp.o" "gcc" "src/wireless/CMakeFiles/rw_wireless.dir/mobility.cpp.o.d"
+  "/root/repo/src/wireless/path_loss.cpp" "src/wireless/CMakeFiles/rw_wireless.dir/path_loss.cpp.o" "gcc" "src/wireless/CMakeFiles/rw_wireless.dir/path_loss.cpp.o.d"
+  "/root/repo/src/wireless/wlan.cpp" "src/wireless/CMakeFiles/rw_wireless.dir/wlan.cpp.o" "gcc" "src/wireless/CMakeFiles/rw_wireless.dir/wlan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/rw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_wireless.dir/mobility.cpp.o"
+  "CMakeFiles/rw_wireless.dir/mobility.cpp.o.d"
+  "CMakeFiles/rw_wireless.dir/path_loss.cpp.o"
+  "CMakeFiles/rw_wireless.dir/path_loss.cpp.o.d"
+  "CMakeFiles/rw_wireless.dir/wlan.cpp.o"
+  "CMakeFiles/rw_wireless.dir/wlan.cpp.o.d"
+  "librw_wireless.a"
+  "librw_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

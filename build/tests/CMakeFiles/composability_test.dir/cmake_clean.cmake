@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composability_test.dir/composability_test.cpp.o"
+  "CMakeFiles/composability_test.dir/composability_test.cpp.o.d"
+  "composability_test"
+  "composability_test.pdb"
+  "composability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detachable_stream_test.dir/detachable_stream_test.cpp.o"
+  "CMakeFiles/detachable_stream_test.dir/detachable_stream_test.cpp.o.d"
+  "detachable_stream_test"
+  "detachable_stream_test.pdb"
+  "detachable_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detachable_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

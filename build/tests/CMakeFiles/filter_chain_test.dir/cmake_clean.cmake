@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_chain_test.dir/filter_chain_test.cpp.o"
+  "CMakeFiles/filter_chain_test.dir/filter_chain_test.cpp.o.d"
+  "filter_chain_test"
+  "filter_chain_test.pdb"
+  "filter_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pavilion_test.dir/pavilion_test.cpp.o"
+  "CMakeFiles/pavilion_test.dir/pavilion_test.cpp.o.d"
+  "pavilion_test"
+  "pavilion_test.pdb"
+  "pavilion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pavilion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

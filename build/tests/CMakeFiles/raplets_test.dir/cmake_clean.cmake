@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raplets_test.dir/raplets_test.cpp.o"
+  "CMakeFiles/raplets_test.dir/raplets_test.cpp.o.d"
+  "raplets_test"
+  "raplets_test.pdb"
+  "raplets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raplets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
