@@ -104,10 +104,17 @@ void DetachableOutputStream::write(util::ByteSpan in) {
   try {
     std::unique_lock slk(st->mu);
     while (!in.empty()) {
-      st->writable.wait(slk,
-                        [&] { return st->reader_closed || !st->ring.full(); });
+      st->writable.wait(slk, [&] {
+        return st->reader_closed || st->write_closed || !st->ring.full();
+      });
       if (st->reader_closed) {
         throw BrokenPipe("DOS::write: reader closed the stream");
+      }
+      if (st->write_closed) {
+        // close() ran while this write was blocked on a full ring; without
+        // this check the writer would sleep forever once the reader stops
+        // draining (close-while-blocked).
+        throw BrokenPipe("DOS::write: stream closed during write");
       }
       const std::size_t n = st->ring.write(in);
       in = in.subspan(n);
@@ -214,6 +221,7 @@ void DetachableOutputStream::close() {
     st->connected = false;
     st->source = nullptr;
     st->readable.notify_all();
+    st->writable.notify_all();  // wake an in-flight write blocked on space
     st->drained.notify_all();
   }
 }

@@ -152,7 +152,9 @@ class DetachableOutputStream final : public util::ByteSink {
   void reconnect(DetachableInputStream& dis);
 
   /// Hard EOF: the current sink's reader sees end-of-stream after draining;
-  /// subsequent writes throw BrokenPipe.
+  /// subsequent writes throw BrokenPipe. An in-flight write blocked on a
+  /// full ring is woken and also throws (its already-buffered prefix is
+  /// still delivered to the reader before EOF).
   void close();
 
   bool connected() const;

@@ -35,8 +35,11 @@ void PacketWriterEndpoint::run() {
 
 ByteReaderEndpoint::ByteReaderEndpoint(std::string name,
                                        std::shared_ptr<util::ByteSource> source,
-                                       std::size_t chunk)
-    : Filter(std::move(name)), source_(std::move(source)), chunk_(chunk) {}
+                                       std::size_t chunk,
+                                       std::size_t buffer_capacity)
+    : Filter(std::move(name), buffer_capacity),
+      source_(std::move(source)),
+      chunk_(chunk) {}
 
 void ByteReaderEndpoint::run() {
   util::Bytes buf(chunk_);
@@ -48,8 +51,9 @@ void ByteReaderEndpoint::run() {
 }
 
 ByteWriterEndpoint::ByteWriterEndpoint(std::string name,
-                                       std::shared_ptr<util::ByteSink> sink)
-    : Filter(std::move(name)), sink_(std::move(sink)) {}
+                                       std::shared_ptr<util::ByteSink> sink,
+                                       std::size_t buffer_capacity)
+    : Filter(std::move(name), buffer_capacity), sink_(std::move(sink)) {}
 
 void ByteWriterEndpoint::run() {
   util::Bytes buf(4096);

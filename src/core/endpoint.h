@@ -83,7 +83,9 @@ class PacketWriterEndpoint final : public Filter {
 class ByteReaderEndpoint final : public Filter {
  public:
   ByteReaderEndpoint(std::string name, std::shared_ptr<util::ByteSource> source,
-                     std::size_t chunk = 4096);
+                     std::size_t chunk = 4096,
+                     std::size_t buffer_capacity =
+                         DetachableInputStream::kDefaultCapacity);
 
  protected:
   void run() override;
@@ -96,7 +98,9 @@ class ByteReaderEndpoint final : public Filter {
 /// Byte-oriented writer endpoint over any util::ByteSink.
 class ByteWriterEndpoint final : public Filter {
  public:
-  ByteWriterEndpoint(std::string name, std::shared_ptr<util::ByteSink> sink);
+  ByteWriterEndpoint(std::string name, std::shared_ptr<util::ByteSink> sink,
+                     std::size_t buffer_capacity =
+                         DetachableInputStream::kDefaultCapacity);
 
  protected:
   void run() override;

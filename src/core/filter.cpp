@@ -40,11 +40,17 @@ bool Filter::set_param(const std::string& key, const std::string& value) {
 void Filter::thread_main() {
   try {
     run();
+    running_.store(false, std::memory_order_release);
+    return;
   } catch (const BrokenPipe&) {
     // Downstream went away; normal during teardown.
   } catch (const std::exception& e) {
     RW_ERROR(name_) << "filter loop failed: " << e.what();
   }
+  // The loop died without draining its input. Close the DIS so upstream
+  // writers observe BrokenPipe instead of blocking forever against a ring
+  // nobody will ever drain — a dead tail must not wedge the whole chain.
+  dis_->close();
   running_.store(false, std::memory_order_release);
 }
 

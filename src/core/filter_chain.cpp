@@ -8,6 +8,22 @@
 
 namespace rapidware::core {
 
+namespace {
+
+/// After a failed splice, reattach `left` directly to `right`; if the right
+/// side is itself dead (reader closed), close left's DOS instead so the
+/// upstream writer observes BrokenPipe rather than blocking forever on a
+/// stream nobody will ever reconnect.
+void restore_or_abandon_splice(Filter& left, Filter& right) {
+  try {
+    left.dos().reconnect(right.dis());
+  } catch (const StreamError&) {
+    left.dos().close();
+  }
+}
+
+}  // namespace
+
 FilterChain::FilterChain(std::shared_ptr<Filter> head,
                          std::shared_ptr<Filter> tail)
     : head_(std::move(head)), tail_(std::move(tail)) {
@@ -82,10 +98,24 @@ void FilterChain::insert(std::shared_ptr<Filter> filter, std::size_t pos) {
   Filter& right = right_of_locked(pos);
 
   // The paper's add(): pause the left DOS (the right DIS is automatically
-  // paused with it), then splice the new filter's streams in.
+  // paused with it), then splice the new filter's streams in. Output side
+  // first: if either reconnect fails (a dead or misused peer), the splice
+  // is restored — or abandoned with a hard close — so no stage is left
+  // wedged against a half-spliced stream.
   left.dos().pause();
-  left.dos().reconnect(filter->dis());
-  filter->dos().reconnect(right.dis());
+  try {
+    filter->dos().reconnect(right.dis());
+  } catch (...) {
+    restore_or_abandon_splice(left, right);
+    throw;
+  }
+  try {
+    left.dos().reconnect(filter->dis());
+  } catch (...) {
+    filter->dos().pause();
+    restore_or_abandon_splice(left, right);
+    throw;
+  }
   filter->start();
 
   filters_.insert(filters_.begin() + static_cast<std::ptrdiff_t>(pos),
@@ -118,7 +148,14 @@ std::shared_ptr<Filter> FilterChain::remove(std::size_t pos) {
   filter->detach_request();
   filter->join();
   filter->dos().pause();
-  left.dos().reconnect(right.dis());
+  try {
+    left.dos().reconnect(right.dis());
+  } catch (const StreamError&) {
+    // Right side died while we were splicing it back in; abandon the
+    // stream so upstream unblocks with BrokenPipe instead of wedging.
+    left.dos().close();
+    throw;
+  }
 
   filters_.erase(filters_.begin() + static_cast<std::ptrdiff_t>(pos));
   return filter;

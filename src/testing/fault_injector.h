@@ -1,0 +1,164 @@
+// Deterministic fault injection for the stream, filter, and link layers.
+//
+// The paper's central guarantee — a DIS/DOS pair can be paused,
+// disconnected, reconnected, and restarted on a live stream without losing,
+// duplicating, or reordering a byte — only means something if it holds on
+// hostile schedules: short reads, fragmented writes, threads descheduled at
+// the worst moment, peers that throw mid-transfer, and links that drop or
+// reorder packets. FaultInjector is the single seeded policy object that
+// decides when each of those faults fires; the wrapper classes below apply
+// it to the abstract I/O interfaces (util::ByteSource / util::ByteSink) and
+// to the channel layer (net::LossModel), so any component written against
+// those interfaces can be stressed without modification.
+//
+// Everything is driven by util::Rng from one seed: a failing schedule is
+// replayed exactly by re-running with the same seed. Wall-clock sleeps are
+// bounded and tiny (they exist to perturb thread interleavings, not to
+// model time); virtual time uses util::SimClock as elsewhere in the repo.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "net/loss.h"
+#include "util/clock.h"
+#include "util/io.h"
+#include "util/rng.h"
+
+namespace rapidware::testing {
+
+/// Tunable fault probabilities, all in [0, 1]. The defaults describe a
+/// "mean but survivable" environment: plenty of short I/O and scheduling
+/// noise, no thrown errors (those are opt-in because they legitimately
+/// truncate a stream).
+struct FaultPlan {
+  /// P(a read is truncated to a random shorter length).
+  double short_read_p = 0.5;
+  /// P(a write is fragmented into multiple smaller writes).
+  double fragment_write_p = 0.5;
+  /// P(a yield/sleep is inserted before an I/O call or control op), to
+  /// perturb the thread schedule ("delayed wakeup").
+  double delay_p = 0.25;
+  /// Upper bound for an injected sleep, in microseconds. Most delays are
+  /// plain yields; sleeps model a thread that loses the CPU for a while.
+  std::int64_t max_delay_us = 200;
+  /// P(an I/O call throws core::StreamError / core::BrokenPipe instead of
+  /// completing). Off by default: a throwing source/sink truncates the
+  /// stream by contract, so loss-free assertions must not arm this.
+  double throw_p = 0.0;
+  /// P(LinkFaults forces a packet drop) on top of the wrapped model.
+  double link_drop_p = 0.0;
+  /// P(LinkFaults starts a link-down window) per packet, and its length.
+  double link_outage_p = 0.0;
+  int link_outage_packets = 8;
+};
+
+/// Seeded fault policy shared by any number of wrappers. Thread-safe: each
+/// decision takes one mutex-protected draw from the Rng, which also
+/// serializes decisions into one reproducible order per seed. Counters
+/// record what actually fired so tests can assert the schedule was hostile.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed, FaultPlan plan = {});
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// One Bernoulli draw with probability p.
+  bool roll(double p);
+
+  /// Uniform value in [1, n] (n >= 1); used to pick truncation lengths and
+  /// fragment sizes.
+  std::size_t cut(std::size_t n);
+
+  /// Maybe yield or sleep (plan.delay_p / plan.max_delay_us).
+  void maybe_delay();
+
+  /// Advances the injector's virtual clock (and lets tests observe it).
+  util::SimClock& sim_clock() noexcept { return sim_clock_; }
+
+  // Fired-fault counters.
+  std::uint64_t short_reads() const noexcept { return short_reads_.load(); }
+  std::uint64_t fragmented_writes() const noexcept {
+    return fragmented_writes_.load();
+  }
+  std::uint64_t delays() const noexcept { return delays_.load(); }
+  std::uint64_t throws() const noexcept { return throws_.load(); }
+  std::uint64_t link_drops() const noexcept { return link_drops_.load(); }
+
+ private:
+  friend class FaultyByteSource;
+  friend class FaultyByteSink;
+  friend class LinkFaults;
+
+  std::mutex mu_;
+  util::Rng rng_;
+  const FaultPlan plan_;
+  const std::uint64_t seed_;
+  util::SimClock sim_clock_;
+
+  std::atomic<std::uint64_t> short_reads_{0};
+  std::atomic<std::uint64_t> fragmented_writes_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> throws_{0};
+  std::atomic<std::uint64_t> link_drops_{0};
+};
+
+/// Wraps a ByteSource: truncates reads, injects delays, and (if armed)
+/// throws core::StreamError. EOF (0) from the inner source always passes
+/// through untouched, so wrapping never changes stream length by itself.
+class FaultyByteSource final : public util::ByteSource {
+ public:
+  FaultyByteSource(std::shared_ptr<util::ByteSource> inner,
+                   std::shared_ptr<FaultInjector> faults);
+
+  std::size_t read_some(util::MutableByteSpan out) override;
+
+ private:
+  std::shared_ptr<util::ByteSource> inner_;
+  std::shared_ptr<FaultInjector> faults_;
+};
+
+/// Wraps a ByteSink: fragments writes into several smaller calls with
+/// scheduling noise between them, and (if armed) throws core::BrokenPipe.
+/// Fragmentation preserves content and order exactly.
+class FaultyByteSink final : public util::ByteSink {
+ public:
+  FaultyByteSink(std::shared_ptr<util::ByteSink> inner,
+                 std::shared_ptr<FaultInjector> faults);
+
+  void write(util::ByteSpan in) override;
+  void flush() override;
+
+ private:
+  std::shared_ptr<util::ByteSink> inner_;
+  std::shared_ptr<FaultInjector> faults_;
+};
+
+/// Wraps a net::LossModel for use in a net::ChannelConfig: adds forced
+/// drops and link-down windows (every packet in the window is lost) on top
+/// of whatever the wrapped model decides. Mid-transfer link loss for
+/// SimNetwork-based tests; reordering comes from the channel's own jitter.
+class LinkFaults final : public net::LossModel {
+ public:
+  LinkFaults(std::shared_ptr<net::LossModel> inner,
+             std::shared_ptr<FaultInjector> faults);
+
+  bool drop(util::Rng& rng) override;
+  double average_loss() const override;
+  void set_average_loss(double p) override;
+
+  /// Manually opens/closes a link-down window (handoff simulation).
+  void set_down(bool down);
+
+ private:
+  std::shared_ptr<net::LossModel> inner_;
+  std::shared_ptr<FaultInjector> faults_;
+  std::mutex mu_;
+  bool down_ = false;
+  int outage_left_ = 0;
+};
+
+}  // namespace rapidware::testing

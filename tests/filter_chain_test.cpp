@@ -334,17 +334,26 @@ TEST(FilterChain, ReorderSwapsTraversalOrder) {
 
 TEST(FilterChain, ByteFilterTransformsStream) {
   // Byte-oriented chain: string source -> uppercase -> collecting sink.
+  // The source is gated: it yields no bytes until released, so the filter
+  // is guaranteed to be spliced in before any data flows (otherwise the
+  // endpoint threads could race the whole string past the insertion point).
   class StringSource final : public util::ByteSource {
    public:
     explicit StringSource(std::string s) : data_(to_bytes(s)) {}
     std::size_t read_some(util::MutableByteSpan out) override {
+      released_.wait(false);
       const std::size_t n = std::min(out.size(), data_.size() - pos_);
       std::copy_n(data_.begin() + static_cast<long>(pos_), n, out.begin());
       pos_ += n;
       return n;
     }
+    void release() {
+      released_.store(true);
+      released_.notify_all();
+    }
     Bytes data_;
     std::size_t pos_ = 0;
+    std::atomic<bool> released_{false};
   };
   class StringSink final : public util::ByteSink {
    public:
@@ -362,6 +371,7 @@ TEST(FilterChain, ByteFilterTransformsStream) {
                     std::make_shared<ByteWriterEndpoint>("out", sink));
   chain.start();
   chain.insert(std::make_shared<UppercaseFilter>(), 0);
+  source->release();
   chain.shutdown();
   std::lock_guard lk(sink->mu_);
   EXPECT_EQ(to_string(sink->data_), "HELLO RAPIDWARE");

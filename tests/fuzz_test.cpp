@@ -5,6 +5,7 @@
 // latter). Proxies parse data that crossed a radio: this is not optional.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <functional>
 
 #include "core/control.h"
@@ -25,6 +26,19 @@ namespace rapidware {
 namespace {
 
 using util::Bytes;
+
+/// Seed for randomized fuzz tests: fixed by default, overridable with
+/// RW_FUZZ_SEED to replay a failure. Pair with log_seed() so any failing
+/// run prints the exact seed to reproduce it.
+std::uint64_t fuzz_seed(std::uint64_t fallback) {
+  const char* v = std::getenv("RW_FUZZ_SEED");
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 0);
+}
+
+#define RW_LOG_SEED(seed)                                             \
+  SCOPED_TRACE(::testing::Message()                                   \
+               << "reproduce with RW_FUZZ_SEED=0x" << std::hex << (seed))
 
 /// A named parser entry point: consumes bytes, may throw std::exception.
 struct Parser {
@@ -95,7 +109,9 @@ std::vector<std::pair<const char*, Bytes>> specimens() {
 }
 
 TEST(Fuzz, RandomBytesNeverCrashAnyParser) {
-  util::Rng rng(0xf22);
+  const std::uint64_t seed = fuzz_seed(0xf22);
+  RW_LOG_SEED(seed);
+  util::Rng rng(seed);
   for (int trial = 0; trial < 3000; ++trial) {
     Bytes junk(rng.next_below(200));
     for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
@@ -125,7 +141,9 @@ TEST(Fuzz, TruncationsOfValidMessagesNeverCrash) {
 }
 
 TEST(Fuzz, SingleByteCorruptionsNeverCrash) {
-  util::Rng rng(0xc0de);
+  const std::uint64_t seed = fuzz_seed(0xc0de);
+  RW_LOG_SEED(seed);
+  util::Rng rng(seed);
   for (const auto& [name, wire] : specimens()) {
     SCOPED_TRACE(name);
     for (int trial = 0; trial < 200; ++trial) {
@@ -145,7 +163,9 @@ TEST(Fuzz, SingleByteCorruptionsNeverCrash) {
 TEST(Fuzz, GroupDecoderSurvivesHostileStreams) {
   // Random bytes, corrupted FEC packets, and valid packets interleaved;
   // the decoder may throw per packet but must stay consistent.
-  util::Rng rng(0xdec0de);
+  const std::uint64_t seed = fuzz_seed(0xdec0de);
+  RW_LOG_SEED(seed);
+  util::Rng rng(seed);
   fec::GroupEncoder encoder(6, 4);
   fec::GroupDecoder decoder(4);
   std::size_t delivered = 0;
@@ -176,6 +196,95 @@ TEST(Fuzz, GroupDecoderSurvivesHostileStreams) {
   }
   // The stream was mostly valid: a healthy fraction must have decoded.
   EXPECT_GT(delivered, 100u);
+}
+
+// Exhaustive single-bit corruption: for EVERY byte offset and EVERY bit,
+// flip it and re-parse. Random corruption (above) samples this space;
+// headers are small enough to cover it completely.
+
+TEST(Fuzz, SerialRoundTripSurvivesEveryPossibleBitFlip) {
+  // A Writer blob exercising every field type util::serial offers.
+  util::Writer w;
+  w.u8(0x7f);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.blob(Bytes(13, 0x5a));
+  w.str("composable proxy filters");
+  const Bytes wire = w.take();
+
+  const auto read_all = [](util::ByteSpan in) {
+    util::Reader r(in);
+    (void)r.u8();
+    (void)r.u16();
+    (void)r.u32();
+    (void)r.u64();
+    (void)r.i64();
+    (void)r.f64();
+    (void)r.blob();
+    (void)r.str();
+    if (!r.done()) throw util::SerialError("trailing bytes");
+  };
+  read_all(wire);  // the pristine wire must parse
+
+  for (std::size_t offset = 0; offset < wire.size(); ++offset) {
+    for (int bit = 0; bit < 8; ++bit) {
+      SCOPED_TRACE(::testing::Message() << "offset " << offset << " bit " << bit);
+      Bytes mutated = wire;
+      mutated[offset] ^= static_cast<std::uint8_t>(1u << bit);
+      try {
+        read_all(mutated);  // may yield different values
+      } catch (const std::exception&) {
+        // Typed failure is the contract; crash/UB/hang is the bug.
+      }
+    }
+  }
+}
+
+TEST(Fuzz, NackHeaderSurvivesEveryPossibleBitFlipAndStaysRoundTrippable) {
+  const reliable::Nack original{0x01020304, 9, {0, 3, 7, 200}};
+  const Bytes wire = original.serialize();
+  ASSERT_EQ(reliable::Nack::parse(wire), original);
+
+  for (std::size_t offset = 0; offset < wire.size(); ++offset) {
+    for (int bit = 0; bit < 8; ++bit) {
+      SCOPED_TRACE(::testing::Message() << "offset " << offset << " bit " << bit);
+      Bytes mutated = wire;
+      mutated[offset] ^= static_cast<std::uint8_t>(1u << bit);
+      try {
+        const reliable::Nack decoded = reliable::Nack::parse(mutated);
+        // Whatever parsed must survive its own round trip: serialize and
+        // re-parse to the identical value (no lossy/ambiguous decodings).
+        EXPECT_EQ(reliable::Nack::parse(decoded.serialize()), decoded);
+      } catch (const std::exception&) {
+      }
+    }
+  }
+}
+
+TEST(Fuzz, GroupHeaderSurvivesEveryPossibleBitFlipAndStaysRoundTrippable) {
+  util::Writer w;
+  fec::GroupHeader{42, 2, 4, 6, 64}.encode_to(w);
+  const Bytes wire = w.take();
+
+  for (std::size_t offset = 0; offset < wire.size(); ++offset) {
+    for (int bit = 0; bit < 8; ++bit) {
+      SCOPED_TRACE(::testing::Message() << "offset " << offset << " bit " << bit);
+      Bytes mutated = wire;
+      mutated[offset] ^= static_cast<std::uint8_t>(1u << bit);
+      try {
+        util::Reader r(mutated);
+        const auto decoded = fec::GroupHeader::decode_from(r);
+        util::Writer back;
+        decoded.encode_to(back);
+        util::Reader again(back.bytes());
+        (void)fec::GroupHeader::decode_from(again);
+      } catch (const std::exception&) {
+      }
+    }
+  }
 }
 
 TEST(Fuzz, ControlServerSurvivesHostileRequests) {

@@ -1,0 +1,342 @@
+// Fault-injection & concurrency stress for the detachable-stream layer.
+//
+// The paper's invariant under test: pause / disconnect / reconnect /
+// restart on a LIVE stream never loses, duplicates, or reorders a byte.
+// Every test here is seeded and deterministic: the schedule (control ops +
+// fault decisions) derives from the seed, and a failure always prints the
+// seed so the schedule replays exactly. Scale the sweep with
+// RW_STRESS_SCHEDULES (default 500); run under -DRW_SANITIZE=thread and
+// -DRW_SANITIZE=address to turn every schedule into a race/UB check.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/endpoint.h"
+#include "core/filter_chain.h"
+#include "net/link.h"
+#include "testing/fault_injector.h"
+#include "testing/sequence_stream.h"
+#include "testing/stress.h"
+#include "util/rng.h"
+
+namespace rapidware {
+namespace {
+
+using testing::FaultInjector;
+using testing::FaultPlan;
+using testing::SequenceChecker;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+// The one seed every sweep in this file derives from. Override with
+// RW_STRESS_SEED to replay a CI failure locally.
+std::uint64_t base_seed() {
+  const char* v = std::getenv("RW_STRESS_SEED");
+  if (v == nullptr || *v == '\0') return 0x5eedfeedULL;
+  return std::strtoull(v, nullptr, 0);
+}
+
+// ---------------------------------------------------------------------------
+// The oracle itself must catch every anomaly class, or the sweeps below
+// prove nothing.
+
+TEST(SequenceOracle, CatchesLossDuplicationReorderAndCorruption) {
+  const std::uint64_t seed = 0x0de11e7ULL;
+  util::Bytes wire(256);
+  testing::fill_pattern(seed, 0, wire);
+
+  {  // pristine
+    SequenceChecker c(seed);
+    c.write(wire);
+    EXPECT_TRUE(c.clean());
+    EXPECT_EQ(c.received(), wire.size());
+  }
+  {  // one byte lost: everything after shifts
+    SequenceChecker c(seed);
+    util::Bytes cut(wire);
+    cut.erase(cut.begin() + 100);
+    c.write(cut);
+    ASSERT_FALSE(c.clean());
+    EXPECT_EQ(c.divergence()->offset, 100u);
+  }
+  {  // one byte duplicated
+    SequenceChecker c(seed);
+    util::Bytes dup(wire);
+    dup.insert(dup.begin() + 100, dup[100]);
+    c.write(dup);
+    EXPECT_FALSE(c.clean());
+  }
+  {  // two chunks swapped (reordering)
+    SequenceChecker c(seed);
+    util::Bytes swapped(wire);
+    std::swap_ranges(swapped.begin() + 32, swapped.begin() + 64,
+                     swapped.begin() + 64);
+    c.write(swapped);
+    ASSERT_FALSE(c.clean());
+    EXPECT_EQ(c.divergence()->offset, 32u);
+  }
+  {  // single bit flip (corruption)
+    SequenceChecker c(seed);
+    util::Bytes flip(wire);
+    flip[200] ^= 0x20;
+    c.write(flip);
+    ASSERT_FALSE(c.clean());
+    EXPECT_EQ(c.divergence()->offset, 200u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bare pipe: writer + reader + control threads on one DIS/DOS pair.
+
+TEST(PipeStress, PauseReconnectCyclesLoseNothing) {
+  const int schedules = std::max(1, env_int("RW_STRESS_SCHEDULES", 500) / 10);
+  testing::PipeStressOptions opts;
+  opts.total_bytes = 48 * 1024;
+  opts.pause_cycles = 24;
+  util::Rng seeds(base_seed() ^ 0x9199e5ULL);
+  int pauses = 0;
+  for (int i = 0; i < schedules; ++i) {
+    const std::uint64_t seed = seeds.next_u64();
+    SCOPED_TRACE(::testing::Message()
+                 << "replay with pipe schedule seed 0x" << std::hex << seed);
+    // Vary the ring so both tiny (constant blocking) and roomy pipes run.
+    opts.ring_capacity = std::size_t{128} << (i % 4);
+    const auto res = testing::run_pipe_schedule(seed, opts);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.bytes_delivered, opts.total_bytes);
+    pauses += res.pauses_executed;
+  }
+  // The control thread must actually have raced pause() against live I/O.
+  EXPECT_GT(pauses, schedules);
+}
+
+// ---------------------------------------------------------------------------
+// Full chain: randomized insert/remove/reorder/pause schedules.
+
+TEST(ChainStress, RandomizedScheduleSweepIsByteExact) {
+  testing::StressOptions opts;
+  opts.seed = base_seed();
+  opts.schedules = env_int("RW_STRESS_SCHEDULES", 500);
+  testing::StressDriver driver(opts);
+  const auto summary = driver.run_all();
+  EXPECT_EQ(summary.failures, 0) << summary.describe();
+  EXPECT_EQ(summary.schedules_run, opts.schedules);
+  // The sweep must be genuinely hostile, not a no-op pass.
+  EXPECT_GT(summary.control_ops, 0u);
+  EXPECT_GT(summary.faults_fired, 0u);
+  EXPECT_EQ(summary.bytes_total,
+            std::uint64_t(opts.schedules) * opts.bytes_per_schedule);
+}
+
+TEST(ChainStress, SchedulesAreDeterministicPerSeed) {
+  testing::StressDriver driver({});
+  util::Rng seeds(base_seed() ^ 0xd7ULL);
+  for (int i = 0; i < 5; ++i) {
+    const std::uint64_t seed = seeds.next_u64();
+    SCOPED_TRACE(::testing::Message()
+                 << "replay with chain schedule seed 0x" << std::hex << seed);
+    const auto a = driver.run_schedule(seed);
+    const auto b = driver.run_schedule(seed);
+    // Thread interleaving varies run to run; the schedule (op sequence) and
+    // the verdict may not.
+    EXPECT_EQ(a.ops, b.ops);
+    EXPECT_EQ(a.bytes_delivered, b.bytes_delivered);
+    EXPECT_EQ(a.ok, b.ok);
+    ASSERT_TRUE(a.ok) << a.describe();
+  }
+}
+
+// Schedules that exposed real core bugs during bring-up stay pinned forever.
+// 1) close-while-blocked: DOS::close() failed to wake an in-flight write
+//    blocked on a full ring (missed wakeup in detachable_stream.cpp).
+// 2) dead-tail wedge: a filter thread that died on an exception left its
+//    input ring full forever, deadlocking every upstream stage and the
+//    chain's own teardown (fixed in Filter::thread_main).
+// The direct regression tests for both live below; this sweep re-runs the
+// chain schedules that first tripped over them.
+TEST(ChainStress, RegressionSchedules) {
+  const std::uint64_t pinned[] = {
+      0x7aa96a482cbd41bfULL,  // insert@0 + splice while the head ring is full
+      0x2f1d9f4bb6f0a3e1ULL,  // remove of a mid-flush filter after reorder
+      0x00000000000001a7ULL,  // low-entropy seed: back-to-back splices
+  };
+  testing::StressDriver driver({});
+  for (const std::uint64_t seed : pinned) {
+    SCOPED_TRACE(::testing::Message()
+                 << "replay with chain schedule seed 0x" << std::hex << seed);
+    const auto res = driver.run_schedule(seed);
+    EXPECT_TRUE(res.ok) << res.describe();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault termination: injected failures must end cleanly — a dead stage may
+// truncate the stream (delivered bytes stay a byte-exact prefix) but must
+// never corrupt it, hang the chain, or leak threads.
+
+TEST(ChainStress, InjectedSinkFailuresTerminateCleanly) {
+  util::Rng seeds(base_seed() ^ 0xfa11ULL);
+  const int schedules = std::max(1, env_int("RW_STRESS_SCHEDULES", 500) / 25);
+  for (int i = 0; i < schedules; ++i) {
+    const std::uint64_t seed = seeds.next_u64();
+    SCOPED_TRACE(::testing::Message()
+                 << "replay with fault schedule seed 0x" << std::hex << seed);
+
+    auto faults = std::make_shared<FaultInjector>(seed, FaultPlan{
+        .short_read_p = 0.5,
+        .fragment_write_p = 0.5,
+        .delay_p = 0.2,
+        .throw_p = 0.02,  // armed: sink/source may throw mid-transfer
+    });
+    auto generator =
+        std::make_shared<testing::SequenceGenerator>(seed, 32 * 1024);
+    auto source = std::make_shared<testing::FaultyByteSource>(generator, faults);
+    auto checker = std::make_shared<SequenceChecker>(seed);
+    auto sink = std::make_shared<testing::FaultyByteSink>(checker, faults);
+
+    auto head =
+        std::make_shared<core::ByteReaderEndpoint>("head", source, 512, 1024);
+    auto tail = std::make_shared<core::ByteWriterEndpoint>("tail", sink, 1024);
+    core::FilterChain chain(head, tail);
+    chain.start();
+
+    // Let it run (and quite possibly die) while we splice a filter in/out.
+    try {
+      chain.insert(std::make_shared<core::NullFilter>("nf"), 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      chain.remove(0);
+    } catch (const core::StreamError&) {
+      // A dead stage can legitimately make a control op fail; that must be
+      // a typed error, not a hang or a crash.
+    }
+    chain.shutdown();  // must always complete
+
+    EXPECT_TRUE(checker->clean()) << checker->report();
+    EXPECT_LE(checker->received(), generator->total());
+  }
+}
+
+// Pinned regression: DOS::close() while a write is blocked on a full ring
+// (no reader draining). Before the fix the writer slept forever; now it
+// must wake and throw BrokenPipe.
+TEST(PipeStress, RegressionCloseWakesBlockedWriter) {
+  auto dis = std::make_shared<core::DetachableInputStream>(64);
+  auto dos = std::make_shared<core::DetachableOutputStream>();
+  dos->connect(*dis);
+
+  std::promise<bool> threw;
+  auto threw_future = threw.get_future();
+  std::thread writer([dis, dos, &threw] {
+    util::Bytes big(4096, 0xaa);
+    try {
+      dos->write(big);  // blocks at 64 bytes: nobody reads
+      threw.set_value(false);
+    } catch (const core::BrokenPipe&) {
+      threw.set_value(true);
+    }
+  });
+
+  // Wait until the writer is actually wedged mid-write.
+  while (dis->available() < 64) std::this_thread::yield();
+  dos->close();
+
+  ASSERT_EQ(threw_future.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready)
+      << "close() failed to wake the blocked writer";
+  EXPECT_TRUE(threw_future.get());
+  writer.join();
+
+  // The prefix that landed before close() is still readable, then EOF.
+  util::Bytes buf(128);
+  EXPECT_EQ(dis->read_some(buf), 64u);
+  EXPECT_EQ(dis->read_some(buf), 0u);
+}
+
+// Pinned regression: a tail whose thread died must release backpressure so
+// upstream stages (and chain teardown) do not wedge against its full ring.
+TEST(ChainStress, RegressionDeadTailReleasesBackpressure) {
+  struct ThrowingSink final : util::ByteSink {
+    void write(util::ByteSpan) override {
+      throw core::StreamError("sink died");
+    }
+  };
+  auto generator =
+      std::make_shared<testing::SequenceGenerator>(0x7e57ULL, 1 << 20);
+  auto head = std::make_shared<core::ByteReaderEndpoint>("head", generator,
+                                                         4096, 2048);
+  auto tail = std::make_shared<core::ByteWriterEndpoint>(
+      "tail", std::make_shared<ThrowingSink>(), 2048);
+  core::FilterChain chain(head, tail);
+  chain.start();
+
+  // The tail dies on its first chunk; the head (1 MiB to push through a
+  // 2 KiB ring) must observe BrokenPipe instead of blocking forever.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+  while (head->running() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(head->running())
+      << "dead tail wedged the head endpoint (backpressure never released)";
+  chain.shutdown();  // must complete promptly
+}
+
+// ---------------------------------------------------------------------------
+// Link-level faults: the datagram path may lose and reorder (that is what
+// FEC/ARQ exist for), and the packet oracle must classify exactly what the
+// injected faults did.
+
+TEST(LinkStress, InjectedLossAndReorderAreDetectedByTheLedger) {
+  const std::uint64_t seed = base_seed() ^ 0x11ULL;
+  auto faults = std::make_shared<FaultInjector>(seed, FaultPlan{
+      .link_drop_p = 0.05,
+      .link_outage_p = 0.01,
+      .link_outage_packets = 6,
+  });
+  auto loss = std::make_shared<testing::LinkFaults>(
+      std::make_shared<net::PerfectChannel>(), faults);
+
+  net::ChannelConfig config;
+  config.loss = loss;
+  config.latency_us = 2'000;
+  config.jitter_us = 5'000;  // far beyond the send gap: guarantees reorder
+  net::Channel channel(config, util::Rng(seed ^ 0x1eafULL));
+
+  const std::uint32_t kPackets = 600;
+  std::vector<std::pair<util::Micros, std::uint32_t>> arrivals;
+  util::Micros now = 0;
+  for (std::uint32_t seq = 0; seq < kPackets; ++seq) {
+    now += 500;  // 0.5 ms send gap
+    if (const auto at = channel.transit(64, now)) {
+      arrivals.emplace_back(*at, seq);
+    }
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  testing::PacketLedger ledger(seed, kPackets);
+  for (const auto& [at, seq] : arrivals) {
+    ledger.record(testing::make_stamped_packet(seed, seq, 64));
+  }
+
+  EXPECT_GT(faults->link_drops(), 0u);
+  EXPECT_EQ(ledger.lost(), faults->link_drops());
+  EXPECT_GT(ledger.reordered(), 0u);
+  EXPECT_EQ(ledger.duplicates(), 0u);
+  EXPECT_EQ(ledger.corrupt(), 0u);
+  EXPECT_EQ(ledger.ok() + ledger.lost(), kPackets);
+}
+
+}  // namespace
+}  // namespace rapidware
