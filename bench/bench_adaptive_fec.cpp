@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench_json.h"
 #include "fec/fec_group.h"
 #include "filters/fec_filters.h"
 #include "filters/registry.h"
@@ -180,6 +181,10 @@ int main() {
   } rows[] = {{"never", Strategy::kNever},
               {"always", Strategy::kAlways},
               {"on-demand", Strategy::kOnDemand}};
+  rwbench::JsonSummary json("adaptive_fec");
+  json.meta("walk_seconds", 140);
+  json.meta("fec_n", 6);
+  json.meta("fec_k", 4);
   for (const auto& row : rows) {
     const Outcome o = run(row.strategy);
     char reaction[32] = "-";
@@ -189,7 +194,13 @@ int main() {
     std::printf("%-10s %10s %11.2fx %14s %10d\n", row.name,
                 util::percent(o.delivery).c_str(), o.overhead, reaction,
                 o.reconfigs);
+    json.row({{"strategy", row.name},
+              {"delivery", o.delivery},
+              {"overhead", o.overhead},
+              {"reaction_s", o.reaction_s},
+              {"reconfigs", o.reconfigs}});
   }
+  json.write();
   std::printf(
       "\nshape check: on-demand approaches always-on delivery while paying\n"
       "the +50%% FEC bandwidth only during the lossy middle of the walk;\n"

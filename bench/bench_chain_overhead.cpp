@@ -6,8 +6,10 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench_json.h"
 #include "core/endpoint.h"
 #include "core/filter_chain.h"
+#include "obs/metrics.h"
 #include "util/stats.h"
 
 using namespace rapidware;
@@ -20,11 +22,17 @@ struct Result {
 };
 
 Result run(std::size_t chain_len, std::size_t packet_bytes, int packets) {
+  // The registry must outlive the chain: the chain's destructor unbinds
+  // its metrics scope into it.
+  obs::Registry metrics;
   auto source = std::make_shared<core::QueuePacketSource>();
   auto sink = std::make_shared<core::CollectingPacketSink>();
   auto chain = std::make_shared<core::FilterChain>(
       std::make_shared<core::PacketReaderEndpoint>("in", source),
       std::make_shared<core::PacketWriterEndpoint>("out", sink));
+  // Bind metrics exactly as a live proxy would, so this bench measures the
+  // instrumented hot path (compare a -DRW_OBS=OFF build: EXPERIMENTS.md).
+  chain->bind_metrics(metrics, "bench/chain");
   chain->start();
   for (std::size_t i = 0; i < chain_len; ++i) {
     chain->insert(std::make_shared<core::NullFilter>("n" + std::to_string(i)),
@@ -55,18 +63,31 @@ int main() {
   std::printf("=== Chain-length overhead (null filters, end-to-end) ===\n\n");
   std::printf("%10s %10s %16s %14s\n", "filters", "pkt B", "packets/s",
               "MB/s");
+  rwbench::JsonSummary json("chain_overhead");
+  json.meta("rw_obs_enabled", RW_OBS_ENABLED != 0);
   constexpr int kPackets = 200'000;
   for (const std::size_t len : {0u, 1u, 2u, 4u, 8u, 16u}) {
     const Result r = run(len, 320, kPackets);
     std::printf("%10zu %10u %16.0f %14.1f\n", len, 320u, r.packets_per_sec,
                 r.mbytes_per_sec);
+    json.row({{"filters", len},
+              {"packet_bytes", 320},
+              {"packets", kPackets},
+              {"packets_per_sec", r.packets_per_sec},
+              {"mbytes_per_sec", r.mbytes_per_sec}});
   }
   std::printf("\n");
   for (const std::size_t len : {0u, 4u, 16u}) {
     const Result r = run(len, 65536, 50'000);
     std::printf("%10zu %10u %16.0f %14.1f\n", len, 65536u, r.packets_per_sec,
                 r.mbytes_per_sec);
+    json.row({{"filters", len},
+              {"packet_bytes", 65536},
+              {"packets", 50'000},
+              {"packets_per_sec", r.packets_per_sec},
+              {"mbytes_per_sec", r.mbytes_per_sec}});
   }
+  json.write();
   std::printf(
       "\nshape check: per-filter cost is one buffer copy plus one thread\n"
       "hand-off, so throughput stays within the same order of magnitude\n"

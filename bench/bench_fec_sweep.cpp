@@ -8,6 +8,7 @@
 // more at the same overhead but delay the stream.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "fec/fec_group.h"
 #include "net/loss.h"
 #include "util/stats.h"
@@ -45,6 +46,8 @@ int main() {
   } codes[] = {{5, 4},  {6, 4},  {8, 4},  {10, 8}, {12, 8},
                {16, 8}, {24, 16}, {48, 32}, {96, 64}};
 
+  rwbench::JsonSummary json("fec_sweep");
+  json.meta("packets_per_code", kPackets);
   for (const double loss : {0.0146, 0.05, 0.15}) {
     std::printf("=== FEC (n,k) sweep at %s average loss (bursty) ===\n",
                 util::percent(loss).c_str());
@@ -58,9 +61,17 @@ int main() {
                   static_cast<double>(code.n) / static_cast<double>(code.k),
                   util::percent(rate).c_str(),
                   util::percent(1.0 - rate, 3).c_str(), code.k - 1);
+      json.row({{"loss", loss},
+                {"n", code.n},
+                {"k", code.k},
+                {"overhead", static_cast<double>(code.n) /
+                                 static_cast<double>(code.k)},
+                {"recovery_rate", rate},
+                {"latency_packets", code.k - 1}});
     }
     std::printf("\n");
   }
+  json.write();
 
   std::printf(
       "shape check: at fixed overhead (6,4 vs 12,8 vs 24,16), larger groups\n"

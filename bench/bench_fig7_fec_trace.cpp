@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench_json.h"
 #include "fec/fec_group.h"
 #include "filters/fec_filters.h"
 #include "media/audio.h"
@@ -81,6 +82,11 @@ int main() {
   receiver.join();
   proxy.shutdown();
 
+  rwbench::JsonSummary json("fig7_fec_trace");
+  json.meta("fec_n", 6);
+  json.meta("fec_k", 4);
+  json.meta("distance_m", 25.0);
+  json.meta("packets", kPackets);
   std::printf("%-12s %12s %16s\n", "seq window", "% received",
               "% reconstructed");
   const auto raw_bins = raw_log.bins();
@@ -89,7 +95,14 @@ int main() {
     std::printf("%-12u %12s %16s\n", raw_bins[i].first_seq,
                 util::percent(raw_bins[i].rate).c_str(),
                 util::percent(fec_bins[i].rate).c_str());
+    json.row({{"first_seq", raw_bins[i].first_seq},
+              {"received_rate", raw_bins[i].rate},
+              {"reconstructed_rate", fec_bins[i].rate}});
   }
+  json.meta("overall_received_rate", raw_log.delivery_rate());
+  json.meta("overall_reconstructed_rate", fec_log.delivery_rate());
+  json.meta("smoothed_jitter_us", fec_log.smoothed_jitter_us());
+  json.write();
   std::printf("\n%-12s %12s %16s\n", "overall",
               util::percent(raw_log.delivery_rate()).c_str(),
               util::percent(fec_log.delivery_rate()).c_str());

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench_json.h"
 #include "core/endpoint.h"
 #include "core/filter_chain.h"
 #include "util/stats.h"
@@ -85,6 +86,8 @@ int main() {
               "insert mean", "insert max", "remove mean", "remove max",
               "lossless");
   constexpr int kCycles = 200;
+  rwbench::JsonSummary json("insertion_latency");
+  json.meta("cycles", kCycles);
   for (const std::size_t len : {0u, 2u, 4u, 8u}) {
     for (const std::size_t bytes : {256u, 4096u}) {
       const Result r = run(len, bytes, kCycles);
@@ -92,8 +95,16 @@ int main() {
                   len, bytes, r.insert_us.mean(), r.insert_us.max(),
                   r.remove_us.mean(), r.remove_us.max(),
                   r.lossless ? "yes" : "NO");
+      json.row({{"chain_len", len},
+                {"packet_bytes", bytes},
+                {"insert_mean_us", r.insert_us.mean()},
+                {"insert_max_us", r.insert_us.max()},
+                {"remove_mean_us", r.remove_us.mean()},
+                {"remove_max_us", r.remove_us.max()},
+                {"lossless", r.lossless}});
     }
   }
+  json.write();
   std::printf(
       "\nshape check: latency is micro- to milli-seconds, independent of\n"
       "chain length (only the splice point pauses; the rest keeps flowing),\n"

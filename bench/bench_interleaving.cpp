@@ -8,6 +8,7 @@
 // bench sweeps Gilbert-Elliott burst lengths at fixed average loss.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "fec/fec_group.h"
 #include "fec/interleaver.h"
 #include "net/loss.h"
@@ -58,6 +59,9 @@ int main() {
               util::percent(kLoss).c_str());
   std::printf("%12s %14s %16s %16s\n", "burst len", "no interleave",
               "interleave x4", "interleave x8");
+  rwbench::JsonSummary json("interleaving");
+  json.meta("avg_loss", kLoss);
+  json.meta("packets", kPackets);
   for (const double burst : {1.0, 2.0, 4.0, 8.0, 16.0}) {
     const double plain = run(kLoss, burst, 1, kPackets, 11);
     const double il4 = run(kLoss, burst, 4, kPackets, 12);
@@ -65,7 +69,12 @@ int main() {
     std::printf("%12.0f %14s %16s %16s\n", burst,
                 util::percent(plain).c_str(), util::percent(il4).c_str(),
                 util::percent(il8).c_str());
+    json.row({{"burst_len", burst},
+              {"recovery_plain", plain},
+              {"recovery_interleave_x4", il4},
+              {"recovery_interleave_x8", il8}});
   }
+  json.write();
   std::printf("\nadded buffering latency: x4 = %d packets, x8 = %d packets\n",
               6 * 4, 6 * 8);
   std::printf(

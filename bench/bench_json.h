@@ -1,0 +1,149 @@
+// Machine-readable bench output: every bench_* binary writes a
+// BENCH_<name>.json summary next to its human-readable stdout tables, so CI
+// can archive results and scripts can diff runs without scraping printf
+// output. Schema (documented in docs/observability.md):
+//
+//   {
+//     "bench": "<name>",            // binary name minus the bench_ prefix
+//     "schema_version": 1,
+//     "meta": { ... },              // run-wide facts (config, build flags)
+//     "rows": [ { ... }, ... ]      // one object per table row
+//   }
+//
+// Row/meta values are strings, numbers, or booleans. The two
+// google-benchmark binaries (bench_stream_throughput, bench_rs_codec) write
+// google-benchmark's own JSON schema instead, via benchmark::JSONReporter.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rwbench {
+
+/// One JSON scalar, stored pre-rendered.
+class JsonValue {
+ public:
+  JsonValue(const char* s) : repr_(quote(s)) {}                    // NOLINT
+  JsonValue(const std::string& s) : repr_(quote(s)) {}             // NOLINT
+  JsonValue(double v) { repr_ = number(v); }                       // NOLINT
+  JsonValue(int v) : repr_(std::to_string(v)) {}                   // NOLINT
+  JsonValue(unsigned v) : repr_(std::to_string(v)) {}              // NOLINT
+  JsonValue(long v) : repr_(std::to_string(v)) {}                  // NOLINT
+  JsonValue(unsigned long v) : repr_(std::to_string(v)) {}         // NOLINT
+  JsonValue(long long v) : repr_(std::to_string(v)) {}             // NOLINT
+  JsonValue(unsigned long long v) : repr_(std::to_string(v)) {}    // NOLINT
+  JsonValue(bool v) : repr_(v ? "true" : "false") {}               // NOLINT
+
+  const std::string& repr() const { return repr_; }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string number(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    // JSON has no inf/nan; encode them as strings so parsers stay happy.
+    const std::string s = buf;
+    if (s.find_first_not_of("+-.0123456789eE") != std::string::npos) {
+      return quote(s);
+    }
+    return s;
+  }
+
+  std::string repr_;
+};
+
+using JsonFields = std::vector<std::pair<std::string, JsonValue>>;
+
+/// Accumulates meta fields and rows; writes BENCH_<name>.json on write()
+/// (or from the destructor as a fallback).
+class JsonSummary {
+ public:
+  explicit JsonSummary(std::string name) : name_(std::move(name)) {}
+
+  ~JsonSummary() {
+    if (!written_) write();
+  }
+
+  JsonSummary(const JsonSummary&) = delete;
+  JsonSummary& operator=(const JsonSummary&) = delete;
+
+  void meta(const std::string& key, JsonValue value) {
+    meta_.emplace_back(key, std::move(value));
+  }
+
+  void row(JsonFields fields) { rows_.push_back(std::move(fields)); }
+
+  std::string path() const { return "BENCH_" + name_ + ".json"; }
+
+  /// Serializes and writes the file; prints the path on success.
+  void write() {
+    written_ = true;
+    const std::string out = render();
+    std::FILE* f = std::fopen(path().c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path().c_str());
+      return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("json summary: %s\n", path().c_str());
+  }
+
+  std::string render() const {
+    std::string out = "{\n  \"bench\": " + JsonValue(name_).repr() +
+                      ",\n  \"schema_version\": 1,\n  \"meta\": ";
+    out += object(meta_, "  ");
+    out += ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += (i == 0 ? "\n    " : ",\n    ");
+      out += object(rows_[i], "    ");
+    }
+    out += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+  }
+
+ private:
+  static std::string object(const JsonFields& fields,
+                            const std::string& indent) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      out += (i == 0 ? "" : ", ");
+      out += JsonValue(fields[i].first).repr() + ": " +
+             fields[i].second.repr();
+    }
+    (void)indent;
+    out += "}";
+    return out;
+  }
+
+  std::string name_;
+  JsonFields meta_;
+  std::vector<JsonFields> rows_;
+  bool written_ = false;
+};
+
+}  // namespace rwbench

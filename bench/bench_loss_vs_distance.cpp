@@ -7,6 +7,7 @@
 // after FEC(6,4) — the distance axis of Figure 7's experiment.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "fec/fec_group.h"
 #include "net/loss.h"
 #include "util/stats.h"
@@ -54,6 +55,10 @@ int main() {
               "raw rate", "fec rate", "fec gain");
 
   constexpr int kPackets = 40'000;
+  rwbench::JsonSummary json("loss_vs_distance");
+  json.meta("fec_n", 6);
+  json.meta("fec_k", 4);
+  json.meta("packets_per_distance", kPackets);
   const wireless::PathLossModel model = wireless::wavelan_model();
   for (const double d : {5.0, 10.0, 15.0, 20.0, 25.0, 28.0, 30.0, 32.0, 35.0,
                          38.0, 40.0, 45.0}) {
@@ -70,7 +75,13 @@ int main() {
                 util::percent(model.loss_at(d)).c_str(),
                 util::percent(p.raw_rate).c_str(),
                 util::percent(p.fec_rate).c_str(), gain_str);
+    json.row({{"distance_m", d},
+              {"model_loss", model.loss_at(d)},
+              {"raw_rate", p.raw_rate},
+              {"fec_rate", p.fec_rate},
+              {"fec_gain", gain}});
   }
+  json.write();
 
   std::printf(
       "\nshape check: loss grows ~e^(d/7.4m); between 30 m and 40 m the rate"

@@ -11,6 +11,7 @@
 // budgets plus the p99 availability latency.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "fec/fec_group.h"
 #include "media/playout.h"
 #include "net/loss.h"
@@ -128,6 +129,9 @@ int main() {
 
   const CodeChoice codes[] = {{0, 0}, {6, 4}, {12, 8}, {24, 16}, {48, 32}};
   constexpr int kPackets = 20'000;
+  rwbench::JsonSummary json("playout_jitter");
+  json.meta("distance_m", 25.0);
+  json.meta("packets", kPackets);
   for (const auto code : codes) {
     const Outcome o = run(code, kPackets, 99);
     if (code.k == 0) {
@@ -143,7 +147,18 @@ int main() {
     std::printf(" | %9.0f ms %10s\n",
                 static_cast<double>(o.p99_latency_us) / 1000.0,
                 util::percent(o.delivered).c_str());
+    rwbench::JsonFields fields = {{"n", code.n},
+                                  {"k", code.k},
+                                  {"p99_latency_us", o.p99_latency_us},
+                                  {"delivered", o.delivered}};
+    for (std::size_t i = 0; i < kBudgets.size(); ++i) {
+      fields.emplace_back(
+          "playable_at_" + std::to_string(kBudgets[i] / 1000) + "ms",
+          o.playable[i]);
+    }
+    json.row(fields);
   }
+  json.write();
   std::printf("\n(column 2: packets of sender-side group-assembly latency)\n");
   std::printf(
       "\nshape check: every code delivers ~100%%, but availability latency\n"

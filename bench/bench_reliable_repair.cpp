@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "net/loss.h"
 #include "reliable/reliable_multicast.h"
 #include "util/stats.h"
@@ -90,6 +91,10 @@ int main() {
   std::printf("%8s %6s %10s | %14s %10s | %14s %10s | %8s\n", "loss", "rxs",
               "data pkts", "ARQ repairs", "overhead", "parity repairs",
               "overhead", "ratio");
+  rwbench::JsonSummary json("reliable_repair");
+  json.meta("blocks", 100);
+  json.meta("block_k", 8);
+  json.meta("payload_bytes", 200);
   for (const double loss : {0.02, 0.05, 0.15}) {
     for (const int receivers : {1, 4, 16}) {
       const Outcome arq = run(RepairMode::kArq, receivers, loss, 1000);
@@ -99,6 +104,13 @@ int main() {
                     receivers);
         continue;
       }
+      json.row({{"loss", loss},
+                {"receivers", receivers},
+                {"data_packets", arq.data_packets},
+                {"arq_repair_packets", arq.repair_packets},
+                {"parity_repair_packets", parity.repair_packets},
+                {"arq_nacks", arq.nacks},
+                {"parity_nacks", parity.nacks}});
       std::printf(
           "%7.0f%% %6d %10llu | %14llu %9.1f%% | %14llu %9.1f%% | %7.2fx\n",
           loss * 100, receivers,
@@ -113,6 +125,7 @@ int main() {
               std::max<std::uint64_t>(1, parity.repair_packets));
     }
   }
+  json.write();
   std::printf(
       "\nshape check: with one receiver the modes are comparable; as the\n"
       "receiver set grows, ARQ repairs track the UNION of losses while\n"

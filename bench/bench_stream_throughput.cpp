@@ -7,7 +7,11 @@
 //   * pause/reconnect cycle  — the control-plane primitive by itself
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <string_view>
 #include <thread>
+#include <vector>
 
 #include "core/detachable_stream.h"
 #include "util/framing.h"
@@ -96,4 +100,29 @@ BENCHMARK(BM_PauseReconnectCycle);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: console output for humans plus google-benchmark's own JSON
+// schema (not the rwbench one) in BENCH_stream_throughput.json, unless the
+// caller already chose a --benchmark_out destination.
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_stream_throughput.json";
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = std::string("--benchmark_out=") + json_path;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) std::printf("json summary: %s\n", json_path);
+  return 0;
+}

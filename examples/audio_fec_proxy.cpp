@@ -3,10 +3,16 @@
 // wireless laptops receive it at different distances from the access point.
 //
 // Prints per-receiver raw receipt vs. FEC-reconstructed rates — the same
-// quantities Figure 7 plots.
+// quantities Figure 7 plots — then queries the proxy's own STATS verb and
+// cross-checks its per-filter counters against the ground truth the sender
+// and receivers observed.
 //
 // Run: ./audio_fec_proxy
+// Set RW_STATS_LOG_MS=<ms> to also log registry snapshots periodically
+// while the stream runs (obs::StatsLogSink).
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -16,6 +22,8 @@
 #include "media/audio.h"
 #include "media/media_packet.h"
 #include "media/receiver_log.h"
+#include "obs/metrics.h"
+#include "obs/stats_log.h"
 #include "proxy/proxy.h"
 #include "util/stats.h"
 #include "wireless/wlan.h"
@@ -73,6 +81,14 @@ int main() {
   proxy.start();
   proxy.chain().insert(std::make_shared<filters::FecEncodeFilter>(6, 4), 0);
 
+  // Optional periodic stats log, an operator's view while the stream runs.
+  std::unique_ptr<obs::StatsLogSink> stats_log;
+  if (const char* ms = std::getenv("RW_STATS_LOG_MS"); ms && *ms) {
+    stats_log = std::make_unique<obs::StatsLogSink>(
+        obs::registry(), config.name,
+        std::chrono::milliseconds(std::atoi(ms)));
+  }
+
   // Receiver loops: count raw FEC-layer arrivals and reconstructed audio.
   for (auto& r : receivers) {
     r.thread = std::thread([&r] {
@@ -111,6 +127,58 @@ int main() {
   }
 
   for (auto& r : receivers) r.thread.join();
+  stats_log.reset();
+
+  // Ask the RUNNING proxy what it did — the STATS verb over the control
+  // protocol — and check its counters against the ground truth this process
+  // observed at the sender (the integrity oracle for the proxy's ledger).
+  {
+    core::ControlManager manager(proxy::network_control_transport(
+        net, sender_node, proxy.control_address()));
+    const auto entries = manager.stats(config.name);
+    auto value = [&](const std::string& name) -> std::string {
+      for (const auto& [k, v] : entries) {
+        if (k == name) return v;
+      }
+      return "<missing>";
+    };
+    bool all_ok = true;
+    const auto expect = [&all_ok](const std::string& got, std::uint64_t want) {
+      if (got == std::to_string(want)) return "ok";
+      all_ok = false;
+      return "MISMATCH";
+    };
+    const std::uint64_t wire_packets = kPackets / 4 * 6;  // FEC(6,4)
+    std::printf("\nSTATS cross-check (proxy's ledger vs this process):\n");
+    std::printf("  %-44s %8s  want %llu (%s)\n", "fec-audio-proxy/ingress/packets",
+                value("fec-audio-proxy/ingress/packets").c_str(),
+                static_cast<unsigned long long>(kPackets),
+                expect(value("fec-audio-proxy/ingress/packets"), kPackets));
+    std::printf("  %-44s %8s  want %llu (%s)\n",
+                "fec-audio-proxy/chain/fec-encode/packets_in",
+                value("fec-audio-proxy/chain/fec-encode/packets_in").c_str(),
+                static_cast<unsigned long long>(kPackets),
+                expect(value("fec-audio-proxy/chain/fec-encode/packets_in"),
+                       kPackets));
+    std::printf("  %-44s %8s  want %llu (%s)\n",
+                "fec-audio-proxy/chain/fec-encode/packets_out",
+                value("fec-audio-proxy/chain/fec-encode/packets_out").c_str(),
+                static_cast<unsigned long long>(wire_packets),
+                expect(value("fec-audio-proxy/chain/fec-encode/packets_out"),
+                       wire_packets));
+#if RW_OBS_ENABLED
+    std::printf("  %-44s %8s  want %llu (%s)\n",
+                "fec-audio-proxy/chain/fec-encode/groups_encoded",
+                value("fec-audio-proxy/chain/fec-encode/groups_encoded").c_str(),
+                static_cast<unsigned long long>(kPackets / 4),
+                expect(value("fec-audio-proxy/chain/fec-encode/groups_encoded"),
+                       kPackets / 4));
+#endif
+    if (!all_ok) {
+      std::fprintf(stderr, "STATS cross-check failed\n");
+      return 1;
+    }
+  }
   proxy.shutdown();
 
   std::printf("%-12s %9s %12s %15s %10s\n", "receiver", "dist", "%received",

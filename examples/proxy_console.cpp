@@ -13,6 +13,7 @@
 //   upload <alias> <base> [k=v] register a third-party filter definition
 //   types                      composability type trace of the chain
 //   stats                      delivery statistics at the receiver
+//   pstats [prefix]            proxy-side metrics via the STATS verb
 //   quit
 //
 // Run interactively: ./proxy_console
@@ -184,6 +185,14 @@ bool run_command(Deployment& d, core::ControlManager& manager,
                   static_cast<unsigned long long>(d.log.expected()),
                   util::percent(d.wlan.downlink_loss(d.mobile)).c_str(),
                   d.wlan.distance(d.mobile));
+    } else if (cmd == "pstats") {
+      // The remote side of the picture: what the PROXY says it is doing,
+      // fetched over the wire with the STATS verb (docs/observability.md).
+      std::string prefix = "console-proxy";
+      in >> prefix;
+      for (const auto& [key, value] : manager.stats(prefix)) {
+        std::printf("  %s=%s\n", key.c_str(), value.c_str());
+      }
     } else {
       std::printf("  unknown command '%s'\n", cmd.c_str());
     }
@@ -230,6 +239,7 @@ int main() {
       "insert strong-fec 0",
       "list",
       "stats",
+      "pstats console-proxy/chain",
   };
   for (const char* line : script) {
     std::printf("proxy> %s\n", line);

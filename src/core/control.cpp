@@ -24,9 +24,9 @@ util::Bytes error_response(const std::string& message) {
 }  // namespace wire
 
 ControlServer::ControlServer(std::shared_ptr<FilterChain> chain,
-                             FilterRegistry* registry)
-    : chain_(std::move(chain)), registry_(registry) {
-  if (!chain_ || registry_ == nullptr) {
+                             FilterRegistry* registry, obs::Registry* metrics)
+    : chain_(std::move(chain)), registry_(registry), metrics_(metrics) {
+  if (!chain_ || registry_ == nullptr || metrics_ == nullptr) {
     throw std::invalid_argument("ControlServer: null chain or registry");
   }
 }
@@ -98,6 +98,15 @@ util::Bytes ControlServer::dispatch(util::ByteSpan request) {
       const FilterSpec base = FilterSpec::deserialize(r.blob());
       registry_->register_alias(std::move(alias), base);
       return wire::ok_response();
+    }
+    case ControlOp::kStats: {
+      const std::string prefix = r.str();
+      std::string text =
+          "proto_version=" + std::to_string(kControlProtocolVersion) + "\n";
+      text += obs::render(metrics_->snapshot(prefix));
+      util::Writer w;
+      w.str(text);
+      return wire::ok_response(w.bytes());
     }
   }
   return wire::error_response("unknown control op");
@@ -190,6 +199,29 @@ void ControlManager::upload(const std::string& name, const FilterSpec& base) {
   req.str(name);
   req.blob(base.serialize());
   roundtrip(req.bytes());
+}
+
+std::string ControlManager::stats_text(const std::string& scope) {
+  util::Writer req;
+  req.u8(static_cast<std::uint8_t>(ControlOp::kStats));
+  req.str(scope);
+  const util::Bytes payload = roundtrip(req.bytes());
+  util::Reader r(payload);
+  return r.str();
+}
+
+std::vector<std::pair<std::string, std::string>> ControlManager::stats(
+    const std::string& scope) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::istringstream is(stats_text(scope));
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    out.emplace_back(line.substr(0, eq), line.substr(eq + 1));
+  }
+  return out;
 }
 
 std::string ControlManager::render_chain(const std::string& head,

@@ -14,10 +14,12 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/filter_chain.h"
 #include "core/filter_registry.h"
+#include "obs/metrics.h"
 #include "util/bytes.h"
 
 namespace rapidware::core {
@@ -30,7 +32,17 @@ enum class ControlOp : std::uint8_t {
   kReorder = 5,      // from + to
   kSetParam = 6,     // position + key + value
   kUpload = 7,       // alias name + base spec
+  kStats = 8,        // scope prefix -> metrics text (v2)
 };
+
+/// Protocol version, reported as the first "proto_version=N" line of every
+/// STATS response. Compatibility rule (docs/control_protocol.md): existing
+/// op encodings are frozen; new capability = new op tag; a server answers an
+/// op it does not know with the error "unknown control op", which is how an
+/// older server tells a newer client to back off.
+///   v1: ops 1-7.
+///   v2: adds kStats.
+inline constexpr int kControlProtocolVersion = 2;
 
 /// Snapshot of one configured filter, as reported by kListChain.
 struct FilterInfo {
@@ -47,11 +59,14 @@ util::Bytes ok_response(util::ByteSpan payload = {});
 util::Bytes error_response(const std::string& message);
 }  // namespace wire
 
-/// Server side: applies control requests to a chain + registry.
+/// Server side: applies control requests to a chain + registry. kStats
+/// serves snapshots of `metrics` (default: the process-global registry,
+/// which is where Proxy publishes everything).
 class ControlServer {
  public:
   ControlServer(std::shared_ptr<FilterChain> chain,
-                FilterRegistry* registry = &global_registry());
+                FilterRegistry* registry = &global_registry(),
+                obs::Registry* metrics = &obs::registry());
 
   /// Decodes, executes, and answers one request. Never throws: failures are
   /// reported in the response.
@@ -62,6 +77,7 @@ class ControlServer {
 
   std::shared_ptr<FilterChain> chain_;
   FilterRegistry* registry_;
+  obs::Registry* metrics_;
 };
 
 /// Thrown by ControlManager when the server reports an error.
@@ -91,6 +107,15 @@ class ControlManager {
   /// Uploads a third-party filter definition (alias over registered
   /// primitives); afterwards insert() accepts the new name.
   void upload(const std::string& name, const FilterSpec& base);
+
+  /// STATS: the raw "name=value\n" metrics dump for `scope` (empty: all
+  /// metrics). The first line is always "proto_version=N".
+  std::string stats_text(const std::string& scope = "");
+
+  /// STATS, parsed: (name, value) pairs in server (name-sorted) order,
+  /// including the proto_version pseudo-entry.
+  std::vector<std::pair<std::string, std::string>> stats(
+      const std::string& scope = "");
 
   /// Renders the chain configuration as a one-line summary, e.g.
   /// "[wired-rx] -> fec-enc(6,4) -> throttle -> [wireless-tx]".

@@ -1,5 +1,9 @@
 #include "core/detachable_stream.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"  // for the RW_OBS_ENABLED compile-out switch
+
 namespace rapidware::core {
 
 using detail::InputState;
@@ -94,7 +98,21 @@ void DetachableOutputStream::write(util::ByteSpan in) {
   std::shared_ptr<InputState> st;
   {
     std::unique_lock lk(mu_);
-    state_cv_.wait(lk, [&] { return closed_ || (connected_ && !swflag_); });
+    const auto ready = [&] { return closed_ || (connected_ && !swflag_); };
+    if (!ready()) {
+      // Only time the wait when it actually blocks: the fast path must not
+      // read the clock (overhead contract in src/obs/metrics.h).
+#if RW_OBS_ENABLED
+      const auto t0 = std::chrono::steady_clock::now();
+#endif
+      state_cv_.wait(lk, ready);
+#if RW_OBS_ENABLED
+      blocked_us_ += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+#endif
+    }
     if (closed_) throw BrokenPipe("DOS::write: stream closed");
     st = sink_;
     ++active_writers_;
@@ -119,6 +137,9 @@ void DetachableOutputStream::write(util::ByteSpan in) {
       const std::size_t n = st->ring.write(in);
       in = in.subspan(n);
       st->bytes_in += n;
+#if RW_OBS_ENABLED
+      bytes_sent_.fetch_add(n, std::memory_order_relaxed);
+#endif
       st->readable.notify_all();
     }
   } catch (...) {
@@ -164,6 +185,7 @@ void DetachableOutputStream::pause() {
     }
     // Let in-flight writes land in full.
     writers_cv_.wait(lk, [&] { return active_writers_ == 0; });
+    ++pauses_;
     connected_ = false;
     sink_.reset();
   }
@@ -229,6 +251,20 @@ void DetachableOutputStream::close() {
 bool DetachableOutputStream::connected() const {
   std::lock_guard lk(mu_);
   return connected_;
+}
+
+std::uint64_t DetachableOutputStream::bytes_sent() const noexcept {
+  return bytes_sent_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t DetachableOutputStream::pauses() const {
+  std::lock_guard lk(mu_);
+  return pauses_;
+}
+
+std::uint64_t DetachableOutputStream::blocked_micros() const {
+  std::lock_guard lk(mu_);
+  return blocked_us_;
 }
 
 void connect(DetachableOutputStream& dos, DetachableInputStream& dis) {

@@ -22,6 +22,7 @@
 // by the caller (FilterChain does this).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -159,6 +160,17 @@ class DetachableOutputStream final : public util::ByteSink {
 
   bool connected() const;
 
+  /// Total bytes this DOS has delivered into any sink (across reconnects).
+  std::uint64_t bytes_sent() const noexcept;
+
+  /// Completed pause() calls that actually detached the pipe.
+  std::uint64_t pauses() const;
+
+  /// Cumulative microseconds writers spent blocked in write() waiting for a
+  /// connect/unpause — the per-splice disruption the paper's Figure 7
+  /// measures, accumulated as a running total.
+  std::uint64_t blocked_micros() const;
+
  private:
   friend class DetachableInputStream;
 
@@ -170,6 +182,10 @@ class DetachableOutputStream final : public util::ByteSink {
   bool connected_ = false;
   bool closed_ = false;
   int active_writers_ = 0;
+
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::uint64_t pauses_ = 0;      // guarded by mu_
+  std::uint64_t blocked_us_ = 0;  // guarded by mu_
 };
 
 /// Convenience: connect a fresh pair.

@@ -15,8 +15,14 @@ void PacketReaderEndpoint::run() {
     auto packet = source_->next_packet();
     if (!packet) break;
     util::write_frame(dos(), *packet);
-    ++packets_;
+    packets_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void PacketReaderEndpoint::register_metrics(obs::Scope scope) {
+  Filter::register_metrics(scope);
+  scope.callback("packets",
+                 [this] { return static_cast<double>(packets_read()); });
 }
 
 PacketWriterEndpoint::PacketWriterEndpoint(std::string name,
@@ -28,9 +34,15 @@ void PacketWriterEndpoint::run() {
     auto packet = util::read_frame(dis());
     if (!packet) break;
     sink_->deliver(*packet);
-    ++packets_;
+    packets_.fetch_add(1, std::memory_order_relaxed);
   }
   sink_->on_end();
+}
+
+void PacketWriterEndpoint::register_metrics(obs::Scope scope) {
+  Filter::register_metrics(scope);
+  scope.callback("packets",
+                 [this] { return static_cast<double>(packets_written()); });
 }
 
 ByteReaderEndpoint::ByteReaderEndpoint(std::string name,

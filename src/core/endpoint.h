@@ -52,14 +52,18 @@ class PacketReaderEndpoint final : public Filter {
   /// Asks the source to stop; run() then exits after the current packet.
   void interrupt() override { source_->interrupt(); }
 
-  std::uint64_t packets_read() const noexcept { return packets_; }
+  std::uint64_t packets_read() const noexcept {
+    return packets_.load(std::memory_order_relaxed);
+  }
+
+  void register_metrics(obs::Scope scope) override;
 
  protected:
   void run() override;
 
  private:
   std::shared_ptr<PacketSource> source_;
-  std::uint64_t packets_ = 0;
+  std::atomic<std::uint64_t> packets_{0};
 };
 
 /// Reads framed messages from the chain and delivers them to a PacketSink
@@ -68,14 +72,18 @@ class PacketWriterEndpoint final : public Filter {
  public:
   PacketWriterEndpoint(std::string name, std::shared_ptr<PacketSink> sink);
 
-  std::uint64_t packets_written() const noexcept { return packets_; }
+  std::uint64_t packets_written() const noexcept {
+    return packets_.load(std::memory_order_relaxed);
+  }
+
+  void register_metrics(obs::Scope scope) override;
 
  protected:
   void run() override;
 
  private:
   std::shared_ptr<PacketSink> sink_;
-  std::uint64_t packets_ = 0;
+  std::atomic<std::uint64_t> packets_{0};
 };
 
 /// Byte-oriented reader endpoint over any util::ByteSource (the paper's

@@ -37,6 +37,21 @@ bool Filter::set_param(const std::string& key, const std::string& value) {
   return false;
 }
 
+void Filter::register_metrics(obs::Scope scope) {
+  // Raw pointers are safe: the chain drops this scope (blocking out any
+  // in-flight snapshot) before the filter can be destroyed.
+  auto* dis = dis_.get();
+  auto* dos = dos_.get();
+  scope.callback("bytes_in",
+                 [dis] { return static_cast<double>(dis->bytes_received()); });
+  scope.callback("bytes_out",
+                 [dos] { return static_cast<double>(dos->bytes_sent()); });
+  scope.callback("pauses",
+                 [dos] { return static_cast<double>(dos->pauses()); });
+  scope.callback("blocked_us",
+                 [dos] { return static_cast<double>(dos->blocked_micros()); });
+}
+
 void Filter::thread_main() {
   try {
     run();
@@ -71,7 +86,7 @@ void PacketFilter::run() {
   for (;;) {
     auto packet = util::read_frame(dis());
     if (!packet) break;
-    ++packets_in_;
+    packets_in_.fetch_add(1, std::memory_order_relaxed);
     on_packet(std::move(*packet));
   }
   on_flush();
@@ -79,7 +94,15 @@ void PacketFilter::run() {
 
 void PacketFilter::emit(util::ByteSpan packet) {
   util::write_frame(dos(), packet);
-  ++packets_out_;
+  packets_out_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PacketFilter::register_metrics(obs::Scope scope) {
+  Filter::register_metrics(scope);
+  scope.callback("packets_in",
+                 [this] { return static_cast<double>(packets_in()); });
+  scope.callback("packets_out",
+                 [this] { return static_cast<double>(packets_out()); });
 }
 
 }  // namespace rapidware::core

@@ -23,6 +23,7 @@
 #include <thread>
 
 #include "core/detachable_stream.h"
+#include "obs/metrics.h"
 #include "util/bytes.h"
 
 namespace rapidware::core {
@@ -84,6 +85,13 @@ class Filter {
     return input;
   }
 
+  /// Publishes this filter's metrics under `scope` (callback gauges over the
+  /// filter's streams). FilterChain::bind_metrics calls this for every
+  /// member and drops the scope before the filter can be destroyed.
+  /// Overrides must call the base, and registered callbacks must not acquire
+  /// the chain mutex (lock-order rule in src/obs/metrics.h).
+  virtual void register_metrics(obs::Scope scope);
+
  protected:
   /// The processing loop body; runs on the filter's thread.
   virtual void run() = 0;
@@ -123,6 +131,9 @@ class PacketFilter : public Filter {
  public:
   using Filter::Filter;
 
+ public:
+  void register_metrics(obs::Scope scope) override;
+
  protected:
   void run() final;
 
@@ -135,12 +146,17 @@ class PacketFilter : public Filter {
   /// Writes one framed packet downstream.
   void emit(util::ByteSpan packet);
 
-  std::uint64_t packets_in() const noexcept { return packets_in_; }
-  std::uint64_t packets_out() const noexcept { return packets_out_; }
+  std::uint64_t packets_in() const noexcept {
+    return packets_in_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t packets_out() const noexcept {
+    return packets_out_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t packets_in_ = 0;
-  std::uint64_t packets_out_ = 0;
+  // Atomic so snapshot readers can observe them while the loop runs.
+  std::atomic<std::uint64_t> packets_in_{0};
+  std::atomic<std::uint64_t> packets_out_{0};
 };
 
 /// The "null" filter: forwards bytes untouched. Two EndPoints plus a null

@@ -1,6 +1,7 @@
 #include "core/filter_chain.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "core/composability.h"
@@ -9,6 +10,17 @@
 namespace rapidware::core {
 
 namespace {
+
+/// Reconfiguration events retained by the chain's trace ring: enough to
+/// reconstruct a whole adaptation episode, small enough to dump over STATS.
+constexpr std::size_t kEventTraceCapacity = 64;
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
 
 /// After a failed splice, reattach `left` directly to `right`; if the right
 /// side is itself dead (reader closed), close left's DOS instead so the
@@ -36,6 +48,11 @@ FilterChain::~FilterChain() {
   } catch (...) {
     // Best-effort teardown only.
   }
+  try {
+    unbind_metrics();
+  } catch (...) {
+    // Best-effort teardown only.
+  }
 }
 
 void FilterChain::start() {
@@ -55,6 +72,7 @@ void FilterChain::start() {
   }
   head_->start();
   started_ = true;
+  record_locked("start");
 }
 
 void FilterChain::check_pos_locked(std::size_t pos, bool inclusive) const {
@@ -87,10 +105,15 @@ void FilterChain::insert(std::shared_ptr<Filter> filter, std::size_t pos) {
     }
   }
 
+  Filter* raw = filter.get();
   if (!started_) {
     // Pre-start configuration: just record; start() wires everything.
     filters_.insert(filters_.begin() + static_cast<std::ptrdiff_t>(pos),
                     std::move(filter));
+    attach_filter_locked(*raw);
+    if (m_inserts_) m_inserts_->add();
+    if (m_filters_) m_filters_->set(static_cast<std::int64_t>(filters_.size()));
+    record_locked("insert " + raw->name() + " @" + std::to_string(pos));
     return;
   }
 
@@ -102,6 +125,7 @@ void FilterChain::insert(std::shared_ptr<Filter> filter, std::size_t pos) {
   // first: if either reconnect fails (a dead or misused peer), the splice
   // is restored — or abandoned with a hard close — so no stage is left
   // wedged against a half-spliced stream.
+  const auto t0 = std::chrono::steady_clock::now();
   left.dos().pause();
   try {
     filter->dos().reconnect(right.dis());
@@ -120,6 +144,13 @@ void FilterChain::insert(std::shared_ptr<Filter> filter, std::size_t pos) {
 
   filters_.insert(filters_.begin() + static_cast<std::ptrdiff_t>(pos),
                   std::move(filter));
+  attach_filter_locked(*raw);
+  if (m_inserts_) m_inserts_->add();
+  if (m_filters_) m_filters_->set(static_cast<std::int64_t>(filters_.size()));
+  if (m_reconfig_us_) {
+    m_reconfig_us_->observe(static_cast<double>(elapsed_us(t0)));
+  }
+  record_locked("insert " + raw->name() + " @" + std::to_string(pos));
 }
 
 std::shared_ptr<Filter> FilterChain::remove(std::size_t pos) {
@@ -137,6 +168,10 @@ std::shared_ptr<Filter> FilterChain::remove(std::size_t pos) {
   std::shared_ptr<Filter> filter = filters_[pos];
   if (!started_) {
     filters_.erase(filters_.begin() + static_cast<std::ptrdiff_t>(pos));
+    detach_filter_locked(*filter);
+    if (m_removes_) m_removes_->add();
+    if (m_filters_) m_filters_->set(static_cast<std::int64_t>(filters_.size()));
+    record_locked("remove " + filter->name() + " @" + std::to_string(pos));
     return filter;
   }
   Filter& left = left_of_locked(pos);
@@ -144,6 +179,7 @@ std::shared_ptr<Filter> FilterChain::remove(std::size_t pos) {
 
   // Drain the filter's input, let it flush buffered state downstream,
   // drain its output, then close the gap.
+  const auto t0 = std::chrono::steady_clock::now();
   left.dos().pause();
   filter->detach_request();
   filter->join();
@@ -158,6 +194,13 @@ std::shared_ptr<Filter> FilterChain::remove(std::size_t pos) {
   }
 
   filters_.erase(filters_.begin() + static_cast<std::ptrdiff_t>(pos));
+  detach_filter_locked(*filter);
+  if (m_removes_) m_removes_->add();
+  if (m_filters_) m_filters_->set(static_cast<std::int64_t>(filters_.size()));
+  if (m_reconfig_us_) {
+    m_reconfig_us_->observe(static_cast<double>(elapsed_us(t0)));
+  }
+  record_locked("remove " + filter->name() + " @" + std::to_string(pos));
   return filter;
 }
 
@@ -201,6 +244,9 @@ void FilterChain::reorder(std::size_t from, std::size_t to) {
   }
   std::lock_guard lk(mu_);
   enforce_types_ = enforce;
+  if (m_reorders_) m_reorders_->add();
+  record_locked("reorder " + std::to_string(from) + " -> " +
+                std::to_string(to));
 }
 
 bool FilterChain::set_param(std::size_t pos, const std::string& key,
@@ -210,6 +256,8 @@ bool FilterChain::set_param(std::size_t pos, const std::string& key,
     std::lock_guard lk(mu_);
     check_pos_locked(pos, /*inclusive=*/false);
     filter = filters_[pos];
+    if (m_set_params_) m_set_params_->add();
+    record_locked("set " + filter->name() + " " + key + "=" + value);
   }
   return filter->set_param(key, value);
 }
@@ -282,6 +330,7 @@ void FilterChain::drain_shutdown() {
   std::lock_guard lk(mu_);
   if (!started_ || shut_down_) return;
   shut_down_ = true;
+  record_locked("drain_shutdown");
 
   // The removal protocol, applied to every stage left to right: drain the
   // upstream pipe, soft-EOF the stage so it flushes, detach its output.
@@ -302,6 +351,7 @@ void FilterChain::shutdown() {
   std::lock_guard lk(mu_);
   if (!started_ || shut_down_) return;
   shut_down_ = true;
+  record_locked("shutdown");
 
   // Stop the producer, then let hard EOF ripple down the chain: each filter
   // drains, flushes its tail, and exits before we close its output.
@@ -313,6 +363,74 @@ void FilterChain::shutdown() {
     f->dos().close();
   }
   tail_->join();
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+
+void FilterChain::bind_metrics(obs::Registry& reg, const std::string& name) {
+  std::lock_guard lk(mu_);
+  if (scope_) {
+    scope_->drop();
+    bound_.clear();
+  }
+  scope_.emplace(reg, name);
+  m_inserts_ = scope_->counter("inserts");
+  m_removes_ = scope_->counter("removes");
+  m_reorders_ = scope_->counter("reorders");
+  m_set_params_ = scope_->counter("set_params");
+  m_filters_ = scope_->gauge("filters");
+  m_filters_->set(static_cast<std::int64_t>(filters_.size()));
+  m_reconfig_us_ =
+      scope_->histogram("reconfig_us", obs::Histogram::latency_us_bounds());
+  m_events_ = scope_->trace("events", kEventTraceCapacity);
+  attach_filter_locked(*head_);
+  for (const auto& f : filters_) attach_filter_locked(*f);
+  attach_filter_locked(*tail_);
+}
+
+void FilterChain::unbind_metrics() {
+  std::lock_guard lk(mu_);
+  if (!scope_) return;
+  scope_->drop();
+  scope_.reset();
+  bound_.clear();
+  m_inserts_.reset();
+  m_removes_.reset();
+  m_reorders_.reset();
+  m_set_params_.reset();
+  m_filters_.reset();
+  m_reconfig_us_.reset();
+  m_events_.reset();
+}
+
+void FilterChain::attach_filter_locked(Filter& filter) {
+  if (!scope_) return;
+  if (bound_.count(&filter) != 0) return;  // head==tail, double insert, ...
+  const auto taken = [&](const std::string& candidate) {
+    for (const auto& [f, leaf] : bound_) {
+      if (leaf == candidate) return true;
+    }
+    return false;
+  };
+  std::string leaf = filter.name();
+  for (int suffix = 2; taken(leaf); ++suffix) {
+    leaf = filter.name() + "#" + std::to_string(suffix);
+  }
+  bound_[&filter] = leaf;
+  filter.register_metrics(scope_->child(leaf));
+}
+
+void FilterChain::detach_filter_locked(const Filter& filter) {
+  if (!scope_) return;
+  auto it = bound_.find(&filter);
+  if (it == bound_.end()) return;
+  scope_->registry().drop(scope_->full(it->second));
+  bound_.erase(it);
+}
+
+void FilterChain::record_locked(const std::string& text) {
+  if (m_events_) m_events_->record(text);
 }
 
 }  // namespace rapidware::core

@@ -18,6 +18,7 @@
 // through the untouched part of the chain while an operation runs.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "core/filter.h"
+#include "obs/metrics.h"
 
 namespace rapidware::core {
 
@@ -103,6 +105,23 @@ class FilterChain {
   /// composite filter (PipelineFilter) tears down its nested chain.
   void drain_shutdown();
 
+  // --- Observability (src/obs) -------------------------------------------
+
+  /// Publishes chain metrics under "<name>/..." in `reg` and per-member
+  /// metrics under "<name>/<filter-name>/..." (head, tail, and every
+  /// configured filter; duplicate filter names get a "#2", "#3", ... suffix
+  /// in registration order). Filters inserted later are registered as they
+  /// arrive; removed filters have their metrics dropped. Chain-level
+  /// entries: inserts/removes/reorders/set_params counters, a `filters`
+  /// gauge, a `reconfig_us` splice-latency histogram, and an `events` trace
+  /// ring of reconfigurations. Rebinding replaces any previous binding.
+  void bind_metrics(obs::Registry& reg, const std::string& name);
+
+  /// Drops everything bind_metrics registered (idempotent). Runs
+  /// automatically on destruction; call earlier if the registry must stop
+  /// referencing the chain's filters sooner.
+  void unbind_metrics();
+
  private:
   /// Validates a hypothetical filter vector; returns the first error.
   std::optional<std::string> check_types_locked(
@@ -110,6 +129,12 @@ class FilterChain {
   Filter& left_of_locked(std::size_t pos);
   Filter& right_of_locked(std::size_t pos);
   void check_pos_locked(std::size_t pos, bool inclusive) const;
+
+  // Metrics plumbing; all require mu_. Lock order: mu_ before the registry
+  // mutex, and registered callbacks never take mu_ (src/obs/metrics.h).
+  void attach_filter_locked(Filter& filter);
+  void detach_filter_locked(const Filter& filter);
+  void record_locked(const std::string& text);
 
   mutable std::mutex mu_;
   std::shared_ptr<Filter> head_;
@@ -119,6 +144,19 @@ class FilterChain {
   bool shut_down_ = false;
   std::string stream_type_ = "any";
   bool enforce_types_ = false;
+
+  // Observability state (guarded by mu_). The `filters` gauge is set during
+  // control ops rather than pulled through a callback so no registry
+  // callback ever needs mu_.
+  std::optional<obs::Scope> scope_;
+  std::shared_ptr<obs::Counter> m_inserts_;
+  std::shared_ptr<obs::Counter> m_removes_;
+  std::shared_ptr<obs::Counter> m_reorders_;
+  std::shared_ptr<obs::Counter> m_set_params_;
+  std::shared_ptr<obs::Gauge> m_filters_;
+  std::shared_ptr<obs::Histogram> m_reconfig_us_;
+  std::shared_ptr<obs::TraceRing> m_events_;
+  std::map<const Filter*, std::string> bound_;
 };
 
 }  // namespace rapidware::core

@@ -59,11 +59,20 @@ void FecEncodeFilter::maybe_apply_params() {
 
 void FecEncodeFilter::on_packet(util::Bytes packet) {
   maybe_apply_params();
+  const std::uint64_t before = encoder_->groups_emitted();
   for (const auto& wire : encoder_->add(packet)) emit(wire);
+  m_groups_encoded_->add(encoder_->groups_emitted() - before);
 }
 
 void FecEncodeFilter::on_flush() {
+  const std::uint64_t before = encoder_->groups_emitted();
   for (const auto& wire : encoder_->flush()) emit(wire);
+  m_groups_encoded_->add(encoder_->groups_emitted() - before);
+}
+
+void FecEncodeFilter::register_metrics(obs::Scope scope) {
+  PacketFilter::register_metrics(scope);
+  scope.registry().attach(scope.full("groups_encoded"), m_groups_encoded_);
 }
 
 FecDecodeFilter::FecDecodeFilter(std::size_t window)
@@ -94,13 +103,33 @@ void FecDecodeFilter::on_packet(util::Bytes packet) {
     // is preserved across an encoder removal upstream, then pass through.
     for (const auto& payload : decoder_.flush()) emit(payload);
     emit(packet);
+    sync_stats();
     return;
   }
   for (const auto& payload : decoder_.add(packet)) emit(payload);
+  sync_stats();
 }
 
 void FecDecodeFilter::on_flush() {
   for (const auto& payload : decoder_.flush()) emit(payload);
+  sync_stats();
+}
+
+void FecDecodeFilter::sync_stats() {
+  const auto& s = decoder_.stats();
+  m_groups_decoded_->set(static_cast<std::int64_t>(s.groups_complete));
+  m_groups_incomplete_->set(static_cast<std::int64_t>(s.groups_incomplete));
+  m_data_recovered_->set(static_cast<std::int64_t>(s.data_recovered));
+  m_data_lost_->set(static_cast<std::int64_t>(s.data_lost));
+}
+
+void FecDecodeFilter::register_metrics(obs::Scope scope) {
+  PacketFilter::register_metrics(scope);
+  scope.registry().attach(scope.full("groups_decoded"), m_groups_decoded_);
+  scope.registry().attach(scope.full("groups_incomplete"),
+                          m_groups_incomplete_);
+  scope.registry().attach(scope.full("data_recovered"), m_data_recovered_);
+  scope.registry().attach(scope.full("data_lost"), m_data_lost_);
 }
 
 UepFecEncodeFilter::UepFecEncodeFilter(fec::UepPolicy policy)
@@ -127,6 +156,16 @@ void UepFecEncodeFilter::emit_wire(const std::vector<util::Bytes>& wire,
                                    std::size_t k) {
   for (const auto& w : wire) emit(w);
   if (wire.size() > k) parity_out_ += wire.size() - k;
+  if (!wire.empty()) {
+    m_groups_encoded_->add();
+    m_parity_packets_->set(static_cast<std::int64_t>(parity_out_));
+  }
+}
+
+void UepFecEncodeFilter::register_metrics(obs::Scope scope) {
+  PacketFilter::register_metrics(scope);
+  scope.registry().attach(scope.full("groups_encoded"), m_groups_encoded_);
+  scope.registry().attach(scope.full("parity_packets"), m_parity_packets_);
 }
 
 void UepFecEncodeFilter::on_packet(util::Bytes packet) {

@@ -31,6 +31,13 @@ class FecEncodeFilter final : public core::PacketFilter {
 
   std::string output_type(const std::string& input) const override;
 
+  /// Adds "groups_encoded" to the base packet/byte metrics.
+  void register_metrics(obs::Scope scope) override;
+
+  std::uint64_t groups_encoded() const noexcept {
+    return m_groups_encoded_->value();
+  }
+
  protected:
   void on_packet(util::Bytes packet) override;
   void on_flush() override;
@@ -41,6 +48,10 @@ class FecEncodeFilter final : public core::PacketFilter {
   std::atomic<std::size_t> n_, k_;
   std::unique_ptr<fec::GroupEncoder> encoder_;
   std::uint32_t group_id_base_ = 0;
+  // Owned metric, attached (not re-created) at register_metrics time so the
+  // filter thread can bump it without synchronizing with binding.
+  std::shared_ptr<obs::Counter> m_groups_encoded_ =
+      std::make_shared<obs::Counter>();
 };
 
 /// Rebuilds the original payload stream from FEC-framed packets, recovering
@@ -59,12 +70,25 @@ class FecDecodeFilter final : public core::PacketFilter {
 
   const fec::DecoderStats& stats() const { return decoder_.stats(); }
 
+  /// Adds groups_decoded / groups_incomplete / data_recovered / data_lost.
+  void register_metrics(obs::Scope scope) override;
+
  protected:
   void on_packet(util::Bytes packet) override;
   void on_flush() override;
 
  private:
+  void sync_stats();
+
   fec::GroupDecoder decoder_;
+  // Owned gauges mirroring decoder_.stats(); updated on the filter thread
+  // (DecoderStats itself is not safe to read concurrently), attached to the
+  // registry at register_metrics time.
+  std::shared_ptr<obs::Gauge> m_groups_decoded_ = std::make_shared<obs::Gauge>();
+  std::shared_ptr<obs::Gauge> m_groups_incomplete_ =
+      std::make_shared<obs::Gauge>();
+  std::shared_ptr<obs::Gauge> m_data_recovered_ = std::make_shared<obs::Gauge>();
+  std::shared_ptr<obs::Gauge> m_data_lost_ = std::make_shared<obs::Gauge>();
 };
 
 /// Unequal error protection for video: frames are grouped *per frame
@@ -84,6 +108,9 @@ class UepFecEncodeFilter final : public core::PacketFilter {
 
   std::uint64_t parity_packets_emitted() const noexcept { return parity_out_; }
 
+  /// Adds "groups_encoded" and "parity_packets".
+  void register_metrics(obs::Scope scope) override;
+
  protected:
   void on_packet(util::Bytes packet) override;
   void on_flush() override;
@@ -96,6 +123,9 @@ class UepFecEncodeFilter final : public core::PacketFilter {
   std::map<fec::FrameClass, std::unique_ptr<fec::GroupEncoder>> encoders_;
   std::uint32_t next_group_id_ = 0;
   std::uint64_t parity_out_ = 0;
+  std::shared_ptr<obs::Counter> m_groups_encoded_ =
+      std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Gauge> m_parity_packets_ = std::make_shared<obs::Gauge>();
 };
 
 }  // namespace rapidware::filters

@@ -24,6 +24,14 @@ class StatsFilter final : public core::PacketFilter {
   /// Average throughput since the first packet, bytes/second.
   double throughput_bps() const;
 
+  /// Adds "tap_bytes" and "throughput_bps" to the base metrics.
+  void register_metrics(obs::Scope scope) override {
+    PacketFilter::register_metrics(scope);
+    scope.callback("tap_bytes",
+                   [this] { return static_cast<double>(bytes()); });
+    scope.callback("throughput_bps", [this] { return throughput_bps(); });
+  }
+
  protected:
   void on_packet(util::Bytes packet) override;
 

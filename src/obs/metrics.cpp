@@ -1,0 +1,297 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rapidware::obs {
+
+namespace {
+
+std::string format_u64(std::uint64_t v) { return std::to_string(v); }
+
+bool under_prefix(const std::string& name, const std::string& prefix) {
+  if (prefix.empty()) return true;
+  if (name.size() < prefix.size() ||
+      name.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  return name.size() == prefix.size() || name[prefix.size()] == '/';
+}
+
+}  // namespace
+
+std::string format_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Simple metrics
+
+void Counter::collect(const std::string& name, Snapshot& out) const {
+  out.push_back({name, format_u64(value())});
+}
+
+void Gauge::collect(const std::string& name, Snapshot& out) const {
+  out.push_back({name, std::to_string(value())});
+}
+
+CallbackGauge::CallbackGauge(Fn fn) : fn_(std::move(fn)) {
+  if (!fn_) throw std::invalid_argument("CallbackGauge: null callback");
+}
+
+void CallbackGauge::collect(const std::string& name, Snapshot& out) const {
+  out.push_back({name, format_value(fn_())});
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: no buckets");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must strictly increase");
+  }
+}
+
+void Histogram::observe(double x) noexcept {
+#if RW_OBS_ENABLED
+  std::size_t i = 0;
+  while (i < bounds_.size() && x > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + x,
+                                     std::memory_order_relaxed)) {
+  }
+#else
+  (void)x;
+#endif
+}
+
+double Histogram::sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+double Histogram::percentile(double p) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double target = static_cast<double>(total) * p / 100.0;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(cumulative) >= target) {
+      return i < bounds_.size() ? bounds_[i] : bounds_.back();
+    }
+  }
+  return bounds_.back();
+}
+
+void Histogram::collect(const std::string& name, Snapshot& out) const {
+  out.push_back({name + ".count", format_u64(count())});
+  out.push_back({name + ".sum", format_value(sum())});
+  out.push_back({name + ".p50", format_value(percentile(50))});
+  out.push_back({name + ".p90", format_value(percentile(90))});
+  out.push_back({name + ".p99", format_value(percentile(99))});
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    const std::string bound =
+        i < bounds_.size() ? format_value(bounds_[i]) : "inf";
+    out.push_back({name + ".le." + bound, format_u64(cumulative)});
+  }
+}
+
+std::vector<double> Histogram::latency_us_bounds() {
+  return {50, 100, 250, 500, 1'000, 2'500, 5'000, 10'000, 50'000, 250'000};
+}
+
+// ---------------------------------------------------------------------------
+// TraceRing
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("TraceRing: zero capacity");
+}
+
+void TraceRing::record(std::string text) {
+  record_at(util::WallClock().now(), std::move(text));
+}
+
+void TraceRing::record_at(util::Micros at, std::string text) {
+#if RW_OBS_ENABLED
+  std::lock_guard lk(mu_);
+  ring_.push_back({next_seq_++, at, std::move(text)});
+  if (ring_.size() > capacity_) ring_.pop_front();
+#else
+  (void)at;
+  (void)text;
+#endif
+}
+
+std::vector<TraceRing::Event> TraceRing::events() const {
+  std::lock_guard lk(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::uint64_t TraceRing::total_recorded() const {
+  std::lock_guard lk(mu_);
+  return next_seq_;
+}
+
+void TraceRing::collect(const std::string& name, Snapshot& out) const {
+  std::lock_guard lk(mu_);
+  for (const auto& e : ring_) {
+    out.push_back({name + "." + std::to_string(e.seq),
+                   "t=" + std::to_string(e.at) + " " + e.text});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+namespace {
+
+/// Creates (or reuses, when the type matches) a metric of type T.
+template <typename T, typename... Args>
+std::shared_ptr<T> get_or_create(std::mutex& mu,
+                                 std::map<std::string, std::shared_ptr<Metric>>& metrics,
+                                 const std::string& name, Args&&... args) {
+  std::lock_guard lk(mu);
+  auto it = metrics.find(name);
+  if (it != metrics.end()) {
+    if (auto existing = std::dynamic_pointer_cast<T>(it->second)) {
+      return existing;
+    }
+  }
+  auto fresh = std::make_shared<T>(std::forward<Args>(args)...);
+  metrics[name] = fresh;
+  return fresh;
+}
+
+}  // namespace
+
+std::shared_ptr<Counter> Registry::counter(const std::string& name) {
+  return get_or_create<Counter>(mu_, metrics_, name);
+}
+
+std::shared_ptr<Gauge> Registry::gauge(const std::string& name) {
+  return get_or_create<Gauge>(mu_, metrics_, name);
+}
+
+std::shared_ptr<Histogram> Registry::histogram(
+    const std::string& name, std::vector<double> upper_bounds) {
+  return get_or_create<Histogram>(mu_, metrics_, name, std::move(upper_bounds));
+}
+
+std::shared_ptr<TraceRing> Registry::trace(const std::string& name,
+                                           std::size_t capacity) {
+  return get_or_create<TraceRing>(mu_, metrics_, name, capacity);
+}
+
+void Registry::callback(const std::string& name, CallbackGauge::Fn fn) {
+  attach(name, std::make_shared<CallbackGauge>(std::move(fn)));
+}
+
+void Registry::attach(const std::string& name, std::shared_ptr<Metric> metric) {
+  if (!metric) throw std::invalid_argument("Registry::attach: null metric");
+  std::lock_guard lk(mu_);
+  metrics_[name] = std::move(metric);
+}
+
+void Registry::drop(const std::string& prefix) {
+  std::lock_guard lk(mu_);
+  for (auto it = metrics_.begin(); it != metrics_.end();) {
+    if (under_prefix(it->first, prefix)) {
+      it = metrics_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Snapshot Registry::snapshot(const std::string& prefix) const {
+  // Collect under the lock: a concurrent drop() then cannot return while a
+  // callback gauge is mid-read, which is what makes drop-before-destroy a
+  // sufficient lifetime protocol for callback registrants.
+  std::lock_guard lk(mu_);
+  Snapshot out;
+  for (const auto& [name, metric] : metrics_) {
+    if (under_prefix(name, prefix)) metric->collect(name, out);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return out;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard lk(mu_);
+  return metrics_.size();
+}
+
+Registry& registry() {
+  static Registry* global = new Registry;  // never destroyed: metrics may be
+  return *global;                          // touched by late-exiting threads
+}
+
+// ---------------------------------------------------------------------------
+// Scope
+
+Scope::Scope(Registry& reg, std::string prefix)
+    : reg_(&reg), prefix_(std::move(prefix)) {
+  if (prefix_.empty()) throw std::invalid_argument("Scope: empty prefix");
+}
+
+Scope Scope::child(const std::string& sub) const {
+  return Scope(*reg_, prefix_ + "/" + sub);
+}
+
+std::string Scope::full(const std::string& name) const {
+  return prefix_ + "/" + name;
+}
+
+std::shared_ptr<Counter> Scope::counter(const std::string& name) const {
+  return reg_->counter(full(name));
+}
+
+std::shared_ptr<Gauge> Scope::gauge(const std::string& name) const {
+  return reg_->gauge(full(name));
+}
+
+std::shared_ptr<Histogram> Scope::histogram(
+    const std::string& name, std::vector<double> upper_bounds) const {
+  return reg_->histogram(full(name), std::move(upper_bounds));
+}
+
+std::shared_ptr<TraceRing> Scope::trace(const std::string& name,
+                                        std::size_t capacity) const {
+  return reg_->trace(full(name), capacity);
+}
+
+void Scope::callback(const std::string& name, CallbackGauge::Fn fn) const {
+  reg_->callback(full(name), std::move(fn));
+}
+
+void Scope::drop() const { reg_->drop(prefix_); }
+
+std::string render(const Snapshot& snapshot) {
+  std::string out;
+  for (const auto& e : snapshot) {
+    out += e.name;
+    out += '=';
+    out += e.value;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rapidware::obs

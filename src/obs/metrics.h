@@ -1,0 +1,271 @@
+// Runtime observability: low-overhead metrics for live proxies.
+//
+// The paper's whole point is *introspectable* proxy chains — the
+// ControlManager can ask a running proxy what it is doing — so every layer
+// of the stack publishes counters here and the control protocol's STATS
+// verb dumps them (docs/observability.md).
+//
+// Design contract:
+//   * Hot path: mutating a Counter/Gauge is a single relaxed atomic op;
+//     Histogram::observe is a handful of them. No locks, no allocation.
+//   * Snapshot-on-read: readers pay for consistency, writers never do.
+//     Registry::snapshot() renders every metric under a name prefix while
+//     traffic keeps flowing; values are relaxed-atomic reads (each value is
+//     exact, cross-metric skew of a few packets is possible and fine).
+//   * Naming: '/'-separated scopes, e.g. "fec-audio-proxy/chain/fec-encode/
+//     packets_in". Leaf sub-values use '.' (histogram "reconfig_us.p99").
+//   * Compile-out: building with -DRW_OBS=OFF (-DRW_OBS_ENABLED=0) turns
+//     every mutator into a no-op so the instrumentation's cost can be
+//     measured (EXPERIMENTS.md records the delta; contract is < 2%).
+//
+// Lifetime: the Registry holds shared_ptr ownership of every metric, so a
+// Counter outlives the component that bumps it. Callback gauges are the
+// exception — they read live objects, so whoever registers one must drop()
+// it before the object dies (FilterChain and Proxy do this for theirs).
+// Callbacks run under the registry lock and must not acquire locks that are
+// held while registering/dropping metrics (in particular: a FilterChain
+// callback must never take the chain mutex).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+#ifndef RW_OBS_ENABLED
+#define RW_OBS_ENABLED 1
+#endif
+
+namespace rapidware::obs {
+
+/// One rendered metric value: a flat name plus its value formatted as text
+/// (integers without decorations, doubles via %.6g, trace events verbatim).
+struct Entry {
+  std::string name;
+  std::string value;
+};
+
+using Snapshot = std::vector<Entry>;
+
+/// Base class: anything a Registry can hold and render.
+class Metric {
+ public:
+  virtual ~Metric() = default;
+
+  /// Appends this metric's entries under `name` (a metric may render
+  /// several, e.g. a histogram's count/sum/percentiles). Called with the
+  /// registry lock held; implementations must be fast and lock-ordered
+  /// below the registry (see header comment).
+  virtual void collect(const std::string& name, Snapshot& out) const = 0;
+};
+
+/// Monotonic event count. add() is one relaxed fetch_add.
+class Counter final : public Metric {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+#if RW_OBS_ENABLED
+    v_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+  void collect(const std::string& name, Snapshot& out) const override;
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous signed value (queue depth, configured filters, ...).
+class Gauge final : public Metric {
+ public:
+  void set(std::int64_t v) noexcept {
+#if RW_OBS_ENABLED
+    v_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  void add(std::int64_t d) noexcept {
+#if RW_OBS_ENABLED
+    v_.fetch_add(d, std::memory_order_relaxed);
+#else
+    (void)d;
+#endif
+  }
+
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+  void collect(const std::string& name, Snapshot& out) const override;
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Pull gauge over a live object: the callback is invoked at snapshot time.
+/// Registration-side lifetime rules apply (see header comment).
+class CallbackGauge final : public Metric {
+ public:
+  using Fn = std::function<double()>;
+
+  explicit CallbackGauge(Fn fn);
+
+  void collect(const std::string& name, Snapshot& out) const override;
+
+ private:
+  Fn fn_;
+};
+
+/// Fixed-bucket histogram: cumulative-style buckets with caller-chosen
+/// finite upper bounds plus an implicit +inf bucket. observe() is a short
+/// linear scan (bucket lists are small) ending in one relaxed fetch_add, so
+/// it is safe on latency-measurement paths.
+class Histogram final : public Metric {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double x) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept;
+
+  /// Approximate percentile (0..100): upper bound of the bucket holding the
+  /// target rank (the last finite bound for the +inf bucket).
+  double percentile(double p) const noexcept;
+
+  /// Renders name.count, name.sum, name.p50/.p90/.p99 and one cumulative
+  /// name.le.<bound> entry per bucket.
+  void collect(const std::string& name, Snapshot& out) const override;
+
+  /// Bounds suited to splice/control-op latencies in microseconds.
+  static std::vector<double> latency_us_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // one per bound + inf
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Bounded ring of timestamped events — the reconfiguration trace: who was
+/// inserted/removed/retuned and when. Mutex-guarded; control-plane only
+/// (never on a data path). Timestamps are steady-clock micros so events
+/// across components order correctly.
+class TraceRing final : public Metric {
+ public:
+  struct Event {
+    std::uint64_t seq = 0;   // monotonically increasing, never reused
+    util::Micros at = 0;     // steady-clock micros
+    std::string text;
+  };
+
+  explicit TraceRing(std::size_t capacity);
+
+  void record(std::string text);
+  void record_at(util::Micros at, std::string text);
+
+  /// Oldest-first copy of the retained events.
+  std::vector<Event> events() const;
+
+  std::uint64_t total_recorded() const;
+
+  /// Renders one entry per retained event: name.<seq> = "t=<us> <text>".
+  void collect(const std::string& name, Snapshot& out) const override;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::uint64_t next_seq_ = 0;
+  std::deque<Event> ring_;
+};
+
+/// Named metric registry. Thread-safe; creation returns the existing metric
+/// when one of the same name and type is already registered (so re-binding
+/// a re-inserted filter resumes its counters), and replaces it when the
+/// types differ (last writer wins).
+class Registry {
+ public:
+  std::shared_ptr<Counter> counter(const std::string& name);
+  std::shared_ptr<Gauge> gauge(const std::string& name);
+  std::shared_ptr<Histogram> histogram(const std::string& name,
+                                       std::vector<double> upper_bounds);
+  std::shared_ptr<TraceRing> trace(const std::string& name,
+                                   std::size_t capacity);
+  void callback(const std::string& name, CallbackGauge::Fn fn);
+
+  /// Registers an externally created metric under `name` (shared
+  /// ownership), replacing any previous registration.
+  void attach(const std::string& name, std::shared_ptr<Metric> metric);
+
+  /// Removes the metric named exactly `prefix` and every metric under
+  /// "<prefix>/...". Blocks until no snapshot is mid-collect, so after
+  /// drop() returns it is safe to destroy objects a callback referenced.
+  void drop(const std::string& prefix);
+
+  /// Renders every metric whose name is `prefix` or starts with
+  /// "<prefix>/" (empty prefix: everything), sorted by name.
+  Snapshot snapshot(const std::string& prefix = "") const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Metric>> metrics_;
+};
+
+/// The process-global registry — what a proxy's STATS verb serves.
+Registry& registry();
+
+/// Name-prefix helper: Scope(reg, "proxy/chain").counter("inserts") creates
+/// "proxy/chain/inserts". Copyable; child() descends one level.
+class Scope {
+ public:
+  Scope(Registry& reg, std::string prefix);
+
+  Scope child(const std::string& sub) const;
+
+  const std::string& prefix() const noexcept { return prefix_; }
+  Registry& registry() const noexcept { return *reg_; }
+  std::string full(const std::string& name) const;
+
+  std::shared_ptr<Counter> counter(const std::string& name) const;
+  std::shared_ptr<Gauge> gauge(const std::string& name) const;
+  std::shared_ptr<Histogram> histogram(
+      const std::string& name, std::vector<double> upper_bounds) const;
+  std::shared_ptr<TraceRing> trace(const std::string& name,
+                                   std::size_t capacity) const;
+  void callback(const std::string& name, CallbackGauge::Fn fn) const;
+
+  /// Drops everything under this scope.
+  void drop() const;
+
+ private:
+  Registry* reg_;
+  std::string prefix_;
+};
+
+/// "name=value\n" per entry — the STATS wire text.
+std::string render(const Snapshot& snapshot);
+
+/// Formats a double the way every metric does (integral values without a
+/// decimal point, otherwise %.6g).
+std::string format_value(double v);
+
+}  // namespace rapidware::obs

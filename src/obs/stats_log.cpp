@@ -1,0 +1,47 @@
+#include "obs/stats_log.h"
+
+#include "util/logging.h"
+
+namespace rapidware::obs {
+
+StatsLogSink::StatsLogSink(Registry& registry, std::string prefix,
+                           std::chrono::milliseconds period, Emit emit)
+    : registry_(registry),
+      prefix_(std::move(prefix)),
+      period_(period),
+      emit_(std::move(emit)) {
+  if (!emit_) {
+    emit_ = [](const std::string& text) { RW_INFO("stats") << "\n" << text; };
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+StatsLogSink::~StatsLogSink() { stop(); }
+
+void StatsLogSink::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (stopped_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard lk(mu_);
+  stopped_ = true;
+}
+
+void StatsLogSink::loop() {
+  for (;;) {
+    {
+      std::unique_lock lk(mu_);
+      if (cv_.wait_for(lk, period_, [&] { return stop_; })) {
+        break;
+      }
+    }
+    emit_(render(registry_.snapshot(prefix_)));
+  }
+  // Final snapshot so a short-lived run still records its totals.
+  emit_(render(registry_.snapshot(prefix_)));
+}
+
+}  // namespace rapidware::obs

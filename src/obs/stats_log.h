@@ -1,0 +1,51 @@
+// Periodic stats-log sink: a background thread that renders a registry
+// snapshot every `period` and hands the text to a sink (default: the
+// process logger at info level). The operator's "top for proxies" when no
+// ControlManager is attached; examples enable it via RW_STATS_LOG_MS.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace rapidware::obs {
+
+class StatsLogSink {
+ public:
+  using Emit = std::function<void(const std::string& text)>;
+
+  /// Starts logging `registry` entries under `prefix` every `period`.
+  /// A null `emit` logs each snapshot via RW_INFO("stats").
+  StatsLogSink(Registry& registry, std::string prefix,
+               std::chrono::milliseconds period, Emit emit = nullptr);
+
+  /// Stops and joins the logging thread.
+  ~StatsLogSink();
+
+  StatsLogSink(const StatsLogSink&) = delete;
+  StatsLogSink& operator=(const StatsLogSink&) = delete;
+
+  /// Stops early (idempotent); emits one final snapshot first.
+  void stop();
+
+ private:
+  void loop();
+
+  Registry& registry_;
+  const std::string prefix_;
+  const std::chrono::milliseconds period_;
+  Emit emit_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace rapidware::obs

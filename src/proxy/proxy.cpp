@@ -1,5 +1,6 @@
 #include "proxy/proxy.h"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "proxy/socket_endpoints.h"
@@ -20,6 +21,27 @@ Proxy::Proxy(net::SimNetwork& net, net::NodeId node, ProxyConfig config,
   chain_ = std::make_shared<core::FilterChain>(std::move(endpoints.head),
                                                std::move(endpoints.tail));
   control_server_ = std::make_unique<core::ControlServer>(chain_, registry);
+  bind_metrics();
+}
+
+void Proxy::bind_metrics() {
+  chain_->bind_metrics(obs::registry(), config_.name + "/chain");
+  obs::Scope scope(obs::registry(), config_.name);
+  m_control_requests_ = scope.counter("control/requests");
+  m_control_errors_ = scope.counter("control/errors");
+  m_retargets_ = scope.counter("retargets");
+  m_control_handle_us_ = scope.histogram(
+      "control/handle_us", obs::Histogram::latency_us_bounds());
+  // SimSocket accessors are thread-safe, and shutdown() drops these before
+  // the shared_ptr members can be released.
+  auto* ingress = ingress_.get();
+  auto* egress = egress_.get();
+  scope.callback("ingress/packets", [ingress] {
+    return static_cast<double>(ingress->packets_received());
+  });
+  scope.callback("egress/packets", [egress] {
+    return static_cast<double>(egress->packets_sent());
+  });
 }
 
 Proxy::~Proxy() {
@@ -28,6 +50,9 @@ Proxy::~Proxy() {
   } catch (...) {
     // Best-effort teardown.
   }
+  // A proxy that was never started still registered metrics referencing its
+  // sockets; drop them before the members go away (drop() is idempotent).
+  obs::registry().drop(config_.name);
 }
 
 void Proxy::start() {
@@ -43,10 +68,13 @@ void Proxy::shutdown() {
   control_socket_->close();
   if (control_thread_.joinable()) control_thread_.join();
   chain_->shutdown();
+  chain_->unbind_metrics();
+  obs::registry().drop(config_.name);
 }
 
 void Proxy::retarget_egress(net::Address dst) {
   egress_sink_->set_destination(dst);
+  if (m_retargets_) m_retargets_->add();
 }
 
 net::Address Proxy::egress_destination() const {
@@ -57,7 +85,17 @@ void Proxy::control_loop() {
   for (;;) {
     auto request = control_socket_->recv(-1);
     if (!request) break;  // socket closed: shutting down
+    const auto t0 = std::chrono::steady_clock::now();
     const util::Bytes response = control_server_->handle(request->payload);
+    m_control_requests_->add();
+    m_control_handle_us_->observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    // Response status byte: 1 = ok, 0 = error (core/control.h wire format).
+    if (!response.empty() && response[0] == 0) {
+      m_control_errors_->add();
+    }
     try {
       control_socket_->send_to(request->src, response);
     } catch (const std::exception& e) {

@@ -12,6 +12,7 @@
 #include "core/control.h"
 #include "core/filter_chain.h"
 #include "net/sim_network.h"
+#include "obs/metrics.h"
 #include "proxy/socket_endpoints.h"
 
 namespace rapidware::proxy {
@@ -28,6 +29,11 @@ struct ProxyConfig {
   std::uint16_t control_port = 4999;
 };
 
+/// Construction publishes metrics under "<name>/..." in obs::registry()
+/// (chain and per-filter metrics under "<name>/chain/...", socket packet
+/// gauges under "<name>/ingress|egress/...", control-plane counters under
+/// "<name>/control/..."), all served by the control protocol's STATS verb;
+/// shutdown() drops them. Proxy names must therefore be unique per process.
 class Proxy {
  public:
   Proxy(net::SimNetwork& net, net::NodeId node, ProxyConfig config,
@@ -60,6 +66,7 @@ class Proxy {
 
  private:
   void control_loop();
+  void bind_metrics();
 
   net::SimNetwork& net_;
   net::NodeId node_;
@@ -73,6 +80,11 @@ class Proxy {
   std::unique_ptr<core::ControlServer> control_server_;
   std::thread control_thread_;
   bool started_ = false;
+
+  std::shared_ptr<obs::Counter> m_control_requests_;
+  std::shared_ptr<obs::Counter> m_control_errors_;
+  std::shared_ptr<obs::Counter> m_retargets_;
+  std::shared_ptr<obs::Histogram> m_control_handle_us_;
 };
 
 /// ControlManager transport that performs datagram request/response against

@@ -177,6 +177,9 @@ ScheduleResult StressDriver::run_schedule(std::uint64_t schedule_seed) {
   auto tail = std::make_shared<core::ByteWriterEndpoint>("tail", sink,
                                                          opts_.ring_capacity);
   core::FilterChain chain(head, tail);
+  if (opts_.metrics != nullptr) {
+    chain.bind_metrics(*opts_.metrics, opts_.metrics_scope);
+  }
   chain.start();
 
   auto control_faults = make_injector(0xc0deULL);

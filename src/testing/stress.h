@@ -28,6 +28,10 @@
 
 #include "testing/fault_injector.h"
 
+namespace rapidware::obs {
+class Registry;
+}
+
 namespace rapidware::testing {
 
 // ---------------------------------------------------------------------------
@@ -71,6 +75,12 @@ struct StressOptions {
   /// Abort the process (dumping the schedule seed) if a schedule makes no
   /// progress for this long — a deadlock is otherwise an opaque CI timeout.
   std::int64_t stall_timeout_ms = 120'000;
+  /// When non-null, every schedule binds its chain into this registry under
+  /// metrics_scope (the chain unbinds as it tears down), so tests can race
+  /// Registry::snapshot() readers against live insert/remove/reorder
+  /// schedules — the metrics layer's own concurrency stress.
+  obs::Registry* metrics = nullptr;
+  std::string metrics_scope = "stress/chain";
 };
 
 struct ScheduleResult {

@@ -1,12 +1,25 @@
 #include "wireless/wlan.h"
 
 #include <stdexcept>
+#include <vector>
 
 namespace rapidware::wireless {
+
+namespace {
+constexpr std::size_t kEventTraceCapacity = 64;
+}
 
 WirelessLan::WirelessLan(net::SimNetwork& net, net::NodeId access_point,
                          WlanConfig config)
     : net_(net), ap_(access_point), config_(config) {}
+
+WirelessLan::~WirelessLan() {
+  try {
+    unbind_metrics();
+  } catch (...) {
+    // Best-effort teardown only.
+  }
+}
 
 void WirelessLan::add_station(net::NodeId station, double distance_m) {
   {
@@ -35,6 +48,19 @@ void WirelessLan::add_station(net::NodeId station, double distance_m) {
   up.bandwidth_bps = config_.bandwidth_bps;
   up.max_queue_delay_us = config_.max_queue_delay_us;
   net_.set_channel(station, ap_, std::move(up));
+
+  std::optional<obs::Scope> scope;
+  std::shared_ptr<obs::TraceRing> events;
+  {
+    std::lock_guard lk(mu_);
+    scope = scope_;
+    events = m_events_;
+  }
+  if (scope) attach_station(station, *scope);
+  if (events) {
+    events->record("add_station " + net_.node_name(station) + " @" +
+                   obs::format_value(distance_m) + "m");
+  }
 }
 
 void WirelessLan::set_distance(net::NodeId station, double distance_m) {
@@ -50,6 +76,15 @@ void WirelessLan::set_distance(net::NodeId station, double distance_m) {
   if (auto* ch = net_.channel(ap_, station)) ch->set_average_loss(loss);
   if (auto* ch = net_.channel(station, ap_)) {
     ch->set_average_loss(loss * config_.uplink_loss_factor);
+  }
+  std::shared_ptr<obs::TraceRing> events;
+  {
+    std::lock_guard lk(mu_);
+    events = m_events_;
+  }
+  if (events) {
+    events->record("set_distance " + net_.node_name(station) + " -> " +
+                   obs::format_value(distance_m) + "m");
   }
 }
 
@@ -72,6 +107,53 @@ net::ChannelStats WirelessLan::downlink_stats(net::NodeId station) {
     throw std::invalid_argument("WirelessLan::downlink_stats: unknown station");
   }
   return ch->stats();
+}
+
+void WirelessLan::bind_metrics(obs::Registry& reg, const std::string& prefix) {
+  // Registry calls stay outside mu_: snapshot callbacks acquire mu_ under
+  // the registry lock, so registering while holding mu_ would invert that
+  // lock order.
+  unbind_metrics();
+  obs::Scope scope(reg, prefix);
+  auto events = scope.trace("events", kEventTraceCapacity);
+  std::vector<net::NodeId> stations;
+  {
+    std::lock_guard lk(mu_);
+    scope_ = scope;
+    m_events_ = events;
+    for (const auto& [id, dist] : distance_m_) stations.push_back(id);
+  }
+  for (const net::NodeId station : stations) attach_station(station, scope);
+}
+
+void WirelessLan::unbind_metrics() {
+  std::optional<obs::Scope> old;
+  {
+    std::lock_guard lk(mu_);
+    old.swap(scope_);
+    m_events_.reset();
+  }
+  if (old) old->drop();
+}
+
+void WirelessLan::attach_station(net::NodeId station, const obs::Scope& scope) {
+  // Stations are never removed, so `this`-capturing callbacks stay valid
+  // until unbind_metrics() drops them (the destructor guarantees it).
+  const obs::Scope s = scope.child(net_.node_name(station));
+  s.callback("distance_m", [this, station] { return distance(station); });
+  s.callback("model_loss", [this, station] { return downlink_loss(station); });
+  s.callback("delivered", [this, station] {
+    auto* ch = net_.channel(ap_, station);
+    return ch ? static_cast<double>(ch->stats().delivered()) : 0.0;
+  });
+  s.callback("dropped_loss", [this, station] {
+    auto* ch = net_.channel(ap_, station);
+    return ch ? static_cast<double>(ch->stats().dropped_loss) : 0.0;
+  });
+  s.callback("dropped_queue", [this, station] {
+    auto* ch = net_.channel(ap_, station);
+    return ch ? static_cast<double>(ch->stats().dropped_queue) : 0.0;
+  });
 }
 
 }  // namespace rapidware::wireless

@@ -11,10 +11,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "net/sim_network.h"
+#include "obs/metrics.h"
 #include "wireless/path_loss.h"
 
 namespace rapidware::wireless {
@@ -63,13 +66,29 @@ class WirelessLan {
   net::NodeId access_point() const noexcept { return ap_; }
   const WlanConfig& config() const noexcept { return config_; }
 
+  /// Publishes per-station wireless metrics under "<prefix>/<station>/..."
+  /// (distance_m, model_loss, delivered, dropped_loss = injected loss,
+  /// dropped_queue = buffer/outage drops) plus a "<prefix>/events" trace
+  /// ring of add_station/set_distance moves. Stations added while bound are
+  /// attached automatically; unbind_metrics (or destruction) drops it all.
+  void bind_metrics(obs::Registry& reg, const std::string& prefix);
+
+  /// Drops everything bind_metrics registered (idempotent).
+  void unbind_metrics();
+
+  ~WirelessLan();
+
  private:
+  void attach_station(net::NodeId station, const obs::Scope& scope);
+
   net::SimNetwork& net_;
   net::NodeId ap_;
   WlanConfig config_;
 
   mutable std::mutex mu_;
   std::map<net::NodeId, double> distance_m_;
+  std::optional<obs::Scope> scope_;          // guarded by mu_
+  std::shared_ptr<obs::TraceRing> m_events_; // guarded by mu_
 };
 
 }  // namespace rapidware::wireless

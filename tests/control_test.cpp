@@ -7,6 +7,7 @@
 #include "core/endpoint.h"
 #include "core/filter_chain.h"
 #include "core/filter_registry.h"
+#include "obs/metrics.h"
 #include "util/serial.h"
 
 namespace rapidware::core {
@@ -165,6 +166,9 @@ struct ControlHarness {
       std::make_shared<QueuePacketSource>();
   std::shared_ptr<CollectingPacketSink> sink =
       std::make_shared<CollectingPacketSink>();
+  // Declared before the chain: the chain's destructor unbinds its metrics
+  // into this registry, so the registry must outlive it.
+  obs::Registry metrics;
   std::shared_ptr<FilterChain> chain;
   FilterRegistry registry;
   std::shared_ptr<ControlServer> server;
@@ -174,9 +178,10 @@ struct ControlHarness {
     chain = std::make_shared<FilterChain>(
         std::make_shared<PacketReaderEndpoint>("in", source),
         std::make_shared<PacketWriterEndpoint>("out", sink));
+    chain->bind_metrics(metrics, "test/chain");
     chain->start();
     populate_registry(registry);
-    server = std::make_shared<ControlServer>(chain, &registry);
+    server = std::make_shared<ControlServer>(chain, &registry, &metrics);
     manager = std::make_unique<ControlManager>(
         [this](util::ByteSpan request) { return server->handle(request); });
   }
@@ -283,6 +288,73 @@ TEST(ControlProtocol, RenderChainShowsPipeline) {
   h.manager->insert({"dtag", {{"tag", "3"}}}, 0);
   EXPECT_EQ(h.manager->render_chain("wired-rx", "wireless-tx"),
             "[wired-rx] -> dtag(3) -> [wireless-tx]");
+}
+
+// ---------------------------------------------------------------------------
+// STATS (protocol v2)
+
+TEST(ControlProtocol, StatsLeadsWithProtocolVersion) {
+  ControlHarness h;
+  const std::string text = h.manager->stats_text();
+  EXPECT_EQ(text.rfind("proto_version=" +
+                           std::to_string(kControlProtocolVersion) + "\n",
+                       0),
+            0u)
+      << text;
+}
+
+TEST(ControlProtocol, StatsRoundTripMatchesDelivery) {
+  ControlHarness h;
+  h.manager->insert({"dtag", {{"tag", "7"}}}, 0);
+  util::Writer w;
+  w.u32(1);
+  for (int i = 0; i < 6; ++i) h.source->push(w.bytes());
+  ASSERT_TRUE(h.sink->wait_for(6));
+
+  const auto entries = h.manager->stats();
+  auto value = [&](const std::string& name) -> std::string {
+    for (const auto& [k, v] : entries) {
+      if (k == name) return v;
+    }
+    return "<missing: " + name + ">";
+  };
+  // The tail endpoint's packet count must agree with the sink the test
+  // observes directly — STATS is a faithful view, not a parallel ledger.
+  EXPECT_EQ(value("test/chain/out/packets"),
+            std::to_string(h.sink->count()));
+#if RW_OBS_ENABLED
+  EXPECT_EQ(value("test/chain/dtag/packets_in"), "6");
+  EXPECT_EQ(value("test/chain/dtag/packets_out"), "6");
+  EXPECT_EQ(value("test/chain/inserts"), "1");
+#endif
+}
+
+TEST(ControlProtocol, StatsScopePrefixFilters) {
+  ControlHarness h;
+  h.metrics.counter("other/unrelated")->add();
+  const auto all = h.manager->stats();
+  const auto scoped = h.manager->stats("test/chain");
+  EXPECT_LT(scoped.size(), all.size());
+  for (const auto& [k, v] : scoped) {
+    if (k == "proto_version") continue;  // always the first line
+    EXPECT_EQ(k.rfind("test/chain", 0), 0u) << k;
+  }
+  // An unmatched prefix yields just the version line.
+  const auto none = h.manager->stats("no/such/scope");
+  ASSERT_EQ(none.size(), 1u);
+  EXPECT_EQ(none[0].first, "proto_version");
+}
+
+TEST(ControlProtocol, UnknownOpReportsTypedError) {
+  // The compat rule: ops outside the known range must answer with the
+  // "unknown control op" error, never crash or misparse.
+  ControlHarness h;
+  util::Writer w;
+  w.u8(0x7f);
+  const Bytes response = h.server->handle(w.bytes());
+  util::Reader r(response);
+  EXPECT_EQ(r.u8(), 0);
+  EXPECT_NE(r.str().find("unknown control op"), std::string::npos);
 }
 
 TEST(ControlProtocol, LocalFactoryHelper) {

@@ -10,6 +10,7 @@
 #include "media/audio.h"
 #include "media/media_packet.h"
 #include "media/receiver_log.h"
+#include "obs/metrics.h"
 #include "proxy/proxy.h"
 #include "proxy/socket_endpoints.h"
 #include "util/rng.h"
@@ -141,6 +142,52 @@ TEST(Proxy, RemoteControlInsertAndList) {
   manager.remove(0);
   EXPECT_EQ(manager.list_chain().size(), 1u);
   proxy.shutdown();
+}
+
+TEST(Proxy, RemoteStatsReportsTrafficAndFilters) {
+  filters::register_builtin_filters();
+  World w;
+  auto config = w.config();
+  config.name = "stats-proxy";
+  Proxy proxy(w.net, w.proxy_node, config);
+  proxy.start();
+
+  core::ControlManager manager(
+      network_control_transport(w.net, w.sender, proxy.control_address()));
+  manager.insert({"fec-encode", {{"n", "6"}, {"k", "4"}}}, 0);
+
+  auto tx = w.net.open(w.sender);
+  auto rx = w.net.open(w.mobile, 5000);
+  constexpr int kPackets = 8;
+  for (int i = 0; i < kPackets; ++i) {
+    tx->send_to({w.proxy_node, 4000}, Bytes(320, static_cast<std::uint8_t>(i)));
+  }
+  // FEC(6,4) emits parity after each group of 4; 8 data -> 12 wire packets.
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(rx->recv(2000).has_value());
+
+  const auto entries = manager.stats("stats-proxy");
+  auto value = [&](const std::string& name) -> std::string {
+    for (const auto& [k, v] : entries) {
+      if (k == name) return v;
+    }
+    return "<missing: " + name + ">";
+  };
+  // Socket-level truth, matching what the test's own sockets saw.
+  EXPECT_EQ(value("stats-proxy/ingress/packets"), std::to_string(kPackets));
+  EXPECT_EQ(value("stats-proxy/egress/packets"), "12");
+#if RW_OBS_ENABLED
+  EXPECT_EQ(value("stats-proxy/chain/fec-encode/packets_in"),
+            std::to_string(kPackets));
+  EXPECT_EQ(value("stats-proxy/chain/fec-encode/packets_out"), "12");
+  EXPECT_EQ(value("stats-proxy/chain/fec-encode/groups_encoded"), "2");
+  // The STATS requests themselves are control traffic (insert + this one).
+  EXPECT_NE(value("stats-proxy/control/requests"), "0");
+#endif
+  proxy.shutdown();
+
+  // shutdown() withdraws every published metric: a later STATS against a
+  // fresh proxy must not see stale "stats-proxy" entries.
+  EXPECT_TRUE(obs::registry().snapshot("stats-proxy").empty());
 }
 
 TEST(Proxy, RemoteControlErrorsPropagate) {

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Check relative markdown links in the repo's documentation.
+
+Scans the given markdown files (default: README.md, DESIGN.md, docs/*.md)
+for inline links and validates every *relative* target against the working
+tree: the file (or directory) must exist, and a `#fragment` into a markdown
+file must match a heading's GitHub-style anchor. External links (http/https/
+mailto) are not fetched — CI must not flake on the network.
+
+Usage: tools/check_links.py [files...]
+Exit status: 0 if all links resolve, 1 otherwise (one line per bad link).
+"""
+
+import glob
+import os
+import re
+import sys
+
+# Inline links [text](target), skipping images' leading '!' is harmless
+# (an image path must exist too). Targets with spaces are not used here.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Fenced code blocks must not contribute links (they hold example syntax).
+FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's slugger: lowercase, strip punctuation, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.lower().replace(" ", "-")
+
+
+def anchors_of(md_path: str) -> set:
+    anchors = set()
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for line in f:
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(github_anchor(m.group(1)))
+    return anchors
+
+
+def links_of(md_path: str):
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                yield lineno, m.group(1)
+
+
+def check_file(md_path: str) -> list:
+    errors = []
+    base = os.path.dirname(md_path)
+    for lineno, target in links_of(md_path):
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+            continue  # http:, https:, mailto:, ... — not ours to verify
+        path, _, fragment = target.partition("#")
+        resolved = md_path if not path else os.path.normpath(
+            os.path.join(base, path))
+        if path and not os.path.exists(resolved):
+            errors.append(f"{md_path}:{lineno}: broken link: {target}")
+            continue
+        if fragment and resolved.endswith(".md"):
+            if github_anchor(fragment) not in anchors_of(resolved):
+                errors.append(
+                    f"{md_path}:{lineno}: missing anchor: {target}")
+    return errors
+
+
+def main(argv: list) -> int:
+    files = argv[1:]
+    if not files:
+        files = [p for p in ("README.md", "DESIGN.md") if os.path.exists(p)]
+        files += sorted(glob.glob("docs/*.md"))
+    all_errors = []
+    for md in files:
+        all_errors.extend(check_file(md))
+    for err in all_errors:
+        print(err)
+    print(f"checked {len(files)} files: "
+          f"{'OK' if not all_errors else f'{len(all_errors)} broken links'}")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
