@@ -45,10 +45,13 @@ util::Bytes ControlServer::dispatch(util::ByteSpan request) {
   switch (op) {
     case ControlOp::kListChain: {
       util::Writer w;
-      const std::size_t n = chain_->size();
-      w.u32(static_cast<std::uint32_t>(n));
-      for (std::size_t i = 0; i < n; ++i) {
-        const auto f = chain_->at(i);
+      // One atomic snapshot: size() followed by at(i) re-acquires the chain
+      // mutex per call, and a remove() landing between the two made the
+      // stats path answer "bad position" for a request that was valid when
+      // it started.
+      const auto filters = chain_->list();
+      w.u32(static_cast<std::uint32_t>(filters.size()));
+      for (const auto& f : filters) {
         w.str(f->name());
         w.str(f->describe());
         const ParamMap params = f->params();

@@ -18,7 +18,7 @@ DetachableInputStream::~DetachableInputStream() { close(); }
 
 std::size_t DetachableInputStream::read_some(util::MutableByteSpan out) {
   if (out.empty()) return 0;
-  std::unique_lock lk(st_->mu);
+  rw::MutexLock lk(st_->mu);
   for (;;) {
     if (!st_->ring.empty()) {
       const std::size_t n = st_->ring.read(out);
@@ -30,24 +30,28 @@ std::size_t DetachableInputStream::read_some(util::MutableByteSpan out) {
     if (st_->write_closed || st_->soft_eof || st_->reader_closed) return 0;
     // Buffer empty: tell any pauser, then wait for data or a state change.
     st_->drained.notify_all();
-    st_->readable.wait(lk);
+    st_->readable.wait(st_->mu, [st = st_.get()] {
+      st->mu.assert_held();
+      return !st->ring.empty() || st->write_closed || st->soft_eof ||
+             st->reader_closed;
+    });
   }
 }
 
 std::size_t DetachableInputStream::available() const {
-  std::lock_guard lk(st_->mu);
+  rw::MutexLock lk(st_->mu);
   return st_->ring.size();
 }
 
 bool DetachableInputStream::connected() const {
-  std::lock_guard lk(st_->mu);
+  rw::MutexLock lk(st_->mu);
   return st_->connected;
 }
 
 void DetachableInputStream::pause() {
   DetachableOutputStream* src = nullptr;
   {
-    std::lock_guard lk(st_->mu);
+    rw::MutexLock lk(st_->mu);
     src = st_->source;
   }
   if (src == nullptr) throw StreamError("DIS::pause: not connected");
@@ -59,27 +63,25 @@ void DetachableInputStream::reconnect(DetachableOutputStream& dos) {
 }
 
 void DetachableInputStream::close() {
-  std::lock_guard lk(st_->mu);
+  rw::MutexLock lk(st_->mu);
   st_->reader_closed = true;
   st_->connected = false;
-  st_->readable.notify_all();
-  st_->writable.notify_all();
-  st_->drained.notify_all();
+  st_->wake_all();
 }
 
 void DetachableInputStream::mark_soft_eof() {
-  std::lock_guard lk(st_->mu);
+  rw::MutexLock lk(st_->mu);
   st_->soft_eof = true;
   st_->readable.notify_all();
 }
 
 std::uint64_t DetachableInputStream::bytes_received() const {
-  std::lock_guard lk(st_->mu);
+  rw::MutexLock lk(st_->mu);
   return st_->bytes_in;
 }
 
 std::uint64_t DetachableInputStream::bytes_delivered() const {
-  std::lock_guard lk(st_->mu);
+  rw::MutexLock lk(st_->mu);
   return st_->bytes_out;
 }
 
@@ -94,18 +96,27 @@ DetachableOutputStream::~DetachableOutputStream() {
   }
 }
 
+void DetachableOutputStream::writer_done() {
+  rw::MutexLock lk(mu_);
+  --active_writers_;
+  writers_cv_.notify_all();
+}
+
 void DetachableOutputStream::write(util::ByteSpan in) {
   std::shared_ptr<InputState> st;
   {
-    std::unique_lock lk(mu_);
-    const auto ready = [&] { return closed_ || (connected_ && !swflag_); };
+    rw::MutexLock lk(mu_);
+    const auto ready = [this] {
+      mu_.assert_held();
+      return closed_ || (connected_ && !swflag_);
+    };
     if (!ready()) {
       // Only time the wait when it actually blocks: the fast path must not
       // read the clock (overhead contract in src/obs/metrics.h).
 #if RW_OBS_ENABLED
       const auto t0 = std::chrono::steady_clock::now();
 #endif
-      state_cv_.wait(lk, ready);
+      state_cv_.wait(mu_, ready);
 #if RW_OBS_ENABLED
       blocked_us_ += static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
@@ -120,9 +131,10 @@ void DetachableOutputStream::write(util::ByteSpan in) {
   // Deliver the whole span to this sink. pause() waits for us, so a logical
   // write is never split across two different sinks.
   try {
-    std::unique_lock slk(st->mu);
+    rw::MutexLock slk(st->mu);
     while (!in.empty()) {
-      st->writable.wait(slk, [&] {
+      st->writable.wait(st->mu, [st = st.get()] {
+        st->mu.assert_held();
         return st->reader_closed || st->write_closed || !st->ring.full();
       });
       if (st->reader_closed) {
@@ -143,24 +155,20 @@ void DetachableOutputStream::write(util::ByteSpan in) {
       st->readable.notify_all();
     }
   } catch (...) {
-    std::lock_guard lk(mu_);
-    --active_writers_;
-    writers_cv_.notify_all();
+    writer_done();
     throw;
   }
-  std::lock_guard lk(mu_);
-  --active_writers_;
-  writers_cv_.notify_all();
+  writer_done();
 }
 
 void DetachableOutputStream::flush() {
   std::shared_ptr<InputState> st;
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     st = sink_;
   }
   if (st) {
-    std::lock_guard slk(st->mu);
+    rw::MutexLock slk(st->mu);
     st->readable.notify_all();
   }
 }
@@ -168,7 +176,7 @@ void DetachableOutputStream::flush() {
 void DetachableOutputStream::pause() {
   std::shared_ptr<InputState> st;
   {
-    std::unique_lock lk(mu_);
+    rw::MutexLock lk(mu_);
     if (closed_) throw StreamError("DOS::pause: stream closed");
     if (!connected_) {
       if (swflag_) return;  // already paused: idempotent
@@ -178,34 +186,39 @@ void DetachableOutputStream::pause() {
     st = sink_;
     {
       // Lock order: DOS::mu_ before InputState::mu (always).
-      std::lock_guard slk(st->mu);
+      rw::MutexLock slk(st->mu);
       st->swflag = true;
       st->writable.notify_all();
       st->readable.notify_all();
     }
     // Let in-flight writes land in full.
-    writers_cv_.wait(lk, [&] { return active_writers_ == 0; });
+    writers_cv_.wait(mu_, [this] {
+      mu_.assert_held();
+      return active_writers_ == 0;
+    });
     ++pauses_;
     connected_ = false;
     sink_.reset();
   }
   {
     // Wait for the reader to drain the buffer (the paper's checkBuf/wait).
-    std::unique_lock slk(st->mu);
+    rw::MutexLock slk(st->mu);
     st->readable.notify_all();
-    st->drained.wait(slk, [&] { return st->ring.empty() || st->reader_closed; });
-    st->connected = false;
-    st->source = nullptr;
+    st->drained.wait(st->mu, [st = st.get()] {
+      st->mu.assert_held();
+      return st->ring.empty() || st->reader_closed;
+    });
+    st->detach_source();
   }
 }
 
 void DetachableOutputStream::reconnect(DetachableInputStream& dis) {
-  std::unique_lock lk(mu_);
+  rw::MutexLock lk(mu_);
   if (closed_) throw StreamError("DOS::reconnect: stream closed");
   if (connected_) throw StreamError("DOS::reconnect: already connected");
   auto st = dis.st_;
   {
-    std::lock_guard slk(st->mu);
+    rw::MutexLock slk(st->mu);
     if (st->connected) {
       throw StreamError("DOS::reconnect: sink already connected");
     }
@@ -229,7 +242,7 @@ void DetachableOutputStream::reconnect(DetachableInputStream& dis) {
 void DetachableOutputStream::close() {
   std::shared_ptr<InputState> st;
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     if (closed_) return;
     closed_ = true;
     st = sink_;
@@ -238,18 +251,15 @@ void DetachableOutputStream::close() {
     state_cv_.notify_all();
   }
   if (st) {
-    std::lock_guard slk(st->mu);
+    rw::MutexLock slk(st->mu);
     st->write_closed = true;
-    st->connected = false;
-    st->source = nullptr;
-    st->readable.notify_all();
-    st->writable.notify_all();  // wake an in-flight write blocked on space
-    st->drained.notify_all();
+    st->detach_source();
+    st->wake_all();  // including an in-flight write blocked on space
   }
 }
 
 bool DetachableOutputStream::connected() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return connected_;
 }
 
@@ -258,12 +268,12 @@ std::uint64_t DetachableOutputStream::bytes_sent() const noexcept {
 }
 
 std::uint64_t DetachableOutputStream::pauses() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return pauses_;
 }
 
 std::uint64_t DetachableOutputStream::blocked_micros() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return blocked_us_;
 }
 

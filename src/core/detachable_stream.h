@@ -23,15 +23,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 
 #include "util/bytes.h"
 #include "util/io.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::core {
 
@@ -54,25 +54,43 @@ namespace detail {
 
 /// Shared state of one pipe; owned by the DIS (the paper buffers at the
 /// input side), referenced by whichever DOS is currently connected.
+/// Lock order: DetachableOutputStream::mu_ is always taken BEFORE this mu
+/// when both are held (pause/reconnect/close hold them nested).
 struct InputState {
   explicit InputState(std::size_t capacity) : ring(capacity) {}
 
-  std::mutex mu;
-  std::condition_variable readable;  // data arrived / state changed
-  std::condition_variable writable;  // space freed / reader closed
-  std::condition_variable drained;   // ring became empty
-  util::ByteRing ring;
+  /// Marks the pipe disconnected from its source. The shared tail of
+  /// DOS::pause() and DOS::close().
+  void detach_source() RW_REQUIRES(mu) {
+    connected = false;
+    source = nullptr;
+  }
 
-  DetachableOutputStream* source = nullptr;  // guarded by mu
-  bool connected = false;
-  bool swflag = false;        // pause in progress or paused
-  bool write_closed = false;  // hard EOF: source closed for good
-  bool soft_eof = false;      // detach EOF: report EOF once drained; cleared
-                              // by the next reconnect (filter removal)
-  bool reader_closed = false;
+  /// Wakes every waiter class: readers, blocked writers, and a pauser
+  /// waiting for the ring to drain. The shared tail of the close paths.
+  void wake_all() RW_REQUIRES(mu) {
+    readable.notify_all();
+    writable.notify_all();
+    drained.notify_all();
+  }
 
-  std::uint64_t bytes_in = 0;
-  std::uint64_t bytes_out = 0;
+  rw::Mutex mu;
+  rw::CondVar readable;  // data arrived / state changed
+  rw::CondVar writable;  // space freed / reader closed
+  rw::CondVar drained;   // ring became empty
+  util::ByteRing ring RW_GUARDED_BY(mu);
+
+  DetachableOutputStream* source RW_GUARDED_BY(mu) = nullptr;
+  bool connected RW_GUARDED_BY(mu) = false;
+  bool swflag RW_GUARDED_BY(mu) = false;        // pause in progress or paused
+  bool write_closed RW_GUARDED_BY(mu) = false;  // hard EOF: source closed
+  bool soft_eof RW_GUARDED_BY(mu) = false;      // detach EOF: report EOF once
+                                                // drained; cleared by the next
+                                                // reconnect (filter removal)
+  bool reader_closed RW_GUARDED_BY(mu) = false;
+
+  std::uint64_t bytes_in RW_GUARDED_BY(mu) = 0;
+  std::uint64_t bytes_out RW_GUARDED_BY(mu) = 0;
 };
 
 }  // namespace detail
@@ -174,18 +192,23 @@ class DetachableOutputStream final : public util::ByteSink {
  private:
   friend class DetachableInputStream;
 
-  mutable std::mutex mu_;
-  std::condition_variable state_cv_;    // writers wait for connect/unpause
-  std::condition_variable writers_cv_;  // pause waits for in-flight writes
-  std::shared_ptr<detail::InputState> sink_;
-  bool swflag_ = false;
-  bool connected_ = false;
-  bool closed_ = false;
-  int active_writers_ = 0;
+  /// Retires one in-flight write and wakes a pending pause(); the shared
+  /// tail of every write() exit path (normal and exceptional).
+  void writer_done() RW_EXCLUDES(mu_);
+
+  // Lock order: mu_ BEFORE the sink's InputState::mu (always).
+  mutable rw::Mutex mu_;
+  rw::CondVar state_cv_;    // writers wait for connect/unpause
+  rw::CondVar writers_cv_;  // pause waits for in-flight writes
+  std::shared_ptr<detail::InputState> sink_ RW_GUARDED_BY(mu_);
+  bool swflag_ RW_GUARDED_BY(mu_) = false;
+  bool connected_ RW_GUARDED_BY(mu_) = false;
+  bool closed_ RW_GUARDED_BY(mu_) = false;
+  int active_writers_ RW_GUARDED_BY(mu_) = 0;
 
   std::atomic<std::uint64_t> bytes_sent_{0};
-  std::uint64_t pauses_ = 0;      // guarded by mu_
-  std::uint64_t blocked_us_ = 0;  // guarded by mu_
+  std::uint64_t pauses_ RW_GUARDED_BY(mu_) = 0;
+  std::uint64_t blocked_us_ RW_GUARDED_BY(mu_) = 0;
 };
 
 /// Convenience: connect a fresh pair.

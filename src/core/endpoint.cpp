@@ -14,8 +14,10 @@ void PacketReaderEndpoint::run() {
   for (;;) {
     auto packet = source_->next_packet();
     if (!packet) break;
-    util::write_frame(dos(), *packet);
+    // Count before the frame becomes observable downstream: anyone who saw
+    // the packet must also see it in the metric (STATS is a faithful view).
     packets_.fetch_add(1, std::memory_order_relaxed);
+    util::write_frame(dos(), *packet);
   }
 }
 
@@ -33,8 +35,10 @@ void PacketWriterEndpoint::run() {
   for (;;) {
     auto packet = util::read_frame(dis());
     if (!packet) break;
-    sink_->deliver(*packet);
+    // Count before delivery: a caller woken by the sink (e.g. wait_for(n))
+    // must never read a metric that lags what the sink already handed out.
     packets_.fetch_add(1, std::memory_order_relaxed);
+    sink_->deliver(*packet);
   }
   sink_->on_end();
 }
@@ -78,8 +82,11 @@ void ByteWriterEndpoint::run() {
 }
 
 std::optional<util::Bytes> QueuePacketSource::next_packet() {
-  std::unique_lock lk(mu_);
-  cv_.wait(lk, [&] { return finished_ || !queue_.empty(); });
+  rw::MutexLock lk(mu_);
+  cv_.wait(mu_, [this] {
+    mu_.assert_held();
+    return finished_ || !queue_.empty();
+  });
   if (queue_.empty()) return std::nullopt;
   util::Bytes packet = std::move(queue_.front());
   queue_.pop_front();
@@ -90,7 +97,7 @@ void QueuePacketSource::interrupt() { finish(); }
 
 void QueuePacketSource::push(util::Bytes packet) {
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     queue_.push_back(std::move(packet));
   }
   cv_.notify_one();
@@ -98,7 +105,7 @@ void QueuePacketSource::push(util::Bytes packet) {
 
 void QueuePacketSource::finish() {
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     finished_ = true;
   }
   cv_.notify_all();
@@ -106,7 +113,7 @@ void QueuePacketSource::finish() {
 
 void CollectingPacketSink::deliver(util::ByteSpan packet) {
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     packets_.emplace_back(packet.begin(), packet.end());
   }
   cv_.notify_all();
@@ -114,37 +121,42 @@ void CollectingPacketSink::deliver(util::ByteSpan packet) {
 
 void CollectingPacketSink::on_end() {
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     ended_ = true;
   }
   cv_.notify_all();
 }
 
 bool CollectingPacketSink::wait_for(std::size_t n, std::int64_t timeout_ms) {
-  std::unique_lock lk(mu_);
-  return cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
-                      [&] { return packets_.size() >= n || ended_; }) &&
+  rw::MutexLock lk(mu_);
+  return cv_.wait_for(mu_, std::chrono::milliseconds(timeout_ms),
+                      [this, n] {
+                        mu_.assert_held();
+                        return packets_.size() >= n || ended_;
+                      }) &&
          packets_.size() >= n;
 }
 
 bool CollectingPacketSink::wait_end(std::int64_t timeout_ms) {
-  std::unique_lock lk(mu_);
-  return cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
-                      [&] { return ended_; });
+  rw::MutexLock lk(mu_);
+  return cv_.wait_for(mu_, std::chrono::milliseconds(timeout_ms), [this] {
+    mu_.assert_held();
+    return ended_;
+  });
 }
 
 std::vector<util::Bytes> CollectingPacketSink::packets() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return packets_;
 }
 
 std::size_t CollectingPacketSink::count() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return packets_.size();
 }
 
 bool CollectingPacketSink::ended() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return ended_;
 }
 

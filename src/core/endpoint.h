@@ -8,15 +8,15 @@
 // abstract byte/packet source and sink interfaces.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "core/filter.h"
 #include "util/io.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::core {
 
@@ -128,10 +128,10 @@ class QueuePacketSource final : public PacketSource {
   void finish();
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<util::Bytes> queue_;
-  bool finished_ = false;
+  rw::Mutex mu_;
+  rw::CondVar cv_;
+  std::deque<util::Bytes> queue_ RW_GUARDED_BY(mu_);
+  bool finished_ RW_GUARDED_BY(mu_) = false;
 };
 
 /// In-memory packet sink collecting everything it receives.
@@ -150,10 +150,10 @@ class CollectingPacketSink final : public PacketSink {
   bool ended() const;
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<util::Bytes> packets_;
-  bool ended_ = false;
+  mutable rw::Mutex mu_;
+  rw::CondVar cv_;
+  std::vector<util::Bytes> packets_ RW_GUARDED_BY(mu_);
+  bool ended_ RW_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rapidware::core

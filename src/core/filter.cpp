@@ -93,8 +93,10 @@ void PacketFilter::run() {
 }
 
 void PacketFilter::emit(util::ByteSpan packet) {
-  util::write_frame(dos(), packet);
+  // Count before the frame becomes observable downstream so a STATS read
+  // triggered by the packet's arrival never sees the counter lagging it.
   packets_out_.fetch_add(1, std::memory_order_relaxed);
+  util::write_frame(dos(), packet);
 }
 
 void PacketFilter::register_metrics(obs::Scope scope) {

@@ -102,6 +102,9 @@ class Filter {
   std::string name_;
   std::unique_ptr<DetachableInputStream> dis_;
   std::unique_ptr<DetachableOutputStream> dos_;
+  // Not mutex-guarded by design: start()/join() are control-plane calls,
+  // serialized externally (FilterChain holds its mu_ across every splice).
+  // Only `running_` may be read concurrently, hence atomic.
   std::thread thread_;
   std::atomic<bool> running_{false};
 };

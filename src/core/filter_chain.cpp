@@ -56,7 +56,7 @@ FilterChain::~FilterChain() {
 }
 
 void FilterChain::start() {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   if (started_) throw StreamError("FilterChain::start: already started");
   // Wire head -> [pre-inserted filters] -> tail, then start consumers
   // before producers so no write ever lacks a reader.
@@ -90,7 +90,7 @@ Filter& FilterChain::right_of_locked(std::size_t pos) {
 
 void FilterChain::insert(std::shared_ptr<Filter> filter, std::size_t pos) {
   if (!filter) throw std::invalid_argument("FilterChain::insert: null filter");
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   if (shut_down_) throw StreamError("FilterChain::insert: chain shut down");
   check_pos_locked(pos, /*inclusive=*/true);
   if (filter->running()) {
@@ -154,7 +154,7 @@ void FilterChain::insert(std::shared_ptr<Filter> filter, std::size_t pos) {
 }
 
 std::shared_ptr<Filter> FilterChain::remove(std::size_t pos) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   if (shut_down_) throw StreamError("FilterChain::remove: chain shut down");
   check_pos_locked(pos, /*inclusive=*/false);
   if (enforce_types_) {
@@ -212,7 +212,7 @@ void FilterChain::reorder(std::size_t from, std::size_t to) {
   // and bypassed in the constituent steps.
   bool enforce = false;
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     check_pos_locked(from, /*inclusive=*/false);
     enforce = enforce_types_;
     if (enforce) {
@@ -233,16 +233,16 @@ void FilterChain::reorder(std::size_t from, std::size_t to) {
   try {
     std::shared_ptr<Filter> filter = remove(from);
     {
-      std::lock_guard lk(mu_);
+      rw::MutexLock lk(mu_);
       to = std::min(to, filters_.size());
     }
     insert(std::move(filter), to);
   } catch (...) {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     enforce_types_ = enforce;
     throw;
   }
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   enforce_types_ = enforce;
   if (m_reorders_) m_reorders_->add();
   record_locked("reorder " + std::to_string(from) + " -> " +
@@ -253,7 +253,7 @@ bool FilterChain::set_param(std::size_t pos, const std::string& key,
                             const std::string& value) {
   std::shared_ptr<Filter> filter;
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     check_pos_locked(pos, /*inclusive=*/false);
     filter = filters_[pos];
     if (m_set_params_) m_set_params_->add();
@@ -263,12 +263,12 @@ bool FilterChain::set_param(std::size_t pos, const std::string& key,
 }
 
 std::size_t FilterChain::size() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return filters_.size();
 }
 
 std::vector<std::string> FilterChain::names() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   std::vector<std::string> out;
   out.reserve(filters_.size());
   for (const auto& f : filters_) out.push_back(f->name());
@@ -276,23 +276,28 @@ std::vector<std::string> FilterChain::names() const {
 }
 
 std::shared_ptr<Filter> FilterChain::at(std::size_t pos) const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   check_pos_locked(pos, /*inclusive=*/false);
   return filters_[pos];
 }
 
+std::vector<std::shared_ptr<Filter>> FilterChain::list() const {
+  rw::MutexLock lk(mu_);
+  return filters_;
+}
+
 bool FilterChain::started() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return started_ && !shut_down_;
 }
 
 void FilterChain::set_stream_type(std::string type) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   stream_type_ = std::move(type);
 }
 
 void FilterChain::set_type_enforcement(bool enforce) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   enforce_types_ = enforce;
 }
 
@@ -309,7 +314,7 @@ std::optional<std::string> FilterChain::check_types_locked(
 }
 
 std::vector<std::string> FilterChain::type_trace() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   std::vector<std::string> trace;
   trace.reserve(filters_.size() + 1);
   std::string type = stream_type_;
@@ -322,12 +327,12 @@ std::vector<std::string> FilterChain::type_trace() const {
 }
 
 std::optional<std::string> FilterChain::type_error() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return check_types_locked(filters_);
 }
 
 void FilterChain::drain_shutdown() {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   if (!started_ || shut_down_) return;
   shut_down_ = true;
   record_locked("drain_shutdown");
@@ -348,7 +353,7 @@ void FilterChain::drain_shutdown() {
 }
 
 void FilterChain::shutdown() {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   if (!started_ || shut_down_) return;
   shut_down_ = true;
   record_locked("shutdown");
@@ -369,7 +374,7 @@ void FilterChain::shutdown() {
 // Observability
 
 void FilterChain::bind_metrics(obs::Registry& reg, const std::string& name) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   if (scope_) {
     scope_->drop();
     bound_.clear();
@@ -390,7 +395,7 @@ void FilterChain::bind_metrics(obs::Registry& reg, const std::string& name) {
 }
 
 void FilterChain::unbind_metrics() {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   if (!scope_) return;
   scope_->drop();
   scope_.reset();

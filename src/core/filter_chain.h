@@ -20,13 +20,14 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/filter.h"
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::core {
 
@@ -68,6 +69,12 @@ class FilterChain {
   std::size_t size() const;
   std::vector<std::string> names() const;
   std::shared_ptr<Filter> at(std::size_t pos) const;
+
+  /// Atomic snapshot of the configured filters, in chain order. Stats and
+  /// introspection paths must iterate this instead of size() + at(i): that
+  /// pair re-acquires the mutex per call, so a concurrent remove() between
+  /// the two turns a valid index into an out_of_range error.
+  std::vector<std::shared_ptr<Filter>> list() const;
 
   Filter& head() { return *head_; }
   Filter& tail() { return *tail_; }
@@ -125,38 +132,40 @@ class FilterChain {
  private:
   /// Validates a hypothetical filter vector; returns the first error.
   std::optional<std::string> check_types_locked(
-      const std::vector<std::shared_ptr<Filter>>& filters) const;
-  Filter& left_of_locked(std::size_t pos);
-  Filter& right_of_locked(std::size_t pos);
-  void check_pos_locked(std::size_t pos, bool inclusive) const;
+      const std::vector<std::shared_ptr<Filter>>& filters) const
+      RW_REQUIRES(mu_);
+  Filter& left_of_locked(std::size_t pos) RW_REQUIRES(mu_);
+  Filter& right_of_locked(std::size_t pos) RW_REQUIRES(mu_);
+  void check_pos_locked(std::size_t pos, bool inclusive) const
+      RW_REQUIRES(mu_);
 
   // Metrics plumbing; all require mu_. Lock order: mu_ before the registry
   // mutex, and registered callbacks never take mu_ (src/obs/metrics.h).
-  void attach_filter_locked(Filter& filter);
-  void detach_filter_locked(const Filter& filter);
-  void record_locked(const std::string& text);
+  void attach_filter_locked(Filter& filter) RW_REQUIRES(mu_);
+  void detach_filter_locked(const Filter& filter) RW_REQUIRES(mu_);
+  void record_locked(const std::string& text) RW_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::shared_ptr<Filter> head_;
-  std::shared_ptr<Filter> tail_;
-  std::vector<std::shared_ptr<Filter>> filters_;
-  bool started_ = false;
-  bool shut_down_ = false;
-  std::string stream_type_ = "any";
-  bool enforce_types_ = false;
+  mutable rw::Mutex mu_;
+  const std::shared_ptr<Filter> head_;  // immutable after construction
+  const std::shared_ptr<Filter> tail_;  // immutable after construction
+  std::vector<std::shared_ptr<Filter>> filters_ RW_GUARDED_BY(mu_);
+  bool started_ RW_GUARDED_BY(mu_) = false;
+  bool shut_down_ RW_GUARDED_BY(mu_) = false;
+  std::string stream_type_ RW_GUARDED_BY(mu_) = "any";
+  bool enforce_types_ RW_GUARDED_BY(mu_) = false;
 
   // Observability state (guarded by mu_). The `filters` gauge is set during
   // control ops rather than pulled through a callback so no registry
   // callback ever needs mu_.
-  std::optional<obs::Scope> scope_;
-  std::shared_ptr<obs::Counter> m_inserts_;
-  std::shared_ptr<obs::Counter> m_removes_;
-  std::shared_ptr<obs::Counter> m_reorders_;
-  std::shared_ptr<obs::Counter> m_set_params_;
-  std::shared_ptr<obs::Gauge> m_filters_;
-  std::shared_ptr<obs::Histogram> m_reconfig_us_;
-  std::shared_ptr<obs::TraceRing> m_events_;
-  std::map<const Filter*, std::string> bound_;
+  std::optional<obs::Scope> scope_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Counter> m_inserts_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Counter> m_removes_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Counter> m_reorders_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Counter> m_set_params_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Gauge> m_filters_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Histogram> m_reconfig_us_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::TraceRing> m_events_ RW_GUARDED_BY(mu_);
+  std::map<const Filter*, std::string> bound_ RW_GUARDED_BY(mu_);
 };
 
 }  // namespace rapidware::core

@@ -30,17 +30,17 @@ FilterSpec FilterSpec::deserialize(util::ByteSpan in) {
 }
 
 void FilterRegistry::register_factory(std::string name, Factory factory) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   factories_[std::move(name)] = std::move(factory);
 }
 
 bool FilterRegistry::contains(const std::string& name) const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return factories_.count(name) != 0 || aliases_.count(name) != 0;
 }
 
 std::vector<std::string> FilterRegistry::names() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   std::vector<std::string> out;
   out.reserve(factories_.size() + aliases_.size());
   for (const auto& [name, _] : factories_) out.push_back(name);
@@ -51,7 +51,7 @@ std::vector<std::string> FilterRegistry::names() const {
 std::shared_ptr<Filter> FilterRegistry::create(const FilterSpec& spec) const {
   FilterSpec resolved = spec;
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     // Resolve alias chains (bounded to avoid cycles).
     for (int depth = 0; depth < 8; ++depth) {
       auto it = aliases_.find(resolved.name);
@@ -64,7 +64,7 @@ std::shared_ptr<Filter> FilterRegistry::create(const FilterSpec& spec) const {
   }
   Factory factory;
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     auto it = factories_.find(resolved.name);
     if (it == factories_.end()) {
       throw std::out_of_range("FilterRegistry: unknown filter '" +
@@ -76,7 +76,7 @@ std::shared_ptr<Filter> FilterRegistry::create(const FilterSpec& spec) const {
 }
 
 void FilterRegistry::register_alias(std::string name, FilterSpec base) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   aliases_[std::move(name)] = std::move(base);
 }
 
@@ -87,17 +87,17 @@ FilterRegistry& global_registry() {
 
 void FilterContainer::add(std::shared_ptr<Filter> filter) {
   if (!filter) throw std::invalid_argument("FilterContainer::add: null filter");
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   filters_.push_back(std::move(filter));
 }
 
 std::size_t FilterContainer::size() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return filters_.size();
 }
 
 std::vector<std::string> FilterContainer::enumerate() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   std::vector<std::string> out;
   out.reserve(filters_.size());
   for (const auto& f : filters_) out.push_back(f->name());
@@ -105,7 +105,7 @@ std::vector<std::string> FilterContainer::enumerate() const {
 }
 
 std::shared_ptr<Filter> FilterContainer::take(const std::string& name) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   for (auto it = filters_.begin(); it != filters_.end(); ++it) {
     if ((*it)->name() == name) {
       auto f = *it;

@@ -16,13 +16,14 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/filter.h"
 #include "util/bytes.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::core {
 
@@ -59,9 +60,9 @@ class FilterRegistry {
   void register_alias(std::string name, FilterSpec base);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Factory> factories_;
-  std::map<std::string, FilterSpec> aliases_;
+  mutable rw::Mutex mu_;
+  std::map<std::string, Factory> factories_ RW_GUARDED_BY(mu_);
+  std::map<std::string, FilterSpec> aliases_ RW_GUARDED_BY(mu_);
 };
 
 /// Returns the process-wide registry pre-populated by the filter library
@@ -83,8 +84,8 @@ class FilterContainer {
   std::shared_ptr<Filter> take(const std::string& name);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<Filter>> filters_;
+  mutable rw::Mutex mu_;
+  std::vector<std::shared_ptr<Filter>> filters_ RW_GUARDED_BY(mu_);
 };
 
 }  // namespace rapidware::core

@@ -60,14 +60,18 @@ void FecEncodeFilter::maybe_apply_params() {
 void FecEncodeFilter::on_packet(util::Bytes packet) {
   maybe_apply_params();
   const std::uint64_t before = encoder_->groups_emitted();
-  for (const auto& wire : encoder_->add(packet)) emit(wire);
+  // Count the finished group before its packets hit the wire: a STATS read
+  // triggered by the parity's arrival must not see the counter lagging.
+  const auto wire = encoder_->add(packet);
   m_groups_encoded_->add(encoder_->groups_emitted() - before);
+  for (const auto& w : wire) emit(w);
 }
 
 void FecEncodeFilter::on_flush() {
   const std::uint64_t before = encoder_->groups_emitted();
-  for (const auto& wire : encoder_->flush()) emit(wire);
+  const auto wire = encoder_->flush();
   m_groups_encoded_->add(encoder_->groups_emitted() - before);
+  for (const auto& w : wire) emit(w);
 }
 
 void FecEncodeFilter::register_metrics(obs::Scope scope) {

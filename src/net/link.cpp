@@ -9,7 +9,7 @@ Channel::Channel(ChannelConfig config, util::Rng rng)
 
 std::optional<util::Micros> Channel::transit(std::size_t bytes,
                                              util::Micros now) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   ++stats_.attempted;
   if (config_.loss && config_.loss->drop(rng_)) {
     ++stats_.dropped_loss;
@@ -37,17 +37,17 @@ std::optional<util::Micros> Channel::transit(std::size_t bytes,
 }
 
 ChannelStats Channel::stats() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return stats_;
 }
 
 double Channel::average_loss() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return config_.loss ? config_.loss->average_loss() : 0.0;
 }
 
 void Channel::set_average_loss(double p) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   if (config_.loss) config_.loss->set_average_loss(p);
 }
 

@@ -5,12 +5,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "net/loss.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::net {
 
@@ -54,11 +55,14 @@ class Channel {
   void set_average_loss(double p);
 
  private:
-  mutable std::mutex mu_;
-  ChannelConfig config_;
-  util::Rng rng_;
-  util::Micros link_free_at_ = 0;
-  ChannelStats stats_;
+  mutable rw::Mutex mu_;
+  // config_ itself never changes shape after construction, but its loss
+  // model is retuned through set_average_loss(), so the whole struct stays
+  // under mu_.
+  ChannelConfig config_ RW_GUARDED_BY(mu_);
+  util::Rng rng_ RW_GUARDED_BY(mu_);
+  util::Micros link_free_at_ RW_GUARDED_BY(mu_) = 0;
+  ChannelStats stats_ RW_GUARDED_BY(mu_);
 };
 
 }  // namespace rapidware::net

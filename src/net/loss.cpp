@@ -12,17 +12,17 @@ BernoulliLoss::BernoulliLoss(double p) : p_(p) {
 }
 
 bool BernoulliLoss::drop(util::Rng& rng) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return rng.chance(p_);
 }
 
 double BernoulliLoss::average_loss() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return p_;
 }
 
 void BernoulliLoss::set_average_loss(double p) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   p_ = std::clamp(p, 0.0, 1.0);
 }
 
@@ -52,7 +52,7 @@ std::unique_ptr<GilbertElliottLoss> GilbertElliottLoss::with_average(
 }
 
 bool GilbertElliottLoss::drop(util::Rng& rng) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   if (bad_) {
     if (rng.chance(p_bg_)) bad_ = false;
   } else if (rng.chance(p_gb_)) {
@@ -62,21 +62,21 @@ bool GilbertElliottLoss::drop(util::Rng& rng) {
 }
 
 double GilbertElliottLoss::average_loss() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   const double denom = p_gb_ + p_bg_;
   if (denom == 0.0) return 0.0;
   return p_gb_ / denom * loss_in_bad_;
 }
 
 void GilbertElliottLoss::set_average_loss(double p) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   p = std::clamp(p, 0.0, loss_in_bad_ * 0.999);
   const double pi_b = p / loss_in_bad_;
   p_gb_ = pi_b >= 1.0 ? 1.0 : std::min(1.0, pi_b * p_bg_ / (1.0 - pi_b));
 }
 
 bool GilbertElliottLoss::in_bad_state() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return bad_;
 }
 
@@ -85,14 +85,14 @@ TraceLoss::TraceLoss(std::vector<bool> trace) : trace_(std::move(trace)) {
 }
 
 bool TraceLoss::drop(util::Rng&) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   const bool d = trace_[pos_];
   pos_ = (pos_ + 1) % trace_.size();
   return d;
 }
 
 double TraceLoss::average_loss() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   std::size_t drops = 0;
   for (bool d : trace_) drops += d;
   return static_cast<double>(drops) / static_cast<double>(trace_.size());

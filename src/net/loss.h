@@ -7,10 +7,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::net {
 
@@ -46,8 +47,8 @@ class BernoulliLoss final : public LossModel {
   void set_average_loss(double p) override;
 
  private:
-  mutable std::mutex mu_;
-  double p_;
+  mutable rw::Mutex mu_;
+  double p_ RW_GUARDED_BY(mu_);
 };
 
 /// Gilbert-Elliott burst loss: a good state (lossless) and a bad state that
@@ -73,9 +74,11 @@ class GilbertElliottLoss final : public LossModel {
   bool in_bad_state() const;
 
  private:
-  mutable std::mutex mu_;
-  double p_gb_, p_bg_, loss_in_bad_;
-  bool bad_ = false;
+  mutable rw::Mutex mu_;
+  double p_gb_ RW_GUARDED_BY(mu_);
+  double p_bg_ RW_GUARDED_BY(mu_);
+  double loss_in_bad_ RW_GUARDED_BY(mu_);
+  bool bad_ RW_GUARDED_BY(mu_) = false;
 };
 
 /// Replays a recorded loss trace (true = drop), looping at the end. Lets
@@ -88,9 +91,9 @@ class TraceLoss final : public LossModel {
   double average_loss() const override;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<bool> trace_;
-  std::size_t pos_ = 0;
+  mutable rw::Mutex mu_;
+  const std::vector<bool> trace_;  // immutable after construction
+  std::size_t pos_ RW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rapidware::net

@@ -23,7 +23,7 @@ SimSocket::~SimSocket() { close(); }
 
 void SimSocket::send_to(const Address& dst, util::ByteSpan payload) {
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     if (closed_) throw std::runtime_error("SimSocket::send_to: socket closed");
     ++sent_;
   }
@@ -31,11 +31,15 @@ void SimSocket::send_to(const Address& dst, util::ByteSpan payload) {
 }
 
 std::optional<Datagram> SimSocket::recv(int timeout_ms) {
-  std::unique_lock lk(mu_);
-  const auto ready = [&] { return closed_ || !queue_.empty(); };
+  rw::MutexLock lk(mu_);
+  const auto ready = [this] {
+    mu_.assert_held();
+    return closed_ || !queue_.empty();
+  };
   if (timeout_ms < 0) {
-    cv_.wait(lk, ready);
-  } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms), ready)) {
+    cv_.wait(mu_, ready);
+  } else if (!cv_.wait_for(mu_, std::chrono::milliseconds(timeout_ms),
+                           ready)) {
     return std::nullopt;
   }
   if (queue_.empty()) return std::nullopt;  // closed
@@ -51,7 +55,7 @@ void SimSocket::leave(const Address& group) { net_->leave_group(group, this); }
 
 void SimSocket::close() {
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     if (closed_) return;
     closed_ = true;
   }
@@ -60,23 +64,23 @@ void SimSocket::close() {
 }
 
 bool SimSocket::is_closed() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return closed_;
 }
 
 std::uint64_t SimSocket::packets_sent() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return sent_;
 }
 
 std::uint64_t SimSocket::packets_received() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return received_;
 }
 
 void SimSocket::enqueue(Datagram d) {
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     if (closed_) return;
     queue_.push_back(std::move(d));
   }
@@ -91,18 +95,21 @@ SimNetwork::SimNetwork(std::shared_ptr<util::Clock> clock, std::uint64_t seed)
       rng_(seed) {}
 
 NodeId SimNetwork::add_node(std::string name) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   nodes_.push_back(std::move(name));
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
-const std::string& SimNetwork::node_name(NodeId id) const {
-  std::lock_guard lk(mu_);
+std::string SimNetwork::node_name(NodeId id) const {
+  // Copy, don't reference: returning `nodes_.at(id)` by const reference
+  // handed callers a pointer into a vector that a concurrent add_node() can
+  // reallocate the instant this mutex is released.
+  rw::MutexLock lk(mu_);
   return nodes_.at(id);
 }
 
 std::shared_ptr<SimSocket> SimNetwork::open(NodeId node, std::uint16_t port) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   if (node >= nodes_.size()) {
     throw std::invalid_argument("SimNetwork::open: unknown node");
   }
@@ -120,19 +127,19 @@ std::shared_ptr<SimSocket> SimNetwork::open(NodeId node, std::uint16_t port) {
 }
 
 void SimNetwork::set_channel(NodeId from, NodeId to, ChannelConfig config) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   channels_[{from, to}] =
       std::make_unique<Channel>(std::move(config), rng_.split());
 }
 
 Channel* SimNetwork::channel(NodeId from, NodeId to) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   auto it = channels_.find({from, to});
   return it == channels_.end() ? nullptr : it->second.get();
 }
 
 std::uint64_t SimNetwork::datagrams_routed() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return routed_;
 }
 
@@ -149,7 +156,7 @@ void SimNetwork::route(const SimSocket& from, const Address& dst,
   // whole fabric and a concurrently destroyed socket is simply skipped.
   std::vector<std::pair<std::shared_ptr<SimSocket>, Channel*>> targets;
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     ++routed_;
     if (dst.is_multicast()) {
       if (auto it = groups_.find(dst); it != groups_.end()) {
@@ -187,12 +194,12 @@ void SimNetwork::join_group(const Address& group, SimSocket* socket) {
   if (!group.is_multicast()) {
     throw std::invalid_argument("SimSocket::join: not a multicast address");
   }
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   groups_[group][socket] = socket->self_;
 }
 
 void SimNetwork::leave_group(const Address& group, SimSocket* socket) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   if (auto it = groups_.find(group); it != groups_.end()) {
     it->second.erase(socket);
     if (it->second.empty()) groups_.erase(it);
@@ -200,7 +207,7 @@ void SimNetwork::leave_group(const Address& group, SimSocket* socket) {
 }
 
 void SimNetwork::unbind(SimSocket* socket) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   bound_.erase(socket->local());
   for (auto it = groups_.begin(); it != groups_.end();) {
     it->second.erase(socket);

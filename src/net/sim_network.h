@@ -8,12 +8,10 @@
 // use for jitter and throughput accounting.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -23,6 +21,8 @@
 #include "net/link.h"
 #include "util/bytes.h"
 #include "util/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::net {
 
@@ -72,16 +72,18 @@ class SimSocket {
 
   void enqueue(Datagram d);
 
-  SimNetwork* net_;
+  SimNetwork* const net_;
   const Address local_;
-  std::weak_ptr<SimSocket> self_;  // set by SimNetwork::open
+  // Written exactly once in SimNetwork::open() before the socket is handed
+  // out, read-only afterwards.
+  std::weak_ptr<SimSocket> self_;  // rw-lint: allow(RW003) write-once pre-publication
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Datagram> queue_;
-  bool closed_ = false;
-  std::uint64_t sent_ = 0;
-  std::uint64_t received_ = 0;
+  mutable rw::Mutex mu_;
+  rw::CondVar cv_;
+  std::deque<Datagram> queue_ RW_GUARDED_BY(mu_);
+  bool closed_ RW_GUARDED_BY(mu_) = false;
+  std::uint64_t sent_ RW_GUARDED_BY(mu_) = 0;
+  std::uint64_t received_ RW_GUARDED_BY(mu_) = 0;
 };
 
 class SimNetwork {
@@ -93,7 +95,11 @@ class SimNetwork {
 
   /// Registers a node; returns its id.
   NodeId add_node(std::string name);
-  const std::string& node_name(NodeId id) const;
+
+  /// Returns a copy: the names vector can reallocate under a concurrent
+  /// add_node(), so a reference into it would dangle the moment the mutex
+  /// is released.
+  std::string node_name(NodeId id) const;
 
   /// Binds a socket on `node`. Port 0 picks an unused ephemeral port.
   /// Throws std::invalid_argument for unknown nodes or ports in use.
@@ -120,18 +126,20 @@ class SimNetwork {
   void leave_group(const Address& group, SimSocket* socket);
   void unbind(SimSocket* socket);
 
-  std::shared_ptr<util::Clock> clock_;
+  const std::shared_ptr<util::Clock> clock_;
 
-  mutable std::mutex mu_;
-  util::Rng rng_;
-  std::vector<std::string> nodes_;
+  mutable rw::Mutex mu_;
+  util::Rng rng_ RW_GUARDED_BY(mu_);
+  std::vector<std::string> nodes_ RW_GUARDED_BY(mu_);
   // weak_ptr registries: routing pins sockets alive for the duration of a
   // delivery, so a socket destroyed mid-route is skipped, never dangling.
-  std::map<Address, std::weak_ptr<SimSocket>> bound_;
-  std::map<Address, std::map<SimSocket*, std::weak_ptr<SimSocket>>> groups_;
-  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Channel>> channels_;
-  std::uint16_t next_ephemeral_ = 50'000;
-  std::uint64_t routed_ = 0;
+  std::map<Address, std::weak_ptr<SimSocket>> bound_ RW_GUARDED_BY(mu_);
+  std::map<Address, std::map<SimSocket*, std::weak_ptr<SimSocket>>> groups_
+      RW_GUARDED_BY(mu_);
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Channel>> channels_
+      RW_GUARDED_BY(mu_);
+  std::uint16_t next_ephemeral_ RW_GUARDED_BY(mu_) = 50'000;
+  std::uint64_t routed_ RW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rapidware::net

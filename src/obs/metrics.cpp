@@ -129,7 +129,7 @@ void TraceRing::record(std::string text) {
 
 void TraceRing::record_at(util::Micros at, std::string text) {
 #if RW_OBS_ENABLED
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   ring_.push_back({next_seq_++, at, std::move(text)});
   if (ring_.size() > capacity_) ring_.pop_front();
 #else
@@ -139,17 +139,17 @@ void TraceRing::record_at(util::Micros at, std::string text) {
 }
 
 std::vector<TraceRing::Event> TraceRing::events() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return {ring_.begin(), ring_.end()};
 }
 
 std::uint64_t TraceRing::total_recorded() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return next_seq_;
 }
 
 void TraceRing::collect(const std::string& name, Snapshot& out) const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   for (const auto& e : ring_) {
     out.push_back({name + "." + std::to_string(e.seq),
                    "t=" + std::to_string(e.at) + " " + e.text});
@@ -163,10 +163,14 @@ namespace {
 
 /// Creates (or reuses, when the type matches) a metric of type T.
 template <typename T, typename... Args>
-std::shared_ptr<T> get_or_create(std::mutex& mu,
+std::shared_ptr<T> get_or_create(rw::Mutex& mu,
                                  std::map<std::string, std::shared_ptr<Metric>>& metrics,
-                                 const std::string& name, Args&&... args) {
-  std::lock_guard lk(mu);
+                                 const std::string& name, Args&&... args)
+    RW_NO_THREAD_SAFETY_ANALYSIS {
+  // The analysis cannot see that `metrics` is the map `mu` guards (the
+  // guarded_by relation does not survive being passed by reference), so it
+  // is disabled for this one helper; the MutexLock below is the real guard.
+  rw::MutexLock lk(mu);
   auto it = metrics.find(name);
   if (it != metrics.end()) {
     if (auto existing = std::dynamic_pointer_cast<T>(it->second)) {
@@ -204,12 +208,12 @@ void Registry::callback(const std::string& name, CallbackGauge::Fn fn) {
 
 void Registry::attach(const std::string& name, std::shared_ptr<Metric> metric) {
   if (!metric) throw std::invalid_argument("Registry::attach: null metric");
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   metrics_[name] = std::move(metric);
 }
 
 void Registry::drop(const std::string& prefix) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   for (auto it = metrics_.begin(); it != metrics_.end();) {
     if (under_prefix(it->first, prefix)) {
       it = metrics_.erase(it);
@@ -223,7 +227,7 @@ Snapshot Registry::snapshot(const std::string& prefix) const {
   // Collect under the lock: a concurrent drop() then cannot return while a
   // callback gauge is mid-read, which is what makes drop-before-destroy a
   // sufficient lifetime protocol for callback registrants.
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   Snapshot out;
   for (const auto& [name, metric] : metrics_) {
     if (under_prefix(name, prefix)) metric->collect(name, out);
@@ -234,7 +238,7 @@ Snapshot Registry::snapshot(const std::string& prefix) const {
 }
 
 std::size_t Registry::size() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return metrics_.size();
 }
 

@@ -33,11 +33,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 #ifndef RW_OBS_ENABLED
 #define RW_OBS_ENABLED 1
@@ -191,9 +192,9 @@ class TraceRing final : public Metric {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::uint64_t next_seq_ = 0;
-  std::deque<Event> ring_;
+  mutable rw::Mutex mu_;
+  std::uint64_t next_seq_ RW_GUARDED_BY(mu_) = 0;
+  std::deque<Event> ring_ RW_GUARDED_BY(mu_);
 };
 
 /// Named metric registry. Thread-safe; creation returns the existing metric
@@ -226,8 +227,8 @@ class Registry {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Metric>> metrics_;
+  mutable rw::Mutex mu_;
+  std::map<std::string, std::shared_ptr<Metric>> metrics_ RW_GUARDED_BY(mu_);
 };
 
 /// The process-global registry — what a proxy's STATS verb serves.

@@ -9,32 +9,50 @@ StatsLogSink::StatsLogSink(Registry& registry, std::string prefix,
     : registry_(registry),
       prefix_(std::move(prefix)),
       period_(period),
-      emit_(std::move(emit)) {
-  if (!emit_) {
-    emit_ = [](const std::string& text) { RW_INFO("stats") << "\n" << text; };
-  }
+      emit_(emit ? std::move(emit) : Emit([](const std::string& text) {
+        RW_INFO("stats") << "\n" << text;
+      })) {
+  rw::MutexLock lk(mu_);
   thread_ = std::thread([this] { loop(); });
 }
 
 StatsLogSink::~StatsLogSink() { stop(); }
 
 void StatsLogSink::stop() {
+  // The old "if (stopped_) return" fast path let two concurrent stop()
+  // callers both reach thread_.join() — undefined behaviour on std::thread.
+  // Instead exactly one caller moves the handle out under mu_ and joins it;
+  // everyone else blocks on stopped_ so stop() still means "the logging
+  // thread is gone" for every caller.
+  std::thread reaper;
   {
-    std::lock_guard lk(mu_);
-    if (stopped_) return;
+    rw::MutexLock lk(mu_);
     stop_ = true;
+    reaper = std::move(thread_);
   }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
-  std::lock_guard lk(mu_);
-  stopped_ = true;
+  if (reaper.joinable()) {
+    reaper.join();
+    rw::MutexLock lk(mu_);
+    stopped_ = true;
+    cv_.notify_all();
+  } else {
+    rw::MutexLock lk(mu_);
+    cv_.wait(mu_, [this] {
+      mu_.assert_held();
+      return stopped_;
+    });
+  }
 }
 
 void StatsLogSink::loop() {
   for (;;) {
     {
-      std::unique_lock lk(mu_);
-      if (cv_.wait_for(lk, period_, [&] { return stop_; })) {
+      rw::MutexLock lk(mu_);
+      if (cv_.wait_for(mu_, period_, [this] {
+            mu_.assert_held();
+            return stop_;
+          })) {
         break;
       }
     }

@@ -5,13 +5,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::obs {
 
@@ -30,7 +30,9 @@ class StatsLogSink {
   StatsLogSink(const StatsLogSink&) = delete;
   StatsLogSink& operator=(const StatsLogSink&) = delete;
 
-  /// Stops early (idempotent); emits one final snapshot first.
+  /// Stops early (idempotent and safe to race: concurrent callers all
+  /// return only after the logging thread has exited, but exactly one of
+  /// them joins it). Emits one final snapshot first.
   void stop();
 
  private:
@@ -39,13 +41,15 @@ class StatsLogSink {
   Registry& registry_;
   const std::string prefix_;
   const std::chrono::milliseconds period_;
-  Emit emit_;
+  const Emit emit_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  bool stopped_ = false;
-  std::thread thread_;
+  rw::Mutex mu_;
+  rw::CondVar cv_;
+  bool stop_ RW_GUARDED_BY(mu_) = false;
+  bool stopped_ RW_GUARDED_BY(mu_) = false;
+  // Guarded so racing stop() calls cannot both reach thread_.join(): the
+  // winner moves the handle out under mu_, losers wait on stopped_.
+  std::thread thread_ RW_GUARDED_BY(mu_);
 };
 
 }  // namespace rapidware::obs

@@ -12,13 +12,13 @@ FaultInjector::FaultInjector(std::uint64_t seed, FaultPlan plan)
 
 bool FaultInjector::roll(double p) {
   if (p <= 0.0) return false;
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return rng_.chance(p);
 }
 
 std::size_t FaultInjector::cut(std::size_t n) {
   if (n <= 1) return n;
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return static_cast<std::size_t>(rng_.next_below(n)) + 1;
 }
 
@@ -27,7 +27,7 @@ void FaultInjector::maybe_delay() {
   delays_.fetch_add(1, std::memory_order_relaxed);
   std::int64_t sleep_us = 0;
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     // Mostly yields; occasionally a real (bounded) sleep so a thread loses
     // the CPU long enough for its peers to race ahead.
     if (plan_.max_delay_us > 0 && rng_.chance(0.25)) {
@@ -103,7 +103,7 @@ LinkFaults::LinkFaults(std::shared_ptr<net::LossModel> inner,
 
 bool LinkFaults::drop(util::Rng& rng) {
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     if (outage_left_ > 0) {
       --outage_left_;
       faults_->link_drops_.fetch_add(1, std::memory_order_relaxed);
@@ -115,7 +115,7 @@ bool LinkFaults::drop(util::Rng& rng) {
     }
   }
   if (faults_->roll(faults_->plan().link_outage_p)) {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     outage_left_ = faults_->plan().link_outage_packets;
   }
   if (faults_->roll(faults_->plan().link_drop_p)) {
@@ -130,7 +130,7 @@ double LinkFaults::average_loss() const { return inner_->average_loss(); }
 void LinkFaults::set_average_loss(double p) { inner_->set_average_loss(p); }
 
 void LinkFaults::set_down(bool down) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   down_ = down;
 }
 

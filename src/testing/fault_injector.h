@@ -20,12 +20,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "net/loss.h"
 #include "util/clock.h"
 #include "util/io.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::testing {
 
@@ -93,11 +94,11 @@ class FaultInjector {
   friend class FaultyByteSink;
   friend class LinkFaults;
 
-  std::mutex mu_;
-  util::Rng rng_;
+  rw::Mutex mu_;
+  util::Rng rng_ RW_GUARDED_BY(mu_);
   const FaultPlan plan_;
   const std::uint64_t seed_;
-  util::SimClock sim_clock_;
+  util::SimClock sim_clock_;  // rw-lint: allow(RW003) internally atomic
 
   std::atomic<std::uint64_t> short_reads_{0};
   std::atomic<std::uint64_t> fragmented_writes_{0};
@@ -154,11 +155,11 @@ class LinkFaults final : public net::LossModel {
   void set_down(bool down);
 
  private:
-  std::shared_ptr<net::LossModel> inner_;
-  std::shared_ptr<FaultInjector> faults_;
-  std::mutex mu_;
-  bool down_ = false;
-  int outage_left_ = 0;
+  const std::shared_ptr<net::LossModel> inner_;
+  const std::shared_ptr<FaultInjector> faults_;
+  rw::Mutex mu_;
+  bool down_ RW_GUARDED_BY(mu_) = false;
+  int outage_left_ RW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rapidware::testing

@@ -23,7 +23,7 @@ WirelessLan::~WirelessLan() {
 
 void WirelessLan::add_station(net::NodeId station, double distance_m) {
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     if (!distance_m_.try_emplace(station, distance_m).second) {
       throw std::invalid_argument("WirelessLan::add_station: already added");
     }
@@ -52,7 +52,7 @@ void WirelessLan::add_station(net::NodeId station, double distance_m) {
   std::optional<obs::Scope> scope;
   std::shared_ptr<obs::TraceRing> events;
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     scope = scope_;
     events = m_events_;
   }
@@ -65,7 +65,7 @@ void WirelessLan::add_station(net::NodeId station, double distance_m) {
 
 void WirelessLan::set_distance(net::NodeId station, double distance_m) {
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     auto it = distance_m_.find(station);
     if (it == distance_m_.end()) {
       throw std::invalid_argument("WirelessLan::set_distance: unknown station");
@@ -79,7 +79,7 @@ void WirelessLan::set_distance(net::NodeId station, double distance_m) {
   }
   std::shared_ptr<obs::TraceRing> events;
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     events = m_events_;
   }
   if (events) {
@@ -89,7 +89,7 @@ void WirelessLan::set_distance(net::NodeId station, double distance_m) {
 }
 
 double WirelessLan::distance(net::NodeId station) const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   auto it = distance_m_.find(station);
   if (it == distance_m_.end()) {
     throw std::invalid_argument("WirelessLan::distance: unknown station");
@@ -118,7 +118,7 @@ void WirelessLan::bind_metrics(obs::Registry& reg, const std::string& prefix) {
   auto events = scope.trace("events", kEventTraceCapacity);
   std::vector<net::NodeId> stations;
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     scope_ = scope;
     m_events_ = events;
     for (const auto& [id, dist] : distance_m_) stations.push_back(id);
@@ -129,7 +129,7 @@ void WirelessLan::bind_metrics(obs::Registry& reg, const std::string& prefix) {
 void WirelessLan::unbind_metrics() {
   std::optional<obs::Scope> old;
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     old.swap(scope_);
     m_events_.reset();
   }

@@ -12,12 +12,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "net/sim_network.h"
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "wireless/path_loss.h"
 
 namespace rapidware::wireless {
@@ -82,13 +83,13 @@ class WirelessLan {
   void attach_station(net::NodeId station, const obs::Scope& scope);
 
   net::SimNetwork& net_;
-  net::NodeId ap_;
-  WlanConfig config_;
+  const net::NodeId ap_;
+  const WlanConfig config_;  // read-only after construction: lock-free reads
 
-  mutable std::mutex mu_;
-  std::map<net::NodeId, double> distance_m_;
-  std::optional<obs::Scope> scope_;          // guarded by mu_
-  std::shared_ptr<obs::TraceRing> m_events_; // guarded by mu_
+  mutable rw::Mutex mu_;
+  std::map<net::NodeId, double> distance_m_ RW_GUARDED_BY(mu_);
+  std::optional<obs::Scope> scope_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::TraceRing> m_events_ RW_GUARDED_BY(mu_);
 };
 
 }  // namespace rapidware::wireless

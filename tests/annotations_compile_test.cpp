@@ -1,0 +1,34 @@
+// Negative-compile probe for the thread-safety gate (docs/static_analysis.md).
+//
+// This file accesses an RW_GUARDED_BY field without holding its mutex. Under
+// Clang with -DRW_THREAD_SAFETY=ON (-Werror=thread-safety) it MUST fail to
+// compile; ctest registers the build of this target with WILL_FAIL, so the
+// suite goes red if the gate ever silently stops rejecting bad code — e.g.
+// if the annotation macros get stubbed out on Clang or the warning flags are
+// dropped. On GCC (annotations compile away) the target is not registered.
+//
+// Keep exactly one violation per guarded pattern here: the test asserts the
+// gate fires, not how many diagnostics it emits.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  // VIOLATION: reads counter_ without mu_ — thread-safety analysis must
+  // reject this function.
+  int unlocked_read() const { return counter_; }
+
+ private:
+  mutable rw::Mutex mu_;
+  int counter_ RW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return g.unlocked_read();
+}

@@ -6,9 +6,11 @@
 #include <atomic>
 #include <thread>
 
+#include "core/control.h"
 #include "core/endpoint.h"
 #include "core/filter.h"
 #include "core/filter_chain.h"
+#include "core/filter_registry.h"
 #include "util/rng.h"
 #include "util/serial.h"
 
@@ -459,6 +461,46 @@ INSTANTIATE_TEST_SUITE_P(ChurnSweep, ChainChurnTest,
                            return "mutations" + std::to_string(info.param.mutations) +
                                   "_seed" + std::to_string(info.param.seed);
                          });
+
+// ---------------------------------------------------------------------------
+// Atomic snapshots (regression: stats paths reading chain state lock-by-lock)
+
+// list() must be one atomic snapshot. The old introspection path called
+// size() then at(i) — two separate lock acquisitions — so a remove() landing
+// between them threw out_of_range for a request that was valid when it
+// started. Hammer snapshots against concurrent insert/remove and require
+// every one to be internally consistent and exception-free.
+TEST(FilterChain, ListSnapshotSurvivesConcurrentMutation) {
+  Harness h;
+  for (int i = 0; i < 4; ++i) {
+    h.chain->insert(std::make_shared<TagFilter>(static_cast<std::uint8_t>(i)),
+                    h.chain->size());
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread mutator([&] {
+    util::Rng rng(7);
+    while (!stop.load(std::memory_order_acquire)) {
+      // Keep the size oscillating across the readers' snapshot points.
+      h.chain->remove(rng.next_below(h.chain->size()));
+      h.chain->insert(std::make_shared<TagFilter>(9), 0);
+    }
+  });
+
+  auto manager = ControlManager::local(std::make_shared<ControlServer>(
+      h.chain, &global_registry(), &obs::registry()));
+  for (int i = 0; i < 2'000; ++i) {
+    // Chain-level snapshot: iterating it must never hit a stale index.
+    const auto filters = h.chain->list();
+    for (const auto& f : filters) EXPECT_FALSE(f->name().empty());
+    // Control-protocol path (the one that used size() + at(i)).
+    const auto infos = manager.list_chain();
+    for (const auto& info : infos) EXPECT_FALSE(info.name.empty());
+  }
+
+  stop.store(true, std::memory_order_release);
+  mutator.join();
+}
 
 }  // namespace
 }  // namespace rapidware::core

@@ -334,5 +334,27 @@ TEST(AddressFormatting, RendersBothKinds) {
   EXPECT_EQ(multicast_group(7, 90).to_string(), "mc7:90");
 }
 
+// Regression: node_name() used to return a const reference into the
+// internal names vector. A concurrent add_node() reallocating that vector
+// left the caller reading freed memory the moment the mutex dropped. The
+// accessor now returns a copy made under the lock; this hammers the old
+// failure schedule (readers racing growth) — under ASan the reference
+// version fails here.
+TEST(SimNetwork, NodeNameIsStableUnderConcurrentAddNode) {
+  SimNetwork net;
+  const NodeId first = net.add_node("node-0");
+
+  std::thread grower([&] {
+    for (int i = 1; i <= 512; ++i) {
+      net.add_node("node-" + std::to_string(i));
+    }
+  });
+  for (int i = 0; i < 4'000; ++i) {
+    EXPECT_EQ(net.node_name(first), "node-0");
+  }
+  grower.join();
+  EXPECT_EQ(net.node_name(511), "node-511");
+}
+
 }  // namespace
 }  // namespace rapidware::net

@@ -341,6 +341,31 @@ TEST(ObsStatsLog, PeriodicallyEmitsAndFlushesOnStop) {
 #endif
 }
 
+// Regression: stop() used to fast-path on `stopped_`, which was only set
+// *after* join() — so two concurrent stop() callers could both reach
+// thread_.join() on the same std::thread (undefined behaviour; a crash
+// under libstdc++'s debug assertions). Now exactly one caller joins and the
+// rest block until the logging thread is gone. Run under TSan in CI.
+TEST(ObsStatsLog, ConcurrentStopJoinsExactlyOnce) {
+  for (int round = 0; round < 20; ++round) {
+    obs::Registry reg;
+    std::atomic<int> emits{0};
+    obs::StatsLogSink sink(reg, "", std::chrono::milliseconds(1),
+                           [&](const std::string&) {
+                             emits.fetch_add(1, std::memory_order_relaxed);
+                           });
+    std::vector<std::thread> stoppers;
+    stoppers.reserve(4);
+    for (int i = 0; i < 4; ++i) {
+      stoppers.emplace_back([&] { sink.stop(); });
+    }
+    for (auto& t : stoppers) t.join();
+    // Every stop() returned only after the thread exited, and the final
+    // snapshot was emitted exactly once.
+    EXPECT_GE(emits.load(), 1);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Concurrency: the registry's documented contract is writers never block
 // and snapshot readers are safe against concurrent create/drop. Run under

@@ -79,14 +79,37 @@ def check_file(md_path: str) -> list:
     return errors
 
 
+def check_docs_coverage() -> list:
+    """Every docs/*.md must be reachable from the README's docs index.
+
+    A deep-dive nobody links to is invisible; this catches the common
+    failure of adding a doc without adding its index row.
+    """
+    if not os.path.exists("README.md"):
+        return []
+    linked = set()
+    for _, target in links_of("README.md"):
+        path, _, _ = target.partition("#")
+        if path:
+            linked.add(os.path.normpath(path))
+    return [
+        f"README.md: docs file not linked from README: {doc}"
+        for doc in sorted(glob.glob("docs/*.md"))
+        if os.path.normpath(doc) not in linked
+    ]
+
+
 def main(argv: list) -> int:
     files = argv[1:]
+    explicit = bool(files)
     if not files:
         files = [p for p in ("README.md", "DESIGN.md") if os.path.exists(p)]
         files += sorted(glob.glob("docs/*.md"))
     all_errors = []
     for md in files:
         all_errors.extend(check_file(md))
+    if not explicit:
+        all_errors.extend(check_docs_coverage())
     for err in all_errors:
         print(err)
     print(f"checked {len(files)} files: "

@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""rw_lint: project-invariant linter for the lock-discipline rules.
+
+Complements the Clang Thread Safety Analysis build (-DRW_THREAD_SAFETY=ON,
+see docs/static_analysis.md): the compiler proves guarded-field access, this
+script enforces the conventions the analysis cannot see. Runs on any Python 3
+with no third-party imports, so it works in CI and as a local ctest.
+
+Rules
+  RW001  No naked std::mutex / std::condition_variable outside the rw::
+         wrapper (src/util/mutex.h). New concurrent code must use rw::Mutex
+         so it participates in the analysis. Legacy files are listed in
+         LEGACY_STD_MUTEX below — a ratchet: shrink it, never grow it.
+  RW002  No condition-variable wait without a predicate: every .wait(...)
+         needs a predicate argument and every .wait_for/.wait_until needs
+         (lock, time, predicate). Naked waits are how missed-wakeup and
+         spurious-wakeup bugs ship.
+  RW003  Annotated-class discipline: in a header class that owns an
+         rw::Mutex, (a) every *_locked() helper declaration carries
+         RW_REQUIRES, and (b) every data member declared in that class is
+         either RW_GUARDED_BY-annotated, atomic, const, or itself a
+         synchronization object.
+  RW004  ControlOp codes (src/core/control.h) are dense from 1 and match
+         the op table in docs/control_protocol.md.
+  RW005  Every bench/bench_*.cpp emits the BENCH json summary line.
+
+Suppression: append  `// rw-lint: allow(RWxxx) <reason>`  to the offending
+line (the reason is mandatory).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# RW001 ratchet. Files that still declare raw std::mutex members from before
+# the rw:: conversion (PR: lock-discipline enforcement). Shrink, never grow.
+LEGACY_STD_MUTEX = {
+    "src/pavilion/leadership.h",
+    "src/pavilion/session.h",
+    "src/pavilion/web.h",
+    "src/proxy/socket_endpoints.h",
+    "src/raplets/fec_responder.h",
+    "src/raplets/handoff.h",
+    "src/raplets/loss_observer.h",
+    "src/raplets/throughput_observer.h",
+    "src/raplets/transcode_responder.h",
+    "src/util/logging.cpp",
+}
+
+ALLOW_RE = re.compile(r"//\s*rw-lint:\s*allow\((RW\d{3})\)\s*\S")
+
+errors: list[str] = []
+
+
+def report(path: Path, lineno: int, rule: str, msg: str, line: str) -> None:
+    allow = ALLOW_RE.search(line)
+    if allow and allow.group(1) == rule:
+        return
+    rel = path.relative_to(REPO)
+    errors.append(f"{rel}:{lineno}: {rule}: {msg}")
+
+
+def strip_comments(line: str) -> str:
+    """Drops // comments but keeps the text for suppression matching."""
+    i = line.find("//")
+    return line if i < 0 else line[:i]
+
+
+def src_files(*suffixes: str):
+    for path in sorted((REPO / "src").rglob("*")):
+        if path.suffix in suffixes and path.is_file():
+            yield path
+
+
+# ---------------------------------------------------------------------------
+# RW001: naked std::mutex / std::condition_variable
+
+RAW_SYNC_RE = re.compile(r"\bstd::(mutex|condition_variable(_any)?|shared_mutex|recursive_mutex)\b")
+
+
+def check_rw001() -> None:
+    for path in src_files(".h", ".cpp"):
+        rel = str(path.relative_to(REPO))
+        if rel == "src/util/mutex.h" or rel in LEGACY_STD_MUTEX:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if RAW_SYNC_RE.search(strip_comments(line)):
+                report(path, lineno, "RW001",
+                       "raw std:: synchronization primitive; use rw::Mutex / "
+                       "rw::CondVar (src/util/mutex.h) so the thread-safety "
+                       "analysis sees it", line)
+
+
+# ---------------------------------------------------------------------------
+# RW002: condition-variable waits must take a predicate
+
+
+def split_call_args(text: str, open_paren: int) -> list[str] | None:
+    """Returns top-level comma-separated args of the call whose '(' is at
+    open_paren, or None if the call spans past the given text."""
+    depth = 0
+    args: list[str] = []
+    start = open_paren + 1
+    for i in range(open_paren, len(text)):
+        c = text[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                args.append(text[start:i])
+                return args
+        elif c == "," and depth == 1:
+            args.append(text[start:i])
+            start = i + 1
+    return None
+
+
+WAIT_RE = re.compile(r"\.\s*(wait|wait_for|wait_until)\s*\(")
+
+
+def check_rw002() -> None:
+    for path in src_files(".h", ".cpp"):
+        if str(path.relative_to(REPO)) == "src/util/mutex.h":
+            continue  # the wrapper implements the predicate API itself
+        lines = path.read_text().splitlines()
+        # Match on comment-stripped text: prose like "wait_for(n)" in a
+        # comment is not a call site.
+        text = "\n".join(strip_comments(ln) for ln in lines)
+        code_lines = text.splitlines()
+        for m in WAIT_RE.finditer(text):
+            lineno = text.count("\n", 0, m.start()) + 1
+            # Join a few lines so multi-line calls parse.
+            window = "\n".join(code_lines[lineno - 1:lineno + 12])
+            col = m.start() - (text.rfind("\n", 0, m.start()) + 1)
+            paren = window.find("(", col)
+            args = split_call_args(window, paren) if paren >= 0 else None
+            if args is None:
+                continue  # unparseable; leave it to review
+            fn = m.group(1)
+            need = 2 if fn == "wait" else 3
+            if len(args) < need:
+                report(path, lineno, "RW002",
+                       f"naked {fn}() without a predicate — missed/spurious "
+                       "wakeups; pass the condition as a lambda", lines[lineno - 1])
+
+
+# ---------------------------------------------------------------------------
+# RW003: annotated-class member discipline
+
+MEMBER_OK_RE = re.compile(
+    r"RW_GUARDED_BY|RW_PT_GUARDED_BY|std::atomic|rw::Mutex|rw::CondVar|"
+    r"\bconst\b|\bstatic\b|\busing\b|\btypedef\b|\bfriend\b|"
+    r"&\s*[a-z_]\w*_\s*;")  # reference members: the binding is immutable
+MEMBER_DECL_RE = re.compile(r"^\s+[A-Za-z_][\w:<>,&*\s]*\s[a-z_]\w*_\s*(=[^;]*)?;")
+LOCKED_DECL_RE = re.compile(r"\b\w+_locked\s*\(")
+
+
+def check_rw003() -> None:
+    for path in src_files(".h"):
+        if str(path.relative_to(REPO)) == "src/util/mutex.h":
+            continue
+        text = path.read_text()
+        if "rw::Mutex" not in text:
+            continue
+        lines = text.splitlines()
+
+        # (a) *_locked declarations must carry RW_REQUIRES in the statement.
+        stmt, stmt_start = "", 0
+        for lineno, line in enumerate(lines, 1):
+            if not stmt:
+                stmt_start = lineno
+            stmt += strip_comments(line)
+            if ";" in stmt or "{" in stmt:
+                if LOCKED_DECL_RE.search(stmt) and "RW_REQUIRES" not in stmt \
+                        and "RW_NO_THREAD_SAFETY_ANALYSIS" not in stmt:
+                    report(path, stmt_start, "RW003",
+                           "*_locked() helper without RW_REQUIRES(mu) — the "
+                           "name promises a held lock; make the compiler "
+                           "check it", lines[stmt_start - 1])
+                stmt = ""
+
+        # (b) members of a class owning an rw::Mutex must be annotated or
+        # inherently safe. Heuristic: inside a class body that declared an
+        # rw::Mutex, flag unannotated member declarations.
+        depth = 0
+        class_depth: list[int] = []  # brace depths of open class bodies
+        mutex_depth: set[int] = set()  # class depths that own an rw::Mutex
+        pending: list[tuple[int, str, int]] = []  # (lineno, line, depth)
+        for lineno, line in enumerate(lines, 1):
+            code = strip_comments(line)
+            if re.search(r"\b(class|struct)\s+\w+[^;]*$", code) and "{" in code:
+                class_depth.append(depth)
+            if "rw::Mutex" in code and class_depth:
+                mutex_depth.add(class_depth[-1])
+            if class_depth and depth == class_depth[-1] + 1 \
+                    and MEMBER_DECL_RE.match(code) \
+                    and not MEMBER_OK_RE.search(code) \
+                    and "(" not in code.split("=")[0]:
+                pending.append((lineno, line, class_depth[-1]))
+            depth += code.count("{") - code.count("}")
+            while class_depth and depth <= class_depth[-1]:
+                d = class_depth.pop()
+                if d in mutex_depth:
+                    for plineno, pline, pdepth in pending:
+                        if pdepth == d:
+                            report(path, plineno, "RW003",
+                                   "data member of an rw::Mutex-owning class "
+                                   "without RW_GUARDED_BY (or atomic/const)",
+                                   pline)
+                    mutex_depth.discard(d)
+                pending = [p for p in pending if p[2] != d]
+
+
+# ---------------------------------------------------------------------------
+# RW004: ControlOp codes dense and documented
+
+def check_rw004() -> None:
+    header = REPO / "src/core/control.h"
+    doc = REPO / "docs/control_protocol.md"
+    enum_m = re.search(r"enum class ControlOp[^{]*\{(.*?)\};", header.read_text(),
+                       re.S)
+    if not enum_m:
+        report(header, 1, "RW004", "enum class ControlOp not found", "")
+        return
+    ops = {name: int(val) for name, val in
+           re.findall(r"k(\w+)\s*=\s*(\d+)", enum_m.group(1))}
+    codes = sorted(ops.values())
+    if codes != list(range(1, len(codes) + 1)):
+        report(header, 1, "RW004",
+               f"ControlOp codes must be dense from 1; got {codes}", "")
+    doc_ops = {name: int(val) for name, val in
+               re.findall(r"^\|\s*(\w+)\s*\|\s*(\d+)\s*\|", doc.read_text(),
+                          re.M)}
+    if doc_ops != ops:
+        only_code = {k: v for k, v in ops.items() if doc_ops.get(k) != v}
+        only_doc = {k: v for k, v in doc_ops.items() if ops.get(k) != v}
+        report(doc, 1, "RW004",
+               f"op table out of sync with control.h: header={only_code} "
+               f"doc={only_doc}", "")
+
+
+# ---------------------------------------------------------------------------
+# RW005: benches emit the BENCH json line
+
+def check_rw005() -> None:
+    for path in sorted((REPO / "bench").glob("bench_*.cpp")):
+        text = path.read_text()
+        # Either the rwbench JsonSummary helper or a hand-rolled
+        # BENCH_<name>.json writer (the google-benchmark-based benches).
+        if "JsonSummary" not in text and "BENCH_" not in text:
+            report(path, 1, "RW005",
+                   "bench binary without a BENCH json summary (bench_util.h)",
+                   "")
+
+
+def main() -> int:
+    check_rw001()
+    check_rw002()
+    check_rw003()
+    check_rw004()
+    check_rw005()
+    if errors:
+        print("\n".join(errors))
+        print(f"\nrw_lint: {len(errors)} error(s). "
+              "See tools/rw_lint.py header for the rules "
+              "and the suppression syntax.")
+        return 1
+    print("rw_lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
