@@ -10,6 +10,7 @@
 
 #include "fec/fec_group.h"
 #include "fec/gf256.h"
+#include "fec/gf256_kernels.h"
 #include "fec/rs_code.h"
 #include "util/rng.h"
 
@@ -136,6 +137,56 @@ void BM_GroupDecoderPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_GroupDecoderPipeline);
 
+// ---------------------------------------------------------------------------
+// Per-backend kernel series, registered dynamically for every backend this
+// host can run (tools/bench_compare.py consumes the resulting
+// BENCH_rs_codec.json series; RW_GF_BACKEND additionally forces what the
+// static benchmarks above dispatch to).
+
+void run_gf_mul_add_backend(benchmark::State& state, const fec::gf::Kernels* k,
+                            std::size_t len) {
+  util::Rng rng(1);
+  Bytes src(len), dst(len);
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.next_u64());
+  for (auto _ : state) {
+    k->mul_add(dst, src, 0x1d);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+
+void run_rs_encode_backend(benchmark::State& state, fec::gf::Backend b) {
+  // The tentpole's headline configuration: (n=12, k=8), 1 KiB symbols.
+  const fec::gf::Backend previous = fec::gf::active_kernels().backend;
+  fec::gf::set_active_backend(b);
+  fec::ReedSolomonCode code(12, 8);
+  const auto source = make_source(8, 1024, 2);
+  for (auto _ : state) {
+    auto parity = code.encode(source);
+    benchmark::DoNotOptimize(parity.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(8 * 1024));
+  fec::gf::set_active_backend(previous);
+}
+
+void register_backend_series() {
+  for (const auto b : fec::gf::supported_backends()) {
+    const fec::gf::Kernels* k = fec::gf::kernels_for(b);
+    for (const std::size_t len : {320u, 1500u, 65536u}) {
+      benchmark::RegisterBenchmark(
+          ("BM_GfMulAddBackend/" + std::string(k->name) + "/" +
+           std::to_string(len))
+              .c_str(),
+          [k, len](benchmark::State& st) { run_gf_mul_add_backend(st, k, len); });
+    }
+    benchmark::RegisterBenchmark(
+        ("BM_RsEncodeBackend/" + std::string(k->name) + "/12/8/1024").c_str(),
+        [b](benchmark::State& st) { run_rs_encode_backend(st, b); });
+  }
+}
+
 }  // namespace
 
 // Custom main: console output for humans plus google-benchmark's own JSON
@@ -156,6 +207,7 @@ int main(int argc, char** argv) {
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());
   }
+  register_backend_series();
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;

@@ -245,7 +245,8 @@ void GroupDecoder::release_group(std::uint32_t id, Group& g,
         symbols[i] = *g.symbols[i];
       }
     }
-    std::vector<util::Bytes> decoded = cached_code(g.n, g.k).decode(symbols);
+    std::vector<util::Bytes> decoded =
+        cached_code(g.n, g.k).decode(std::move(symbols));
     for (auto& symbol : decoded) out.push_back(parse_symbol(symbol));
     stats_.data_received += data_present;
     stats_.data_recovered += g.k - data_present;

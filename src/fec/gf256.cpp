@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "fec/gf256_kernels.h"
+
 namespace rapidware::fec::gf {
 namespace detail {
 
@@ -61,33 +63,17 @@ std::uint8_t inverse(std::uint8_t a) {
 
 void mul_add(util::MutableByteSpan dst, util::ByteSpan src, std::uint8_t c) {
   assert(dst.size() == src.size());
-  if (c == 0) return;
-  if (c == 1) {
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
-    return;
-  }
-  const auto& t = detail::tables();
-  const std::size_t logc = t.log[c];
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    if (src[i] != 0) dst[i] ^= t.exp[logc + t.log[src[i]]];
-  }
+  active_kernels().mul_add(dst, src, c);
 }
 
 void mul_assign(util::MutableByteSpan dst, util::ByteSpan src, std::uint8_t c) {
   assert(dst.size() == src.size());
-  if (c == 0) {
-    for (auto& b : dst) b = 0;
-    return;
-  }
-  if (c == 1) {
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i];
-    return;
-  }
-  const auto& t = detail::tables();
-  const std::size_t logc = t.log[c];
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    dst[i] = src[i] == 0 ? 0 : t.exp[logc + t.log[src[i]]];
-  }
+  active_kernels().mul_assign(dst, src, c);
+}
+
+void xor_add(util::MutableByteSpan dst, util::ByteSpan src) {
+  assert(dst.size() == src.size());
+  active_kernels().xor_add(dst, src);
 }
 
 }  // namespace rapidware::fec::gf

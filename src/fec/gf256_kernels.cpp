@@ -1,0 +1,336 @@
+// Kernel table construction, the portable backends, and runtime dispatch.
+// SIMD backends live in gf256_kernels_x86.cpp / gf256_kernels_neon.cpp.
+#include "fec/gf256_kernels.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "fec/gf256.h"
+#include "obs/metrics.h"
+
+namespace rapidware::fec::gf {
+namespace detail {
+
+namespace {
+NibbleTables build_nibble_tables() {
+  NibbleTables t{};
+  for (int c = 0; c < 256; ++c) {
+    for (int x = 0; x < 16; ++x) {
+      t.lo[c][x] = mul(static_cast<std::uint8_t>(c),
+                       static_cast<std::uint8_t>(x));
+      t.hi[c][x] = mul(static_cast<std::uint8_t>(c),
+                       static_cast<std::uint8_t>(x << 4));
+    }
+  }
+  return t;
+}
+}  // namespace
+
+const NibbleTables& nibble_tables() {
+  static const NibbleTables t = build_nibble_tables();
+  return t;
+}
+
+void mul_add_nibble_tail(std::uint8_t* dst, const std::uint8_t* src,
+                         std::size_t n, const std::uint8_t* lo,
+                         const std::uint8_t* hi) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] ^= static_cast<std::uint8_t>(lo[src[i] & 0x0f] ^ hi[src[i] >> 4]);
+  }
+}
+
+void mul_assign_nibble_tail(std::uint8_t* dst, const std::uint8_t* src,
+                            std::size_t n, const std::uint8_t* lo,
+                            const std::uint8_t* hi) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(lo[src[i] & 0x0f] ^ hi[src[i] >> 4]);
+  }
+}
+
+void xor_add_u64(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t d, s;
+    std::memcpy(&d, dst + i, 8);
+    std::memcpy(&s, src + i, 8);
+    d ^= s;
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference backend: the original byte-at-a-time log/exp loops. Stays the
+// ground truth every other backend is property-tested against.
+
+void mul_add_reference(util::MutableByteSpan dst, util::ByteSpan src,
+                       std::uint8_t c) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  const auto& t = tables();
+  const std::size_t logc = t.log[c];
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    if (src[i] != 0) dst[i] ^= t.exp[logc + t.log[src[i]]];
+  }
+}
+
+void mul_assign_reference(util::MutableByteSpan dst, util::ByteSpan src,
+                          std::uint8_t c) {
+  if (c == 0) {
+    for (auto& b : dst) b = 0;
+    return;
+  }
+  if (c == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i];
+    return;
+  }
+  const auto& t = tables();
+  const std::size_t logc = t.log[c];
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = src[i] == 0 ? 0 : t.exp[logc + t.log[src[i]]];
+  }
+}
+
+void xor_add_reference(util::MutableByteSpan dst, util::ByteSpan src) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+// ---------------------------------------------------------------------------
+// Portable 64-bit backend: a precomputed 256x256 product table (64 KiB,
+// built lazily; one 256-byte row live per call) and a branch-free inner
+// loop that gathers eight row lookups into one 64-bit word, so dst is
+// read-modified-written a word at a time. Beats the log/exp reference by
+// avoiding the dependent second lookup and the per-byte zero test, and
+// beats per-byte stores by turning eight RMWs into one. Measured ~2.5-3x
+// the reference on x86-64 and the best non-shuffle option we found
+// (8-lane SWAR shift-and-add came out SLOWER than the reference: ~6 ALU
+// ops/byte loses to two well-predicted L1 lookups).
+
+struct MulTable {
+  std::uint8_t row[256][256];  // row[c][x] = c * x
+};
+
+const MulTable& mul_table() {
+  static const MulTable t = [] {
+    MulTable m{};
+    for (int c = 0; c < 256; ++c) {
+      for (int x = 0; x < 256; ++x) {
+        m.row[c][x] = mul(static_cast<std::uint8_t>(c),
+                          static_cast<std::uint8_t>(x));
+      }
+    }
+    return m;
+  }();
+  return t;
+}
+
+void mul_add_portable64(util::MutableByteSpan dst, util::ByteSpan src,
+                        std::uint8_t c) {
+  const std::size_t n = dst.size();
+  if (c == 0) return;
+  if (c == 1) {
+    xor_add_u64(dst.data(), src.data(), n);
+    return;
+  }
+  const std::uint8_t* const row = mul_table().row[c];
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t d;
+    std::memcpy(&d, dst.data() + i, 8);
+    const std::uint64_t p =
+        static_cast<std::uint64_t>(row[src[i]]) |
+        (static_cast<std::uint64_t>(row[src[i + 1]]) << 8) |
+        (static_cast<std::uint64_t>(row[src[i + 2]]) << 16) |
+        (static_cast<std::uint64_t>(row[src[i + 3]]) << 24) |
+        (static_cast<std::uint64_t>(row[src[i + 4]]) << 32) |
+        (static_cast<std::uint64_t>(row[src[i + 5]]) << 40) |
+        (static_cast<std::uint64_t>(row[src[i + 6]]) << 48) |
+        (static_cast<std::uint64_t>(row[src[i + 7]]) << 56);
+    d ^= p;
+    std::memcpy(dst.data() + i, &d, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void mul_assign_portable64(util::MutableByteSpan dst, util::ByteSpan src,
+                           std::uint8_t c) {
+  const std::size_t n = dst.size();
+  if (c == 0) {
+    std::memset(dst.data(), 0, n);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(dst.data(), src.data(), n);
+    return;
+  }
+  const std::uint8_t* const row = mul_table().row[c];
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t p =
+        static_cast<std::uint64_t>(row[src[i]]) |
+        (static_cast<std::uint64_t>(row[src[i + 1]]) << 8) |
+        (static_cast<std::uint64_t>(row[src[i + 2]]) << 16) |
+        (static_cast<std::uint64_t>(row[src[i + 3]]) << 24) |
+        (static_cast<std::uint64_t>(row[src[i + 4]]) << 32) |
+        (static_cast<std::uint64_t>(row[src[i + 5]]) << 40) |
+        (static_cast<std::uint64_t>(row[src[i + 6]]) << 48) |
+        (static_cast<std::uint64_t>(row[src[i + 7]]) << 56);
+    std::memcpy(dst.data() + i, &p, 8);
+  }
+  for (; i < n; ++i) dst[i] = row[src[i]];
+}
+
+void xor_add_portable64(util::MutableByteSpan dst, util::ByteSpan src) {
+  xor_add_u64(dst.data(), src.data(), dst.size());
+}
+
+}  // namespace
+}  // namespace detail
+
+namespace {
+
+constexpr Kernels kReferenceKernels{
+    Backend::kReference, "reference", detail::mul_add_reference,
+    detail::mul_assign_reference, detail::xor_add_reference};
+
+constexpr Kernels kPortable64Kernels{
+    Backend::kPortable64, "portable64", detail::mul_add_portable64,
+    detail::mul_assign_portable64, detail::xor_add_portable64};
+
+#if defined(__x86_64__) || defined(__i386__)
+constexpr Kernels kSsse3Kernels{Backend::kSsse3, "ssse3",
+                                detail::mul_add_ssse3,
+                                detail::mul_assign_ssse3,
+                                detail::xor_add_ssse3};
+constexpr Kernels kAvx2Kernels{Backend::kAvx2, "avx2", detail::mul_add_avx2,
+                               detail::mul_assign_avx2, detail::xor_add_avx2};
+#endif
+
+#if defined(__aarch64__)
+constexpr Kernels kNeonKernels{Backend::kNeon, "neon", detail::mul_add_neon,
+                               detail::mul_assign_neon, detail::xor_add_neon};
+#endif
+
+/// The active backend. Null until the first active_kernels() call runs the
+/// one-time selection below; mutable afterwards only via
+/// set_active_backend (tests/benches).
+std::atomic<const Kernels*> g_active{nullptr};
+
+const Kernels* pick_default() {
+  if (const char* env = std::getenv("RW_GF_BACKEND")) {
+    if (const auto forced = parse_backend(env)) {
+      if (const Kernels* k = kernels_for(*forced)) return k;
+      std::fprintf(stderr,
+                   "rapidware/fec: RW_GF_BACKEND=%s not supported on this "
+                   "host; auto-selecting\n",
+                   env);
+    } else if (env[0] != '\0') {
+      std::fprintf(stderr,
+                   "rapidware/fec: unknown RW_GF_BACKEND=%s; "
+                   "auto-selecting\n",
+                   env);
+    }
+  }
+  for (const Backend b :
+       {Backend::kAvx2, Backend::kNeon, Backend::kSsse3,
+        Backend::kPortable64}) {
+    if (const Kernels* k = kernels_for(b)) return k;
+  }
+  return &kReferenceKernels;
+}
+
+}  // namespace
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kReference:
+      return "reference";
+    case Backend::kPortable64:
+      return "portable64";
+    case Backend::kSsse3:
+      return "ssse3";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+  for (const Backend b :
+       {Backend::kReference, Backend::kPortable64, Backend::kSsse3,
+        Backend::kAvx2, Backend::kNeon}) {
+    if (name == to_string(b)) return b;
+  }
+  return std::nullopt;
+}
+
+std::vector<Backend> supported_backends() {
+  std::vector<Backend> out;
+  for (const Backend b :
+       {Backend::kReference, Backend::kPortable64, Backend::kSsse3,
+        Backend::kAvx2, Backend::kNeon}) {
+    if (kernels_for(b) != nullptr) out.push_back(b);
+  }
+  return out;
+}
+
+const Kernels* kernels_for(Backend b) {
+  switch (b) {
+    case Backend::kReference:
+      return &kReferenceKernels;
+    case Backend::kPortable64:
+      return &kPortable64Kernels;
+    case Backend::kSsse3:
+#if defined(__x86_64__) || defined(__i386__)
+      if (__builtin_cpu_supports("ssse3")) return &kSsse3Kernels;
+#endif
+      return nullptr;
+    case Backend::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      if (__builtin_cpu_supports("avx2")) return &kAvx2Kernels;
+#endif
+      return nullptr;
+    case Backend::kNeon:
+#if defined(__aarch64__)
+      return &kNeonKernels;
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+const Kernels& active_kernels() {
+  if (const Kernels* k = g_active.load(std::memory_order_acquire)) return *k;
+  // Thread-safe one-time selection; also publishes the obs gauge. The gauge
+  // reads g_active so a later set_active_backend() shows up in STATS.
+  static const bool initialized = [] {
+    g_active.store(pick_default(), std::memory_order_release);
+    obs::registry().callback("fec/gf256/backend", [] {
+      const Kernels* k = g_active.load(std::memory_order_relaxed);
+      return static_cast<double>(static_cast<int>(k->backend));
+    });
+    return true;
+  }();
+  (void)initialized;
+  return *g_active.load(std::memory_order_acquire);
+}
+
+bool set_active_backend(Backend b) {
+  const Kernels* k = kernels_for(b);
+  if (k == nullptr) return false;
+  active_kernels();  // ensure one-time init (and the gauge) happened
+  g_active.store(k, std::memory_order_release);
+  return true;
+}
+
+}  // namespace rapidware::fec::gf

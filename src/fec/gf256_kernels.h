@@ -1,0 +1,125 @@
+// Vectorized GF(2^8) bulk-multiply kernels for the FEC hot path.
+//
+// `gf::mul_add` (dst ^= c*src) is the inner loop of every Reed-Solomon
+// encode and decode, so it gets a kernel layer: split-nibble multiplication
+// tables (lo[x & 0xf] ^ hi[x >> 4] == c*x) enable shuffle-based SIMD
+// multiply — `pshufb` on x86 (SSSE3/AVX2), `tbl` on AArch64 — plus a
+// branch-free 64-bit-wide portable scalar backend for everything else.
+//
+// The backend is selected ONCE, on first use: the fastest one this CPU
+// supports (runtime CPUID dispatch), overridable with the RW_GF_BACKEND
+// environment variable ("reference", "portable64", "ssse3", "avx2",
+// "neon"; an unsupported request falls back to auto-selection). The
+// selection is published as the obs callback gauge "fec/gf256/backend"
+// (value = Backend enum id) so a live proxy's STATS dump names the kernel
+// it is running. See docs/fec_kernels.md.
+//
+// Every backend is property-tested byte-for-byte against the reference
+// scalar across all 256 coefficients and unaligned lengths/offsets
+// (tests/fec_test.cpp); none requires aligned spans.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace rapidware::fec::gf {
+
+/// Kernel implementations, ordered roughly slowest to fastest. The numeric
+/// values are stable — they are what the "fec/gf256/backend" gauge reports.
+enum class Backend : int {
+  kReference = 0,   // byte-at-a-time log/exp lookups (the original scalar)
+  kPortable64 = 1,  // branch-free product-row gather, 64-bit-wide RMW/XOR
+  kSsse3 = 2,       // 16-byte pshufb split-nibble shuffle
+  kAvx2 = 3,        // 32-byte vpshufb split-nibble shuffle
+  kNeon = 4,        // 16-byte tbl split-nibble shuffle (AArch64)
+};
+
+/// One backend's entry points. All three take equal-sized, possibly
+/// unaligned spans; dst and src must not overlap.
+struct Kernels {
+  Backend backend;
+  const char* name;
+  /// dst[i] ^= c * src[i].
+  void (*mul_add)(util::MutableByteSpan dst, util::ByteSpan src,
+                  std::uint8_t c);
+  /// dst[i] = c * src[i].
+  void (*mul_assign)(util::MutableByteSpan dst, util::ByteSpan src,
+                     std::uint8_t c);
+  /// dst[i] ^= src[i] — the c==1 special case, exported because plain
+  /// parity codes (XorParityCode) are nothing but this loop.
+  void (*xor_add)(util::MutableByteSpan dst, util::ByteSpan src);
+};
+
+/// Stable lowercase name for a backend ("avx2", ...).
+const char* to_string(Backend b);
+
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<Backend> parse_backend(std::string_view name);
+
+/// Backends compiled into this binary AND runnable on this CPU, in enum
+/// order. Always contains kReference and kPortable64.
+std::vector<Backend> supported_backends();
+
+/// Kernel table for one backend, or nullptr when it is not compiled in or
+/// this CPU cannot run it. Lets tests and benches exercise every backend
+/// explicitly without touching the global selection.
+const Kernels* kernels_for(Backend b);
+
+/// The active kernel table behind gf::mul_add / gf::mul_assign /
+/// gf::xor_add. First call performs the one-time selection described in
+/// the header comment; later calls are a single atomic load.
+const Kernels& active_kernels();
+
+/// Test/bench hook: forces the active backend. Returns false (selection
+/// unchanged) when `b` is unsupported on this host.
+bool set_active_backend(Backend b);
+
+namespace detail {
+
+/// Split-nibble product tables: lo[c][x] = c*x for x in 0..15 and
+/// hi[c][x] = c*(x<<4), so c*b == lo[c][b & 0xf] ^ hi[c][b >> 4] by
+/// linearity of GF(2^8) multiplication over XOR. 16-byte rows align with
+/// one shuffle register; built once, lazily (8 KiB total).
+struct NibbleTables {
+  alignas(16) std::uint8_t lo[256][16];
+  alignas(16) std::uint8_t hi[256][16];
+};
+const NibbleTables& nibble_tables();
+
+/// Branch-free scalar tails shared by the SIMD backends.
+void mul_add_nibble_tail(std::uint8_t* dst, const std::uint8_t* src,
+                         std::size_t n, const std::uint8_t* lo,
+                         const std::uint8_t* hi);
+void mul_assign_nibble_tail(std::uint8_t* dst, const std::uint8_t* src,
+                            std::size_t n, const std::uint8_t* lo,
+                            const std::uint8_t* hi);
+void xor_add_u64(std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+
+#if defined(__x86_64__) || defined(__i386__)
+void mul_add_ssse3(util::MutableByteSpan dst, util::ByteSpan src,
+                   std::uint8_t c);
+void mul_assign_ssse3(util::MutableByteSpan dst, util::ByteSpan src,
+                      std::uint8_t c);
+void xor_add_ssse3(util::MutableByteSpan dst, util::ByteSpan src);
+void mul_add_avx2(util::MutableByteSpan dst, util::ByteSpan src,
+                  std::uint8_t c);
+void mul_assign_avx2(util::MutableByteSpan dst, util::ByteSpan src,
+                     std::uint8_t c);
+void xor_add_avx2(util::MutableByteSpan dst, util::ByteSpan src);
+#endif
+
+#if defined(__aarch64__)
+void mul_add_neon(util::MutableByteSpan dst, util::ByteSpan src,
+                  std::uint8_t c);
+void mul_assign_neon(util::MutableByteSpan dst, util::ByteSpan src,
+                     std::uint8_t c);
+void xor_add_neon(util::MutableByteSpan dst, util::ByteSpan src);
+#endif
+
+}  // namespace detail
+
+}  // namespace rapidware::fec::gf

@@ -1,0 +1,78 @@
+// AArch64 NEON backend: tbl (vqtbl1q_u8) over the split-nibble tables,
+// 16 bytes per step. NEON is baseline on AArch64, so no target attribute or
+// CPUID check is needed — the dispatcher offers this backend whenever the
+// binary is an AArch64 build.
+#include "fec/gf256_kernels.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cstring>
+
+namespace rapidware::fec::gf::detail {
+
+void xor_add_neon(util::MutableByteSpan dst, util::ByteSpan src) {
+  const std::size_t n = dst.size();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t d = vld1q_u8(dst.data() + i);
+    const uint8x16_t s = vld1q_u8(src.data() + i);
+    vst1q_u8(dst.data() + i, veorq_u8(d, s));
+  }
+  xor_add_u64(dst.data() + i, src.data() + i, n - i);
+}
+
+void mul_add_neon(util::MutableByteSpan dst, util::ByteSpan src,
+                  std::uint8_t c) {
+  const std::size_t n = dst.size();
+  if (c == 0) return;
+  if (c == 1) {
+    xor_add_neon(dst, src);
+    return;
+  }
+  const auto& nt = nibble_tables();
+  const uint8x16_t lo = vld1q_u8(nt.lo[c]);
+  const uint8x16_t hi = vld1q_u8(nt.hi[c]);
+  const uint8x16_t mask = vdupq_n_u8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t s = vld1q_u8(src.data() + i);
+    const uint8x16_t lo_prod = vqtbl1q_u8(lo, vandq_u8(s, mask));
+    const uint8x16_t hi_prod = vqtbl1q_u8(hi, vshrq_n_u8(s, 4));
+    const uint8x16_t d = vld1q_u8(dst.data() + i);
+    vst1q_u8(dst.data() + i, veorq_u8(d, veorq_u8(lo_prod, hi_prod)));
+  }
+  mul_add_nibble_tail(dst.data() + i, src.data() + i, n - i, nt.lo[c],
+                      nt.hi[c]);
+}
+
+void mul_assign_neon(util::MutableByteSpan dst, util::ByteSpan src,
+                     std::uint8_t c) {
+  const std::size_t n = dst.size();
+  if (c == 0) {
+    std::memset(dst.data(), 0, n);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(dst.data(), src.data(), n);
+    return;
+  }
+  const auto& nt = nibble_tables();
+  const uint8x16_t lo = vld1q_u8(nt.lo[c]);
+  const uint8x16_t hi = vld1q_u8(nt.hi[c]);
+  const uint8x16_t mask = vdupq_n_u8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t s = vld1q_u8(src.data() + i);
+    const uint8x16_t lo_prod = vqtbl1q_u8(lo, vandq_u8(s, mask));
+    const uint8x16_t hi_prod = vqtbl1q_u8(hi, vshrq_n_u8(s, 4));
+    vst1q_u8(dst.data() + i, veorq_u8(lo_prod, hi_prod));
+  }
+  mul_assign_nibble_tail(dst.data() + i, src.data() + i, n - i, nt.lo[c],
+                         nt.hi[c]);
+}
+
+}  // namespace rapidware::fec::gf::detail
+
+#endif  // __aarch64__

@@ -1,0 +1,191 @@
+// x86 shuffle backends: SSSE3 pshufb (16 B/step) and AVX2 vpshufb
+// (32 B/step) over the split-nibble tables. Compiled with function-level
+// target attributes rather than per-file -m flags so the whole library
+// builds with the default architecture and the dispatcher
+// (gf256_kernels.cpp) decides at runtime what may execute; callers must
+// never reach these without the matching CPUID bit.
+#include "fec/gf256_kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace rapidware::fec::gf::detail {
+namespace {
+
+#define RW_TARGET_SSSE3 __attribute__((target("ssse3")))
+#define RW_TARGET_AVX2 __attribute__((target("avx2")))
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SSSE3
+
+RW_TARGET_SSSE3
+void xor_add_ssse3(util::MutableByteSpan dst, util::ByteSpan src) {
+  const std::size_t n = dst.size();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst.data() + i));
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src.data() + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst.data() + i),
+                     _mm_xor_si128(d, s));
+  }
+  xor_add_u64(dst.data() + i, src.data() + i, n - i);
+}
+
+RW_TARGET_SSSE3
+void mul_add_ssse3(util::MutableByteSpan dst, util::ByteSpan src,
+                   std::uint8_t c) {
+  const std::size_t n = dst.size();
+  if (c == 0) return;
+  if (c == 1) {
+    xor_add_ssse3(dst, src);
+    return;
+  }
+  const auto& nt = nibble_tables();
+  const __m128i lo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c]));
+  const __m128i hi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src.data() + i));
+    const __m128i lo_prod = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+    const __m128i hi_prod =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst.data() + i));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst.data() + i),
+        _mm_xor_si128(d, _mm_xor_si128(lo_prod, hi_prod)));
+  }
+  mul_add_nibble_tail(dst.data() + i, src.data() + i, n - i, nt.lo[c],
+                      nt.hi[c]);
+}
+
+RW_TARGET_SSSE3
+void mul_assign_ssse3(util::MutableByteSpan dst, util::ByteSpan src,
+                      std::uint8_t c) {
+  const std::size_t n = dst.size();
+  if (c == 0) {
+    std::memset(dst.data(), 0, n);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(dst.data(), src.data(), n);
+    return;
+  }
+  const auto& nt = nibble_tables();
+  const __m128i lo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c]));
+  const __m128i hi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src.data() + i));
+    const __m128i lo_prod = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+    const __m128i hi_prod =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst.data() + i),
+                     _mm_xor_si128(lo_prod, hi_prod));
+  }
+  mul_assign_nibble_tail(dst.data() + i, src.data() + i, n - i, nt.lo[c],
+                         nt.hi[c]);
+}
+
+// ---------------------------------------------------------------------------
+// AVX2
+
+RW_TARGET_AVX2
+void xor_add_avx2(util::MutableByteSpan dst, util::ByteSpan src) {
+  const std::size_t n = dst.size();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst.data() + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src.data() + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst.data() + i),
+                        _mm256_xor_si256(d, s));
+  }
+  xor_add_u64(dst.data() + i, src.data() + i, n - i);
+}
+
+RW_TARGET_AVX2
+void mul_add_avx2(util::MutableByteSpan dst, util::ByteSpan src,
+                  std::uint8_t c) {
+  const std::size_t n = dst.size();
+  if (c == 0) return;
+  if (c == 1) {
+    xor_add_avx2(dst, src);
+    return;
+  }
+  const auto& nt = nibble_tables();
+  // vpshufb shuffles within each 128-bit lane, so broadcasting the 16-byte
+  // nibble tables into both lanes gives correct per-byte products.
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c])));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi[c])));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src.data() + i));
+    const __m256i lo_prod = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+    const __m256i hi_prod = _mm256_shuffle_epi8(
+        hi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst.data() + i));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst.data() + i),
+        _mm256_xor_si256(d, _mm256_xor_si256(lo_prod, hi_prod)));
+  }
+  mul_add_nibble_tail(dst.data() + i, src.data() + i, n - i, nt.lo[c],
+                      nt.hi[c]);
+}
+
+RW_TARGET_AVX2
+void mul_assign_avx2(util::MutableByteSpan dst, util::ByteSpan src,
+                     std::uint8_t c) {
+  const std::size_t n = dst.size();
+  if (c == 0) {
+    std::memset(dst.data(), 0, n);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(dst.data(), src.data(), n);
+    return;
+  }
+  const auto& nt = nibble_tables();
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c])));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi[c])));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src.data() + i));
+    const __m256i lo_prod = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+    const __m256i hi_prod = _mm256_shuffle_epi8(
+        hi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst.data() + i),
+                        _mm256_xor_si256(lo_prod, hi_prod));
+  }
+  mul_assign_nibble_tail(dst.data() + i, src.data() + i, n - i, nt.lo[c],
+                         nt.hi[c]);
+}
+
+}  // namespace rapidware::fec::gf::detail
+
+#endif  // x86

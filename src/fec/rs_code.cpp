@@ -1,9 +1,12 @@
 #include "fec/rs_code.h"
 
 namespace rapidware::fec {
-namespace {
+namespace detail {
 
 std::size_t checked_symbol_length(const std::vector<util::Bytes>& symbols) {
+  if (symbols.empty()) {
+    throw CodingError("erasure code: need at least one symbol");
+  }
   const std::size_t len = symbols.front().size();
   for (const auto& s : symbols) {
     if (s.size() != len) {
@@ -13,7 +16,9 @@ std::size_t checked_symbol_length(const std::vector<util::Bytes>& symbols) {
   return len;
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::checked_symbol_length;
 
 ReedSolomonCode::ReedSolomonCode(std::size_t n, std::size_t k)
     : n_(n), k_(k), generator_(1, 1) {
@@ -36,11 +41,14 @@ std::vector<util::Bytes> ReedSolomonCode::encode(
   }
   const std::size_t len = checked_symbol_length(source);
 
+  // Source-major order: each source symbol streams through every parity
+  // accumulator while it is hot in cache, instead of re-reading all k
+  // source symbols once per parity row.
   std::vector<util::Bytes> parity(parity_count(), util::Bytes(len, 0));
-  for (std::size_t p = 0; p < parity.size(); ++p) {
-    const std::size_t row = k_ + p;
-    for (std::size_t j = 0; j < k_; ++j) {
-      gf::mul_add(parity[p], source[j], generator_.at(row, j));
+  for (std::size_t j = 0; j < k_; ++j) {
+    const util::Bytes& src = source[j];
+    for (std::size_t p = 0; p < parity.size(); ++p) {
+      gf::mul_add(parity[p], src, generator_.at(k_ + p, j));
     }
   }
   return parity;
@@ -102,17 +110,45 @@ std::vector<util::Bytes> ReedSolomonCode::decode(
   const Matrix decode = generator_.select_rows(chosen).inverted();
 
   std::vector<util::Bytes> out(k_, util::Bytes(len, 0));
+  // Arrived positions ARE the source symbols (systematic code); only the
+  // rest are synthesized. Symbol-major order for the same cache-reuse
+  // reason as encode: one pass of symbols[j] feeds every missing row.
   for (std::size_t i = 0; i < k_; ++i) {
-    // If position i arrived, it IS the source symbol (systematic code).
-    if (received[i]) {
-      out[i] = *received[i];
-      continue;
-    }
-    for (std::size_t j = 0; j < k_; ++j) {
-      gf::mul_add(out[i], symbols[j], decode.at(i, j));
+    if (received[i]) out[i] = *received[i];
+  }
+  for (std::size_t j = 0; j < k_; ++j) {
+    const util::Bytes& sym = symbols[j];
+    for (std::size_t i = 0; i < k_; ++i) {
+      if (received[i]) continue;
+      gf::mul_add(out[i], sym, decode.at(i, j));
     }
   }
   return out;
+}
+
+std::vector<util::Bytes> ReedSolomonCode::decode(
+    std::vector<std::optional<util::Bytes>>&& received) const {
+  if (received.size() == n_) {
+    bool all_data = true;
+    for (std::size_t i = 0; i < k_; ++i) {
+      if (!received[i]) {
+        all_data = false;
+        break;
+      }
+    }
+    if (all_data) {
+      std::vector<util::Bytes> out;
+      out.reserve(k_);
+      for (std::size_t i = 0; i < k_; ++i) {
+        out.push_back(std::move(*received[i]));
+      }
+      return out;
+    }
+  }
+  // Recovery (and validation) path: the lvalue overload's linear algebra
+  // dominates any copy cost.
+  return decode(static_cast<const std::vector<std::optional<util::Bytes>>&>(
+      received));
 }
 
 XorParityCode::XorParityCode(std::size_t k) : k_(k) {
@@ -124,10 +160,12 @@ util::Bytes XorParityCode::encode(
   if (source.size() != k_) {
     throw CodingError("XorParityCode::encode: expected k source symbols");
   }
-  const std::size_t len = checked_symbol_length(source);
-  util::Bytes parity(len, 0);
-  for (const auto& s : source) {
-    for (std::size_t i = 0; i < len; ++i) parity[i] ^= s[i];
+  checked_symbol_length(source);
+  // Word-wide XOR kernel instead of a byte loop; parity starts as a copy of
+  // the first symbol so one accumulation pass is saved.
+  util::Bytes parity = source.front();
+  for (std::size_t i = 1; i < source.size(); ++i) {
+    gf::xor_add(parity, source[i]);
   }
   return parity;
 }
@@ -161,7 +199,10 @@ std::vector<util::Bytes> XorParityCode::decode(
   util::Bytes rebuilt = *received[k_];
   for (std::size_t i = 0; i < k_; ++i) {
     if (i == missing) continue;
-    for (std::size_t j = 0; j < rebuilt.size(); ++j) rebuilt[j] ^= (*received[i])[j];
+    if (received[i]->size() != rebuilt.size()) {
+      throw CodingError("XorParityCode::decode: symbols must share one length");
+    }
+    gf::xor_add(rebuilt, *received[i]);
   }
   for (std::size_t i = 0; i < k_; ++i) {
     out.push_back(i == missing ? rebuilt : *received[i]);

@@ -25,6 +25,14 @@ class CodingError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+namespace detail {
+/// Shared symbol validation: returns the common length of `symbols`.
+/// Throws CodingError when the vector is empty or lengths differ (an empty
+/// vector used to dereference symbols.front() — UB). Exposed here so tests
+/// can pin the empty-input contract directly.
+std::size_t checked_symbol_length(const std::vector<util::Bytes>& symbols);
+}  // namespace detail
+
 class ReedSolomonCode {
  public:
   /// Requires 0 < k <= n < 256.
@@ -54,6 +62,11 @@ class ReedSolomonCode {
   /// lost. Throws CodingError if fewer than k symbols are present.
   std::vector<util::Bytes> decode(
       const std::vector<std::optional<util::Bytes>>& received) const;
+
+  /// Rvalue overload: when all k data symbols arrived (the common case on a
+  /// healthy link) the symbols are moved out instead of copied.
+  std::vector<util::Bytes> decode(
+      std::vector<std::optional<util::Bytes>>&& received) const;
 
   /// True if `received_count` symbols suffice (i.e. >= k).
   bool recoverable(std::size_t received_count) const noexcept {

@@ -5,14 +5,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
 
 #include "fec/fec_group.h"
 #include "fec/gf256.h"
+#include "fec/gf256_kernels.h"
 #include "fec/interleaver.h"
 #include "fec/matrix.h"
 #include "fec/rs_code.h"
 #include "fec/uep.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace rapidware::fec {
@@ -147,6 +150,197 @@ TEST(Gf256, MulAssignMatchesScalarLoop) {
 }
 
 // ---------------------------------------------------------------------------
+// GF(2^8) kernel layer (gf256_kernels.h)
+
+TEST(GfKernels, BackendNamesRoundTrip) {
+  for (const auto b :
+       {gf::Backend::kReference, gf::Backend::kPortable64,
+        gf::Backend::kSsse3, gf::Backend::kAvx2, gf::Backend::kNeon}) {
+    EXPECT_EQ(gf::parse_backend(gf::to_string(b)), b);
+  }
+  EXPECT_EQ(gf::parse_backend("no-such-backend"), std::nullopt);
+  EXPECT_EQ(gf::parse_backend(""), std::nullopt);
+}
+
+TEST(GfKernels, PortableBackendsAlwaysSupported) {
+  const auto supported = gf::supported_backends();
+  EXPECT_NE(std::find(supported.begin(), supported.end(),
+                      gf::Backend::kReference),
+            supported.end());
+  EXPECT_NE(std::find(supported.begin(), supported.end(),
+                      gf::Backend::kPortable64),
+            supported.end());
+  for (const auto b : supported) {
+    ASSERT_NE(gf::kernels_for(b), nullptr) << gf::to_string(b);
+    EXPECT_EQ(gf::kernels_for(b)->backend, b);
+  }
+}
+
+// The tentpole contract: every compiled-in backend is byte-identical to the
+// scalar reference across ALL 256 coefficients, every length 0..64, and
+// several misaligned span offsets (SIMD kernels use unaligned loads; the
+// offsets walk the buffers off 16/32-byte boundaries). Lengths up to 64
+// exercise the 32-byte AVX2 main loop, the 16-byte SSE/NEON loop, the
+// 8-byte SWAR loop, and every tail size.
+TEST(GfKernels, AllBackendsMatchReferenceExhaustively) {
+  const gf::Kernels& ref = *gf::kernels_for(gf::Backend::kReference);
+  constexpr std::size_t kMaxLen = 64;
+  constexpr std::size_t kOffsets[] = {0, 1, 3, 13};
+  constexpr std::size_t kSlack = 16;
+
+  Rng rng(99);
+  const Bytes src_buf = [&] {
+    Bytes b = random_payload(rng, kMaxLen + kSlack);
+    b[0] = 0;   // make sure zero bytes are covered
+    b[17] = 0;
+    return b;
+  }();
+  const Bytes dst_buf = random_payload(rng, kMaxLen + kSlack);
+
+  for (const auto backend : gf::supported_backends()) {
+    if (backend == gf::Backend::kReference) continue;
+    const gf::Kernels& k = *gf::kernels_for(backend);
+    SCOPED_TRACE(k.name);
+    for (int c = 0; c < 256; ++c) {
+      for (std::size_t len = 0; len <= kMaxLen; ++len) {
+        for (const std::size_t off : kOffsets) {
+          const util::ByteSpan src{src_buf.data() + off, len};
+
+          Bytes expect(dst_buf.begin(), dst_buf.end());
+          Bytes got = expect;
+          ref.mul_add({expect.data() + off, len}, src,
+                      static_cast<std::uint8_t>(c));
+          k.mul_add({got.data() + off, len}, src,
+                    static_cast<std::uint8_t>(c));
+          ASSERT_EQ(got, expect) << "mul_add c=" << c << " len=" << len
+                                 << " off=" << off;
+
+          ref.mul_assign({expect.data() + off, len}, src,
+                         static_cast<std::uint8_t>(c));
+          k.mul_assign({got.data() + off, len}, src,
+                       static_cast<std::uint8_t>(c));
+          ASSERT_EQ(got, expect) << "mul_assign c=" << c << " len=" << len
+                                 << " off=" << off;
+        }
+      }
+    }
+    // xor_add has no coefficient dimension; sweep lengths and offsets.
+    for (std::size_t len = 0; len <= kMaxLen; ++len) {
+      for (const std::size_t off : kOffsets) {
+        Bytes expect(dst_buf.begin(), dst_buf.end());
+        Bytes got = expect;
+        const util::ByteSpan src{src_buf.data() + off, len};
+        ref.xor_add({expect.data() + off, len}, src);
+        k.xor_add({got.data() + off, len}, src);
+        ASSERT_EQ(got, expect) << "xor_add len=" << len << " off=" << off;
+      }
+    }
+  }
+}
+
+// Larger spans: the exhaustive sweep stops at 64 bytes, so cross-check
+// wire-MTU and multi-KiB sizes (plus a prime length) on random data.
+TEST(GfKernels, AllBackendsMatchReferenceOnLargeSpans) {
+  const gf::Kernels& ref = *gf::kernels_for(gf::Backend::kReference);
+  Rng rng(100);
+  for (const std::size_t len : {333u, 1500u, 4099u}) {
+    const Bytes src = random_payload(rng, len);
+    const Bytes dst = random_payload(rng, len);
+    for (const auto backend : gf::supported_backends()) {
+      if (backend == gf::Backend::kReference) continue;
+      const gf::Kernels& k = *gf::kernels_for(backend);
+      for (const std::uint8_t c : {0, 1, 2, 0x1d, 0x80, 255}) {
+        Bytes expect = dst;
+        Bytes got = dst;
+        ref.mul_add(expect, src, c);
+        k.mul_add(got, src, c);
+        ASSERT_EQ(got, expect)
+            << k.name << " mul_add c=" << int(c) << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(GfKernels, SetActiveBackendForcesSelection) {
+  const gf::Backend original = gf::active_kernels().backend;
+  Rng rng(101);
+  const Bytes src = random_payload(rng, 777);
+  for (const auto b : gf::supported_backends()) {
+    ASSERT_TRUE(gf::set_active_backend(b)) << gf::to_string(b);
+    EXPECT_EQ(gf::active_kernels().backend, b);
+    // The public API must now route through this backend and still agree
+    // with the reference scalar.
+    Bytes got = random_payload(rng, src.size());
+    Bytes expect = got;
+    gf::mul_add(got, src, 0x53);
+    gf::kernels_for(gf::Backend::kReference)->mul_add(expect, src, 0x53);
+    EXPECT_EQ(got, expect) << gf::to_string(b);
+  }
+  EXPECT_TRUE(gf::set_active_backend(original));
+}
+
+TEST(GfKernels, UnsupportedBackendIsRejected) {
+#if !defined(__aarch64__)
+  const gf::Backend original = gf::active_kernels().backend;
+  EXPECT_EQ(gf::kernels_for(gf::Backend::kNeon), nullptr);
+  EXPECT_FALSE(gf::set_active_backend(gf::Backend::kNeon));
+  EXPECT_EQ(gf::active_kernels().backend, original);  // selection unchanged
+#else
+  GTEST_SKIP() << "NEON is baseline on AArch64";
+#endif
+}
+
+TEST(GfKernels, SelectedBackendPublishedAsObsGauge) {
+  gf::active_kernels();  // force one-time init (registers the gauge)
+  const auto snapshot = obs::registry().snapshot("fec/gf256");
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].name, "fec/gf256/backend");
+  EXPECT_EQ(snapshot[0].value,
+            std::to_string(static_cast<int>(gf::active_kernels().backend)));
+}
+
+// Pinned-seed encode/decode round-trip through the ACTIVE backend — what
+// the forced-backend ctest registrations (fec_backend_<name>, environment
+// RW_GF_BACKEND=<name>) execute so CI exercises every backend it can run.
+TEST(GfKernelsForced, PinnedSeedRoundTripUnderActiveBackend) {
+  if (const char* env = std::getenv("RW_GF_BACKEND")) {
+    const auto requested = gf::parse_backend(env);
+    if (!requested.has_value()) {
+      GTEST_SKIP() << "unknown RW_GF_BACKEND=" << env
+                   << " (dispatcher auto-selects; nothing to pin)";
+    }
+    if (gf::kernels_for(*requested) == nullptr) {
+      GTEST_SKIP() << "backend " << env << " not runnable on this host";
+    }
+    // Dispatch honored the env var end to end.
+    ASSERT_EQ(gf::active_kernels().backend, *requested);
+  }
+
+  ReedSolomonCode code(12, 8);
+  Rng rng(20260806);  // pinned: failures reproduce bit-for-bit
+  std::vector<Bytes> source;
+  for (int i = 0; i < 8; ++i) source.push_back(random_payload(rng, 1024));
+
+  // Parity via the active backend must equal parity computed with the
+  // reference backend (not just round-trip, which could mask a backend
+  // that is self-consistently wrong).
+  const auto parity = code.encode(source);
+  const gf::Backend active = gf::active_kernels().backend;
+  ASSERT_TRUE(gf::set_active_backend(gf::Backend::kReference));
+  const auto parity_ref = code.encode(source);
+  ASSERT_TRUE(gf::set_active_backend(active));
+  ASSERT_EQ(parity, parity_ref);
+
+  // Drop 4 symbols (the parity budget) and recover.
+  std::vector<std::optional<Bytes>> received(12);
+  for (int i = 4; i < 8; ++i) received[i] = source[i];
+  for (std::size_t p = 0; p < parity.size(); ++p) received[8 + p] = parity[p];
+  const auto decoded = code.decode(received);
+  ASSERT_EQ(decoded.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(decoded[i], source[i]) << i;
+}
+
+// ---------------------------------------------------------------------------
 // Matrix
 
 TEST(GfMatrix, IdentityMultiplication) {
@@ -231,6 +425,60 @@ TEST(ReedSolomon, RejectsBadParameters) {
   EXPECT_THROW(ReedSolomonCode(4, 5), CodingError);
   EXPECT_THROW(ReedSolomonCode(256, 4), CodingError);
   EXPECT_NO_THROW(ReedSolomonCode(255, 255));
+}
+
+TEST(ReedSolomon, EmptySymbolVectorThrowsInsteadOfUb) {
+  // Regression: checked_symbol_length used to dereference .front() on an
+  // empty vector — UB. The contract is now a CodingError.
+  EXPECT_THROW(detail::checked_symbol_length({}), CodingError);
+  EXPECT_EQ(detail::checked_symbol_length({Bytes(7, 0)}), 7u);
+}
+
+TEST(ReedSolomon, RvalueDecodeMovesAllDataFastPath) {
+  ReedSolomonCode code(6, 4);
+  Rng rng(30);
+  std::vector<Bytes> source;
+  for (int i = 0; i < 4; ++i) source.push_back(random_payload(rng, 64));
+
+  std::vector<std::optional<Bytes>> received(6);
+  for (int i = 0; i < 4; ++i) received[i] = source[i];
+  const std::uint8_t* payload_before = received[0]->data();
+
+  const auto decoded = code.decode(std::move(received));
+  ASSERT_EQ(decoded.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(decoded[i], source[i]);
+  // The fast path must have MOVED the buffer, not copied it.
+  EXPECT_EQ(decoded[0].data(), payload_before);
+}
+
+TEST(ReedSolomon, RvalueDecodeRecoveryPathStillWorks) {
+  ReedSolomonCode code(6, 4);
+  Rng rng(31);
+  std::vector<Bytes> source;
+  for (int i = 0; i < 4; ++i) source.push_back(random_payload(rng, 64));
+  const auto parity = code.encode(source);
+
+  std::vector<std::optional<Bytes>> received(6);
+  received[0] = source[0];
+  received[2] = source[2];
+  received[4] = parity[0];
+  received[5] = parity[1];
+  EXPECT_EQ(code.decode(std::move(received)), source);
+}
+
+TEST(XorParity, MismatchedReceivedLengthsThrow) {
+  XorParityCode code(3);
+  Rng rng(32);
+  std::vector<Bytes> source;
+  for (int i = 0; i < 3; ++i) source.push_back(random_payload(rng, 20));
+  const Bytes parity = code.encode(source);
+
+  std::vector<std::optional<Bytes>> received(4);
+  received[0] = source[0];
+  received[1] = source[1];
+  received[1]->resize(5);  // corrupt: shorter than the group's length
+  received[3] = parity;
+  EXPECT_THROW(code.decode(received), CodingError);
 }
 
 TEST(ReedSolomon, EncodeRejectsWrongSymbolCount) {

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""bench_compare: regression gate for google-benchmark JSON outputs.
+
+Compares a freshly produced benchmark JSON (e.g. BENCH_rs_codec.json)
+against a committed baseline (bench/baselines/*.json) and fails when
+throughput regressed beyond a tolerance. Stdlib-only, same as the other
+tools/ scripts (rw_lint.py, check_links.py), so it runs anywhere CI does.
+
+Two comparison modes:
+
+  relative (default)
+      CI machines differ wildly, so absolute bytes/s from another host are
+      meaningless. Instead, each per-backend series is normalized by the
+      SAME RUN's reference-backend series (names "<prefix>/reference/...")
+      and the resulting speedups are compared. "AVX2 used to be 14x the
+      scalar reference on whatever machine ran this, now it is 9x" is a
+      code regression no matter the host. Backends present in the baseline
+      but not runnable on the current host are skipped (CPU, not code).
+
+  absolute (--absolute)
+      Direct bytes_per_second comparison for same-machine A/B runs.
+
+Additionally --min-speedup (default 1.5) asserts the best available
+backend's speedup over the reference stays above the floor the FEC kernel
+layer promises (docs/fec_kernels.md).
+
+Exit status: 0 ok, 1 regression or malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Series are grouped as "<prefix>/<backend>/<rest>"; the reference backend
+# inside each group is the normalization denominator.
+BACKEND_PREFIXES = ("BM_GfMulAddBackend", "BM_RsEncodeBackend")
+REFERENCE = "reference"
+# The headline series the --min-speedup floor applies to.
+HEADLINE_PREFIX = "BM_RsEncodeBackend"
+
+
+def load_rates(doc: dict) -> dict[str, float]:
+    """name -> bytes_per_second for every aggregate-free benchmark row."""
+    rates = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type") == "aggregate":
+            continue
+        if "bytes_per_second" in row:
+            rates[row["name"]] = float(row["bytes_per_second"])
+    return rates
+
+
+def split_series(name: str):
+    """'BM_RsEncodeBackend/avx2/12/8/1024' -> (prefix, backend, rest)."""
+    parts = name.split("/")
+    if len(parts) < 3 or parts[0] not in BACKEND_PREFIXES:
+        return None
+    return parts[0], parts[1], "/".join(parts[2:])
+
+
+def speedups(rates: dict[str, float]) -> dict[str, float]:
+    """Speedup over the same-run reference series, keyed by full name."""
+    ref = {}
+    for name, rate in rates.items():
+        series = split_series(name)
+        if series and series[1] == REFERENCE:
+            ref[(series[0], series[2])] = rate
+    out = {}
+    for name, rate in rates.items():
+        series = split_series(name)
+        if not series or series[1] == REFERENCE:
+            continue
+        denom = ref.get((series[0], series[2]))
+        if denom:
+            out[name] = rate / denom
+    return out
+
+
+def compare(current: dict, baseline: dict, tolerance: float,
+            absolute: bool, min_speedup: float) -> list[str]:
+    errors = []
+    cur_rates = load_rates(current)
+    base_rates = load_rates(baseline)
+    if not cur_rates:
+        return ["current JSON has no benchmarks with bytes_per_second"]
+
+    if absolute:
+        for name, base in sorted(base_rates.items()):
+            cur = cur_rates.get(name)
+            if cur is None:
+                continue  # e.g. backend not runnable on this host
+            if cur < base * (1.0 - tolerance):
+                errors.append(
+                    f"{name}: {cur:.3e} B/s < baseline {base:.3e} B/s "
+                    f"- {tolerance:.0%}")
+    else:
+        cur_speed = speedups(cur_rates)
+        base_speed = speedups(base_rates)
+        for name, base in sorted(base_speed.items()):
+            cur = cur_speed.get(name)
+            if cur is None:
+                continue  # backend missing on this host: CPU, not code
+            if cur < base * (1.0 - tolerance):
+                errors.append(
+                    f"{name}: speedup over reference {cur:.2f}x < baseline "
+                    f"{base:.2f}x - {tolerance:.0%}")
+
+        # Floor: the fastest backend this host can run must still deliver
+        # the promised encode speedup over the scalar reference.
+        headline = [v for k, v in cur_speed.items()
+                    if k.startswith(HEADLINE_PREFIX + "/")]
+        if headline and max(headline) < min_speedup:
+            errors.append(
+                f"best {HEADLINE_PREFIX} speedup {max(headline):.2f}x is "
+                f"below the required {min_speedup:.2f}x floor")
+        if not headline:
+            errors.append(
+                f"current JSON has no {HEADLINE_PREFIX}/<backend> series to "
+                "check (benchmark filter too narrow?)")
+    return errors
+
+
+def self_check() -> int:
+    """Embedded unit checks on synthetic documents (ctest: bench_compare)."""
+    def doc(rows):
+        return {"benchmarks": [
+            {"name": n, "bytes_per_second": v} for n, v in rows.items()]}
+
+    base = doc({
+        "BM_RsEncodeBackend/reference/12/8/1024": 100.0,
+        "BM_RsEncodeBackend/avx2/12/8/1024": 1000.0,  # 10x
+        "BM_GfMulAddBackend/reference/1500": 10.0,
+        "BM_GfMulAddBackend/avx2/1500": 100.0,
+    })
+    checks = [
+        # Identical run: clean.
+        (compare(base, base, 0.10, False, 1.5), 0),
+        # Speedup collapsed 10x -> 5x: must fail relative mode.
+        (compare(doc({
+            "BM_RsEncodeBackend/reference/12/8/1024": 100.0,
+            "BM_RsEncodeBackend/avx2/12/8/1024": 500.0,
+            "BM_GfMulAddBackend/reference/1500": 10.0,
+            "BM_GfMulAddBackend/avx2/1500": 100.0,
+        }), base, 0.10, False, 1.5), 1),
+        # Absolute throughput halved: must fail absolute mode.
+        (compare(doc({
+            "BM_RsEncodeBackend/reference/12/8/1024": 50.0,
+            "BM_RsEncodeBackend/avx2/12/8/1024": 1000.0,
+            "BM_GfMulAddBackend/reference/1500": 10.0,
+            "BM_GfMulAddBackend/avx2/1500": 100.0,
+        }), base, 0.10, True, 1.5), 1),
+        # Backend absent on this host: skipped, clean.
+        (compare(doc({
+            "BM_RsEncodeBackend/reference/12/8/1024": 100.0,
+            "BM_RsEncodeBackend/portable64/12/8/1024": 250.0,
+            "BM_GfMulAddBackend/reference/1500": 10.0,
+        }), base, 0.10, False, 1.5), 0),
+        # Best backend under the speedup floor: must fail.
+        (compare(doc({
+            "BM_RsEncodeBackend/reference/12/8/1024": 100.0,
+            "BM_RsEncodeBackend/portable64/12/8/1024": 120.0,
+        }), base, 0.10, False, 1.5), 1),
+        # Measurement noise within tolerance: clean.
+        (compare(doc({
+            "BM_RsEncodeBackend/reference/12/8/1024": 100.0,
+            "BM_RsEncodeBackend/avx2/12/8/1024": 950.0,
+            "BM_GfMulAddBackend/reference/1500": 10.0,
+            "BM_GfMulAddBackend/avx2/1500": 95.0,
+        }), base, 0.10, False, 1.5), 0),
+    ]
+    failed = 0
+    for i, (errors, want_fail) in enumerate(checks):
+        got_fail = 1 if errors else 0
+        if got_fail != want_fail:
+            print(f"self-check {i}: expected "
+                  f"{'failure' if want_fail else 'pass'}, got {errors}")
+            failed += 1
+    print(f"bench_compare self-check: "
+          f"{'OK' if not failed else f'{failed} broken'}")
+    return 1 if failed else 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", help="freshly produced benchmark JSON")
+    parser.add_argument("--baseline", help="committed baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional regression (default 0.10)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw bytes/s (same-machine runs only)")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="required best-backend encode speedup floor")
+    parser.add_argument("--self-check", action="store_true",
+                        help="run embedded unit checks and exit")
+    args = parser.parse_args(argv[1:])
+
+    if args.self_check:
+        return self_check()
+    if not args.current or not args.baseline:
+        parser.error("--current and --baseline are required")
+
+    try:
+        with open(args.current, encoding="utf-8") as f:
+            current = json.load(f)
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}")
+        return 1
+
+    errors = compare(current, baseline, args.tolerance, args.absolute,
+                     args.min_speedup)
+    for err in errors:
+        print(err)
+    mode = "absolute" if args.absolute else "relative"
+    print(f"bench_compare ({mode}, tolerance {args.tolerance:.0%}): "
+          f"{'OK' if not errors else f'{len(errors)} regression(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
