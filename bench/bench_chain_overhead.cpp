@@ -2,26 +2,66 @@
 // added. Each filter adds one thread and one detachable-stream hop, so this
 // measures the cost of composability itself — the framework must stay
 // "lightweight" (Section 6's contrast with cluster-based proxies).
+//
+// Besides raw packets/s the bench reports:
+//   * vs_memcpy            — MB/s normalized by a same-run memcpy baseline,
+//                            the machine-independent number CI gates on
+//                            (tools/bench_compare.py --rwbench);
+//   * allocs_per_10k_packets — global operator-new calls during the run.
+//     The harness itself owns ~2 allocations per packet (QueuePacketSource
+//     copy-in, CollectingPacketSink copy-out); the per-hop cost on top of
+//     that is what util::BufferPool is meant to hold at zero.
+//   * pool_hit_rate        — util::default_pool() acquire hit rate.
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
 #include <thread>
 
 #include "bench_json.h"
 #include "core/endpoint.h"
 #include "core/filter_chain.h"
 #include "obs/metrics.h"
+#include "util/buffer_pool.h"
 #include "util/stats.h"
 
 using namespace rapidware;
 
 namespace {
 
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+// Count every scalar heap allocation. The aligned/nothrow overloads fall
+// back to the library defaults — fine, the data plane does not use them.
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
 struct Result {
   double packets_per_sec;
   double mbytes_per_sec;
+  double allocs_per_10k;
+  double pool_hit_rate;
 };
 
-Result run(std::size_t chain_len, std::size_t packet_bytes, int packets) {
+Result run_once(std::size_t chain_len, std::size_t packet_bytes,
+                int packets) {
   // The registry must outlive the chain: the chain's destructor unbinds
   // its metrics scope into it.
   obs::Registry metrics;
@@ -40,6 +80,8 @@ Result run(std::size_t chain_len, std::size_t packet_bytes, int packets) {
   }
 
   const util::Bytes packet(packet_bytes, 0x77);
+  const util::BufferPool::Stats pool0 = util::default_pool().stats();
+  const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
   const auto t0 = std::chrono::steady_clock::now();
   std::thread producer([&] {
     for (int i = 0; i < packets; ++i) source->push(packet);
@@ -50,42 +92,110 @@ Result run(std::size_t chain_len, std::size_t packet_bytes, int packets) {
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  const std::uint64_t allocs =
+      g_allocs.load(std::memory_order_relaxed) - allocs0;
+  const util::BufferPool::Stats pool1 = util::default_pool().stats();
+  const std::uint64_t pool_hits = pool1.hits - pool0.hits;
+  const std::uint64_t pool_total =
+      pool_hits + (pool1.misses - pool0.misses);
 
   Result r;
   r.packets_per_sec = packets / secs;
   r.mbytes_per_sec = packets / secs * static_cast<double>(packet_bytes) / 1e6;
+  r.allocs_per_10k = static_cast<double>(allocs) * 10'000.0 / packets;
+  r.pool_hit_rate = pool_total == 0
+                        ? 0.0
+                        : static_cast<double>(pool_hits) / pool_total;
   return r;
+}
+
+/// Best throughput of `reps` runs: on a single-core shared host the
+/// end-to-end chain is scheduling-dominated, and the fastest run is the one
+/// least distorted by unrelated wakeups (same envelope logic as
+/// bench_stream_throughput). Alloc/pool numbers come from the last run —
+/// they are deterministic, not timing-sensitive.
+Result run(std::size_t chain_len, std::size_t packet_bytes, int packets,
+           int reps) {
+  Result best{};
+  for (int i = 0; i < reps; ++i) {
+    Result r = run_once(chain_len, packet_bytes, packets);
+    r.packets_per_sec = std::max(r.packets_per_sec, best.packets_per_sec);
+    r.mbytes_per_sec = std::max(r.mbytes_per_sec, best.mbytes_per_sec);
+    best = r;
+  }
+  return best;
+}
+
+double memcpy_ref_mbps() {
+  // Same normalization reference as bench_stream_throughput: single-thread
+  // 64 KiB memcpy, best of 5.
+  constexpr std::size_t kChunk = 65536;
+  constexpr int kChunks = 4096;
+  util::Bytes src(kChunk, 0xaa), dst(kChunk, 0);
+  volatile std::uint8_t guard = 0;
+  double best = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kChunks; ++i) {
+      std::copy(src.begin(), src.end(), dst.begin());
+      guard = guard + dst[kChunk - 1];
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    best = std::max(best, kChunk * static_cast<double>(kChunks) / secs / 1e6);
+  }
+  return best;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
   std::printf("=== Chain-length overhead (null filters, end-to-end) ===\n\n");
-  std::printf("%10s %10s %16s %14s\n", "filters", "pkt B", "packets/s",
-              "MB/s");
   rwbench::JsonSummary json("chain_overhead");
   json.meta("rw_obs_enabled", RW_OBS_ENABLED != 0);
-  constexpr int kPackets = 200'000;
-  for (const std::size_t len : {0u, 1u, 2u, 4u, 8u, 16u}) {
-    const Result r = run(len, 320, kPackets);
-    std::printf("%10zu %10u %16.0f %14.1f\n", len, 320u, r.packets_per_sec,
-                r.mbytes_per_sec);
-    json.row({{"filters", len},
-              {"packet_bytes", 320},
-              {"packets", kPackets},
+  json.meta("quick", quick);
+  const double memcpy_ref = memcpy_ref_mbps();
+  json.meta("memcpy_ref_mbytes_per_sec", memcpy_ref);
+
+  std::printf("%10s %10s %16s %14s %11s %12s %9s\n", "filters", "pkt B",
+              "packets/s", "MB/s", "vs_memcpy", "allocs/10k", "pool hit");
+  const int reps = quick ? 1 : 3;
+  const auto bench = [&](std::size_t len, std::size_t bytes, int packets) {
+    const Result r = run(len, bytes, packets, reps);
+    const double ratio = r.mbytes_per_sec / memcpy_ref;
+    std::printf("%10zu %10zu %16.0f %14.1f %10.4fx %12.0f %8.2f%%\n", len,
+                bytes, r.packets_per_sec, r.mbytes_per_sec, ratio,
+                r.allocs_per_10k, r.pool_hit_rate * 100.0);
+    json.row({{"name", "chain/" + std::to_string(len) + "/" +
+                           std::to_string(bytes)},
+              {"filters", static_cast<long long>(len)},
+              {"packet_bytes", static_cast<long long>(bytes)},
+              {"packets", packets},
               {"packets_per_sec", r.packets_per_sec},
-              {"mbytes_per_sec", r.mbytes_per_sec}});
+              {"mbytes_per_sec", r.mbytes_per_sec},
+              {"vs_memcpy", ratio},
+              {"allocs_per_10k_packets", r.allocs_per_10k},
+              {"pool_hit_rate", r.pool_hit_rate}});
+  };
+
+  const int small_packets = quick ? 50'000 : 200'000;
+  for (const std::size_t len : {0u, 1u, 2u, 4u, 8u, 16u}) {
+    bench(len, 320, small_packets);
+  }
+  std::printf("\n");
+  // 1 KiB is the headline packet size for data-plane acceptance
+  // (EXPERIMENTS.md tracks chain/8/1024 against the PR-4 seed).
+  for (const std::size_t len : {0u, 1u, 2u, 4u, 8u}) {
+    bench(len, 1024, small_packets);
   }
   std::printf("\n");
   for (const std::size_t len : {0u, 4u, 16u}) {
-    const Result r = run(len, 65536, 50'000);
-    std::printf("%10zu %10u %16.0f %14.1f\n", len, 65536u, r.packets_per_sec,
-                r.mbytes_per_sec);
-    json.row({{"filters", len},
-              {"packet_bytes", 65536},
-              {"packets", 50'000},
-              {"packets_per_sec", r.packets_per_sec},
-              {"mbytes_per_sec", r.mbytes_per_sec}});
+    bench(len, 65536, quick ? 10'000 : 50'000);
   }
   json.write();
   std::printf(
@@ -93,6 +203,8 @@ int main() {
       "hand-off, so throughput stays within the same order of magnitude\n"
       "even at 16 filters (pipeline parallelism can even help with large\n"
       "packets) — orders of magnitude above the 2 Mbps WaveLAN the proxy\n"
-      "actually feeds.\n");
+      "actually feeds. allocs/10k counts the whole process including the\n"
+      "bench harness (~2 allocs/packet of copy-in/copy-out); the pool keeps\n"
+      "the per-hop contribution near zero.\n");
   return 0;
 }

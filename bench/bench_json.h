@@ -10,9 +10,10 @@
 //     "rows": [ { ... }, ... ]      // one object per table row
 //   }
 //
-// Row/meta values are strings, numbers, or booleans. The two
-// google-benchmark binaries (bench_stream_throughput, bench_rs_codec) write
-// google-benchmark's own JSON schema instead, via benchmark::JSONReporter.
+// Row/meta values are strings, numbers, or booleans. The one
+// google-benchmark binary (bench_rs_codec) writes google-benchmark's own
+// JSON schema instead, via benchmark::JSONReporter. tools/bench_compare.py
+// understands both schemas and gates CI on the committed baselines.
 #pragma once
 
 #include <cstdint>

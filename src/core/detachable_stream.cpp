@@ -23,18 +23,63 @@ std::size_t DetachableInputStream::read_some(util::MutableByteSpan out) {
     if (!st_->ring.empty()) {
       const std::size_t n = st_->ring.read(out);
       st_->bytes_out += n;
-      st_->writable.notify_all();
-      if (st_->ring.empty()) st_->drained.notify_all();
+      st_->notify_data_writable();
+      if (st_->ring.empty()) st_->notify_drained();
       return n;
     }
     if (st_->write_closed || st_->soft_eof || st_->reader_closed) return 0;
     // Buffer empty: tell any pauser, then wait for data or a state change.
-    st_->drained.notify_all();
+    st_->notify_drained();
+    ++st_->readers_waiting;
     st_->readable.wait(st_->mu, [st = st_.get()] {
       st->mu.assert_held();
       return !st->ring.empty() || st->write_closed || st->soft_eof ||
              st->reader_closed;
     });
+    --st_->readers_waiting;
+  }
+}
+
+std::size_t DetachableInputStream::read_borrow(std::size_t max,
+                                               util::SpanVisitor visit) {
+  rw::MutexLock lk(st_->mu);
+  for (;;) {
+    if (!st_->ring.empty()) {
+      auto spans = st_->ring.read_spans();
+      if (max != 0 && max < spans[0].size() + spans[1].size()) {
+        if (max <= spans[0].size()) {
+          spans[0] = spans[0].first(max);
+          spans[1] = {};
+        } else {
+          spans[1] = spans[1].first(max - spans[0].size());
+        }
+      }
+      // The visitor runs under st_->mu; it sees the ring's storage in
+      // place and must not call back into this stream (documented).
+      const std::size_t consumed = visit(spans[0], spans[1]);
+      if (consumed == 0) {
+        // Distinguishable from EOF only by erroring: a zero return here
+        // would falsely signal end-of-stream to the caller.
+        throw StreamError("DIS::read_borrow: visitor made no progress");
+      }
+      if (consumed > spans[0].size() + spans[1].size()) {
+        throw StreamError("DIS::read_borrow: visitor over-consumed");
+      }
+      st_->ring.consume(consumed);
+      st_->bytes_out += consumed;
+      st_->notify_data_writable();
+      if (st_->ring.empty()) st_->notify_drained();
+      return consumed;
+    }
+    if (st_->write_closed || st_->soft_eof || st_->reader_closed) return 0;
+    st_->notify_drained();
+    ++st_->readers_waiting;
+    st_->readable.wait(st_->mu, [st = st_.get()] {
+      st->mu.assert_held();
+      return !st->ring.empty() || st->write_closed || st->soft_eof ||
+             st->reader_closed;
+    });
+    --st_->readers_waiting;
   }
 }
 
@@ -85,6 +130,16 @@ std::uint64_t DetachableInputStream::bytes_delivered() const {
   return st_->bytes_out;
 }
 
+std::uint64_t DetachableInputStream::wakeups() const {
+  rw::MutexLock lk(st_->mu);
+  return st_->wakeups;
+}
+
+std::uint64_t DetachableInputStream::wakeups_suppressed() const {
+  rw::MutexLock lk(st_->mu);
+  return st_->wakeups_suppressed;
+}
+
 // ---------------------------------------------------------------------------
 // DetachableOutputStream
 
@@ -99,10 +154,24 @@ DetachableOutputStream::~DetachableOutputStream() {
 void DetachableOutputStream::writer_done() {
   rw::MutexLock lk(mu_);
   --active_writers_;
-  writers_cv_.notify_all();
+  // Only a pause() (or close-time barrier) ever waits on writers_cv_, and
+  // it registers itself first — so the per-write notify is skipped in
+  // steady state instead of paying a futex syscall per packet.
+  if (pause_waiters_ > 0) writers_cv_.notify_all();
 }
 
 void DetachableOutputStream::write(util::ByteSpan in) {
+  const util::ByteSpan segments[1] = {in};
+  write_segments(segments);
+}
+
+void DetachableOutputStream::write_vec(
+    std::span<const util::ByteSpan> segments) {
+  write_segments(segments);
+}
+
+void DetachableOutputStream::write_segments(
+    std::span<const util::ByteSpan> segments) {
   std::shared_ptr<InputState> st;
   {
     rw::MutexLock lk(mu_);
@@ -128,31 +197,38 @@ void DetachableOutputStream::write(util::ByteSpan in) {
     st = sink_;
     ++active_writers_;
   }
-  // Deliver the whole span to this sink. pause() waits for us, so a logical
-  // write is never split across two different sinks.
+  // Deliver every segment, back to back, to this one sink. pause() waits
+  // for us, so the logical (possibly vectored) write is never split across
+  // two different sinks and no splice lands between segments.
   try {
     rw::MutexLock slk(st->mu);
-    while (!in.empty()) {
-      st->writable.wait(st->mu, [st = st.get()] {
-        st->mu.assert_held();
-        return st->reader_closed || st->write_closed || !st->ring.full();
-      });
-      if (st->reader_closed) {
-        throw BrokenPipe("DOS::write: reader closed the stream");
-      }
-      if (st->write_closed) {
-        // close() ran while this write was blocked on a full ring; without
-        // this check the writer would sleep forever once the reader stops
-        // draining (close-while-blocked).
-        throw BrokenPipe("DOS::write: stream closed during write");
-      }
-      const std::size_t n = st->ring.write(in);
-      in = in.subspan(n);
-      st->bytes_in += n;
+    for (util::ByteSpan seg : segments) {
+      while (!seg.empty()) {
+        if (st->ring.full()) {
+          ++st->writers_waiting;
+          st->writable.wait(st->mu, [st = st.get()] {
+            st->mu.assert_held();
+            return st->reader_closed || st->write_closed || !st->ring.full();
+          });
+          --st->writers_waiting;
+        }
+        if (st->reader_closed) {
+          throw BrokenPipe("DOS::write: reader closed the stream");
+        }
+        if (st->write_closed) {
+          // close() ran while this write was blocked on a full ring; without
+          // this check the writer would sleep forever once the reader stops
+          // draining (close-while-blocked).
+          throw BrokenPipe("DOS::write: stream closed during write");
+        }
+        const std::size_t n = st->ring.write(seg);
+        seg = seg.subspan(n);
+        st->bytes_in += n;
 #if RW_OBS_ENABLED
-      bytes_sent_.fetch_add(n, std::memory_order_relaxed);
+        bytes_sent_.fetch_add(n, std::memory_order_relaxed);
 #endif
-      st->readable.notify_all();
+        st->notify_data_readable();
+      }
     }
   } catch (...) {
     writer_done();
@@ -191,11 +267,14 @@ void DetachableOutputStream::pause() {
       st->writable.notify_all();
       st->readable.notify_all();
     }
-    // Let in-flight writes land in full.
+    // Let in-flight writes land in full. Register first so writer_done's
+    // suppressed notify fires for us.
+    ++pause_waiters_;
     writers_cv_.wait(mu_, [this] {
       mu_.assert_held();
       return active_writers_ == 0;
     });
+    --pause_waiters_;
     ++pauses_;
     connected_ = false;
     sink_.reset();
@@ -204,10 +283,12 @@ void DetachableOutputStream::pause() {
     // Wait for the reader to drain the buffer (the paper's checkBuf/wait).
     rw::MutexLock slk(st->mu);
     st->readable.notify_all();
+    ++st->drain_waiting;
     st->drained.wait(st->mu, [st = st.get()] {
       st->mu.assert_held();
       return st->ring.empty() || st->reader_closed;
     });
+    --st->drain_waiting;
     st->detach_source();
   }
 }

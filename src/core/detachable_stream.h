@@ -74,6 +74,44 @@ struct InputState {
     drained.notify_all();
   }
 
+  /// Data-path notify with wakeup suppression: the one-reader contract
+  /// means at most one thread can be parked on `readable`, and the waiting
+  /// count (maintained around every wait) tells us whether it is parked
+  /// right now. When it is not, the notify — and its futex syscall — is
+  /// skipped entirely. Control paths (pause/reconnect/close) do NOT use
+  /// this; they notify_all unconditionally.
+  void notify_data_readable() RW_REQUIRES(mu) {
+    if (readers_waiting > 0) {
+      readable.notify_one();
+      ++wakeups;
+    } else {
+      ++wakeups_suppressed;
+    }
+  }
+
+  /// Same suppression for the single writer parked on `writable`.
+  void notify_data_writable() RW_REQUIRES(mu) {
+    if (writers_waiting > 0) {
+      writable.notify_one();
+      ++wakeups;
+    } else {
+      ++wakeups_suppressed;
+    }
+  }
+
+  /// A pauser waiting in drained is rare; when none is registered the
+  /// reader's became-empty notification is skipped (previously this fired
+  /// on every transition to empty — once per packet on a latency-bound
+  /// pipe). notify_all: concurrent pause() and close() may both wait.
+  void notify_drained() RW_REQUIRES(mu) {
+    if (drain_waiting > 0) {
+      drained.notify_all();
+      ++wakeups;
+    } else {
+      ++wakeups_suppressed;
+    }
+  }
+
   rw::Mutex mu;
   rw::CondVar readable;  // data arrived / state changed
   rw::CondVar writable;  // space freed / reader closed
@@ -89,8 +127,16 @@ struct InputState {
                                                 // reconnect (filter removal)
   bool reader_closed RW_GUARDED_BY(mu) = false;
 
+  // Parked-thread registry for the suppression helpers above. Maintained
+  // (++/-- under mu) around every predicate wait on the matching CV.
+  int readers_waiting RW_GUARDED_BY(mu) = 0;
+  int writers_waiting RW_GUARDED_BY(mu) = 0;
+  int drain_waiting RW_GUARDED_BY(mu) = 0;
+
   std::uint64_t bytes_in RW_GUARDED_BY(mu) = 0;
   std::uint64_t bytes_out RW_GUARDED_BY(mu) = 0;
+  std::uint64_t wakeups RW_GUARDED_BY(mu) = 0;  // data-path notifies issued
+  std::uint64_t wakeups_suppressed RW_GUARDED_BY(mu) = 0;  // ...skipped
 };
 
 }  // namespace detail
@@ -111,6 +157,14 @@ class DetachableInputStream final : public util::ByteSource {
   /// waiting transparently — this is what makes filter insertion invisible
   /// to downstream readers).
   std::size_t read_some(util::MutableByteSpan out) override;
+
+  /// Zero-copy batched read: blocks like read_some(), then offers the whole
+  /// buffered contents as the ring's (up to) two contiguous spans, under a
+  /// single lock acquisition. Only the bytes the visitor reports consumed
+  /// are removed; the rest stay buffered for the next read. The visitor
+  /// runs with the stream lock held — it must not call back into this
+  /// stream or its peer, and must consume at least one byte.
+  std::size_t read_borrow(std::size_t max, util::SpanVisitor visit) override;
 
   /// Bytes currently buffered.
   std::size_t available() const;
@@ -134,6 +188,14 @@ class DetachableInputStream final : public util::ByteSource {
   std::uint64_t bytes_received() const;
   std::uint64_t bytes_delivered() const;
 
+  /// Data-path CV notifies actually issued on this pipe (both directions).
+  std::uint64_t wakeups() const;
+
+  /// Data-path notifies skipped because no thread was parked. The ratio
+  /// suppressed/(issued+suppressed) is exported per filter as
+  /// rw_filter_wakeups_suppressed (docs/observability.md).
+  std::uint64_t wakeups_suppressed() const;
+
  private:
   friend class DetachableOutputStream;
   std::shared_ptr<detail::InputState> st_;
@@ -153,6 +215,13 @@ class DetachableOutputStream final : public util::ByteSink {
   /// lands contiguously in a single sink: pause() waits for it, so framed
   /// messages are never torn across a splice.
   void write(util::ByteSpan in) override;
+
+  /// Single-transaction vectored write: every segment lands back to back in
+  /// the same sink under ONE in-flight-write window and (space permitting)
+  /// one lock acquisition — pause() cannot splice between segments, so a
+  /// frame header and its payload written as two segments are as atomic as
+  /// a pre-assembled copy, without the assembly.
+  void write_vec(std::span<const util::ByteSpan> segments) override;
 
   /// Wakes the reader so buffered bytes are noticed promptly.
   void flush() override;
@@ -196,6 +265,11 @@ class DetachableOutputStream final : public util::ByteSink {
   /// tail of every write() exit path (normal and exceptional).
   void writer_done() RW_EXCLUDES(mu_);
 
+  /// Common body of write() and write_vec(): one ready-wait, one in-flight
+  /// window, all segments delivered contiguously to a single sink.
+  void write_segments(std::span<const util::ByteSpan> segments)
+      RW_EXCLUDES(mu_);
+
   // Lock order: mu_ BEFORE the sink's InputState::mu (always).
   mutable rw::Mutex mu_;
   rw::CondVar state_cv_;    // writers wait for connect/unpause
@@ -205,6 +279,7 @@ class DetachableOutputStream final : public util::ByteSink {
   bool connected_ RW_GUARDED_BY(mu_) = false;
   bool closed_ RW_GUARDED_BY(mu_) = false;
   int active_writers_ RW_GUARDED_BY(mu_) = 0;
+  int pause_waiters_ RW_GUARDED_BY(mu_) = 0;  // pauses parked in writers_cv_
 
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::uint64_t pauses_ RW_GUARDED_BY(mu_) = 0;

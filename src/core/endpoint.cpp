@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "util/buffer_pool.h"
+#include "util/frame_reader.h"
 #include "util/framing.h"
 
 namespace rapidware::core {
@@ -18,6 +20,9 @@ void PacketReaderEndpoint::run() {
     // the packet must also see it in the metric (STATS is a faithful view).
     packets_.fetch_add(1, std::memory_order_relaxed);
     util::write_frame(dos(), *packet);
+    // The source's buffer is dead here; recycle it so pool-aware producers
+    // (and downstream FrameReaders) stop hitting the allocator.
+    util::default_pool().release(std::move(*packet));
   }
 }
 
@@ -32,13 +37,15 @@ PacketWriterEndpoint::PacketWriterEndpoint(std::string name,
     : Filter(std::move(name)), sink_(std::move(sink)) {}
 
 void PacketWriterEndpoint::run() {
+  util::FrameReader frames(dis());
   for (;;) {
-    auto packet = util::read_frame(dis());
+    auto packet = frames.next();
     if (!packet) break;
     // Count before delivery: a caller woken by the sink (e.g. wait_for(n))
     // must never read a metric that lags what the sink already handed out.
     packets_.fetch_add(1, std::memory_order_relaxed);
     sink_->deliver(*packet);
+    util::default_pool().release(std::move(*packet));
   }
   sink_->on_end();
 }
@@ -58,7 +65,7 @@ ByteReaderEndpoint::ByteReaderEndpoint(std::string name,
       chunk_(chunk) {}
 
 void ByteReaderEndpoint::run() {
-  util::Bytes buf(chunk_);
+  util::Bytes buf(chunk_);  // rw-lint: allow(RW006) one buffer, allocated before the loop and reused
   for (;;) {
     const std::size_t n = source_->read_some(buf);
     if (n == 0) break;
@@ -72,7 +79,7 @@ ByteWriterEndpoint::ByteWriterEndpoint(std::string name,
     : Filter(std::move(name), buffer_capacity), sink_(std::move(sink)) {}
 
 void ByteWriterEndpoint::run() {
-  util::Bytes buf(4096);
+  util::Bytes buf(4096);  // rw-lint: allow(RW006) one buffer, allocated before the loop and reused
   for (;;) {
     const std::size_t n = dis().read_some(buf);
     if (n == 0) break;
@@ -83,10 +90,14 @@ void ByteWriterEndpoint::run() {
 
 std::optional<util::Bytes> QueuePacketSource::next_packet() {
   rw::MutexLock lk(mu_);
-  cv_.wait(mu_, [this] {
-    mu_.assert_held();
-    return finished_ || !queue_.empty();
-  });
+  if (queue_.empty() && !finished_) {
+    ++waiters_;
+    cv_.wait(mu_, [this] {
+      mu_.assert_held();
+      return finished_ || !queue_.empty();
+    });
+    --waiters_;
+  }
   if (queue_.empty()) return std::nullopt;
   util::Bytes packet = std::move(queue_.front());
   queue_.pop_front();
@@ -96,11 +107,10 @@ std::optional<util::Bytes> QueuePacketSource::next_packet() {
 void QueuePacketSource::interrupt() { finish(); }
 
 void QueuePacketSource::push(util::Bytes packet) {
-  {
-    rw::MutexLock lk(mu_);
-    queue_.push_back(std::move(packet));
-  }
-  cv_.notify_one();
+  rw::MutexLock lk(mu_);
+  queue_.push_back(std::move(packet));
+  // Single consumer; skip the notify syscall when it is not parked.
+  if (waiters_ > 0) cv_.notify_one();
 }
 
 void QueuePacketSource::finish() {
@@ -112,11 +122,10 @@ void QueuePacketSource::finish() {
 }
 
 void CollectingPacketSink::deliver(util::ByteSpan packet) {
-  {
-    rw::MutexLock lk(mu_);
-    packets_.emplace_back(packet.begin(), packet.end());
-  }
-  cv_.notify_all();
+  rw::MutexLock lk(mu_);
+  packets_.emplace_back(packet.begin(), packet.end());
+  // wait_for(n) callers may be parked; skip the notify when none are.
+  if (waiters_ > 0) cv_.notify_all();
 }
 
 void CollectingPacketSink::on_end() {
@@ -129,20 +138,27 @@ void CollectingPacketSink::on_end() {
 
 bool CollectingPacketSink::wait_for(std::size_t n, std::int64_t timeout_ms) {
   rw::MutexLock lk(mu_);
-  return cv_.wait_for(mu_, std::chrono::milliseconds(timeout_ms),
-                      [this, n] {
-                        mu_.assert_held();
-                        return packets_.size() >= n || ended_;
-                      }) &&
-         packets_.size() >= n;
+  ++waiters_;
+  const bool ok = cv_.wait_for(mu_, std::chrono::milliseconds(timeout_ms),
+                               [this, n] {
+                                 mu_.assert_held();
+                                 return packets_.size() >= n || ended_;
+                               }) &&
+                  packets_.size() >= n;
+  --waiters_;
+  return ok;
 }
 
 bool CollectingPacketSink::wait_end(std::int64_t timeout_ms) {
   rw::MutexLock lk(mu_);
-  return cv_.wait_for(mu_, std::chrono::milliseconds(timeout_ms), [this] {
-    mu_.assert_held();
-    return ended_;
-  });
+  ++waiters_;
+  const bool ok =
+      cv_.wait_for(mu_, std::chrono::milliseconds(timeout_ms), [this] {
+        mu_.assert_held();
+        return ended_;
+      });
+  --waiters_;
+  return ok;
 }
 
 std::vector<util::Bytes> CollectingPacketSink::packets() const {

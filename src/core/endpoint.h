@@ -132,6 +132,7 @@ class QueuePacketSource final : public PacketSource {
   rw::CondVar cv_;
   std::deque<util::Bytes> queue_ RW_GUARDED_BY(mu_);
   bool finished_ RW_GUARDED_BY(mu_) = false;
+  int waiters_ RW_GUARDED_BY(mu_) = 0;  // consumers parked in next_packet()
 };
 
 /// In-memory packet sink collecting everything it receives.
@@ -154,6 +155,7 @@ class CollectingPacketSink final : public PacketSink {
   rw::CondVar cv_;
   std::vector<util::Bytes> packets_ RW_GUARDED_BY(mu_);
   bool ended_ RW_GUARDED_BY(mu_) = false;
+  int waiters_ RW_GUARDED_BY(mu_) = 0;  // threads parked in wait_for/wait_end
 };
 
 }  // namespace rapidware::core

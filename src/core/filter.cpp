@@ -1,5 +1,7 @@
 #include "core/filter.h"
 
+#include "util/buffer_pool.h"
+#include "util/frame_reader.h"
 #include "util/framing.h"
 #include "util/logging.h"
 
@@ -50,6 +52,11 @@ void Filter::register_metrics(obs::Scope scope) {
                  [dos] { return static_cast<double>(dos->pauses()); });
   scope.callback("blocked_us",
                  [dos] { return static_cast<double>(dos->blocked_micros()); });
+  scope.callback("wakeups",
+                 [dis] { return static_cast<double>(dis->wakeups()); });
+  scope.callback("wakeups_suppressed", [dis] {
+    return static_cast<double>(dis->wakeups_suppressed());
+  });
 }
 
 void Filter::thread_main() {
@@ -70,21 +77,33 @@ void Filter::thread_main() {
 }
 
 void ByteFilter::run() {
-  util::Bytes chunk(kChunk);
+  // One buffer cycles through the whole loop: filled by the read, handed to
+  // process() by value, and whatever process() returns (the same buffer,
+  // for pass-through filters) is reused for the next read. Zero per-chunk
+  // allocations in steady state.
+  auto& pool = util::default_pool();
+  util::Bytes buf = pool.acquire(kChunk);
   for (;;) {
-    const std::size_t n = dis().read_some(chunk);
+    buf.resize(kChunk);
+    const std::size_t n = dis().read_some(buf);
     if (n == 0) break;
-    util::Bytes out = process(
-        util::Bytes(chunk.begin(), chunk.begin() + static_cast<long>(n)));
+    buf.resize(n);
+    util::Bytes out = process(std::move(buf));
     if (!out.empty()) dos().write(out);
+    buf = std::move(out);  // recycle the returned capacity
   }
-  util::Bytes tail = flush_tail();
+  util::Bytes tail = flush_tail();  // rw-lint: allow(RW006) once at stream end, not per chunk
   if (!tail.empty()) dos().write(tail);
+  pool.release(std::move(buf));
 }
 
 void PacketFilter::run() {
+  // FrameReader batches frame parsing (many frames per stream-lock
+  // acquisition) and draws payload buffers from the pool; emit(Bytes&&)
+  // returns them, closing the recycle loop.
+  util::FrameReader frames(dis());
   for (;;) {
-    auto packet = util::read_frame(dis());
+    auto packet = frames.next();
     if (!packet) break;
     packets_in_.fetch_add(1, std::memory_order_relaxed);
     on_packet(std::move(*packet));
@@ -97,6 +116,12 @@ void PacketFilter::emit(util::ByteSpan packet) {
   // triggered by the packet's arrival never sees the counter lagging it.
   packets_out_.fetch_add(1, std::memory_order_relaxed);
   util::write_frame(dos(), packet);
+}
+
+void PacketFilter::emit(util::Bytes&& packet) {
+  packets_out_.fetch_add(1, std::memory_order_relaxed);
+  util::write_frame(dos(), packet);
+  util::default_pool().release(std::move(packet));
 }
 
 void PacketFilter::register_metrics(obs::Scope scope) {

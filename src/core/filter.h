@@ -125,8 +125,11 @@ class ByteFilter : public Filter {
   /// tail here by returning it.
   virtual util::Bytes flush_tail() { return {}; }
 
-  /// Chunk size for reads.
-  static constexpr std::size_t kChunk = 4096;
+  /// Chunk size for reads. Sized to drain a default 64 KiB stream buffer
+  /// in a couple of reads: every read_some() is a lock acquisition (and,
+  /// when the writer is parked, a wakeup), so bigger chunks directly cut
+  /// per-byte synchronization on pass-through hops.
+  static constexpr std::size_t kChunk = 32768;
 };
 
 /// Transforms whole framed packets; may emit zero or more packets per input.
@@ -148,6 +151,14 @@ class PacketFilter : public Filter {
 
   /// Writes one framed packet downstream.
   void emit(util::ByteSpan packet);
+
+  /// Move-through emit: writes the packet, then recycles its capacity
+  /// through util::default_pool(). A pass-through hop — FrameReader
+  /// acquires from the pool, on_packet forwards with
+  /// emit(std::move(packet)) — touches the allocator zero times per packet
+  /// in steady state (asserted by the pool hit-rate test). Prefer this
+  /// overload whenever the packet buffer is dead after the call.
+  void emit(util::Bytes&& packet);
 
   std::uint64_t packets_in() const noexcept {
     return packets_in_.load(std::memory_order_relaxed);

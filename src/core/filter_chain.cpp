@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/composability.h"
+#include "util/buffer_pool.h"
 #include "util/logging.h"
 
 namespace rapidware::core {
@@ -389,6 +390,23 @@ void FilterChain::bind_metrics(obs::Registry& reg, const std::string& name) {
   m_reconfig_us_ =
       scope_->histogram("reconfig_us", obs::Histogram::latency_us_bounds());
   m_events_ = scope_->trace("events", kEventTraceCapacity);
+  // Data-plane buffer pool health, surfaced per chain (the pool itself is
+  // process-wide): steady-state hit rate near 1.0 means the packet path is
+  // allocation-free (docs/data_plane.md).
+  {
+    obs::Scope pool_scope = scope_->child("pool");
+    pool_scope.callback("hits", [] {
+      return static_cast<double>(util::default_pool().stats().hits);
+    });
+    pool_scope.callback("misses", [] {
+      return static_cast<double>(util::default_pool().stats().misses);
+    });
+    pool_scope.callback("hit_rate",
+                        [] { return util::default_pool().hit_rate(); });
+    pool_scope.callback("free_buffers", [] {
+      return static_cast<double>(util::default_pool().free_buffers());
+    });
+  }
   attach_filter_locked(*head_);
   for (const auto& f : filters_) attach_filter_locked(*f);
   attach_filter_locked(*tail_);

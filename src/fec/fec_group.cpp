@@ -1,7 +1,9 @@
 #include "fec/fec_group.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "util/buffer_pool.h"
 #include "util/serial.h"
 
 namespace rapidware::fec {
@@ -87,7 +89,13 @@ std::vector<util::Bytes> GroupEncoder::add(util::ByteSpan payload) {
   if (payload.size() > 0xffff - 2) {
     throw CodingError("GroupEncoder: payload too large for one symbol");
   }
-  held_.emplace_back(payload.begin(), payload.end());
+  // Hold a pooled copy: encode_group() releases it back, so steady-state
+  // group assembly does not grow the heap.
+  util::Bytes held = util::default_pool().acquire(payload.size());
+  if (!payload.empty()) {
+    std::memcpy(held.data(), payload.data(), payload.size());
+  }
+  held_.push_back(std::move(held));
   if (held_.size() < k_) return {};
   return encode_group();
 }
@@ -133,6 +141,7 @@ std::vector<util::Bytes> GroupEncoder::encode_group() {
     w.raw(parity[p]);
     wire.push_back(w.take());
   }
+  for (auto& p : held_) util::default_pool().release(std::move(p));
   held_.clear();
   ++groups_emitted_;
   return wire;

@@ -101,7 +101,7 @@ void CacheExpandFilter::on_packet(util::Bytes packet) {
   util::Reader r(packet);
   const std::uint8_t mode = r.u8();
   if (mode == kFull) {
-    util::Bytes body = r.raw(r.remaining());
+    util::Bytes body = r.raw(r.remaining());  // rw-lint: allow(RW006) store_ retains the body past the packet; a pooled buffer could not be recycled
     store_.put(content_hash(body), body);
     emit(body);
     return;

@@ -107,7 +107,7 @@ double CompressFilter::ratio() const {
 
 void CompressFilter::on_packet(util::Bytes packet) {
   bytes_in_ += packet.size();
-  const util::Bytes compressed = rle_compress(packet);
+  const util::Bytes compressed = rle_compress(packet);  // rw-lint: allow(RW006) output size unknown until encoded; transform needs a fresh buffer
   bytes_out_ += compressed.size();
   emit(compressed);
 }

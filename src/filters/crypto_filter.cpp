@@ -126,7 +126,7 @@ std::string DecryptFilter::output_type(const std::string& input) const {
 void DecryptFilter::on_packet(util::Bytes packet) {
   util::Reader r(packet);
   const std::uint64_t index = r.u64();
-  util::Bytes body = r.raw(r.remaining());
+  util::Bytes body = r.raw(r.remaining());  // rw-lint: allow(RW006) ciphertext body must be detached from the index header before in-place decrypt
   ChaChaNonce nonce{};
   for (int i = 0; i < 8; ++i) {
     nonce[static_cast<std::size_t>(i)] =

@@ -2,6 +2,7 @@
 
 #include "core/composability.h"
 #include "media/media_packet.h"
+#include "util/buffer_pool.h"
 #include "util/stats.h"
 
 namespace rapidware::filters {
@@ -62,16 +63,17 @@ void FecEncodeFilter::on_packet(util::Bytes packet) {
   const std::uint64_t before = encoder_->groups_emitted();
   // Count the finished group before its packets hit the wire: a STATS read
   // triggered by the parity's arrival must not see the counter lagging.
-  const auto wire = encoder_->add(packet);
+  auto wire = encoder_->add(packet);
   m_groups_encoded_->add(encoder_->groups_emitted() - before);
-  for (const auto& w : wire) emit(w);
+  util::default_pool().release(std::move(packet));
+  for (auto& w : wire) emit(std::move(w));
 }
 
 void FecEncodeFilter::on_flush() {
   const std::uint64_t before = encoder_->groups_emitted();
-  const auto wire = encoder_->flush();
+  auto wire = encoder_->flush();
   m_groups_encoded_->add(encoder_->groups_emitted() - before);
-  for (const auto& w : wire) emit(w);
+  for (auto& w : wire) emit(std::move(w));
 }
 
 void FecEncodeFilter::register_metrics(obs::Scope scope) {
@@ -105,17 +107,19 @@ void FecDecodeFilter::on_packet(util::Bytes packet) {
   if (!fec::looks_like_fec_packet(packet)) {
     // Raw (never-encoded) packet: release pending FEC state first so order
     // is preserved across an encoder removal upstream, then pass through.
-    for (const auto& payload : decoder_.flush()) emit(payload);
-    emit(packet);
+    for (auto&& payload : decoder_.flush()) emit(std::move(payload));
+    emit(std::move(packet));
     sync_stats();
     return;
   }
-  for (const auto& payload : decoder_.add(packet)) emit(payload);
+  auto out = decoder_.add(packet);
+  util::default_pool().release(std::move(packet));
+  for (auto& payload : out) emit(std::move(payload));
   sync_stats();
 }
 
 void FecDecodeFilter::on_flush() {
-  for (const auto& payload : decoder_.flush()) emit(payload);
+  for (auto&& payload : decoder_.flush()) emit(std::move(payload));
   sync_stats();
 }
 
@@ -156,9 +160,9 @@ fec::GroupEncoder& UepFecEncodeFilter::encoder_for(fec::FrameClass cls) {
   return *it->second;
 }
 
-void UepFecEncodeFilter::emit_wire(const std::vector<util::Bytes>& wire,
+void UepFecEncodeFilter::emit_wire(std::vector<util::Bytes> wire,
                                    std::size_t k) {
-  for (const auto& w : wire) emit(w);
+  for (auto& w : wire) emit(std::move(w));
   if (wire.size() > k) parity_out_ += wire.size() - k;
   if (!wire.empty()) {
     m_groups_encoded_->add();
@@ -184,9 +188,10 @@ void UepFecEncodeFilter::on_packet(util::Bytes packet) {
   // merged stream's ids monotonic for the decoder.
   encoder.set_next_group_id(next_group_id_);
   const std::uint64_t before = encoder.groups_emitted();
-  const auto wire = encoder.add(packet);
+  auto wire = encoder.add(packet);
   if (encoder.groups_emitted() > before) ++next_group_id_;
-  emit_wire(wire, encoder.k());
+  util::default_pool().release(std::move(packet));
+  emit_wire(std::move(wire), encoder.k());
 }
 
 void UepFecEncodeFilter::on_flush() {

@@ -117,7 +117,7 @@ class UepFecEncodeFilter final : public core::PacketFilter {
 
  private:
   fec::GroupEncoder& encoder_for(fec::FrameClass cls);
-  void emit_wire(const std::vector<util::Bytes>& wire, std::size_t k);
+  void emit_wire(std::vector<util::Bytes> wire, std::size_t k);
 
   fec::UepPolicy policy_;
   std::map<fec::FrameClass, std::unique_ptr<fec::GroupEncoder>> encoders_;

@@ -37,7 +37,7 @@ void StatsFilter::on_packet(util::Bytes packet) {
   last_at_.store(now);
   packets_.fetch_add(1);
   bytes_.fetch_add(packet.size());
-  emit(packet);
+  emit(std::move(packet));
 }
 
 }  // namespace rapidware::filters

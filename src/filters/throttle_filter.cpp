@@ -61,7 +61,7 @@ void ThrottleFilter::on_packet(util::Bytes packet) {
     std::this_thread::sleep_for(std::chrono::microseconds(wait_us));
   }
   tokens_ -= cost;
-  emit(packet);
+  emit(std::move(packet));
 }
 
 }  // namespace rapidware::filters

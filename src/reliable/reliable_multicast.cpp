@@ -193,7 +193,7 @@ std::size_t ReliableMulticastReceiver::poll() {
 
 void ReliableMulticastReceiver::on_packet(const net::Datagram& datagram) {
   fec::GroupHeader header;
-  util::Bytes body;
+  util::Bytes body;  // rw-lint: allow(RW006) symbol is retained in blocks_ until the FEC group completes
   try {
     util::Reader r(datagram.payload);
     header = fec::GroupHeader::decode_from(r);

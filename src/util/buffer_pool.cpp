@@ -1,0 +1,102 @@
+#include "util/buffer_pool.h"
+
+#include <utility>
+
+namespace rapidware::util {
+
+namespace {
+
+// floor(log2(v)) for v >= 1.
+std::size_t floor_log2(std::size_t v) noexcept {
+  std::size_t b = 0;
+  while (v >>= 1) ++b;
+  return b;
+}
+
+}  // namespace
+
+BufferPool::BufferPool() : BufferPool(Config()) {}
+
+BufferPool::BufferPool(Config config)
+    : config_(config),
+      bucket_count_(floor_log2(config.max_capacity < kMinCapacity
+                                   ? kMinCapacity
+                                   : config.max_capacity) -
+                    floor_log2(kMinCapacity) + 1) {
+  rw::MutexLock lock(mu_);
+  free_.resize(bucket_count_);
+  // Pre-size each free list so release() (noexcept) never grows a vector.
+  for (auto& bucket : free_) bucket.reserve(config_.max_buffers_per_bucket);
+}
+
+std::size_t BufferPool::bucket_for_acquire(std::size_t size) noexcept {
+  // Smallest class >= size: ceil-log2, floored at the minimum class.
+  std::size_t b = floor_log2(size < kMinCapacity ? kMinCapacity : size);
+  if ((std::size_t{1} << b) < size) ++b;
+  return b - floor_log2(kMinCapacity);
+}
+
+std::size_t BufferPool::bucket_for_release(std::size_t capacity) noexcept {
+  // Largest class <= capacity, so the bucket invariant (every stored buffer
+  // has capacity >= its class size) holds even for odd-sized capacities.
+  return floor_log2(capacity) - floor_log2(kMinCapacity);
+}
+
+Bytes BufferPool::acquire(std::size_t size) {
+  if (size <= config_.max_capacity) {
+    const std::size_t b = bucket_for_acquire(size);
+    rw::MutexLock lock(mu_);
+    if (b < free_.size() && !free_[b].empty()) {
+      Bytes out = std::move(free_[b].back());
+      free_[b].pop_back();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      out.resize(size);  // capacity >= class size >= size: no reallocation
+      return out;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Bytes out;
+  if (size <= config_.max_capacity) {
+    // Round the fresh allocation up to its class size so the buffer is
+    // reusable for the whole class once released.
+    out.reserve(std::size_t{1}
+                << (bucket_for_acquire(size) + floor_log2(kMinCapacity)));
+  }
+  out.resize(size);
+  return out;
+}
+
+void BufferPool::release(Bytes&& b) noexcept {
+  Bytes victim = std::move(b);
+  const std::size_t cap = victim.capacity();
+  if (cap < kMinCapacity || cap > config_.max_capacity) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;  // victim's destructor frees it
+  }
+  const std::size_t bucket = bucket_for_release(cap);
+  {
+    rw::MutexLock lock(mu_);
+    if (bucket < free_.size() &&
+        free_[bucket].size() < config_.max_buffers_per_bucket) {
+      victim.clear();
+      free_[bucket].push_back(std::move(victim));
+      recycled_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t BufferPool::free_buffers() const {
+  rw::MutexLock lock(mu_);
+  std::size_t n = 0;
+  for (const auto& bucket : free_) n += bucket.size();
+  return n;
+}
+
+BufferPool& default_pool() {
+  static BufferPool* pool = new BufferPool();  // leaked: see header
+  return *pool;
+}
+
+}  // namespace rapidware::util

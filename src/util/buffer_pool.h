@@ -1,0 +1,111 @@
+// Capacity-bucketed free list of Bytes buffers — the data plane's
+// allocation recycler.
+//
+// Every packet crossing a filter hop used to cost at least one fresh heap
+// allocation (`read_frame` building its payload vector). The pool turns
+// that into a pop from a per-size-class free list: acquire(n) returns a
+// buffer of size n whose capacity came from an earlier release(), and
+// release() files a spent buffer back under its capacity class. Steady
+// state, a pass-through packet hop allocates nothing (asserted by the
+// pool hit-rate test in tests/filter_chain_test.cpp).
+//
+// Size classes are powers of two from kMinCapacity up to max_capacity;
+// a buffer in bucket b always has capacity >= 2^b, so acquire can hand out
+// any buffer filed in ceil_log2(n)'s bucket without reallocating. Buffers
+// larger than max_capacity, and buckets already holding
+// max_buffers_per_bucket entries, are dropped to the allocator — the pool
+// bounds its own footprint.
+//
+// Thread-safe: one leaf mutex around the free lists (never held while
+// calling out), hit/miss counters are relaxed atomics readable without the
+// lock — obs callback gauges read them live (docs/observability.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace rapidware::util {
+
+class BufferPool {
+ public:
+  struct Config {
+    /// Free buffers retained per size class; excess releases are dropped.
+    /// Sized so a full default-capacity stream ring (64 KiB) of
+    /// smallest-class frames can be in flight and still land back in the
+    /// pool without drops (a FrameReader refill can acquire that many
+    /// buffers in one burst before downstream releases any).
+    std::size_t max_buffers_per_bucket = 128;
+    /// Buffers with larger capacity are never pooled (2^20 = 1 MiB).
+    std::size_t max_capacity = std::size_t{1} << 20;
+  };
+
+  /// Counter snapshot; all values are monotonic.
+  struct Stats {
+    std::uint64_t hits = 0;      // acquire served from the free list
+    std::uint64_t misses = 0;    // acquire fell through to the allocator
+    std::uint64_t recycled = 0;  // release filed the buffer for reuse
+    std::uint64_t dropped = 0;   // release discarded (bucket full/too big)
+  };
+
+  BufferPool();  // default Config (delegating; GCC can't default-arg here)
+  explicit BufferPool(Config config);
+
+  /// Returns a buffer resized to `size` (contents unspecified), reusing
+  /// pooled capacity when a matching class has a free buffer.
+  Bytes acquire(std::size_t size);
+
+  /// Recycles `b`'s capacity; `b` is left empty either way.
+  void release(Bytes&& b) noexcept;
+
+  Stats stats() const noexcept {
+    return {hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed),
+            recycled_.load(std::memory_order_relaxed),
+            dropped_.load(std::memory_order_relaxed)};
+  }
+
+  /// Fraction of acquires served from the free list (0 when none yet).
+  double hit_rate() const noexcept {
+    const Stats s = stats();
+    const std::uint64_t total = s.hits + s.misses;
+    return total == 0 ? 0.0 : static_cast<double>(s.hits) /
+                                  static_cast<double>(total);
+  }
+
+  /// Free buffers currently held (all buckets; takes the lock).
+  std::size_t free_buffers() const;
+
+ private:
+  static constexpr std::size_t kMinCapacity = 64;  // smallest size class
+
+  /// Smallest bucket index whose class capacity (2^(index + log2(kMin)))
+  /// is >= size — where acquire(size) looks.
+  static std::size_t bucket_for_acquire(std::size_t size) noexcept;
+
+  /// Largest bucket index whose class capacity is <= capacity — where a
+  /// released buffer of that capacity is filed.
+  static std::size_t bucket_for_release(std::size_t capacity) noexcept;
+
+  const Config config_;
+  const std::size_t bucket_count_;
+  mutable rw::Mutex mu_;
+  std::vector<std::vector<Bytes>> free_ RW_GUARDED_BY(mu_);
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> recycled_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// The process-wide pool the data plane (PacketFilter, FrameReader, FEC
+/// group assembly) recycles through. Never destroyed (leaked intentionally,
+/// like obs::registry()) so release() from late-exiting filter threads is
+/// always safe.
+BufferPool& default_pool();
+
+}  // namespace rapidware::util

@@ -36,6 +36,16 @@ std::size_t ByteRing::write(ByteSpan in) {
   return n;
 }
 
+std::size_t ByteRing::write(std::span<const ByteSpan> segments) {
+  std::size_t total = 0;
+  for (const ByteSpan seg : segments) {
+    const std::size_t n = write(seg);
+    total += n;
+    if (n < seg.size()) break;  // ring full mid-segment
+  }
+  return total;
+}
+
 std::size_t ByteRing::read(MutableByteSpan out) {
   const std::size_t n = peek(out);
   head_ = (head_ + n) % buf_.size();
@@ -49,6 +59,17 @@ std::size_t ByteRing::peek(MutableByteSpan out) const {
   std::memcpy(out.data(), buf_.data() + head_, first);
   if (n > first) std::memcpy(out.data() + first, buf_.data(), n - first);
   return n;
+}
+
+std::array<ByteSpan, 2> ByteRing::read_spans() const noexcept {
+  const std::size_t first = std::min(size_, buf_.size() - head_);
+  return {ByteSpan(buf_.data() + head_, first),
+          ByteSpan(buf_.data(), size_ - first)};
+}
+
+void ByteRing::consume(std::size_t n) noexcept {
+  head_ = (head_ + n) % buf_.size();
+  size_ -= n;
 }
 
 void ByteRing::clear() noexcept {

@@ -1,6 +1,7 @@
 // Byte-buffer utilities shared by the stream, network, and codec layers.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -41,11 +42,28 @@ class ByteRing {
   /// Appends up to `in.size()` bytes; returns how many were written.
   std::size_t write(ByteSpan in);
 
+  /// Segment-aware write: appends the segments back to back, as if they had
+  /// been concatenated, stopping when the ring fills. Returns the total
+  /// number of bytes written (a segment boundary is never visible in the
+  /// ring — the cut, if any, lands wherever the ring ran out of space).
+  std::size_t write(std::span<const ByteSpan> segments);
+
   /// Removes up to `out.size()` bytes into `out`; returns how many were read.
   std::size_t read(MutableByteSpan out);
 
   /// Copies up to `out.size()` bytes without consuming them.
   std::size_t peek(MutableByteSpan out) const;
+
+  /// Borrow API: the buffered bytes as (up to) two contiguous spans — the
+  /// second is non-empty only when the content wraps past the end of the
+  /// backing array. The spans alias the ring's storage and are invalidated
+  /// by any mutating call; pair with consume().
+  std::array<ByteSpan, 2> read_spans() const noexcept;
+
+  /// Discards the first `n` buffered bytes (n <= size()). With read_spans()
+  /// this is the zero-copy read path: inspect the spans, then consume what
+  /// was actually used.
+  void consume(std::size_t n) noexcept;
 
   /// Discards all contents.
   void clear() noexcept;

@@ -1,20 +1,27 @@
 #include "util/framing.h"
 
+#include <array>
+
 namespace rapidware::util {
 
 void write_frame(ByteSink& sink, ByteSpan payload) {
-  Writer w(payload.size() + 6);
-  w.u16(kFrameMagic);
-  w.u32(static_cast<std::uint32_t>(payload.size()));
-  w.raw(payload);
-  sink.write(w.bytes());
+  std::uint8_t header[kFrameHeaderSize];
+  header[0] = static_cast<std::uint8_t>(kFrameMagic & 0xff);
+  header[1] = static_cast<std::uint8_t>(kFrameMagic >> 8);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  header[2] = static_cast<std::uint8_t>(len & 0xff);
+  header[3] = static_cast<std::uint8_t>((len >> 8) & 0xff);
+  header[4] = static_cast<std::uint8_t>((len >> 16) & 0xff);
+  header[5] = static_cast<std::uint8_t>((len >> 24) & 0xff);
+  const std::array<ByteSpan, 2> segments = {ByteSpan(header), payload};
+  sink.write_vec(segments);
 }
 
 std::optional<Bytes> read_frame(ByteSource& source) {
-  std::uint8_t header[6];
-  const std::size_t got = source.read_exact(header);
-  if (got == 0) return std::nullopt;  // clean EOF between frames
-  if (got < sizeof(header)) throw SerialError("framing: truncated header");
+  std::uint8_t header[kFrameHeaderSize];
+  if (!source.read_full(header, "framing: header")) {
+    return std::nullopt;  // clean EOF between frames
+  }
 
   Reader r(header);
   if (r.u16() != kFrameMagic) throw SerialError("framing: bad magic");
@@ -22,8 +29,10 @@ std::optional<Bytes> read_frame(ByteSource& source) {
   if (len > kMaxFrameSize) throw SerialError("framing: oversized frame");
 
   Bytes payload(len);
-  if (source.read_exact(payload) < len) {
-    throw SerialError("framing: truncated payload");
+  if (len != 0 && !source.read_full(payload, "framing: payload")) {
+    // EOF with zero payload bytes after a complete header is still a torn
+    // frame — the header promised `len` more bytes.
+    throw SerialError("framing: stream ended between header and payload");
   }
   return payload;
 }

@@ -22,12 +22,21 @@ inline constexpr std::uint16_t kFrameMagic = 0x5257;  // "RW"
 /// Frames larger than this are rejected as corrupt.
 inline constexpr std::uint32_t kMaxFrameSize = 16 * 1024 * 1024;
 
-/// Writes one framed message to the sink (single write call, so a frame is
-/// never interleaved even if multiple writers share a sink).
+/// Bytes of header preceding every payload: magic (u16) + length (u32).
+inline constexpr std::size_t kFrameHeaderSize = 6;
+
+/// Writes one framed message as a single vectored write (header and payload
+/// as two segments — no assembly copy), with write_vec's atomicity: a frame
+/// is never interleaved even if multiple writers share a sink.
 void write_frame(ByteSink& sink, ByteSpan payload);
 
 /// Reads one framed message. Returns nullopt on clean end-of-stream before
 /// the first header byte. Throws SerialError on a torn/corrupt frame.
+///
+/// Compatibility wrapper: each call pays a blocking read for the header and
+/// another for the payload. Loops that decode many frames should hold a
+/// util::FrameReader instead, which batches frame parsing per lock
+/// acquisition and recycles payload buffers through the BufferPool.
 std::optional<Bytes> read_frame(ByteSource& source);
 
 }  // namespace rapidware::util

@@ -7,12 +7,16 @@
 // sequence written upstream.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <string>
 #include <thread>
 
 #include "core/detachable_stream.h"
+#include "util/frame_reader.h"
 #include "util/framing.h"
 #include "util/rng.h"
+#include "util/serial.h"
 
 namespace rapidware::core {
 namespace {
@@ -527,6 +531,327 @@ TEST(DetachableStream, FramesSurviveSplices) {
 
   ASSERT_EQ(ids.size(), static_cast<std::size_t>(kFrames));
   for (int i = 0; i < kFrames; ++i) EXPECT_EQ(ids[i], static_cast<std::uint32_t>(i));
+}
+
+// Same integrity property, but read through the batched util::FrameReader:
+// splices only ever land on frame boundaries (pause() drains the in-flight
+// write), so a fresh FrameReader per epoch must see whole frames only.
+TEST(DetachableStream, FramesSurviveSplicesBatchedReader) {
+  DetachableInputStream dis_a, dis_b;
+  DetachableOutputStream dos;
+  connect(dos, dis_a);
+
+  constexpr int kFrames = 2000;
+  std::thread writer([&] {
+    util::Rng rng(7);
+    for (int i = 0; i < kFrames; ++i) {
+      Bytes payload(rng.next_below(900) + 4);
+      util::Writer w;
+      w.u32(static_cast<std::uint32_t>(i));
+      std::copy(w.bytes().begin(), w.bytes().end(), payload.begin());
+      util::write_frame(dos, payload);
+    }
+    dos.close();
+  });
+
+  std::vector<std::uint32_t> ids;
+  std::thread reader([&] {
+    DetachableInputStream* current = &dis_a;
+    while (ids.size() < static_cast<std::size_t>(kFrames)) {
+      util::FrameReader frames(*current);
+      while (ids.size() < static_cast<std::size_t>(kFrames)) {
+        auto frame = frames.next();
+        if (!frame) break;
+        util::Reader r(*frame);
+        ids.push_back(r.u32());
+      }
+      if (ids.size() < static_cast<std::size_t>(kFrames)) {
+        current = (current == &dis_a) ? &dis_b : &dis_a;
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  bool on_a = true;
+  for (int i = 0; i < 30; ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+    try {
+      dos.pause();
+      (on_a ? dis_a : dis_b).mark_soft_eof();
+      dos.reconnect(on_a ? dis_b : dis_a);
+      on_a = !on_a;
+    } catch (const StreamError&) {
+      break;
+    }
+  }
+
+  writer.join();
+  reader.join();
+
+  ASSERT_EQ(ids.size(), static_cast<std::size_t>(kFrames));
+  for (int i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(ids[i], static_cast<std::uint32_t>(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Torn-frame EOF regression (the read_exact ambiguity fix): a soft EOF that
+// lands inside a frame must surface as a deterministic SerialError, never as
+// a silent short read or a clean-looking EOF.
+
+TEST(DetachableStream, SoftEofBetweenHeaderAndPayloadThrows) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  // A complete 6-byte header promising 100 payload bytes — then the filter
+  // is detached before any payload arrives.
+  util::Writer w;
+  w.u16(util::kFrameMagic);
+  w.u32(100);
+  dos.write(w.bytes());
+  dis.mark_soft_eof();
+  EXPECT_THROW(util::read_frame(dis), util::SerialError);
+}
+
+TEST(DetachableStream, SoftEofMidHeaderThrows) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  util::Writer w;
+  w.u16(util::kFrameMagic);
+  w.u8(3);  // header cut short: 3 of 6 bytes
+  dos.write(w.bytes());
+  dis.mark_soft_eof();
+  EXPECT_THROW(util::read_frame(dis), util::SerialError);
+}
+
+TEST(DetachableStream, SoftEofMidPayloadThrowsFromFrameReader) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  util::write_frame(dos, to_bytes("whole frame"));
+  util::Writer w;
+  w.u16(util::kFrameMagic);
+  w.u32(100);
+  dos.write(w.bytes());
+  dos.write(to_bytes("only a fragment"));
+  dis.mark_soft_eof();
+
+  util::FrameReader frames(dis);
+  auto first = frames.next();
+  ASSERT_TRUE(first.has_value());  // the complete frame is still delivered
+  EXPECT_EQ(to_string(*first), "whole frame");
+  EXPECT_THROW(frames.next(), util::SerialError);
+}
+
+TEST(DetachableStream, CleanSoftEofAtFrameBoundaryIsNotAnError) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  util::write_frame(dos, to_bytes("whole"));
+  dis.mark_soft_eof();
+  auto frame = util::read_frame(dis);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_FALSE(util::read_frame(dis).has_value());  // clean EOF, no throw
+}
+
+// ---------------------------------------------------------------------------
+// Vectored writes
+
+TEST(DetachableStream, WriteVecConcatenatesSegments) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  const Bytes a = to_bytes("one"), b = to_bytes("+two"), c = to_bytes("+3");
+  const std::array<ByteSpan, 3> segs = {ByteSpan(a), ByteSpan(b), ByteSpan(c)};
+  dos.write_vec(segs);
+  EXPECT_EQ(dis.available(), 9u);
+  Bytes out(9);
+  EXPECT_EQ(dis.read_some(out), 9u);
+  EXPECT_EQ(to_string(out), "one+two+3");
+  EXPECT_EQ(dos.bytes_sent(), 9u);
+}
+
+TEST(DetachableStream, WriteVecEmptySegmentsAreNoOps) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  const Bytes a = to_bytes("data");
+  const std::array<ByteSpan, 3> segs = {ByteSpan(), ByteSpan(a), ByteSpan()};
+  dos.write_vec(segs);
+  Bytes out(4);
+  EXPECT_EQ(dis.read_some(out), 4u);
+  EXPECT_EQ(to_string(out), "data");
+}
+
+TEST(DetachableStream, WriteVecLargerThanRingDelivers) {
+  DetachableInputStream dis(64);  // tiny ring: the transaction must stream
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  const Bytes a = sequential_bytes(300, 0), b = sequential_bytes(300, 100);
+  Bytes expect = a;
+  expect.insert(expect.end(), b.begin(), b.end());
+
+  std::thread writer([&] {
+    const std::array<ByteSpan, 2> segs = {ByteSpan(a), ByteSpan(b)};
+    dos.write_vec(segs);
+    dos.close();
+  });
+  Bytes received, chunk(64);
+  for (;;) {
+    const std::size_t n = dis.read_some(chunk);
+    if (n == 0) break;
+    received.insert(received.end(), chunk.begin(),
+                    chunk.begin() + static_cast<long>(n));
+  }
+  writer.join();
+  EXPECT_EQ(received, expect);
+}
+
+TEST(DetachableStream, WriteVecLandsEntirelyInOneSink) {
+  // The vectored analogue of InFlightWriteLandsEntirelyInOneSink: a pause
+  // racing a multi-segment transaction must never split the segments
+  // across two sinks (this is exactly what keeps a frame's header and
+  // payload together when write_frame meets a splice).
+  DetachableInputStream dis1, dis2;
+  DetachableOutputStream dos;
+  connect(dos, dis1);
+
+  const Bytes header = sequential_bytes(50'000, 1);
+  const Bytes payload = sequential_bytes(150'000, 7);
+  Bytes expect = header;
+  expect.insert(expect.end(), payload.begin(), payload.end());
+  std::thread writer([&] {
+    const std::array<ByteSpan, 2> segs = {ByteSpan(header), ByteSpan(payload)};
+    dos.write_vec(segs);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Bytes received;
+  std::thread reader([&] {
+    Bytes chunk(1024);
+    while (received.size() < expect.size()) {
+      const std::size_t n = dis1.read_some(chunk);
+      if (n == 0) break;
+      received.insert(received.end(), chunk.begin(),
+                      chunk.begin() + static_cast<long>(n));
+    }
+  });
+
+  dos.pause();  // returns only after the whole transaction drained
+  writer.join();
+  reader.join();
+  EXPECT_EQ(received, expect);  // nothing left over for dis2
+  dos.reconnect(dis2);
+  EXPECT_EQ(dis2.available(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Borrow reads
+
+TEST(DetachableStream, ReadBorrowConsumesWhatVisitorTook) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  dos.write(to_bytes("abcdef"));
+
+  std::string seen;
+  const std::size_t n =
+      dis.read_borrow(0, [&](ByteSpan x, ByteSpan y) -> std::size_t {
+        seen.append(reinterpret_cast<const char*>(x.data()), x.size());
+        seen.append(reinterpret_cast<const char*>(y.data()), y.size());
+        return 4;  // consume a prefix only
+      });
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(seen, "abcdef");
+  EXPECT_EQ(dis.available(), 2u);  // the tail stays buffered
+
+  Bytes out(2);
+  EXPECT_EQ(dis.read_some(out), 2u);
+  EXPECT_EQ(to_string(out), "ef");
+}
+
+TEST(DetachableStream, ReadBorrowHonorsMaxLimit) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  dos.write(sequential_bytes(100));
+  const std::size_t n =
+      dis.read_borrow(16, [&](ByteSpan x, ByteSpan y) -> std::size_t {
+        EXPECT_LE(x.size() + y.size(), 16u);
+        return x.size() + y.size();
+      });
+  EXPECT_EQ(n, 16u);
+  EXPECT_EQ(dis.available(), 84u);
+}
+
+TEST(DetachableStream, ReadBorrowReturnsZeroAtEof) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  dos.close();
+  bool visited = false;
+  const std::size_t n = dis.read_borrow(0, [&](ByteSpan, ByteSpan) {
+    visited = true;
+    return std::size_t{0};
+  });
+  EXPECT_EQ(n, 0u);
+  EXPECT_FALSE(visited);  // EOF short-circuits: visitor never runs
+}
+
+TEST(DetachableStream, ReadBorrowVisitorNoProgressThrows) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  dos.write(to_bytes("data"));
+  EXPECT_THROW(
+      dis.read_borrow(0, [](ByteSpan, ByteSpan) { return std::size_t{0}; }),
+      StreamError);
+  EXPECT_EQ(dis.available(), 4u);  // the buffer is untouched
+}
+
+TEST(DetachableStream, ReadBorrowOverconsumingVisitorThrows) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  dos.write(to_bytes("data"));
+  EXPECT_THROW(
+      dis.read_borrow(0, [](ByteSpan x, ByteSpan y) {
+        return x.size() + y.size() + 1;
+      }),
+      StreamError);
+}
+
+// ---------------------------------------------------------------------------
+// Wakeup suppression
+
+TEST(DetachableStream, NotifiesSuppressedWhenNobodyWaits) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  // Strictly alternating single-threaded use: no thread ever parks, so
+  // every data-path notify is skippable.
+  Bytes out(64);
+  for (int i = 0; i < 10; ++i) {
+    dos.write(to_bytes("ping"));
+    EXPECT_EQ(dis.read_some(out), 4u);
+  }
+  EXPECT_EQ(dis.wakeups(), 0u);
+  EXPECT_GE(dis.wakeups_suppressed(), 20u);  // 10 writes + 10 reads
+}
+
+TEST(DetachableStream, NotifyIssuedWhenReaderIsParked) {
+  DetachableInputStream dis;
+  DetachableOutputStream dos;
+  connect(dos, dis);
+  std::thread reader([&] {
+    Bytes out(16);
+    EXPECT_EQ(dis.read_some(out), 5u);  // parks until the write arrives
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  dos.write(to_bytes("wake!"));
+  reader.join();
+  EXPECT_GE(dis.wakeups(), 1u);
 }
 
 }  // namespace

@@ -5,8 +5,10 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/buffer_pool.h"
 #include "util/bytes.h"
 #include "util/clock.h"
+#include "util/frame_reader.h"
 #include "util/framing.h"
 #include "util/io.h"
 #include "util/logging.h"
@@ -469,6 +471,315 @@ TEST(ReadExact, StopsAtEof) {
   s.write(to_bytes("abc"));
   Bytes out(10);
   EXPECT_EQ(s.read_exact(out), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// ByteSource::read_full — the EOF-disambiguated variant
+
+TEST(ReadFull, FillsCompletely) {
+  MemoryStream s;
+  s.write(to_bytes("abcdef"));
+  Bytes out(6);
+  EXPECT_TRUE(s.read_full(out, "test"));
+  EXPECT_EQ(to_string(out), "abcdef");
+}
+
+TEST(ReadFull, CleanEofReturnsFalse) {
+  MemoryStream s;  // never written: EOF before the first byte
+  Bytes out(4);
+  EXPECT_FALSE(s.read_full(out, "test"));
+}
+
+TEST(ReadFull, TornReadThrows) {
+  MemoryStream s;
+  s.write(to_bytes("ab"));  // stream dies after 2 of 4 requested bytes
+  Bytes out(4);
+  EXPECT_THROW(s.read_full(out, "test"), SerialError);
+}
+
+TEST(ReadFull, ZeroLengthAlwaysSucceeds) {
+  MemoryStream s;
+  Bytes out;
+  EXPECT_TRUE(s.read_full(out, "test"));
+}
+
+// ---------------------------------------------------------------------------
+// ByteRing segment APIs: vectored write + borrow spans
+
+namespace {
+
+/// Drives head_ to `offset` so subsequent writes straddle the wrap point.
+void spin_ring_to(ByteRing& ring, std::size_t offset) {
+  Bytes junk(offset, 0xee);
+  ASSERT_EQ(ring.write(ByteSpan(junk)), offset);
+  Bytes sink(offset);
+  ASSERT_EQ(ring.read(sink), offset);
+  ASSERT_TRUE(ring.empty());
+}
+
+Bytes drain_via_spans(ByteRing& ring) {
+  const auto spans = ring.read_spans();
+  Bytes out;
+  out.insert(out.end(), spans[0].begin(), spans[0].end());
+  out.insert(out.end(), spans[1].begin(), spans[1].end());
+  ring.consume(out.size());
+  return out;
+}
+
+}  // namespace
+
+TEST(ByteRingSegments, VectoredWriteRoundTrips) {
+  ByteRing ring(32);
+  const Bytes a = to_bytes("head"), b = to_bytes("er+payload");
+  const std::array<ByteSpan, 2> segs = {ByteSpan(a), ByteSpan(b)};
+  EXPECT_EQ(ring.write(std::span<const ByteSpan>(segs)), 14u);
+  EXPECT_EQ(to_string(drain_via_spans(ring)), "header+payload");
+}
+
+TEST(ByteRingSegments, VectoredWriteStraddlesWrapPoint) {
+  ByteRing ring(16);
+  spin_ring_to(ring, 12);  // 4 bytes of tail room before the wrap
+  const Bytes a = to_bytes("abcdef"), b = to_bytes("ghij");
+  const std::array<ByteSpan, 2> segs = {ByteSpan(a), ByteSpan(b)};
+  EXPECT_EQ(ring.write(std::span<const ByteSpan>(segs)), 10u);
+  // Content wraps: read_spans must expose exactly two non-empty pieces
+  // whose concatenation is the segment concatenation.
+  const auto spans = ring.read_spans();
+  EXPECT_EQ(spans[0].size(), 4u);
+  EXPECT_EQ(spans[1].size(), 6u);
+  EXPECT_EQ(to_string(drain_via_spans(ring)), "abcdefghij");
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(ByteRingSegments, SingleSegmentItselfStraddlesWrap) {
+  ByteRing ring(8);
+  spin_ring_to(ring, 6);
+  const Bytes a = to_bytes("wrap!");
+  const std::array<ByteSpan, 1> segs = {ByteSpan(a)};
+  EXPECT_EQ(ring.write(std::span<const ByteSpan>(segs)), 5u);
+  EXPECT_EQ(to_string(drain_via_spans(ring)), "wrap!");
+}
+
+TEST(ByteRingSegments, VectoredWriteStopsWhenFull) {
+  ByteRing ring(8);
+  const Bytes a = to_bytes("abcde"), b = to_bytes("fghij");
+  const std::array<ByteSpan, 2> segs = {ByteSpan(a), ByteSpan(b)};
+  // 10 bytes offered, 8 fit: the cut lands mid-second-segment.
+  EXPECT_EQ(ring.write(std::span<const ByteSpan>(segs)), 8u);
+  EXPECT_TRUE(ring.full());
+  EXPECT_EQ(to_string(drain_via_spans(ring)), "abcdefgh");
+}
+
+TEST(ByteRingSegments, EmptySegmentsAreNoOps) {
+  ByteRing ring(8);
+  const Bytes a = to_bytes("xy");
+  const std::array<ByteSpan, 3> segs = {ByteSpan(), ByteSpan(a), ByteSpan()};
+  EXPECT_EQ(ring.write(std::span<const ByteSpan>(segs)), 2u);
+  EXPECT_EQ(to_string(drain_via_spans(ring)), "xy");
+}
+
+TEST(ByteRingSegments, ReadSpansOfEmptyRingAreEmpty) {
+  ByteRing ring(8);
+  const auto spans = ring.read_spans();
+  EXPECT_TRUE(spans[0].empty());
+  EXPECT_TRUE(spans[1].empty());
+}
+
+TEST(ByteRingSegments, PartialConsumeAdvancesSpans) {
+  ByteRing ring(8);
+  ASSERT_EQ(ring.write(ByteSpan(to_bytes("abcdef"))), 6u);
+  ring.consume(2);
+  EXPECT_EQ(to_string(drain_via_spans(ring)), "cdef");
+}
+
+TEST(ByteRingSegments, ManyWrapCyclesViaSegmentApis) {
+  ByteRing ring(7);  // odd capacity stresses wrap arithmetic
+  Bytes expect, got;
+  std::uint8_t next = 0;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    Bytes a(2), b(3);
+    for (auto& v : a) v = next++;
+    for (auto& v : b) v = next++;
+    expect.insert(expect.end(), a.begin(), a.end());
+    expect.insert(expect.end(), b.begin(), b.end());
+    const std::array<ByteSpan, 2> segs = {ByteSpan(a), ByteSpan(b)};
+    ASSERT_EQ(ring.write(std::span<const ByteSpan>(segs)), 5u);
+    const Bytes piece = drain_via_spans(ring);
+    got.insert(got.end(), piece.begin(), piece.end());
+  }
+  EXPECT_EQ(got, expect);
+}
+
+// ---------------------------------------------------------------------------
+// FrameReader — batched frame decoding
+
+TEST(FrameReader, RoundTripsManyFramesInOrder) {
+  MemoryStream s;
+  for (int i = 0; i < 100; ++i) {
+    write_frame(s, to_bytes("frame " + std::to_string(i)));
+  }
+  FrameReader fr(s);
+  for (int i = 0; i < 100; ++i) {
+    auto frame = fr.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(to_string(*frame), "frame " + std::to_string(i));
+  }
+  EXPECT_FALSE(fr.next().has_value());  // clean EOF
+  EXPECT_FALSE(fr.next().has_value());  // EOF is sticky
+  EXPECT_EQ(fr.frames(), 100u);
+}
+
+TEST(FrameReader, BatchesManyFramesPerRefill) {
+  MemoryStream s;
+  for (int i = 0; i < 64; ++i) write_frame(s, Bytes(10, 0x42));
+  FrameReader fr(s);
+  while (fr.next()) {
+  }
+  // 64 x 16-byte frames fit in far fewer refills than frames: the whole
+  // point of the batched reader (one lock trip decodes many frames).
+  EXPECT_EQ(fr.frames(), 64u);
+  EXPECT_LT(fr.refills(), 16u);
+}
+
+TEST(FrameReader, EmptyPayloadAllowed) {
+  MemoryStream s;
+  write_frame(s, {});
+  FrameReader fr(s);
+  auto frame = fr.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->empty());
+  EXPECT_FALSE(fr.next().has_value());
+}
+
+TEST(FrameReader, BadMagicThrows) {
+  MemoryStream s;
+  s.write(to_bytes("garbage data here"));
+  FrameReader fr(s);
+  EXPECT_THROW(fr.next(), SerialError);
+}
+
+TEST(FrameReader, TornHeaderThrows) {
+  MemoryStream s;
+  Writer w;
+  w.u16(kFrameMagic);
+  w.u8(1);  // header cut short at EOF
+  s.write(w.bytes());
+  FrameReader fr(s);
+  EXPECT_THROW(fr.next(), SerialError);
+}
+
+TEST(FrameReader, TornPayloadThrows) {
+  MemoryStream s;
+  write_frame(s, to_bytes("complete"));
+  Writer w;
+  w.u16(kFrameMagic);
+  w.u32(100);
+  w.str("short");  // far fewer than 100 bytes, then EOF
+  s.write(w.bytes());
+  FrameReader fr(s);
+  auto frame = fr.next();
+  ASSERT_TRUE(frame.has_value());  // the complete frame still arrives
+  EXPECT_EQ(to_string(*frame), "complete");
+  EXPECT_THROW(fr.next(), SerialError);
+}
+
+TEST(FrameReader, OversizedFrameRejected) {
+  MemoryStream s;
+  Writer w;
+  w.u16(kFrameMagic);
+  w.u32(kMaxFrameSize + 1);
+  s.write(w.bytes());
+  FrameReader fr(s);
+  EXPECT_THROW(fr.next(), SerialError);
+}
+
+TEST(FrameReader, InteroperatesWithLegacyReadFrame) {
+  MemoryStream s;
+  write_frame(s, to_bytes("one"));
+  write_frame(s, to_bytes("two"));
+  // Legacy read_frame consumes exactly one frame; FrameReader picks up the
+  // rest of the stream afterwards.
+  auto first = read_frame(s);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(to_string(*first), "one");
+  FrameReader fr(s);
+  auto second = fr.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(to_string(*second), "two");
+  EXPECT_FALSE(fr.next().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+
+TEST(BufferPool, MissThenHit) {
+  BufferPool pool;
+  Bytes b = pool.acquire(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.stats().recycled, 1u);
+  EXPECT_EQ(pool.free_buffers(), 1u);
+  Bytes c = pool.acquire(90);  // same 128-byte class: served from the pool
+  EXPECT_EQ(c.size(), 90u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.free_buffers(), 0u);
+}
+
+TEST(BufferPool, ReleasedCapacityServesItsWholeClass) {
+  BufferPool pool;
+  Bytes b = pool.acquire(4096);
+  pool.release(std::move(b));
+  // Anything in (2048, 4096] maps to the same acquire bucket.
+  Bytes c = pool.acquire(2049);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  pool.release(std::move(c));
+  // 2048 itself belongs to the smaller class; its bucket is empty.
+  Bytes d = pool.acquire(2048);
+  EXPECT_EQ(pool.stats().misses, 2u);
+}
+
+TEST(BufferPool, OversizedBuffersAreDropped) {
+  BufferPool pool(BufferPool::Config{.max_buffers_per_bucket = 4,
+                                     .max_capacity = 1024});
+  Bytes big = pool.acquire(2048);  // beyond max_capacity: never pooled
+  pool.release(std::move(big));
+  EXPECT_EQ(pool.stats().dropped, 1u);
+  EXPECT_EQ(pool.free_buffers(), 0u);
+}
+
+TEST(BufferPool, FullBucketDropsExcess) {
+  BufferPool pool(BufferPool::Config{.max_buffers_per_bucket = 1,
+                                     .max_capacity = 1024});
+  pool.release(Bytes(256));
+  pool.release(Bytes(256));  // bucket already holds its one buffer
+  EXPECT_EQ(pool.stats().recycled, 1u);
+  EXPECT_EQ(pool.stats().dropped, 1u);
+  EXPECT_EQ(pool.free_buffers(), 1u);
+}
+
+TEST(BufferPool, TinyBuffersAreNotPooled) {
+  BufferPool pool;
+  pool.release(Bytes(8));  // below the smallest size class
+  EXPECT_EQ(pool.free_buffers(), 0u);
+}
+
+TEST(BufferPool, HitRateTracksSteadyState) {
+  BufferPool pool;
+  EXPECT_EQ(pool.hit_rate(), 0.0);
+  for (int i = 0; i < 10; ++i) {
+    Bytes b = pool.acquire(512);  // first acquire misses, the rest hit
+    pool.release(std::move(b));
+  }
+  EXPECT_EQ(pool.stats().hits, 9u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_NEAR(pool.hit_rate(), 0.9, 1e-9);
+}
+
+TEST(BufferPool, AcquireZeroIsValid) {
+  BufferPool pool;
+  Bytes b = pool.acquire(0);
+  EXPECT_TRUE(b.empty());
 }
 
 }  // namespace

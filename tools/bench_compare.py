@@ -1,12 +1,25 @@
 #!/usr/bin/env python3
-"""bench_compare: regression gate for google-benchmark JSON outputs.
+"""bench_compare: regression gate for benchmark JSON outputs.
 
 Compares a freshly produced benchmark JSON (e.g. BENCH_rs_codec.json)
 against a committed baseline (bench/baselines/*.json) and fails when
 throughput regressed beyond a tolerance. Stdlib-only, same as the other
 tools/ scripts (rw_lint.py, check_links.py), so it runs anywhere CI does.
 
-Two comparison modes:
+Two input schemas:
+
+  google-benchmark (bench_rs_codec): rows under "benchmarks", rates in
+  "bytes_per_second". Handled by the relative/absolute modes below.
+
+  rwbench (bench_json.h: bench_stream_throughput, bench_chain_overhead):
+  rows under "rows", each with a unique "name" and a machine-independent
+  "vs_memcpy" ratio (throughput normalized by the same run's memcpy
+  baseline). Auto-detected; each named row's ratio is compared against the
+  baseline's with the tolerance, and --min-ratio NAME=FLOOR asserts
+  absolute floors on headline rows. Rows missing the metric in either
+  document (e.g. pause_reconnect latency rows) are skipped.
+
+Comparison modes for the google-benchmark schema:
 
   relative (default)
       CI machines differ wildly, so absolute bytes/s from another host are
@@ -122,6 +135,63 @@ def compare(current: dict, baseline: dict, tolerance: float,
     return errors
 
 
+RWBENCH_METRIC = "vs_memcpy"
+
+
+def is_rwbench(doc: dict) -> bool:
+    return "rows" in doc and "benchmarks" not in doc
+
+
+def load_ratios(doc: dict, metric: str) -> dict[str, float]:
+    """name -> metric value for every named row carrying the metric."""
+    out = {}
+    for row in doc.get("rows", []):
+        name = row.get("name")
+        if isinstance(name, str) and isinstance(row.get(metric), (int, float)):
+            out[name] = float(row[metric])
+    return out
+
+
+def compare_rwbench(current: dict, baseline: dict, tolerance: float,
+                    floors: dict[str, float],
+                    metric: str = RWBENCH_METRIC) -> list[str]:
+    errors = []
+    cur = load_ratios(current, metric)
+    base = load_ratios(baseline, metric)
+    if not cur:
+        return [f"current JSON has no rows with a '{metric}' field"]
+    for name, base_v in sorted(base.items()):
+        cur_v = cur.get(name)
+        if cur_v is None:
+            errors.append(f"{name}: present in baseline but missing from "
+                          "current run")
+            continue
+        if cur_v < base_v * (1.0 - tolerance):
+            errors.append(
+                f"{name}: {metric} {cur_v:.3f} < baseline {base_v:.3f} "
+                f"- {tolerance:.0%}")
+    for name, floor in sorted(floors.items()):
+        cur_v = cur.get(name)
+        if cur_v is None:
+            errors.append(f"{name}: --min-ratio floor set but row missing "
+                          "from current run")
+        elif cur_v < floor:
+            errors.append(
+                f"{name}: {metric} {cur_v:.3f} is below the required "
+                f"{floor:.3f} floor")
+    return errors
+
+
+def parse_floors(specs: list[str]) -> dict[str, float]:
+    floors = {}
+    for spec in specs:
+        name, sep, value = spec.rpartition("=")
+        if not sep:
+            raise ValueError(f"--min-ratio needs NAME=FLOOR, got {spec!r}")
+        floors[name] = float(value)
+    return floors
+
+
 def self_check() -> int:
     """Embedded unit checks on synthetic documents (ctest: bench_compare)."""
     def doc(rows):
@@ -170,6 +240,40 @@ def self_check() -> int:
             "BM_GfMulAddBackend/avx2/1500": 95.0,
         }), base, 0.10, False, 1.5), 0),
     ]
+
+    def rwdoc(rows, extra_row=None):
+        out = {"bench": "x", "schema_version": 1, "meta": {}, "rows": [
+            {"name": n, "vs_memcpy": v} for n, v in rows.items()]}
+        if extra_row:
+            out["rows"].append(extra_row)
+        return out
+
+    rwbase = rwdoc({"framed_batched/4096": 0.70, "chain/8/1024": 0.055},
+                   extra_row={"name": "pause_reconnect",
+                              "micros_per_cycle": 1.5})
+    checks += [
+        # rwbench: identical run (metric-free rows ignored): clean.
+        (compare_rwbench(rwbase, rwbase, 0.10, {}), 0),
+        # rwbench: ratio collapsed beyond tolerance: must fail.
+        (compare_rwbench(
+            rwdoc({"framed_batched/4096": 0.40, "chain/8/1024": 0.055}),
+            rwbase, 0.10, {}), 1),
+        # rwbench: noise within tolerance: clean.
+        (compare_rwbench(
+            rwdoc({"framed_batched/4096": 0.66, "chain/8/1024": 0.052}),
+            rwbase, 0.10, {}), 0),
+        # rwbench: baseline row vanished from current run: must fail.
+        (compare_rwbench(rwdoc({"framed_batched/4096": 0.70}),
+                         rwbase, 0.10, {}), 1),
+        # rwbench: headline floor violated: must fail.
+        (compare_rwbench(rwbase, rwbase, 0.10,
+                         {"chain/8/1024": 0.06}), 1),
+        # rwbench: headline floor met: clean.
+        (compare_rwbench(rwbase, rwbase, 0.10,
+                         {"chain/8/1024": 0.05}), 0),
+        # rwbench: current JSON carries no comparable rows: must fail.
+        (compare_rwbench({"rows": []}, rwbase, 0.10, {}), 1),
+    ]
     failed = 0
     for i, (errors, want_fail) in enumerate(checks):
         got_fail = 1 if errors else 0
@@ -192,6 +296,10 @@ def main(argv: list[str]) -> int:
                         help="compare raw bytes/s (same-machine runs only)")
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="required best-backend encode speedup floor")
+    parser.add_argument("--min-ratio", action="append", default=[],
+                        metavar="NAME=FLOOR",
+                        help="rwbench mode: row NAME's vs_memcpy must stay "
+                             ">= FLOOR (repeatable)")
     parser.add_argument("--self-check", action="store_true",
                         help="run embedded unit checks and exit")
     args = parser.parse_args(argv[1:])
@@ -210,11 +318,24 @@ def main(argv: list[str]) -> int:
         print(f"bench_compare: {e}")
         return 1
 
-    errors = compare(current, baseline, args.tolerance, args.absolute,
-                     args.min_speedup)
+    if is_rwbench(current) or is_rwbench(baseline):
+        if not (is_rwbench(current) and is_rwbench(baseline)):
+            print("bench_compare: current and baseline use different "
+                  "schemas (rwbench vs google-benchmark)")
+            return 1
+        try:
+            floors = parse_floors(args.min_ratio)
+        except ValueError as e:
+            print(f"bench_compare: {e}")
+            return 1
+        errors = compare_rwbench(current, baseline, args.tolerance, floors)
+        mode = "rwbench"
+    else:
+        errors = compare(current, baseline, args.tolerance, args.absolute,
+                         args.min_speedup)
+        mode = "absolute" if args.absolute else "relative"
     for err in errors:
         print(err)
-    mode = "absolute" if args.absolute else "relative"
     print(f"bench_compare ({mode}, tolerance {args.tolerance:.0%}): "
           f"{'OK' if not errors else f'{len(errors)} regression(s)'}")
     return 1 if errors else 0

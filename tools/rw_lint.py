@@ -23,6 +23,12 @@ Rules
   RW004  ControlOp codes (src/core/control.h) are dense from 1 and match
          the op table in docs/control_protocol.md.
   RW005  Every bench/bench_*.cpp emits the BENCH json summary line.
+  RW006  No fresh util::Bytes construction inside the per-packet hot paths
+         (PacketFilter run()/on_packet() bodies). Steady-state pass-through
+         must be allocation-free (tests/filter_chain_test.cpp asserts it):
+         acquire scratch from util::default_pool() or move an existing
+         buffer through. Transform filters that genuinely need a fresh
+         output buffer carry a reasoned waiver.
 
 Suppression: append  `// rw-lint: allow(RWxxx) <reason>`  to the offending
 line (the reason is mandatory).
@@ -258,12 +264,80 @@ def check_rw005() -> None:
                    "")
 
 
+# ---------------------------------------------------------------------------
+# RW006: per-packet util::Bytes construction in data-plane hot loops
+
+HOT_DEF_RE = re.compile(r"\b(?:[A-Za-z_]\w*::)*(run|on_packet)\s*\(")
+# A Bytes object being created: declaration (`util::Bytes body = ...`,
+# `Bytes out;`) or a ctor expression (`emit(util::Bytes(...))`).
+BYTES_CTOR_RE = re.compile(r"\b(?:util::)?Bytes\b\s*(?:[a-z_]\w*\s*)?[({=;]")
+# Not an allocation: pool acquire, moving an existing buffer through,
+# references/pointers/template args, spans.
+RW006_SAFE_RE = re.compile(
+    r"\.acquire\s*\(|std::move\s*\(|Bytes\s*[&*>]|ByteSpan")
+
+
+def check_rw006() -> None:
+    for path in src_files(".h", ".cpp"):
+        raw_lines = path.read_text().splitlines()
+        code_lines = [strip_comments(ln) for ln in raw_lines]
+        text = "\n".join(code_lines)
+        for m in HOT_DEF_RE.finditer(text):
+            # Walk to the matching ')' of the parameter list.
+            depth, end_paren = 0, -1
+            for k in range(m.end() - 1, len(text)):
+                c = text[k]
+                if c == "(":
+                    depth += 1
+                elif c == ")":
+                    depth -= 1
+                    if depth == 0:
+                        end_paren = k
+                        break
+            if end_paren < 0:
+                continue
+            # A definition has '{' before the next ';' (else it is a
+            # declaration or a call site).
+            body_open = -1
+            for k in range(end_paren + 1, len(text)):
+                if text[k] == ";":
+                    break
+                if text[k] == "{":
+                    body_open = k
+                    break
+            if body_open < 0:
+                continue
+            depth, body_close = 0, len(text)
+            for k in range(body_open, len(text)):
+                c = text[k]
+                if c == "{":
+                    depth += 1
+                elif c == "}":
+                    depth -= 1
+                    if depth == 0:
+                        body_close = k
+                        break
+            first = text.count("\n", 0, body_open) + 1  # line of the '{'
+            last = text.count("\n", 0, body_close) + 1
+            for lineno in range(first + 1, last):
+                code = code_lines[lineno - 1]
+                if RW006_SAFE_RE.search(code):
+                    continue
+                if BYTES_CTOR_RE.search(code):
+                    report(path, lineno, "RW006",
+                           "fresh util::Bytes in a per-packet hot path "
+                           "(run()/on_packet()); acquire from "
+                           "util::default_pool() or move the input buffer "
+                           "through", raw_lines[lineno - 1])
+
+
 def main() -> int:
     check_rw001()
     check_rw002()
     check_rw003()
     check_rw004()
     check_rw005()
+    check_rw006()
     if errors:
         print("\n".join(errors))
         print(f"\nrw_lint: {len(errors)} error(s). "
