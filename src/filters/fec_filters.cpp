@@ -92,14 +92,16 @@ std::string FecDecodeFilter::output_type(const std::string& input) const {
 }
 
 core::ParamMap FecDecodeFilter::params() const {
-  const auto& s = decoder_.stats();
+  // Read the atomic mirror, not the live decoder: params() runs on the
+  // control thread (list_chain) while the filter thread decodes.
+  const auto& s = shared_stats_;
   return {
-      {"packets_seen", std::to_string(s.packets_seen)},
-      {"data_received", std::to_string(s.data_received)},
-      {"data_recovered", std::to_string(s.data_recovered)},
-      {"data_lost", std::to_string(s.data_lost)},
-      {"groups_complete", std::to_string(s.groups_complete)},
-      {"groups_incomplete", std::to_string(s.groups_incomplete)},
+      {"packets_seen", std::to_string(s.packets_seen.load())},
+      {"data_received", std::to_string(s.data_received.load())},
+      {"data_recovered", std::to_string(s.data_recovered.load())},
+      {"data_lost", std::to_string(s.data_lost.load())},
+      {"groups_complete", std::to_string(s.groups_complete.load())},
+      {"groups_incomplete", std::to_string(s.groups_incomplete.load())},
   };
 }
 
@@ -125,6 +127,17 @@ void FecDecodeFilter::on_flush() {
 
 void FecDecodeFilter::sync_stats() {
   const auto& s = decoder_.stats();
+  shared_stats_.packets_seen.store(s.packets_seen,
+                                   std::memory_order_relaxed);
+  shared_stats_.data_received.store(s.data_received,
+                                    std::memory_order_relaxed);
+  shared_stats_.data_recovered.store(s.data_recovered,
+                                     std::memory_order_relaxed);
+  shared_stats_.data_lost.store(s.data_lost, std::memory_order_relaxed);
+  shared_stats_.groups_complete.store(s.groups_complete,
+                                      std::memory_order_relaxed);
+  shared_stats_.groups_incomplete.store(s.groups_incomplete,
+                                        std::memory_order_relaxed);
   m_groups_decoded_->set(static_cast<std::int64_t>(s.groups_complete));
   m_groups_incomplete_->set(static_cast<std::int64_t>(s.groups_incomplete));
   m_data_recovered_->set(static_cast<std::int64_t>(s.data_recovered));

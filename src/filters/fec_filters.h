@@ -68,6 +68,9 @@ class FecDecodeFilter final : public core::PacketFilter {
   // Accepts anything (raw packets pass through); strips one FEC layer.
   std::string output_type(const std::string& input) const override;
 
+  /// Filter-thread view of the decoder counters. Only safe once the
+  /// stream is quiesced (filter stopped or drained); concurrent readers
+  /// must use params() or the registered gauges instead.
   const fec::DecoderStats& stats() const { return decoder_.stats(); }
 
   /// Adds groups_decoded / groups_incomplete / data_recovered / data_lost.
@@ -81,6 +84,18 @@ class FecDecodeFilter final : public core::PacketFilter {
   void sync_stats();
 
   fec::GroupDecoder decoder_;
+  // Atomic mirror of decoder_.stats(), refreshed by sync_stats() on the
+  // filter thread, so params() (control thread, e.g. a controller's
+  // list_chain while traffic flows) never touches the live decoder.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> packets_seen{0};
+    std::atomic<std::uint64_t> data_received{0};
+    std::atomic<std::uint64_t> data_recovered{0};
+    std::atomic<std::uint64_t> data_lost{0};
+    std::atomic<std::uint64_t> groups_complete{0};
+    std::atomic<std::uint64_t> groups_incomplete{0};
+  };
+  AtomicStats shared_stats_;
   // Owned gauges mirroring decoder_.stats(); updated on the filter thread
   // (DecoderStats itself is not safe to read concurrently), attached to the
   // registry at register_metrics time.

@@ -1,0 +1,236 @@
+#include "raplets/fec_controller.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace rapidware::raplets {
+
+namespace {
+
+std::optional<std::size_t> find_filter(core::ControlManager& manager,
+                                       const std::string& name) {
+  const auto infos = manager.list_chain();
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    if (infos[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+void remove_if_present(core::ControlManager& manager, const std::string& name) {
+  if (const auto pos = find_filter(manager, name)) manager.remove(*pos);
+}
+
+}  // namespace
+
+AdaptiveFecController::AdaptiveFecController(AdaptiveFecControllerConfig config)
+    : config_(std::move(config)) {
+  // Surface bad policy config at construction, not at the first tick.
+  FecPolicy probe(config_.policy);
+  (void)probe;
+  if ((config_.interleave_rows == 0) != (config_.interleave_depth == 0)) {
+    throw std::invalid_argument(
+        "AdaptiveFecController: interleave rows and depth must be set "
+        "together");
+  }
+}
+
+void AdaptiveFecController::add_flow(FlowConfig flow) {
+  if (flow.name.empty()) {
+    throw std::invalid_argument("AdaptiveFecController: empty flow name");
+  }
+  if (!flow.probe) {
+    throw std::invalid_argument("AdaptiveFecController: null loss probe");
+  }
+  rw::MutexLock lk(mu_);
+  if (find_locked(flow.name) != nullptr) {
+    throw std::invalid_argument("AdaptiveFecController: duplicate flow " +
+                                flow.name);
+  }
+  flows_.push_back(std::make_unique<Flow>(std::move(flow), config_.policy));
+}
+
+std::size_t AdaptiveFecController::tick(util::Micros now) {
+  rw::MutexLock lk(mu_);
+  std::size_t changed = 0;
+  std::int64_t active = 0;
+  for (auto& flow : flows_) {
+    const double sample = flow->cfg.probe();
+    const FecPolicy::Decision d = flow->policy.update(now, sample);
+    if (d.action != FecPolicy::Action::kNone) {
+      if (apply_locked(*flow, d, now)) ++changed;
+    }
+    if (flow->policy.active()) ++active;
+  }
+  if (active_gauge_) active_gauge_->set(active);
+  return changed;
+}
+
+bool AdaptiveFecController::apply_locked(Flow& flow,
+                                         const FecPolicy::Decision& d,
+                                         util::Micros now) {
+  const bool interleave =
+      config_.interleave_rows > 0 && config_.interleave_depth > 0;
+  const core::ParamMap il_params = {
+      {"rows", std::to_string(config_.interleave_rows)},
+      {"depth", std::to_string(config_.interleave_depth)}};
+  std::ostringstream what;
+  try {
+    switch (d.action) {
+      case FecPolicy::Action::kInsert:
+        what << flow.cfg.name << " insert fec(" << d.n << "," << d.k << ")";
+        // Decoder side first: every FEC-framed packet that reaches the
+        // receiver must find a decoder already in place.
+        if (flow.cfg.decoder_control) {
+          flow.cfg.decoder_control->insert({"fec-decode", {}},
+                                           config_.decoder_pos);
+          if (interleave) {
+            flow.cfg.decoder_control->insert({"deinterleave", il_params},
+                                             config_.decoder_pos);
+          }
+        }
+        flow.cfg.control.insert({"fec-encode",
+                                 {{"n", std::to_string(d.n)},
+                                  {"k", std::to_string(d.k)}}},
+                                config_.encoder_pos);
+        if (interleave) {
+          flow.cfg.control.insert({"interleave", il_params},
+                                  config_.encoder_pos + 1);
+        }
+        if (inserts_) inserts_->add();
+        break;
+      case FecPolicy::Action::kRetune: {
+        what << flow.cfg.name << " retune fec(" << d.n << "," << d.k << ")";
+        const auto infos = flow.cfg.control.list_chain();
+        std::size_t pos = infos.size();
+        for (std::size_t i = 0; i < infos.size(); ++i) {
+          if (infos[i].name == "fec-encode") pos = i;
+        }
+        if (pos == infos.size()) {
+          throw core::ControlError("fec-encode not in chain");
+        }
+        // The encoder enforces n >= k on every individual set_param, so the
+        // update order depends on direction: shrinking the group must lower
+        // k first, growing it must raise n first.
+        const auto n_it = infos[pos].params.find("n");
+        const std::size_t cur_n =
+            n_it == infos[pos].params.end() ? 0 : std::stoul(n_it->second);
+        if (d.n < cur_n) {
+          flow.cfg.control.set_param(pos, "k", std::to_string(d.k));
+          flow.cfg.control.set_param(pos, "n", std::to_string(d.n));
+        } else {
+          flow.cfg.control.set_param(pos, "n", std::to_string(d.n));
+          flow.cfg.control.set_param(pos, "k", std::to_string(d.k));
+        }
+        if (retunes_) retunes_->add();
+        break;
+      }
+      case FecPolicy::Action::kRemove:
+        what << flow.cfg.name << " remove fec";
+        // Encoder first, so no new FEC frames enter the pipe; the decoder
+        // drains in pass-through mode before removal.
+        remove_if_present(flow.cfg.control, "interleave");
+        remove_if_present(flow.cfg.control, "fec-encode");
+        if (flow.cfg.decoder_control) {
+          remove_if_present(*flow.cfg.decoder_control, "fec-decode");
+          remove_if_present(*flow.cfg.decoder_control, "deinterleave");
+        }
+        if (removes_) removes_->add();
+        break;
+      case FecPolicy::Action::kNone:
+        return false;
+    }
+  } catch (const std::exception& e) {
+    if (failures_) failures_->add();
+    trace_locked(now, what.str() + " FAILED: " + e.what());
+    RW_WARN("fec-controller") << what.str() << " failed: " << e.what();
+    return false;
+  }
+  what << " loss=" << d.smoothed;
+  trace_locked(now, what.str());
+  return true;
+}
+
+bool AdaptiveFecController::fec_active(const std::string& flow) const {
+  rw::MutexLock lk(mu_);
+  const Flow* f = find_locked(flow);
+  if (f == nullptr) {
+    throw std::invalid_argument("AdaptiveFecController: unknown flow " + flow);
+  }
+  return f->policy.active();
+}
+
+double AdaptiveFecController::smoothed_loss(const std::string& flow) const {
+  rw::MutexLock lk(mu_);
+  const Flow* f = find_locked(flow);
+  if (f == nullptr) {
+    throw std::invalid_argument("AdaptiveFecController: unknown flow " + flow);
+  }
+  return f->policy.smoothed();
+}
+
+std::size_t AdaptiveFecController::flows() const {
+  rw::MutexLock lk(mu_);
+  return flows_.size();
+}
+
+void AdaptiveFecController::bind_metrics(obs::Scope scope) {
+  rw::MutexLock lk(mu_);
+  inserts_ = scope.counter("inserts");
+  retunes_ = scope.counter("retunes");
+  removes_ = scope.counter("removes");
+  failures_ = scope.counter("failures");
+  active_gauge_ = scope.gauge("active_flows");
+  trace_ = scope.trace("actions", 64);
+}
+
+AdaptiveFecController::Flow* AdaptiveFecController::find_locked(
+    const std::string& name) {
+  for (auto& f : flows_) {
+    if (f->cfg.name == name) return f.get();
+  }
+  return nullptr;
+}
+
+const AdaptiveFecController::Flow* AdaptiveFecController::find_locked(
+    const std::string& name) const {
+  for (const auto& f : flows_) {
+    if (f->cfg.name == name) return f.get();
+  }
+  return nullptr;
+}
+
+void AdaptiveFecController::trace_locked(util::Micros now,
+                                         const std::string& text) {
+  if (trace_) trace_->record_at(now, text);
+}
+
+AdaptiveFecController::LossProbe AdaptiveFecController::delta_loss_probe(
+    std::function<std::uint64_t()> attempted,
+    std::function<std::uint64_t()> dropped) {
+  if (!attempted || !dropped) {
+    throw std::invalid_argument("delta_loss_probe: null counter");
+  }
+  // One probe belongs to one flow; tick() serializes calls, so plain
+  // mutable lambda state suffices.
+  return [attempted = std::move(attempted), dropped = std::move(dropped),
+          last_a = std::uint64_t{0}, last_d = std::uint64_t{0},
+          primed = false]() mutable {
+    const std::uint64_t a = attempted();
+    const std::uint64_t d = dropped();
+    const std::uint64_t da = a - last_a;
+    const std::uint64_t dd = d - last_d;
+    last_a = a;
+    last_d = d;
+    if (!primed) {
+      primed = true;
+      // First call establishes the baseline; report the lifetime average.
+      return a == 0 ? 0.0 : static_cast<double>(d) / static_cast<double>(a);
+    }
+    if (da == 0) return 0.0;
+    return static_cast<double>(dd) / static_cast<double>(da);
+  };
+}
+
+}  // namespace rapidware::raplets

@@ -1,0 +1,112 @@
+// Closed-loop adaptive FEC controller: the polling counterpart of the
+// event-driven FecResponder, built for virtual-time operation.
+//
+// Where FecResponder reacts to pushed "loss-rate" events, this controller
+// *polls*: each registered flow pairs a ControlManager (the reconfiguration
+// path into a live proxy chain) with a loss probe (typically a delta over
+// per-station obs:: STATS — attempted vs dropped counters). tick(now) polls
+// every flow once, feeds the sample through the flow's FecPolicy, and
+// actuates the resulting decision: insert fec-encode (+ optional
+// interleaver, + optional fec-decode on a receiver-side chain), retune n/k
+// in place via set_param, or remove everything when the link recovers.
+//
+// The controller has no thread or clock of its own — whoever owns the
+// cadence calls tick(). On virtual time that is one sim::PeriodicTask per
+// controller: `PeriodicTask(clock, period, [&](auto now){ ctl.tick(now); })`
+// (raplets must not depend on src/sim, so the glue lives with the caller);
+// on wall time a plain polling thread works the same way.
+//
+// Actuation failures (a concurrent operator removed the chain, transport
+// died) are counted and traced, never thrown: the control loop must keep
+// servicing its other flows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/control.h"
+#include "obs/metrics.h"
+#include "raplets/fec_policy.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace rapidware::raplets {
+
+struct AdaptiveFecControllerConfig {
+  FecPolicyConfig policy;
+  std::size_t encoder_pos = 0;  // chain position for fec-encode
+  std::size_t decoder_pos = 0;  // chain position for fec-decode
+  /// Interleaver inserted right after the encoder when depth > 0, spreading
+  /// each FEC group's packets across `depth` groups to break loss bursts.
+  std::size_t interleave_rows = 0;
+  std::size_t interleave_depth = 0;
+};
+
+class AdaptiveFecController {
+ public:
+  /// Returns the fraction of packets lost since the previous call, in
+  /// [0, 1]. Called once per tick, always from inside tick().
+  using LossProbe = std::function<double()>;
+
+  struct FlowConfig {
+    std::string name;
+    core::ControlManager control;  // encoder-side chain
+    std::optional<core::ControlManager> decoder_control;  // receiver side
+    LossProbe probe;
+  };
+
+  explicit AdaptiveFecController(AdaptiveFecControllerConfig config = {});
+
+  void add_flow(FlowConfig flow);
+
+  /// Polls every flow once at virtual (or wall) time `now`; applies policy
+  /// decisions through the control path. Returns the number of successful
+  /// reconfigurations this tick.
+  std::size_t tick(util::Micros now);
+
+  bool fec_active(const std::string& flow) const;
+  double smoothed_loss(const std::string& flow) const;
+  std::size_t flows() const;
+
+  /// Publishes controller metrics (inserts/retunes/removes/failures
+  /// counters, active-flows gauge, action trace ring) under `scope`.
+  void bind_metrics(obs::Scope scope);
+
+  /// Builds a LossProbe differentiating two monotonic counters (attempted,
+  /// dropped) — the natural probe over wireless::WirelessLan::bind_metrics
+  /// or ChannelStats-backed STATS.
+  static LossProbe delta_loss_probe(std::function<std::uint64_t()> attempted,
+                                    std::function<std::uint64_t()> dropped);
+
+ private:
+  struct Flow {
+    FlowConfig cfg;
+    FecPolicy policy;
+    Flow(FlowConfig c, const FecPolicyConfig& p)
+        : cfg(std::move(c)), policy(p) {}
+  };
+
+  bool apply_locked(Flow& flow, const FecPolicy::Decision& d, util::Micros now)
+      RW_REQUIRES(mu_);
+  Flow* find_locked(const std::string& name) RW_REQUIRES(mu_);
+  const Flow* find_locked(const std::string& name) const RW_REQUIRES(mu_);
+  void trace_locked(util::Micros now, const std::string& text)
+      RW_REQUIRES(mu_);
+
+  const AdaptiveFecControllerConfig config_;
+
+  mutable rw::Mutex mu_;
+  std::vector<std::unique_ptr<Flow>> flows_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Counter> inserts_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Counter> retunes_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Counter> removes_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Counter> failures_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Gauge> active_gauge_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::TraceRing> trace_ RW_GUARDED_BY(mu_);
+};
+
+}  // namespace rapidware::raplets

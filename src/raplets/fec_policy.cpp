@@ -1,0 +1,89 @@
+#include "raplets/fec_policy.h"
+
+#include <stdexcept>
+
+namespace rapidware::raplets {
+
+FecPolicy::FecPolicy(FecPolicyConfig config) : config_(std::move(config)) {
+  if (config_.remove_threshold > config_.insert_threshold) {
+    throw std::invalid_argument(
+        "FecPolicy: remove threshold must not exceed insert threshold");
+  }
+  if (config_.alpha <= 0.0 || config_.alpha > 1.0) {
+    throw std::invalid_argument("FecPolicy: alpha must be in (0, 1]");
+  }
+  if (config_.rungs.empty()) {
+    throw std::invalid_argument("FecPolicy: at least one rung required");
+  }
+  for (std::size_t i = 0; i < config_.rungs.size(); ++i) {
+    const FecRung& r = config_.rungs[i];
+    if (r.k == 0 || r.n <= r.k) {
+      throw std::invalid_argument("FecPolicy: rungs need n > k >= 1");
+    }
+    if (i > 0 && r.min_loss <= config_.rungs[i - 1].min_loss) {
+      throw std::invalid_argument(
+          "FecPolicy: rungs must ascend strictly by min_loss");
+    }
+  }
+}
+
+const FecRung& FecPolicy::rung_for(double loss) const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < config_.rungs.size(); ++i) {
+    if (loss >= config_.rungs[i].min_loss) best = i;
+  }
+  return config_.rungs[best];
+}
+
+FecPolicy::Decision FecPolicy::update(util::Micros now, double loss_sample) {
+  if (loss_sample < 0.0) loss_sample = 0.0;
+  if (loss_sample > 1.0) loss_sample = 1.0;
+  smoothed_ = primed_
+                  ? config_.alpha * loss_sample +
+                        (1.0 - config_.alpha) * smoothed_
+                  : loss_sample;
+  primed_ = true;
+
+  Decision d;
+  d.smoothed = smoothed_;
+  if (ever_acted_ && now - last_action_ < config_.cooldown_us) return d;
+
+  if (!active_) {
+    if (smoothed_ >= config_.insert_threshold) {
+      const FecRung& r = rung_for(smoothed_);
+      active_ = true;
+      n_ = r.n;
+      k_ = r.k;
+      ever_acted_ = true;
+      last_action_ = now;
+      d.action = Action::kInsert;
+      d.n = n_;
+      d.k = k_;
+    }
+    return d;
+  }
+
+  if (smoothed_ <= config_.remove_threshold) {
+    active_ = false;
+    n_ = 0;
+    k_ = 0;
+    ever_acted_ = true;
+    last_action_ = now;
+    d.action = Action::kRemove;
+    return d;
+  }
+
+  const FecRung& r = rung_for(smoothed_);
+  if (r.n != n_ || r.k != k_) {
+    n_ = r.n;
+    k_ = r.k;
+    ever_acted_ = true;
+    last_action_ = now;
+    d.action = Action::kRetune;
+    d.n = n_;
+    d.k = k_;
+  }
+  return d;
+}
+
+}  // namespace rapidware::raplets

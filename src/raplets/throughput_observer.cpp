@@ -1,5 +1,6 @@
 #include "raplets/throughput_observer.h"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace rapidware::raplets {
@@ -21,12 +22,15 @@ ThroughputObserver::ThroughputObserver(std::string source, ByteCounter counter,
   if (alpha_ <= 0.0 || alpha_ > 1.0) {
     throw std::invalid_argument("ThroughputObserver: alpha in (0, 1]");
   }
+  rw::MutexLock lk(mu_);
+  last_bytes_ = counter_();
+  last_at_ = clock_->now();
 }
 
 ThroughputObserver::~ThroughputObserver() { stop(); }
 
 void ThroughputObserver::set_sink(EventSink sink) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   sink_ = std::move(sink);
 }
 
@@ -41,31 +45,32 @@ void ThroughputObserver::stop() {
   if (thread_.joinable()) thread_.join();
 }
 
+void ThroughputObserver::poll_once() {
+  const std::uint64_t bytes = counter_();
+  const util::Micros now = clock_->now();
+  double bps = 0.0;
+  EventSink sink;
+  {
+    rw::MutexLock lk(mu_);
+    if (now <= last_at_) return;  // virtual clock not advanced
+    const double sample = static_cast<double>(bytes - last_bytes_) * 1e6 /
+                          static_cast<double>(now - last_at_);
+    last_bytes_ = bytes;
+    last_at_ = now;
+    smoothed_ = primed_ ? alpha_ * sample + (1.0 - alpha_) * smoothed_
+                        : sample;
+    primed_ = true;
+    bps = smoothed_;
+    sink = sink_;
+  }
+  last_bps_.store(bps);
+  if (sink) sink(Event{"throughput-bps", source_, bps, now});
+}
+
 void ThroughputObserver::poll_loop() {
-  std::uint64_t last_bytes = counter_();
-  util::Micros last_at = clock_->now();
-  bool primed = false;
-  double smoothed = 0.0;
   while (running_.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms_));
-    const std::uint64_t bytes = counter_();
-    const util::Micros now = clock_->now();
-    if (now <= last_at) continue;  // virtual clock not advanced
-    const double sample = static_cast<double>(bytes - last_bytes) * 1e6 /
-                          static_cast<double>(now - last_at);
-    last_bytes = bytes;
-    last_at = now;
-    smoothed = primed ? alpha_ * sample + (1.0 - alpha_) * smoothed : sample;
-    primed = true;
-    const double bps = smoothed;
-    last_bps_.store(bps);
-
-    EventSink sink;
-    {
-      std::lock_guard lk(mu_);
-      sink = sink_;
-    }
-    if (sink) sink(Event{"throughput-bps", source_, bps, now});
+    poll_once();
   }
 }
 

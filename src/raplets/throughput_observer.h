@@ -2,6 +2,15 @@
 // StatsFilter tap at a proxy's ingress) on a fixed interval and emits
 // "throughput-bps" events — the demand side of the bandwidth-adaptation
 // loop (the paper's "disparities among collaborating devices").
+//
+// Two driving modes share one sampling path:
+//   * start() spawns the classic wall-interval polling thread;
+//   * poll_once() takes a single sample immediately, for callers that own
+//     the cadence — a virtual-time control loop, or a deterministic test
+//     that advances a SimClock and polls explicitly (no thread, no sleeps,
+//     no flakiness).
+// Rates are always computed from the injected Clock, so virtual-time
+// callers get exact arithmetic, not scheduling noise.
 #pragma once
 
 #include <atomic>
@@ -10,6 +19,8 @@
 
 #include "raplets/raplet.h"
 #include "util/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::raplets {
 
@@ -18,9 +29,10 @@ class ThroughputObserver final : public Observer {
   using ByteCounter = std::function<std::uint64_t()>;
 
   /// `counter` returns a monotonically increasing byte total; the observer
-  /// differentiates it every `interval_ms` of real time, smooths the rate
-  /// with an EWMA (`alpha` weight on the new sample, damping scheduling
-  /// burstiness), and emits the smoothed value. `source` labels events.
+  /// differentiates it per sample, smooths the rate with an EWMA (`alpha`
+  /// weight on the new sample, damping scheduling burstiness), and emits
+  /// the smoothed value. `source` labels events. The baseline (counter
+  /// value, clock reading) is taken here, at construction.
   ThroughputObserver(std::string source, ByteCounter counter,
                      int interval_ms = 100, util::Clock* clock = nullptr,
                      double alpha = 0.4);
@@ -30,23 +42,33 @@ class ThroughputObserver final : public Observer {
   void start() override;
   void stop() override;
 
+  /// Takes one sample at clock->now(): differentiates the counter since the
+  /// previous sample, updates the EWMA, and emits one event. A no-op when
+  /// the clock has not advanced (virtual time standing still). Thread-safe;
+  /// the polling thread uses this same path.
+  void poll_once();
+
   double last_bps() const { return last_bps_.load(); }
 
  private:
   void poll_loop();
 
-  std::string source_;
-  ByteCounter counter_;
-  int interval_ms_;
-  util::Clock* clock_;
-  double alpha_;
-  util::WallClock wall_;
+  const std::string source_;
+  const ByteCounter counter_;
+  const int interval_ms_;
+  util::Clock* const clock_;
+  const double alpha_;
+  util::WallClock wall_;  // rw-lint: allow(RW003) stateless
 
-  std::mutex mu_;
-  EventSink sink_;
+  mutable rw::Mutex mu_;
+  EventSink sink_ RW_GUARDED_BY(mu_);
+  std::uint64_t last_bytes_ RW_GUARDED_BY(mu_) = 0;
+  util::Micros last_at_ RW_GUARDED_BY(mu_) = 0;
+  double smoothed_ RW_GUARDED_BY(mu_) = 0.0;
+  bool primed_ RW_GUARDED_BY(mu_) = false;
   std::atomic<double> last_bps_{0.0};
   std::atomic<bool> running_{false};
-  std::thread thread_;
+  std::thread thread_;  // rw-lint: allow(RW003) start/stop-only, serialized by caller
 };
 
 }  // namespace rapidware::raplets

@@ -1,0 +1,134 @@
+// Discrete-event virtual time: the engine that turns the simulation layer
+// into deterministic-simulation-testing infrastructure.
+//
+// util::SimClock (src/util/clock.h) is a bare counter — whoever advances it
+// decides what "happened" in between, which is fine for open-loop tests but
+// useless for closed-loop ones: a controller that must poll STATS every
+// virtual second needs something to *run it* at the right instants.
+// VirtualClock adds the missing half: an ordered event queue. Callbacks are
+// scheduled at absolute virtual times and executed, in order, by whichever
+// thread drives run_until()/run_for(); the clock never advances past an
+// unexecuted due event.
+//
+// Determinism contract (docs/simulation.md):
+//   * Events fire in (time, seq) order, where seq is a monotonic counter
+//     assigned at schedule time. Two events scheduled for the same instant
+//     therefore fire in the order they were scheduled — ties never depend
+//     on heap layout, hashing, or thread timing.
+//   * With a single driving thread (the normal arrangement: everything
+//     downstream of run_until() happens on the caller), the same schedule
+//     of callbacks produces the same interleaving every run. That is what
+//     lets a 10,000-station sweep assert byte-identical STATS dumps.
+//   * Scheduling is thread-safe (a worker may post an event while the
+//     driver runs), but cross-thread schedules race the driver by nature;
+//     deterministic tests schedule only from the driving thread (usually
+//     from inside callbacks).
+//
+// No wall-clock calls, ever: rw_lint RW007 bans steady_clock::now() and
+// sleep_for in src/sim/ precisely so virtual hours stay wall-clock-free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "util/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace rapidware::sim {
+
+class VirtualClock final : public util::Clock {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Handle for cancellation. The (at, seq) pair is the event's identity in
+  /// the queue; seq alone is globally unique.
+  struct EventId {
+    util::Micros at = 0;
+    std::uint64_t seq = 0;
+  };
+
+  VirtualClock() = default;
+  VirtualClock(const VirtualClock&) = delete;
+  VirtualClock& operator=(const VirtualClock&) = delete;
+
+  /// Current virtual time. Starts at 0.
+  util::Micros now() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  /// Schedules `fn` at absolute virtual time `at` (clamped to now(): the
+  /// past is immutable, so a stale timestamp fires at the current instant).
+  EventId schedule_at(util::Micros at, Callback fn);
+
+  /// Schedules `fn` `dt` microseconds from now (dt < 0 clamps to now).
+  EventId schedule_after(util::Micros dt, Callback fn);
+
+  /// Cancels a pending event. Returns false when the event already fired,
+  /// was cancelled before, or is executing right now (cancellation never
+  /// interrupts a running callback).
+  bool cancel(const EventId& id);
+
+  /// Runs every event due at or before `t` (in (time, seq) order), then
+  /// advances now() to `t`. Callbacks run on the calling thread with no
+  /// internal lock held, so they may schedule and cancel freely. Events a
+  /// callback schedules within [now, t] are executed in the same call.
+  /// Returns the number of callbacks executed.
+  std::size_t run_until(util::Micros t);
+
+  /// run_until(now() + dt); dt must be >= 0.
+  std::size_t run_for(util::Micros dt);
+
+  /// Runs the single earliest pending event, advancing now() to its time.
+  /// Returns false (and leaves time untouched) when the queue is empty.
+  bool step();
+
+  /// Number of events waiting in the queue.
+  std::size_t pending() const;
+
+  /// Virtual time of the earliest pending event, or util::Micros max when
+  /// the queue is empty.
+  util::Micros next_event_at() const;
+
+ private:
+  using Key = std::pair<util::Micros, std::uint64_t>;  // (time, seq)
+
+  /// Pops the earliest event due at or before `t` and advances now() to its
+  /// time; returns nullptr when none is due.
+  Callback pop_due(util::Micros t);
+
+  mutable rw::Mutex mu_;
+  std::map<Key, Callback> events_ RW_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ RW_GUARDED_BY(mu_) = 0;
+  std::atomic<util::Micros> now_{0};
+};
+
+/// Self-rescheduling periodic event: calls fn(now) every `period` starting
+/// at `first_at` (default: one period from now). stop() is safe from inside
+/// the callback. The task stops automatically when destroyed.
+class PeriodicTask {
+ public:
+  using Fn = std::function<void(util::Micros now)>;
+
+  PeriodicTask(VirtualClock& clock, util::Micros period, Fn fn);
+  PeriodicTask(VirtualClock& clock, util::Micros period, Fn fn,
+               util::Micros first_at);
+  ~PeriodicTask() { stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  bool stopped() const;
+
+ private:
+  struct State;
+  static void fire(const std::shared_ptr<State>& st);
+  static void arm(const std::shared_ptr<State>& st, util::Micros first);
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace rapidware::sim

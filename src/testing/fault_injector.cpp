@@ -36,7 +36,11 @@ void FaultInjector::maybe_delay() {
   }
   if (sleep_us > 0) {
     sim_clock_.advance(sleep_us);
-    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    if (plan_.wall_delays) {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    } else {
+      std::this_thread::yield();
+    }
   } else {
     std::this_thread::yield();
   }

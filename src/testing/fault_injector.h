@@ -45,6 +45,13 @@ struct FaultPlan {
   /// Upper bound for an injected sleep, in microseconds. Most delays are
   /// plain yields; sleeps model a thread that loses the CPU for a while.
   std::int64_t max_delay_us = 200;
+  /// When true, a drawn sleep really blocks the thread (wall clock) — the
+  /// TSan smoke subset's mode, where genuine preemption windows matter.
+  /// Default: virtual — the drawn duration advances the injector's
+  /// SimClock and the thread just yields. Either way the Rng draw sequence
+  /// is identical, so a pinned schedule seed replays the same fault
+  /// decisions in both modes; only wall time differs.
+  bool wall_delays = false;
   /// P(an I/O call throws core::StreamError / core::BrokenPipe instead of
   /// completing). Off by default: a throwing source/sink truncates the
   /// stream by contract, so loss-free assertions must not arm this.

@@ -72,6 +72,13 @@ struct StressOptions {
   std::size_t ring_capacity = 768;
   std::size_t max_filters = 4;
   FaultPlan faults;
+  /// Wall-clock pacing between control ops. Default off: the pacing draw
+  /// still happens (so the op schedule derived from a seed is identical in
+  /// both modes — pinned regression seeds stay valid), but the drawn gap
+  /// advances a virtual clock and yields instead of sleeping. The full
+  /// 500-schedule sweep then completes in seconds; the TSan smoke subset
+  /// turns this (and faults.wall_delays) back on for real preemption.
+  bool wall_pacing = false;
   /// Abort the process (dumping the schedule seed) if a schedule makes no
   /// progress for this long — a deadlock is otherwise an opaque CI timeout.
   std::int64_t stall_timeout_ms = 120'000;

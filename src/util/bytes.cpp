@@ -28,6 +28,7 @@ ByteRing::ByteRing(std::size_t capacity) : buf_(capacity) {}
 
 std::size_t ByteRing::write(ByteSpan in) {
   const std::size_t n = std::min(in.size(), free_space());
+  if (n == 0) return 0;  // empty span may carry data() == nullptr (UB in memcpy)
   const std::size_t tail = (head_ + size_) % buf_.size();
   const std::size_t first = std::min(n, buf_.size() - tail);
   std::memcpy(buf_.data() + tail, in.data(), first);

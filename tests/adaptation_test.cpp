@@ -3,6 +3,7 @@
 // to fit a constrained handheld link.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "filters/registry.h"
@@ -28,33 +29,52 @@ TEST(ThroughputObserver, RejectsBadArguments) {
 }
 
 TEST(ThroughputObserver, DifferentiatesCounter) {
-  std::atomic<std::uint64_t> bytes{0};
-  auto observer = std::make_shared<ThroughputObserver>(
-      "tap", [&] { return bytes.load(); }, 20);
-  std::mutex mu;
+  // Deterministic: no polling thread, no wall sleeps. The test owns the
+  // clock and the cadence via poll_once(), so every computed rate is exact
+  // arithmetic instead of a scheduling-jitter ballpark.
+  util::SimClock clock;
+  std::uint64_t bytes = 0;
+  ThroughputObserver observer(
+      "tap", [&] { return bytes; }, 20, &clock, /*alpha=*/1.0);
   std::vector<Event> events;
-  observer->set_sink([&](const Event& e) {
-    std::lock_guard lk(mu);
-    events.push_back(e);
-  });
-  observer->start();
-  // Feed ~1 MB/s for a few polling intervals.
-  for (int i = 0; i < 8; ++i) {
-    bytes.fetch_add(20'000);
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  }
-  observer->stop();
+  observer.set_sink([&](const Event& e) { events.push_back(e); });
 
-  std::lock_guard lk(mu);
-  ASSERT_GE(events.size(), 2u);
+  // Feed exactly 1 MB/s: 20'000 bytes per 20 ms virtual interval.
+  for (int i = 0; i < 8; ++i) {
+    bytes += 20'000;
+    clock.advance(20'000);
+    observer.poll_once();
+  }
+  ASSERT_EQ(events.size(), 8u);
   EXPECT_EQ(events[0].type, "throughput-bps");
   EXPECT_EQ(events[0].source, "tap");
-  // Order of magnitude only (scheduling jitter is large at 20 ms); the
-  // peak observed rate must be in the ~1 MB/s ballpark we fed.
-  double peak = 0.0;
-  for (const auto& e : events) peak = std::max(peak, e.value);
-  EXPECT_GT(peak, 100'000.0);
-  EXPECT_LT(peak, 20'000'000.0);
+  for (const auto& e : events) EXPECT_DOUBLE_EQ(e.value, 1'000'000.0);
+  EXPECT_DOUBLE_EQ(observer.last_bps(), 1'000'000.0);
+
+  // Polling while virtual time stands still is a no-op, not a div-by-zero.
+  observer.poll_once();
+  EXPECT_EQ(events.size(), 8u);
+}
+
+TEST(ThroughputObserver, SmoothsRateStepsWithEwma) {
+  util::SimClock clock;
+  std::uint64_t bytes = 0;
+  ThroughputObserver observer(
+      "tap", [&] { return bytes; }, 20, &clock, /*alpha=*/0.5);
+
+  bytes += 20'000;  // 1 MB/s primes the EWMA directly
+  clock.advance(20'000);
+  observer.poll_once();
+  EXPECT_DOUBLE_EQ(observer.last_bps(), 1'000'000.0);
+
+  bytes += 60'000;  // step to 3 MB/s: EWMA moves halfway, not all the way
+  clock.advance(20'000);
+  observer.poll_once();
+  EXPECT_DOUBLE_EQ(observer.last_bps(), 2'000'000.0);
+
+  clock.advance(20'000);  // idle interval: decays halfway toward zero
+  observer.poll_once();
+  EXPECT_DOUBLE_EQ(observer.last_bps(), 1'000'000.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -302,10 +322,20 @@ TEST(Handoff, StreamKeepsFlowingAcrossHandoffs) {
     w.clock->advance(20'000);
     if (i % 20 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Predicate wait, not a fixed sleep: drain both receivers until all 100
+  // packets surfaced or a generous deadline passes (then the assert names
+  // the shortfall).
   std::size_t mobile_count = 0, laptop_count = 0;
-  while (rx_mobile->recv(0)) ++mobile_count;
-  while (rx_laptop->recv(0)) ++laptop_count;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (mobile_count + laptop_count < 100 &&
+         std::chrono::steady_clock::now() < deadline) {
+    while (rx_mobile->recv(0)) ++mobile_count;
+    while (rx_laptop->recv(0)) ++laptop_count;
+    if (mobile_count + laptop_count < 100) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
   EXPECT_EQ(mobile_count + laptop_count, 100u);
   EXPECT_GT(mobile_count, 30u);
   EXPECT_GT(laptop_count, 30u);

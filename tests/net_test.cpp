@@ -196,8 +196,11 @@ TEST(SimNetwork, RecvBlocksUntilArrival) {
   NetFixture f;
   auto sa = f.net.open(f.a, 1);
   auto sb = f.net.open(f.b, 2);
+  // The tiny sleep makes "receiver already blocked" the common interleaving;
+  // if the send wins the race anyway, recv(-1) finds the queued datagram and
+  // the assertion is unchanged — no timing dependence in the verdict.
   std::thread sender([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
     sa->send_to({f.b, 2}, to_bytes("late"));
   });
   const auto d = sb->recv(-1);
@@ -209,8 +212,10 @@ TEST(SimNetwork, RecvBlocksUntilArrival) {
 TEST(SimNetwork, CloseUnblocksReceiver) {
   NetFixture f;
   auto sb = f.net.open(f.b, 2);
+  // Same race-tolerant shape as above: close-before-recv and
+  // close-during-recv both legitimately yield nullopt.
   std::thread closer([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
     sb->close();
   });
   EXPECT_FALSE(sb->recv(-1).has_value());

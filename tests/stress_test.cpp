@@ -7,6 +7,12 @@
 // seed so the schedule replays exactly. Scale the sweep with
 // RW_STRESS_SCHEDULES (default 500); run under -DRW_SANITIZE=thread and
 // -DRW_SANITIZE=address to turn every schedule into a race/UB check.
+//
+// Pacing is virtual-time by default: drawn delays advance the injectors'
+// SimClocks and yield, so the full 500-schedule sweep finishes in seconds.
+// The Rng draws are identical in both modes, so pinned seeds replay the
+// same schedules. WallClockSmokeSubset re-enables real sleeps on a small
+// subset so sanitizer runs still see genuine preemption windows.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -181,6 +187,25 @@ TEST(ChainStress, RegressionSchedules) {
     const auto res = driver.run_schedule(seed);
     EXPECT_TRUE(res.ok) << res.describe();
   }
+}
+
+// Wall-clock smoke subset: a handful of schedules with real sleeps (both
+// control-op pacing and injector delays), preserving the genuine
+// lose-the-CPU preemption windows the virtual-time sweep trades away.
+// Under TSan/ASan this is the subset that stresses timing-dependent
+// interleavings; keep it small — wall sleeps dominate its runtime.
+TEST(ChainStress, WallClockSmokeSubset) {
+  testing::StressOptions opts;
+  opts.seed = base_seed() ^ 0x3a11ULL;
+  opts.schedules = std::max(1, env_int("RW_STRESS_SCHEDULES", 500) / 25);
+  opts.wall_pacing = true;
+  opts.faults.wall_delays = true;
+  testing::StressDriver driver(opts);
+  const auto summary = driver.run_all();
+  EXPECT_EQ(summary.failures, 0) << summary.describe();
+  EXPECT_EQ(summary.schedules_run, opts.schedules);
+  EXPECT_EQ(summary.bytes_total,
+            std::uint64_t(opts.schedules) * opts.bytes_per_schedule);
 }
 
 // ---------------------------------------------------------------------------

@@ -29,6 +29,15 @@ Rules
          acquire scratch from util::default_pool() or move an existing
          buffer through. Transform filters that genuinely need a fresh
          output buffer carry a reasoned waiver.
+  RW007  No wall-clock time in the simulated layers: src/net/, src/wireless/
+         and src/sim/ must not call std::chrono::steady_clock::now() or
+         sleep_for. Those layers run under sim::VirtualClock in tests and
+         the fleet simulation (docs/simulation.md); a stray wall-clock read
+         makes runs timing-dependent and breaks the byte-identical
+         determinism contract. Take a util::Clock* and use clock->now() /
+         virtual scheduling instead. Genuine wall-clock needs (e.g. a
+         watchdog that must fire even when the virtual loop wedges) carry a
+         reasoned waiver.
 
 Suppression: append  `// rw-lint: allow(RWxxx) <reason>`  to the offending
 line (the reason is mandatory).
@@ -52,7 +61,6 @@ LEGACY_STD_MUTEX = {
     "src/raplets/fec_responder.h",
     "src/raplets/handoff.h",
     "src/raplets/loss_observer.h",
-    "src/raplets/throughput_observer.h",
     "src/raplets/transcode_responder.h",
     "src/util/logging.cpp",
 }
@@ -331,6 +339,28 @@ def check_rw006() -> None:
                            "through", raw_lines[lineno - 1])
 
 
+# ---------------------------------------------------------------------------
+# RW007: no wall-clock reads or sleeps in the simulated layers
+
+# Layers that must stay driveable by sim::VirtualClock (docs/simulation.md).
+RW007_LAYERS = ("src/net/", "src/wireless/", "src/sim/")
+RW007_RE = re.compile(
+    r"std::chrono::steady_clock::now\s*\(|\bsleep_for\s*\(")
+
+
+def check_rw007() -> None:
+    for path in src_files(".h", ".cpp"):
+        rel = str(path.relative_to(REPO))
+        if not rel.startswith(RW007_LAYERS):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if RW007_RE.search(strip_comments(line)):
+                report(path, lineno, "RW007",
+                       "wall-clock dependence in a simulated layer; take a "
+                       "util::Clock* (virtual time in tests/sim) instead of "
+                       "steady_clock::now()/sleep_for", line)
+
+
 def main() -> int:
     check_rw001()
     check_rw002()
@@ -338,6 +368,7 @@ def main() -> int:
     check_rw004()
     check_rw005()
     check_rw006()
+    check_rw007()
     if errors:
         print("\n".join(errors))
         print(f"\nrw_lint: {len(errors)} error(s). "
