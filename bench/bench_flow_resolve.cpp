@@ -1,0 +1,193 @@
+// Flow classification hot path: resolve + dispatch cost per flow, and the
+// flyweight sharing contract at acceptance scale.
+//
+// Scenario: a proxy serving kFlows concurrent flows from a kRules-entry
+// rule table (banded station ranges, so first-match scans ~kRules/2 rules).
+// Three measured paths:
+//
+//   resolve/cold   — first packet of a new flow: full rule scan + spec-table
+//                    intern hit + flow-map insert (the FlowTable::acquire
+//                    shape minus chain construction).
+//   resolve/rehit  — re-resolution of a known key (what reresolve() does per
+//                    flow after a RULE_ADD).
+//   dispatch/warm  — steady-state packet dispatch: flow-map find + touching
+//                    the flow's interned spec.
+//
+// Contracts asserted by the binary itself (exit 1 on violation, so the CI
+// step fails even before the baseline gate runs):
+//   * kFlows flows resolved from kRules rules share <= kRules ChainSpec
+//     objects, by pointer identity.
+//   * resolve + dispatch stays under 1 us per flow.
+//
+// vs_memcpy (rows): flows/s divided by the same run's 64 KiB memcpy MB/s —
+// the machine-independent ratio gated by tools/bench_compare.py against
+// bench/baselines/flow_resolve_baseline.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/flow_classifier.h"
+
+using namespace rapidware;
+
+namespace {
+
+constexpr std::uint32_t kRules = 16;
+constexpr std::uint32_t kFlows = 10'000;
+
+double memcpy_ref_mbps() {
+  // Same normalization reference as the other data-plane benches:
+  // single-thread 64 KiB memcpy, best of 5.
+  constexpr std::size_t kChunk = 65536;
+  constexpr int kChunks = 4096;
+  std::vector<std::uint8_t> src(kChunk, 0xaa), dst(kChunk, 0);
+  volatile std::uint8_t guard = 0;
+  double best = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kChunks; ++i) {
+      std::copy(src.begin(), src.end(), dst.begin());
+      guard = guard + dst[kChunk - 1];
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    best = std::max(best, kChunk * static_cast<double>(kChunks) / secs / 1e6);
+  }
+  return best;
+}
+
+void populate_rules(core::FlowClassifier& clf) {
+  for (std::uint32_t r = 0; r < kRules; ++r) {
+    core::FlowRule rule;
+    rule.name = "band-" + std::to_string(r);
+    rule.priority = 10 + r;
+    rule.station_lo = r * (kFlows / kRules);
+    rule.station_hi = (r + 1) * (kFlows / kRules) - 1;
+    rule.chain.name = "chain-" + std::to_string(r);
+    rule.chain.stages = {
+        {"fec-encode", {{"n", std::to_string(4 + r % 8)}, {"k", "4"}}}};
+    clf.add_rule(std::move(rule));
+  }
+}
+
+core::FlowKey key_of(std::uint32_t f) {
+  return {f, "audio",
+          static_cast<core::LossRegime>(f % 3)};
+}
+
+double secs_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Flow resolve + dispatch (%u flows, %u rules) ===\n\n",
+              kFlows, kRules);
+
+  core::FilterSpecTable table;
+  core::FlowClassifier clf(&table);
+  populate_rules(clf);
+
+  rwbench::JsonSummary json("flow_resolve");
+  const double memcpy_ref = memcpy_ref_mbps();
+  json.meta("memcpy_ref_mbytes_per_sec", memcpy_ref);
+  json.meta("flows", static_cast<unsigned long long>(kFlows));
+  json.meta("rules", static_cast<unsigned long long>(kRules));
+
+  // --- resolve/cold: first packet of every flow --------------------------
+  // Best of 3 sweeps; each sweep rebuilds the flow map from scratch (the
+  // classifier and spec table stay warm, as in a long-lived proxy).
+  std::map<core::FlowKey, core::ChainSpecRef> flow_map;
+  double cold_best = 0.0;  // flows per second
+  for (int rep = 0; rep < 3; ++rep) {
+    flow_map.clear();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint32_t f = 0; f < kFlows; ++f) {
+      const core::FlowKey key = key_of(f);
+      flow_map.emplace(key, clf.resolve(key));
+    }
+    cold_best = std::max(cold_best, kFlows / secs_since(t0));
+  }
+  const double cold_ns = 1e9 / cold_best;
+
+  // Flyweight contract: all flows share the rules' interned specs.
+  std::set<const core::ChainSpec*> distinct;
+  for (const auto& [key, spec] : flow_map) distinct.insert(spec.get());
+  std::printf("flyweight: %zu flows -> %zu distinct ChainSpec objects "
+              "(table holds %zu)\n",
+              flow_map.size(), distinct.size(), table.size());
+  if (distinct.size() > kRules || table.size() > kRules + 1) {
+    std::fprintf(stderr,
+                 "FAIL: flyweight sharing broken: %zu spec objects from %u "
+                 "rules\n",
+                 distinct.size(), kRules);
+    return 1;
+  }
+
+  // --- resolve/rehit: re-resolve every live flow (the reresolve() scan) --
+  double rehit_best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint32_t f = 0; f < kFlows; ++f) {
+      auto spec = clf.resolve(key_of(f));
+      if (!spec) return 1;
+    }
+    rehit_best = std::max(rehit_best, kFlows / secs_since(t0));
+  }
+  const double rehit_ns = 1e9 / rehit_best;
+
+  // --- dispatch/warm: per-packet flow-map hit ----------------------------
+  constexpr std::uint32_t kPackets = 200'000;
+  double warm_best = 0.0;
+  volatile std::size_t sink = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint32_t p = 0; p < kPackets; ++p) {
+      const auto it = flow_map.find(key_of(p % kFlows));
+      sink = sink + it->second->stages.size();
+    }
+    warm_best = std::max(warm_best, kPackets / secs_since(t0));
+  }
+  const double warm_ns = 1e9 / warm_best;
+
+  std::printf("\n%-16s %14s %12s %12s\n", "path", "flows/s", "ns/flow",
+              "vs_memcpy");
+  const auto emit = [&](const std::string& name, double per_s, double ns) {
+    const double ratio = per_s / memcpy_ref;
+    std::printf("%-16s %14.3g %12.1f %12.2f\n", name.c_str(), per_s, ns,
+                ratio);
+    json.row({{"name", name},
+              {"flows_per_s", per_s},
+              {"ns_per_flow", ns},
+              {"vs_memcpy", ratio}});
+  };
+  emit("resolve/cold", cold_best, cold_ns);
+  emit("resolve/rehit", rehit_best, rehit_ns);
+  emit("dispatch/warm", warm_best, warm_ns);
+
+  // The acceptance bound: resolving a new flow AND dispatching a packet to
+  // it both fit inside a microsecond.
+  const double resolve_plus_dispatch_ns = cold_ns + warm_ns;
+  std::printf("\nresolve+dispatch: %.1f ns/flow (bound: 1000 ns)\n",
+              resolve_plus_dispatch_ns);
+  json.meta("resolve_plus_dispatch_ns", resolve_plus_dispatch_ns);
+  json.meta("intern_hits", static_cast<unsigned long long>(table.hits()));
+  json.meta("intern_misses", static_cast<unsigned long long>(table.misses()));
+  if (resolve_plus_dispatch_ns >= 1000.0) {
+    std::fprintf(stderr, "FAIL: resolve+dispatch %.1f ns >= 1 us per flow\n",
+                 resolve_plus_dispatch_ns);
+    return 1;
+  }
+
+  std::printf("\n");
+  json.write();
+  return 0;
+}

@@ -31,6 +31,14 @@ ControlServer::ControlServer(std::shared_ptr<FilterChain> chain,
   }
 }
 
+void ControlServer::set_classifier(FlowClassifier* classifier) {
+  classifier_ = classifier;
+}
+
+void ControlServer::on_rules_changed(std::function<void()> hook) {
+  rules_changed_ = std::move(hook);
+}
+
 util::Bytes ControlServer::handle(util::ByteSpan request) {
   try {
     return dispatch(request);
@@ -109,6 +117,35 @@ util::Bytes ControlServer::dispatch(util::ByteSpan request) {
       text += obs::render(metrics_->snapshot(prefix));
       util::Writer w;
       w.str(text);
+      return wire::ok_response(w.bytes());
+    }
+    case ControlOp::kRuleAdd: {
+      if (classifier_ == nullptr) {
+        return wire::error_response("no flow classifier");
+      }
+      classifier_->add_rule(FlowRule::deserialize(r.blob()));
+      if (rules_changed_) rules_changed_();
+      return wire::ok_response();
+    }
+    case ControlOp::kRuleDel: {
+      if (classifier_ == nullptr) {
+        return wire::error_response("no flow classifier");
+      }
+      const std::string name = r.str();
+      if (!classifier_->remove_rule(name)) {
+        return wire::error_response("unknown rule: " + name);
+      }
+      if (rules_changed_) rules_changed_();
+      return wire::ok_response();
+    }
+    case ControlOp::kRuleList: {
+      if (classifier_ == nullptr) {
+        return wire::error_response("no flow classifier");
+      }
+      util::Writer w;
+      const auto rules = classifier_->rules();
+      w.u32(static_cast<std::uint32_t>(rules.size()));
+      for (const FlowRule& rule : rules) w.blob(rule.serialize());
       return wire::ok_response(w.bytes());
     }
   }
@@ -202,6 +239,34 @@ void ControlManager::upload(const std::string& name, const FilterSpec& base) {
   req.str(name);
   req.blob(base.serialize());
   roundtrip(req.bytes());
+}
+
+void ControlManager::rule_add(const FlowRule& rule) {
+  util::Writer req;
+  req.u8(static_cast<std::uint8_t>(ControlOp::kRuleAdd));
+  req.blob(rule.serialize());
+  roundtrip(req.bytes());
+}
+
+void ControlManager::rule_del(const std::string& name) {
+  util::Writer req;
+  req.u8(static_cast<std::uint8_t>(ControlOp::kRuleDel));
+  req.str(name);
+  roundtrip(req.bytes());
+}
+
+std::vector<FlowRule> ControlManager::rule_list() {
+  util::Writer req;
+  req.u8(static_cast<std::uint8_t>(ControlOp::kRuleList));
+  const util::Bytes payload = roundtrip(req.bytes());
+  util::Reader r(payload);
+  const std::uint32_t count = r.u32();
+  std::vector<FlowRule> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out.push_back(FlowRule::deserialize(r.blob()));
+  }
+  return out;
 }
 
 std::string ControlManager::stats_text(const std::string& scope) {

@@ -19,6 +19,7 @@
 
 #include "core/filter_chain.h"
 #include "core/filter_registry.h"
+#include "core/flow_classifier.h"
 #include "obs/metrics.h"
 #include "util/bytes.h"
 
@@ -33,6 +34,9 @@ enum class ControlOp : std::uint8_t {
   kSetParam = 6,     // position + key + value
   kUpload = 7,       // alias name + base spec
   kStats = 8,        // scope prefix -> metrics text (v2)
+  kRuleAdd = 9,      // blob(FlowRule): add/replace a classifier rule (v3)
+  kRuleDel = 10,     // rule name (v3)
+  kRuleList = 11,    // -> FlowRule list in match order (v3)
 };
 
 /// Protocol version, reported as the first "proto_version=N" line of every
@@ -42,7 +46,8 @@ enum class ControlOp : std::uint8_t {
 /// older server tells a newer client to back off.
 ///   v1: ops 1-7.
 ///   v2: adds kStats.
-inline constexpr int kControlProtocolVersion = 2;
+///   v3: adds kRuleAdd/kRuleDel/kRuleList (per-flow rule table).
+inline constexpr int kControlProtocolVersion = 3;
 
 /// Snapshot of one configured filter, as reported by kListChain.
 struct FilterInfo {
@@ -68,6 +73,17 @@ class ControlServer {
                 FilterRegistry* registry = &global_registry(),
                 obs::Registry* metrics = &obs::registry());
 
+  /// Attaches the per-flow rule table the v3 RULE_* verbs operate on. A
+  /// server without a classifier answers them with an error (the same
+  /// degrade-cleanly path as an older server). Not owned; must outlive the
+  /// server.
+  void set_classifier(FlowClassifier* classifier);
+
+  /// Called after every successful RULE_ADD / RULE_DEL, outside any
+  /// classifier lock — the hook a proxy uses to re-resolve its live flows
+  /// (docs/flow_classification.md, "Live updates").
+  void on_rules_changed(std::function<void()> hook);
+
   /// Decodes, executes, and answers one request. Never throws: failures are
   /// reported in the response.
   util::Bytes handle(util::ByteSpan request);
@@ -78,6 +94,8 @@ class ControlServer {
   std::shared_ptr<FilterChain> chain_;
   FilterRegistry* registry_;
   obs::Registry* metrics_;
+  FlowClassifier* classifier_ = nullptr;
+  std::function<void()> rules_changed_;
 };
 
 /// Thrown by ControlManager when the server reports an error.
@@ -107,6 +125,12 @@ class ControlManager {
   /// Uploads a third-party filter definition (alias over registered
   /// primitives); afterwards insert() accepts the new name.
   void upload(const std::string& name, const FilterSpec& base);
+
+  /// v3 rule-table verbs. Servers without a classifier (or pre-v3 servers)
+  /// answer with an error, surfaced here as ControlError.
+  void rule_add(const FlowRule& rule);
+  void rule_del(const std::string& name);
+  std::vector<FlowRule> rule_list();
 
   /// STATS: the raw "name=value\n" metrics dump for `scope` (empty: all
   /// metrics). The first line is always "proto_version=N".

@@ -1,0 +1,107 @@
+#include "core/filter_spec.h"
+
+#include <sstream>
+
+#include "util/serial.h"
+
+namespace rapidware::core {
+
+util::Bytes ChainSpec::serialize() const {
+  util::Writer w;
+  w.str(name);
+  w.u32(static_cast<std::uint32_t>(stages.size()));
+  for (const FilterSpec& stage : stages) w.blob(stage.serialize());
+  return w.take();
+}
+
+ChainSpec ChainSpec::deserialize(util::ByteSpan in) {
+  util::Reader r(in);
+  ChainSpec spec;
+  spec.name = r.str();
+  const std::uint32_t n = r.u32();
+  spec.stages.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    spec.stages.push_back(FilterSpec::deserialize(r.blob()));
+  }
+  return spec;
+}
+
+std::string ChainSpec::render() const {
+  std::ostringstream os;
+  os << (name.empty() ? "chain" : name) << ":";
+  if (stages.empty()) {
+    os << " passthrough";
+    return os.str();
+  }
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    os << (i == 0 ? " " : " -> ") << stages[i].name << '{';
+    bool first = true;
+    for (const auto& [k, v] : stages[i].params) {
+      os << (first ? "" : ",") << k << '=' << v;
+      first = false;
+    }
+    os << '}';
+  }
+  return os.str();
+}
+
+ChainSpecRef FilterSpecTable::intern(ChainSpec spec) {
+  const util::Bytes wire = spec.serialize();
+  std::string key(wire.begin(), wire.end());
+  rw::MutexLock lk(mu_);
+  auto it = interned_.find(key);
+  if (it != interned_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto ref = std::make_shared<const ChainSpec>(std::move(spec));
+  interned_.emplace(std::move(key), ref);
+  return ref;
+}
+
+std::size_t FilterSpecTable::size() const {
+  rw::MutexLock lk(mu_);
+  return interned_.size();
+}
+
+std::size_t FilterSpecTable::purge_unreferenced() {
+  rw::MutexLock lk(mu_);
+  std::size_t purged = 0;
+  for (auto it = interned_.begin(); it != interned_.end();) {
+    if (it->second.use_count() == 1) {
+      it = interned_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
+std::uint64_t FilterSpecTable::hits() const {
+  rw::MutexLock lk(mu_);
+  return hits_;
+}
+
+std::uint64_t FilterSpecTable::misses() const {
+  rw::MutexLock lk(mu_);
+  return misses_;
+}
+
+FilterSpecTable& global_spec_table() {
+  static FilterSpecTable table;
+  return table;
+}
+
+std::vector<std::shared_ptr<Filter>> instantiate_chain(
+    const ChainSpec& spec, const FilterRegistry& registry) {
+  std::vector<std::shared_ptr<Filter>> out;
+  out.reserve(spec.stages.size());
+  for (const FilterSpec& stage : spec.stages) {
+    out.push_back(registry.create(stage));
+  }
+  return out;
+}
+
+}  // namespace rapidware::core

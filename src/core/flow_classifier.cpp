@@ -1,0 +1,246 @@
+#include "core/flow_classifier.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/serial.h"
+
+namespace rapidware::core {
+
+const char* to_string(LossRegime regime) {
+  switch (regime) {
+    case LossRegime::kClean: return "clean";
+    case LossRegime::kDegraded: return "degraded";
+    case LossRegime::kSevere: return "severe";
+  }
+  return "?";
+}
+
+LossRegime regime_for_loss(double smoothed_loss, double degraded,
+                           double severe) {
+  if (smoothed_loss >= severe) return LossRegime::kSevere;
+  if (smoothed_loss >= degraded) return LossRegime::kDegraded;
+  return LossRegime::kClean;
+}
+
+std::string FlowKey::render() const {
+  std::ostringstream os;
+  os << "station=" << station << " type=" << stream_type
+     << " regime=" << to_string(regime);
+  return os.str();
+}
+
+bool FlowRule::matches(const FlowKey& key) const {
+  if (station_lo && key.station < *station_lo) return false;
+  if (station_hi && key.station > *station_hi) return false;
+  if (stream_type && key.stream_type != *stream_type) return false;
+  if (regime && key.regime != *regime) return false;
+  return true;
+}
+
+util::Bytes FlowRule::serialize() const {
+  util::Writer w;
+  w.str(name);
+  w.u32(priority);
+  // Presence bitmap, then the set fields in declaration order.
+  std::uint8_t flags = 0;
+  if (station_lo) flags |= 1u;
+  if (station_hi) flags |= 2u;
+  if (stream_type) flags |= 4u;
+  if (regime) flags |= 8u;
+  w.u8(flags);
+  if (station_lo) w.u32(*station_lo);
+  if (station_hi) w.u32(*station_hi);
+  if (stream_type) w.str(*stream_type);
+  if (regime) w.u8(static_cast<std::uint8_t>(*regime));
+  w.blob(chain.serialize());
+  return w.take();
+}
+
+FlowRule FlowRule::deserialize(util::ByteSpan in) {
+  util::Reader r(in);
+  FlowRule rule;
+  rule.name = r.str();
+  rule.priority = r.u32();
+  const std::uint8_t flags = r.u8();
+  if (flags & 1u) rule.station_lo = r.u32();
+  if (flags & 2u) rule.station_hi = r.u32();
+  if (flags & 4u) rule.stream_type = r.str();
+  if (flags & 8u) {
+    const std::uint8_t regime = r.u8();
+    if (regime > static_cast<std::uint8_t>(LossRegime::kSevere)) {
+      throw util::SerialError("FlowRule: bad loss regime " +
+                              std::to_string(regime));
+    }
+    rule.regime = static_cast<LossRegime>(regime);
+  }
+  rule.chain = ChainSpec::deserialize(r.blob());
+  return rule;
+}
+
+std::string FlowRule::render() const {
+  std::ostringstream os;
+  os << name << " prio=" << priority << " station=";
+  if (!station_lo && !station_hi) {
+    os << '*';
+  } else {
+    if (station_lo) os << *station_lo;
+    if (!station_hi || !station_lo || *station_lo != *station_hi) {
+      os << "..";
+      if (station_hi) os << *station_hi;
+    }
+  }
+  os << " type=" << (stream_type ? *stream_type : "*");
+  os << " regime=" << (regime ? to_string(*regime) : "*");
+  os << " -> " << (chain.name.empty() ? chain.render() : chain.name);
+  return os.str();
+}
+
+FlowClassifier::FlowClassifier(FilterSpecTable* table) : table_(table) {
+  if (table_ == nullptr) {
+    throw std::invalid_argument("FlowClassifier: null spec table");
+  }
+  ChainSpec passthrough;
+  passthrough.name = "passthrough";
+  fallback_ = table_->intern(std::move(passthrough));
+}
+
+void FlowClassifier::add_rule(FlowRule rule) {
+  if (rule.name.empty()) {
+    throw std::invalid_argument("FlowClassifier: rule needs a name");
+  }
+  ChainSpecRef spec = table_->intern(rule.chain);
+  rw::MutexLock lk(mu_);
+  Entry entry{std::move(rule), std::move(spec), next_order_, nullptr};
+  for (Entry& existing : entries_) {
+    if (existing.rule.name == entry.rule.name) {
+      entry.order = existing.order;  // keep original tie-break position
+      existing = std::move(entry);
+      bind_entry_metrics_locked(existing);
+      sort_entries_locked();
+      ++version_;
+      return;
+    }
+  }
+  ++next_order_;
+  bind_entry_metrics_locked(entry);
+  entries_.push_back(std::move(entry));
+  sort_entries_locked();
+  ++version_;
+}
+
+bool FlowClassifier::remove_rule(const std::string& name) {
+  rw::MutexLock lk(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->rule.name == name) {
+      entries_.erase(it);
+      ++version_;
+      if (m_rules_) m_rules_->set(static_cast<std::int64_t>(entries_.size()));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<FlowRule> FlowClassifier::rules() const {
+  rw::MutexLock lk(mu_);
+  std::vector<FlowRule> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.rule);
+  return out;
+}
+
+std::size_t FlowClassifier::size() const {
+  rw::MutexLock lk(mu_);
+  return entries_.size();
+}
+
+std::uint64_t FlowClassifier::version() const {
+  rw::MutexLock lk(mu_);
+  return version_;
+}
+
+ChainSpecRef FlowClassifier::resolve(const FlowKey& key) const {
+  rw::MutexLock lk(mu_);
+  // Clock reads only while a histogram is bound: an unbound classifier's
+  // behaviour (and thus the sim's pinned STATS hash) is time-independent.
+  const bool timed = m_resolve_us_ != nullptr;
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
+  ChainSpecRef out;
+  for (const Entry& entry : entries_) {
+    if (entry.rule.matches(key)) {
+      ++hit_counts_[entry.rule.name];
+      if (entry.m_hits) entry.m_hits->add();
+      out = entry.spec;
+      break;
+    }
+  }
+  if (!out) {
+    ++fallback_hits_;
+    if (m_fallback_hits_) m_fallback_hits_->add();
+    out = fallback_;
+  }
+  if (timed) {
+    m_resolve_us_->observe(
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count()) /
+        1000.0);
+  }
+  return out;
+}
+
+ChainSpecRef FlowClassifier::fallback() const {
+  rw::MutexLock lk(mu_);
+  return fallback_;
+}
+
+void FlowClassifier::set_fallback(ChainSpec spec) {
+  ChainSpecRef ref = table_->intern(std::move(spec));
+  rw::MutexLock lk(mu_);
+  fallback_ = std::move(ref);
+  ++version_;
+}
+
+std::uint64_t FlowClassifier::hits(const std::string& rule_name) const {
+  rw::MutexLock lk(mu_);
+  auto it = hit_counts_.find(rule_name);
+  return it == hit_counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t FlowClassifier::fallback_hits() const {
+  rw::MutexLock lk(mu_);
+  return fallback_hits_;
+}
+
+void FlowClassifier::bind_metrics(obs::Scope scope) {
+  rw::MutexLock lk(mu_);
+  scope_ = scope;
+  m_rules_ = scope.gauge("rules");
+  m_rules_->set(static_cast<std::int64_t>(entries_.size()));
+  m_resolve_us_ = scope.histogram(
+      "resolve_us", {0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0, 100.0, 1000.0});
+  m_fallback_hits_ = scope.counter("fallback_hits");
+  for (Entry& entry : entries_) bind_entry_metrics_locked(entry);
+}
+
+void FlowClassifier::sort_entries_locked() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.rule.priority != b.rule.priority) {
+                       return a.rule.priority < b.rule.priority;
+                     }
+                     return a.order < b.order;
+                   });
+  if (m_rules_) m_rules_->set(static_cast<std::int64_t>(entries_.size()));
+}
+
+void FlowClassifier::bind_entry_metrics_locked(Entry& entry) {
+  if (!scope_) return;
+  entry.m_hits = scope_->child("rule").child(entry.rule.name).counter("hits");
+}
+
+}  // namespace rapidware::core

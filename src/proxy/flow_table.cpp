@@ -1,0 +1,198 @@
+#include "proxy/flow_table.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rapidware::proxy {
+
+FlowTable::EndpointFactory FlowTable::queue_endpoints(
+    std::shared_ptr<core::PacketSink> sink) {
+  if (!sink) {
+    throw std::invalid_argument("FlowTable::queue_endpoints: null sink");
+  }
+  return [sink = std::move(sink)](const core::FlowKey& key) {
+    Endpoints eps;
+    eps.source = std::make_shared<core::QueuePacketSource>();
+    eps.head = std::make_shared<core::PacketReaderEndpoint>(
+        "flow-rx(" + std::to_string(key.station) + ")", eps.source);
+    eps.tail = std::make_shared<core::PacketWriterEndpoint>(
+        "flow-tx(" + std::to_string(key.station) + ")", sink);
+    return eps;
+  };
+}
+
+FlowTable::FlowTable(core::FlowClassifier& classifier,
+                     core::FilterRegistry& registry, EndpointFactory endpoints)
+    : classifier_(classifier),
+      registry_(registry),
+      endpoints_(std::move(endpoints)) {
+  if (!endpoints_) {
+    throw std::invalid_argument("FlowTable: null endpoint factory");
+  }
+}
+
+FlowTable::~FlowTable() { shutdown_all(); }
+
+FlowTable::Flow FlowTable::make_flow_locked(const core::FlowKey& key) {
+  Flow flow;
+  flow.spec = classifier_.resolve(key);
+  Endpoints eps = endpoints_(key);
+  if (!eps.head || !eps.tail) {
+    throw std::invalid_argument("FlowTable: endpoint factory returned null");
+  }
+  flow.source = std::move(eps.source);
+  flow.chain = std::make_shared<core::FilterChain>(std::move(eps.head),
+                                                   std::move(eps.tail));
+  for (auto& filter : core::instantiate_chain(*flow.spec, registry_)) {
+    flow.chain->append(std::move(filter));
+  }
+  flow.chain->start();
+  return flow;
+}
+
+std::shared_ptr<core::FilterChain> FlowTable::acquire(
+    const core::FlowKey& key) {
+  rw::MutexLock lk(mu_);
+  auto it = flows_.find(key);
+  if (it == flows_.end()) {
+    it = flows_.emplace(key, make_flow_locked(key)).first;
+    ++created_;
+    if (m_created_) m_created_->add();
+    if (m_flows_) m_flows_->set(static_cast<std::int64_t>(flows_.size()));
+  }
+  return it->second.chain;
+}
+
+std::shared_ptr<core::FilterChain> FlowTable::find(
+    const core::FlowKey& key) const {
+  rw::MutexLock lk(mu_);
+  auto it = flows_.find(key);
+  return it == flows_.end() ? nullptr : it->second.chain;
+}
+
+void FlowTable::push(const core::FlowKey& key, util::Bytes packet) {
+  std::shared_ptr<core::QueuePacketSource> source;
+  {
+    rw::MutexLock lk(mu_);
+    auto it = flows_.find(key);
+    if (it == flows_.end()) {
+      it = flows_.emplace(key, make_flow_locked(key)).first;
+      ++created_;
+      if (m_created_) m_created_->add();
+      if (m_flows_) m_flows_->set(static_cast<std::int64_t>(flows_.size()));
+    }
+    source = it->second.source;
+  }
+  if (!source) {
+    throw std::logic_error("FlowTable::push: flow endpoints are not queue-fed");
+  }
+  // Push outside the table lock: the queue is unbounded and never blocks,
+  // but keeping the data path off mu_ means a slow reconfigure (reresolve
+  // holds mu_ across chain splices) cannot stall unrelated flows' feeders.
+  source->push(std::move(packet));
+}
+
+core::ChainSpecRef FlowTable::spec_of(const core::FlowKey& key) const {
+  rw::MutexLock lk(mu_);
+  auto it = flows_.find(key);
+  return it == flows_.end() ? nullptr : it->second.spec;
+}
+
+bool FlowTable::expire(const core::FlowKey& key) {
+  Flow flow;
+  {
+    rw::MutexLock lk(mu_);
+    auto it = flows_.find(key);
+    if (it == flows_.end()) return false;
+    flow = std::move(it->second);
+    flows_.erase(it);
+    ++expired_;
+    if (m_expired_) m_expired_->add();
+    if (m_flows_) m_flows_->set(static_cast<std::int64_t>(flows_.size()));
+  }
+  // Drain outside the lock: teardown waits for in-flight packets to flush.
+  if (flow.source) {
+    flow.source->finish();
+    flow.chain->drain_shutdown();
+  } else {
+    flow.chain->shutdown();
+  }
+  return true;
+}
+
+void FlowTable::reconfigure_locked(Flow& flow, const core::ChainSpecRef& spec) {
+  // Old stages out back-to-front (each flushes via pause/soft-EOF), new
+  // stages in front-to-back — every step is one byte-exact splice, so the
+  // stream never loses, duplicates, or reorders a packet across the swap.
+  for (std::size_t n = flow.chain->size(); n > 0; --n) {
+    flow.chain->remove(n - 1);
+  }
+  for (auto& filter : core::instantiate_chain(*spec, registry_)) {
+    flow.chain->append(std::move(filter));
+  }
+  flow.spec = spec;
+}
+
+std::size_t FlowTable::reresolve() {
+  rw::MutexLock lk(mu_);
+  std::size_t changed = 0;
+  for (auto& [key, flow] : flows_) {
+    core::ChainSpecRef spec = classifier_.resolve(key);
+    if (spec == flow.spec) continue;  // flyweight: pointer == means same spec
+    reconfigure_locked(flow, spec);
+    ++changed;
+    ++reconfigured_;
+    if (m_reconfigured_) m_reconfigured_->add();
+  }
+  return changed;
+}
+
+std::size_t FlowTable::size() const {
+  rw::MutexLock lk(mu_);
+  return flows_.size();
+}
+
+std::vector<core::FlowKey> FlowTable::keys() const {
+  rw::MutexLock lk(mu_);
+  std::vector<core::FlowKey> out;
+  out.reserve(flows_.size());
+  for (const auto& [key, flow] : flows_) out.push_back(key);
+  return out;
+}
+
+std::uint64_t FlowTable::created() const {
+  rw::MutexLock lk(mu_);
+  return created_;
+}
+
+std::uint64_t FlowTable::expired() const {
+  rw::MutexLock lk(mu_);
+  return expired_;
+}
+
+std::uint64_t FlowTable::reconfigured() const {
+  rw::MutexLock lk(mu_);
+  return reconfigured_;
+}
+
+void FlowTable::shutdown_all() {
+  std::map<core::FlowKey, Flow> doomed;
+  {
+    rw::MutexLock lk(mu_);
+    doomed.swap(flows_);
+    expired_ += doomed.size();
+    if (m_flows_) m_flows_->set(0);
+  }
+  for (auto& [key, flow] : doomed) flow.chain->shutdown();
+}
+
+void FlowTable::bind_metrics(obs::Scope scope) {
+  rw::MutexLock lk(mu_);
+  m_flows_ = scope.gauge("flows");
+  m_flows_->set(static_cast<std::int64_t>(flows_.size()));
+  m_created_ = scope.counter("created");
+  m_expired_ = scope.counter("expired");
+  m_reconfigured_ = scope.counter("reconfigured");
+}
+
+}  // namespace rapidware::proxy

@@ -1,0 +1,126 @@
+// FlowTable: the per-flow chain map behind a classifying proxy.
+//
+// One proxy used to run ONE statically-managed chain for all traffic. The
+// flow table turns that into "one chain per flow, from shared specs": the
+// first packet of a flow resolves its FlowKey through the FlowClassifier,
+// instantiates a FilterChain from the resolved (interned) ChainSpec, and
+// starts it; flow expiry drains and tears the chain down. Flows holding the
+// same spec share the ChainSpec object (flyweight) but own their chains —
+// chains hold live per-flow state (FEC groups, compression dictionaries).
+//
+// Live rule updates: after the control server applies RULE_ADD / RULE_DEL
+// it calls reresolve(), which re-runs every active flow's key against the
+// new table. A flow whose resolved spec is pointer-identical keeps its
+// running chain untouched; a changed flow is reconfigured IN PLACE on the
+// live stream — old stages removed back-to-front (each flushes via the
+// pause/soft-EOF protocol), new stages inserted front-to-back — under the
+// same pause/reconnect byte-exactness contract every chain operation obeys
+// (no packet is lost, duplicated, or reordered across the swap; asserted by
+// tests/flow_classifier_test.cpp under randomized stress schedules).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/endpoint.h"
+#include "core/filter_chain.h"
+#include "core/filter_registry.h"
+#include "core/flow_classifier.h"
+#include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace rapidware::proxy {
+
+class FlowTable {
+ public:
+  /// Endpoint pair a new flow chain is built between. `source` is the push
+  /// handle when the head is queue-fed (push() uses it); custom factories
+  /// may leave it null and drive the head themselves.
+  struct Endpoints {
+    std::shared_ptr<core::Filter> head;
+    std::shared_ptr<core::Filter> tail;
+    std::shared_ptr<core::QueuePacketSource> source;
+  };
+  using EndpointFactory = std::function<Endpoints(const core::FlowKey&)>;
+
+  /// Factory building each flow a QueuePacketSource-fed head and a writer
+  /// tail delivering into the shared `sink` (a proxy's egress).
+  static EndpointFactory queue_endpoints(
+      std::shared_ptr<core::PacketSink> sink);
+
+  FlowTable(core::FlowClassifier& classifier, core::FilterRegistry& registry,
+            EndpointFactory endpoints);
+  ~FlowTable();
+
+  FlowTable(const FlowTable&) = delete;
+  FlowTable& operator=(const FlowTable&) = delete;
+
+  /// The flow's chain, instantiated from the classifier-resolved spec and
+  /// started on first use.
+  std::shared_ptr<core::FilterChain> acquire(const core::FlowKey& key);
+
+  /// The flow's chain if it exists; null otherwise (never instantiates).
+  std::shared_ptr<core::FilterChain> find(const core::FlowKey& key) const;
+
+  /// First-packet path: acquire(key), then push the packet into the flow's
+  /// queue source. Throws when the flow's endpoints are not queue-fed.
+  void push(const core::FlowKey& key, util::Bytes packet);
+
+  /// The interned spec the flow currently runs; null for unknown flows.
+  core::ChainSpecRef spec_of(const core::FlowKey& key) const;
+
+  /// Ends the flow: finishes its source (if queue-fed), drains the chain so
+  /// every stage flushes, and forgets it. False if the flow is unknown.
+  bool expire(const core::FlowKey& key);
+
+  /// Re-resolves every active flow against the current rule table and
+  /// reconfigures the chains whose spec changed (see header comment).
+  /// Returns the number of reconfigured flows.
+  std::size_t reresolve();
+
+  std::size_t size() const;
+  std::vector<core::FlowKey> keys() const;
+
+  /// Lifetime counters (also published by bind_metrics).
+  std::uint64_t created() const;
+  std::uint64_t expired() const;
+  std::uint64_t reconfigured() const;
+
+  /// Hard-stops and forgets every flow (fast teardown; no flush guarantee).
+  void shutdown_all();
+
+  /// Publishes "flows" gauge and created/expired/reconfigured counters
+  /// under `scope`.
+  void bind_metrics(obs::Scope scope);
+
+ private:
+  struct Flow {
+    std::shared_ptr<core::FilterChain> chain;
+    std::shared_ptr<core::QueuePacketSource> source;
+    core::ChainSpecRef spec;
+  };
+
+  Flow make_flow_locked(const core::FlowKey& key) RW_REQUIRES(mu_);
+  void reconfigure_locked(Flow& flow, const core::ChainSpecRef& spec)
+      RW_REQUIRES(mu_);
+
+  core::FlowClassifier& classifier_;
+  core::FilterRegistry& registry_;
+  const EndpointFactory endpoints_;
+
+  mutable rw::Mutex mu_;
+  std::map<core::FlowKey, Flow> flows_ RW_GUARDED_BY(mu_);
+  std::uint64_t created_ RW_GUARDED_BY(mu_) = 0;
+  std::uint64_t expired_ RW_GUARDED_BY(mu_) = 0;
+  std::uint64_t reconfigured_ RW_GUARDED_BY(mu_) = 0;
+  std::shared_ptr<obs::Gauge> m_flows_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Counter> m_created_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Counter> m_expired_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Counter> m_reconfigured_ RW_GUARDED_BY(mu_);
+};
+
+}  // namespace rapidware::proxy

@@ -20,13 +20,21 @@ Proxy::Proxy(net::SimNetwork& net, net::NodeId node, ProxyConfig config,
   egress_sink_ = endpoints.sink;
   chain_ = std::make_shared<core::FilterChain>(std::move(endpoints.head),
                                                std::move(endpoints.tail));
+  // Per-flow chains share the egress sink with the main chain, so classified
+  // and unclassified traffic leave through the same socket + destination.
+  flows_ = std::make_unique<FlowTable>(classifier_, *registry,
+                                       FlowTable::queue_endpoints(egress_sink_));
   control_server_ = std::make_unique<core::ControlServer>(chain_, registry);
+  control_server_->set_classifier(&classifier_);
+  control_server_->on_rules_changed([this] { flows_->reresolve(); });
   bind_metrics();
 }
 
 void Proxy::bind_metrics() {
   chain_->bind_metrics(obs::registry(), config_.name + "/chain");
   obs::Scope scope(obs::registry(), config_.name);
+  classifier_.bind_metrics(scope.child("classifier"));
+  flows_->bind_metrics(scope.child("flows"));
   m_control_requests_ = scope.counter("control/requests");
   m_control_errors_ = scope.counter("control/errors");
   m_retargets_ = scope.counter("retargets");
@@ -67,9 +75,18 @@ void Proxy::shutdown() {
   started_ = false;
   control_socket_->close();
   if (control_thread_.joinable()) control_thread_.join();
+  flows_->shutdown_all();
   chain_->shutdown();
   chain_->unbind_metrics();
   obs::registry().drop(config_.name);
+}
+
+void Proxy::flow_push(const core::FlowKey& key, util::Bytes packet) {
+  flows_->push(key, std::move(packet));
+}
+
+bool Proxy::expire_flow(const core::FlowKey& key) {
+  return flows_->expire(key);
 }
 
 void Proxy::retarget_egress(net::Address dst) {

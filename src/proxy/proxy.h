@@ -11,8 +11,10 @@
 
 #include "core/control.h"
 #include "core/filter_chain.h"
+#include "core/flow_classifier.h"
 #include "net/sim_network.h"
 #include "obs/metrics.h"
+#include "proxy/flow_table.h"
 #include "proxy/socket_endpoints.h"
 
 namespace rapidware::proxy {
@@ -52,6 +54,29 @@ class Proxy {
   core::FilterChain& chain() { return *chain_; }
   std::shared_ptr<core::FilterChain> chain_ptr() { return chain_; }
 
+  // --- Per-flow chains (docs/flow_classification.md) ---------------------
+  // The classifier's rule table maps FlowKeys to interned chain specs; the
+  // flow table instantiates one FilterChain per active flow, on first
+  // packet, feeding the shared egress. RULE_ADD / RULE_DEL over the control
+  // protocol (v3) mutate the table and re-resolve every live flow.
+
+  /// The rule table the v3 control verbs operate on. Rules added here take
+  /// effect on the next flow_push() for a new key; use the control path to
+  /// also re-resolve existing flows.
+  core::FlowClassifier& classifier() { return classifier_; }
+
+  /// The per-flow chain map (metrics under "<name>/flows/...").
+  FlowTable& flows() { return *flows_; }
+
+  /// Classified ingress: routes the packet through `key`'s chain,
+  /// instantiating it from the resolved spec on first use. Output shares
+  /// the proxy's egress socket and destination.
+  void flow_push(const core::FlowKey& key, util::Bytes packet);
+
+  /// Drains and tears down one flow's chain (flow expiry). False if the
+  /// flow was never seen.
+  bool expire_flow(const core::FlowKey& key);
+
   /// Redirects the data egress to a new destination — device handoff: the
   /// stream follows the user from laptop to palmtop without restarting the
   /// chain (pair with a transcode insertion for the weaker device).
@@ -77,6 +102,8 @@ class Proxy {
   std::shared_ptr<net::SimSocket> control_socket_;
   std::shared_ptr<SocketPacketSink> egress_sink_;
   std::shared_ptr<core::FilterChain> chain_;
+  core::FlowClassifier classifier_;
+  std::unique_ptr<FlowTable> flows_;
   std::unique_ptr<core::ControlServer> control_server_;
   std::thread control_thread_;
   bool started_ = false;

@@ -51,6 +51,24 @@ void AdaptiveFecController::add_flow(FlowConfig flow) {
   flows_.push_back(std::make_unique<Flow>(std::move(flow), config_.policy));
 }
 
+bool AdaptiveFecController::remove_flow(const std::string& name) {
+  rw::MutexLock lk(mu_);
+  for (auto it = flows_.begin(); it != flows_.end(); ++it) {
+    if ((*it)->cfg.name == name) {
+      flows_.erase(it);
+      if (active_gauge_) {
+        std::int64_t active = 0;
+        for (const auto& f : flows_) {
+          if (f->policy.active()) ++active;
+        }
+        active_gauge_->set(active);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
 std::size_t AdaptiveFecController::tick(util::Micros now) {
   rw::MutexLock lk(mu_);
   std::size_t changed = 0;
@@ -173,6 +191,16 @@ double AdaptiveFecController::smoothed_loss(const std::string& flow) const {
 std::size_t AdaptiveFecController::flows() const {
   rw::MutexLock lk(mu_);
   return flows_.size();
+}
+
+core::LossRegime AdaptiveFecController::regime(const std::string& flow) const {
+  rw::MutexLock lk(mu_);
+  const Flow* f = find_locked(flow);
+  if (f == nullptr) {
+    throw std::invalid_argument("AdaptiveFecController: unknown flow " + flow);
+  }
+  return core::regime_for_loss(f->policy.smoothed(),
+                               config_.policy.insert_threshold);
 }
 
 void AdaptiveFecController::bind_metrics(obs::Scope scope) {

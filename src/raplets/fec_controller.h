@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/control.h"
+#include "core/flow_classifier.h"
 #include "obs/metrics.h"
 #include "raplets/fec_policy.h"
 #include "util/mutex.h"
@@ -63,6 +64,12 @@ class AdaptiveFecController {
 
   void add_flow(FlowConfig flow);
 
+  /// Forgets the named flow — the expiry half of the per-flow lifecycle
+  /// (pair with FlowTable::expire when the flow's chain is torn down). The
+  /// chain itself is NOT touched: teardown belongs to whoever owns it.
+  /// False if the flow is unknown.
+  bool remove_flow(const std::string& name);
+
   /// Polls every flow once at virtual (or wall) time `now`; applies policy
   /// decisions through the control path. Returns the number of successful
   /// reconfigurations this tick.
@@ -71,6 +78,15 @@ class AdaptiveFecController {
   bool fec_active(const std::string& flow) const;
   double smoothed_loss(const std::string& flow) const;
   std::size_t flows() const;
+
+  /// The flow's current loss regime — smoothed loss run through
+  /// core::regime_for_loss with the policy's insert_threshold as the
+  /// "degraded" onset (severe keeps its 15% default), so the regime flips
+  /// exactly when this controller would act. This is the bridge from the
+  /// controller's channel estimate to a classifier FlowKey: callers build
+  /// {station, stream_type, regime(flow)} and let the rule table pick the
+  /// chain (docs/flow_classification.md).
+  core::LossRegime regime(const std::string& flow) const;
 
   /// Publishes controller metrics (inserts/retunes/removes/failures
   /// counters, active-flows gauge, action trace ring) under `scope`.

@@ -54,6 +54,35 @@ FleetSim::FleetSim(VirtualClock& clock, FleetConfig config)
     throw std::invalid_argument("FleetSim: tick shorter than one packet");
   }
 
+  if (config_.classify_flows) {
+    // Default three-regime table; the worked example of
+    // docs/flow_classification.md at fleet scale. Callers may retune it via
+    // classifier() before running.
+    core::FlowRule clean;
+    clean.name = "clean-passthrough";
+    clean.priority = 10;
+    clean.regime = core::LossRegime::kClean;
+    clean.chain.name = "passthrough";
+    classifier_.add_rule(std::move(clean));
+
+    core::FlowRule degraded;
+    degraded.name = "degraded-fec";
+    degraded.priority = 20;
+    degraded.regime = core::LossRegime::kDegraded;
+    degraded.chain.name = "fec-light";
+    degraded.chain.stages = {{"fec-encode", {{"n", "6"}, {"k", "4"}}}};
+    classifier_.add_rule(std::move(degraded));
+
+    core::FlowRule severe;
+    severe.name = "severe-fec";
+    severe.priority = 30;
+    severe.regime = core::LossRegime::kSevere;
+    severe.chain.name = "fec-heavy";
+    severe.chain.stages = {{"fec-encode", {{"n", "8"}, {"k", "4"}}},
+                           {"interleave", {{"rows", "4"}, {"depth", "4"}}}};
+    classifier_.add_rule(std::move(severe));
+  }
+
   // One root seed fans out into per-station streams in index order — the
   // whole fleet's randomness is a pure function of config_.seed.
   util::Rng root(config_.seed);
@@ -164,18 +193,20 @@ void FleetSim::tick(util::Micros now) {
       }
     }
     station_packets(s, packets_per_tick_);
-    if (!config_.controller_enabled) {
-      s.tick_sent = 0;
-      s.tick_dropped = 0;
-      continue;
-    }
     const double sample =
         s.tick_sent == 0 ? 0.0
                          : static_cast<double>(s.tick_dropped) /
                                static_cast<double>(s.tick_sent);
     s.tick_sent = 0;
     s.tick_dropped = 0;
+    if (!config_.controller_enabled) {
+      // No smoothed estimate without the policy loop; classify (if asked)
+      // on the raw tick sample.
+      if (config_.classify_flows) classify_station(i, sample);
+      continue;
+    }
     const raplets::FecPolicy::Decision d = s.policy.update(now, sample);
+    if (config_.classify_flows) classify_station(i, s.policy.smoothed());
     if (d.action == raplets::FecPolicy::Action::kNone) continue;
     const char* verb = nullptr;
     switch (d.action) {
@@ -206,6 +237,35 @@ void FleetSim::tick(util::Micros now) {
       ++trace_dropped_;
     }
   }
+}
+
+void FleetSim::classify_station(std::size_t i, double loss_basis) {
+  Station& s = stations_[i];
+  const core::LossRegime regime = core::regime_for_loss(loss_basis);
+  if (s.classified && regime == s.regime) return;
+  // Regime change re-keys the flow: resolve the new key exactly once, like
+  // a proxy's flow table seeing the first packet of the re-keyed flow.
+  s.regime = regime;
+  s.classified = true;
+  s.spec = classifier_.resolve(
+      {static_cast<std::uint32_t>(i), "audio", regime});
+  ++reclassifications_;
+}
+
+core::LossRegime FleetSim::station_regime(std::size_t i) const {
+  return stations_.at(i).regime;
+}
+
+core::ChainSpecRef FleetSim::station_spec(std::size_t i) const {
+  return stations_.at(i).spec;
+}
+
+std::size_t FleetSim::stations_in_regime(core::LossRegime regime) const {
+  std::size_t n = 0;
+  for (const Station& s : stations_) {
+    n += (s.classified && s.regime == regime) ? 1 : 0;
+  }
+  return n;
 }
 
 void FleetSim::flush_partial_group(const Station& s, std::uint64_t& extra_sent,
@@ -271,9 +331,34 @@ obs::Snapshot FleetSim::stats_snapshot() const {
   out.reserve(stations_.size() * 9 + trace_.size() + 24);
   const auto u64 = [](std::uint64_t v) { return std::to_string(v); };
 
-  // Entries are emitted pre-sorted (config < controller < station <
-  // summary; stations and trace indexes zero-padded), matching
-  // Registry::snapshot()'s name ordering.
+  // Entries are emitted pre-sorted (classifier < config < controller <
+  // station < summary; stations and trace indexes zero-padded), matching
+  // Registry::snapshot()'s name ordering. Classifier entries (and the
+  // per-station "regime" line) appear only when classification is on, so
+  // a default-config fleet renders byte-identically to a pre-classifier
+  // one — the pinned determinism hash depends on it.
+  if (config_.classify_flows) {
+    out.push_back({"fleet/classifier/fallback_hits",
+                   u64(classifier_.fallback_hits())});
+    out.push_back({"fleet/classifier/reclassifications",
+                   u64(reclassifications_)});
+    out.push_back({"fleet/classifier/regime/clean",
+                   u64(stations_in_regime(core::LossRegime::kClean))});
+    out.push_back({"fleet/classifier/regime/degraded",
+                   u64(stations_in_regime(core::LossRegime::kDegraded))});
+    out.push_back({"fleet/classifier/regime/severe",
+                   u64(stations_in_regime(core::LossRegime::kSevere))});
+    std::vector<std::string> rule_names;
+    for (const core::FlowRule& rule : classifier_.rules()) {
+      rule_names.push_back(rule.name);
+    }
+    std::sort(rule_names.begin(), rule_names.end());
+    for (const std::string& name : rule_names) {
+      out.push_back({"fleet/classifier/rule/" + name + "/hits",
+                     u64(classifier_.hits(name))});
+    }
+    out.push_back({"fleet/classifier/specs", u64(spec_table_.size())});
+  }
   out.push_back({"fleet/config/controller",
                  u64(config_.controller_enabled ? 1 : 0)});
   out.push_back({"fleet/config/packets_per_tick",
@@ -301,6 +386,10 @@ obs::Snapshot FleetSim::stats_snapshot() const {
     out.push_back({p + "distance_m", obs::format_value(s.distance_m)});
     out.push_back({p + "fec_k", u64(s.cur_k)});
     out.push_back({p + "fec_n", u64(s.cur_n)});
+    if (config_.classify_flows) {
+      // "regime" sorts between "fec_n" and "smoothed_loss".
+      out.push_back({p + "regime", core::to_string(s.regime)});
+    }
     out.push_back({p + "smoothed_loss",
                    obs::format_value(s.policy.smoothed())});
   }

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "core/flow_classifier.h"
 #include "obs/metrics.h"
 #include "raplets/fec_policy.h"
 #include "sim/virtual_clock.h"
@@ -73,6 +74,17 @@ struct FleetConfig {
   bool controller_enabled = true;
   raplets::FecPolicyConfig policy;
 
+  /// Per-flow classification (docs/flow_classification.md): each station is
+  /// one flow keyed {station, "audio", loss regime}; every tick the regime
+  /// is derived from the station's smoothed loss (raw tick loss when the
+  /// controller is off) and, on a regime change, the flow re-resolves
+  /// against the classifier's rule table — the fleet-scale version of a
+  /// proxy re-keying a flow. Strictly opt-in: the default keeps stats
+  /// byte-identical to a pre-classifier fleet (the pinned determinism
+  /// hash). The classifier runs unbound (no metrics scope), so resolution
+  /// never reads a wall clock and stats stay a pure function of the seed.
+  bool classify_flows = false;
+
   wireless::PathLossModel path_loss;  // default-initialized = wavelan_model
   std::size_t trace_capacity = 128;
 
@@ -103,6 +115,28 @@ class FleetSim {
   std::uint64_t removes() const noexcept { return removes_; }
   std::size_t active_fec_stations() const;
   std::uint64_t ticks() const noexcept { return ticks_; }
+
+  // --- Flow classification (config.classify_flows) -----------------------
+
+  /// The rule table stations resolve against. Seeded with a three-regime
+  /// default (clean -> passthrough, degraded -> fec-light, severe ->
+  /// fec-heavy); callers may edit it before running. Meaningless unless
+  /// classify_flows is set.
+  core::FlowClassifier& classifier() noexcept { return classifier_; }
+
+  /// Station `i`'s current regime / resolved chain spec (spec is null until
+  /// the station's first classification).
+  core::LossRegime station_regime(std::size_t i) const;
+  core::ChainSpecRef station_spec(std::size_t i) const;
+
+  /// Lifetime count of flow re-keyings (regime changes, incl. the initial
+  /// classification of every station).
+  std::uint64_t reclassifications() const noexcept {
+    return reclassifications_;
+  }
+
+  /// Stations currently in `regime`.
+  std::size_t stations_in_regime(core::LossRegime regime) const;
 
   /// The full per-station STATS snapshot (obs::Entry list, name-sorted by
   /// construction): fleet/config/*, fleet/station/NNNNN/*, fleet/summary/*,
@@ -136,6 +170,10 @@ class FleetSim {
     std::uint32_t group_pos = 0;
     std::uint32_t group_drops = 0;
     std::uint32_t group_data_drops = 0;
+    // Flow classification (only maintained when config.classify_flows).
+    core::LossRegime regime = core::LossRegime::kClean;
+    bool classified = false;
+    core::ChainSpecRef spec;
     // Lifetime counters.
     std::uint64_t data_sent = 0;
     std::uint64_t data_delivered = 0;
@@ -150,6 +188,7 @@ class FleetSim {
   };
 
   void tick(util::Micros now);
+  void classify_station(std::size_t i, double loss_basis);
   double walk_distance(util::Micros elapsed) const;
   void retune_channel(Station& s) const;
   void station_packets(Station& s, int count);
@@ -160,6 +199,11 @@ class FleetSim {
   const FleetConfig config_;
   int packets_per_tick_ = 0;
   wireless::WaypointWalk walk_;
+  // Fleet-private spec table: sim determinism must not depend on what other
+  // code interned in the process-global table.
+  core::FilterSpecTable spec_table_;
+  core::FlowClassifier classifier_{&spec_table_};
+  std::uint64_t reclassifications_ = 0;
   std::vector<Station> stations_;
   std::vector<std::string> trace_;
   std::uint64_t trace_dropped_ = 0;  // actions beyond trace_capacity

@@ -8,8 +8,10 @@
 // nondeterministic regression shows up as two processes disagreeing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -297,6 +299,79 @@ TEST(FleetSim, SnapshotAccountingIsConsistentMidGroup) {
 }
 
 // ---------------------------------------------------------------------------
+// Flow classification (config.classify_flows)
+
+TEST(FleetSim, ClassifiesStationsAcrossThreeRegimes) {
+  // Mobile stations cycle 5 m <-> 45 m: ~0.1% loss at the near dwell
+  // (clean), a walk through the 2-15% band (degraded), ~22% at the far
+  // dwell (severe). Staggered departures keep the fleet spread across all
+  // three regimes, which is what per-flow chain selection exists for.
+  VirtualClock clock;
+  FleetConfig c;
+  c.stations = 60;
+  c.seed = 0x0c1a55ULL;
+  c.mobile_fraction = 0.5;
+  c.far_m = 45.0;
+  c.dwell_s = 20;
+  c.walk_s = 20;
+  c.stagger_s = 40;
+  c.classify_flows = true;
+  FleetSim fleet(clock, c);
+
+  std::size_t clean = 0, degraded = 0, severe = 0;
+  for (int chunk = 0; chunk < 24; ++chunk) {  // 120 virtual seconds
+    fleet.run_for(util::seconds_to_micros(5));
+    clean = std::max(clean,
+                     fleet.stations_in_regime(core::LossRegime::kClean));
+    degraded = std::max(
+        degraded, fleet.stations_in_regime(core::LossRegime::kDegraded));
+    severe = std::max(severe,
+                      fleet.stations_in_regime(core::LossRegime::kSevere));
+  }
+  EXPECT_GT(clean, 0u);
+  EXPECT_GT(degraded, 0u);
+  EXPECT_GT(severe, 0u);
+  // Every station classified at least once; regime changes re-key flows.
+  EXPECT_GE(fleet.reclassifications(), c.stations);
+
+  // Flyweight at fleet scale: 60 flows, at most 3 rule specs (the default
+  // table covers every regime, so the fallback is never resolved).
+  std::set<const core::ChainSpec*> specs;
+  for (std::size_t i = 0; i < c.stations; ++i) {
+    ASSERT_NE(fleet.station_spec(i), nullptr) << "station " << i;
+    specs.insert(fleet.station_spec(i).get());
+  }
+  EXPECT_LE(specs.size(), 3u);
+
+  // Classifier stats are present and the snapshot stays name-sorted (the
+  // pre-sorted-emission contract the new entries must not break).
+  const auto snapshot = fleet.stats_snapshot();
+  EXPECT_TRUE(std::is_sorted(
+      snapshot.begin(), snapshot.end(),
+      [](const auto& a, const auto& b) { return a.name < b.name; }));
+  const std::string text = fleet.stats_text();
+  EXPECT_NE(text.find("fleet/classifier/specs="), std::string::npos);
+  EXPECT_NE(text.find("fleet/classifier/rule/severe-fec/hits="),
+            std::string::npos);
+  // Per-station regime lines exist (which regime each station occupies at
+  // the final instant is walk-phase dependent; coverage of all three is
+  // asserted over time above).
+  EXPECT_NE(text.find("/regime="), std::string::npos);
+}
+
+TEST(FleetSim, DefaultConfigEmitsNoClassifierEntries) {
+  // The opt-out half of the contract: a default-config fleet renders
+  // byte-identically to a pre-classifier fleet, which is what keeps the
+  // pinned determinism hash below valid.
+  VirtualClock clock;
+  FleetSim fleet(clock, small_config());
+  fleet.run_for(util::seconds_to_micros(10));
+  const std::string text = fleet.stats_text();
+  EXPECT_EQ(text.find("classifier"), std::string::npos);
+  EXPECT_EQ(text.find("regime"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Pinned determinism contract
 
 // FNV-1a, the repo-wide convention for pinning byte streams in tests.
@@ -334,6 +409,35 @@ TEST(SimDeterminism, PinnedSeedStatsHash) {
   constexpr std::uint64_t kPinned = 0x3e3cef292306b476ULL;
   EXPECT_EQ(fnv1a(a), kPinned)
       << "stats hash moved: 0x" << std::hex << fnv1a(a)
+      << " — if the simulation changed intentionally, re-pin kPinned; "
+         "otherwise determinism broke";
+}
+
+TEST(SimDeterminism, PinnedSeedClassifierStatsHash) {
+  // Same contract with flow classification ON: regime derivation, rule
+  // resolution, and the classifier stats entries must all be pure functions
+  // of the seed (the classifier runs unbound, so resolve() never touches a
+  // wall clock). Re-pin exactly as above if the change is intentional.
+  const auto run = [] {
+    VirtualClock clock;
+    FleetConfig c;
+    c.stations = 200;
+    c.seed = 0x00c0ffeeULL;
+    c.mobile_fraction = 0.25;
+    c.far_m = 45.0;
+    c.stagger_s = 300;
+    c.classify_flows = true;
+    FleetSim fleet(clock, c);
+    fleet.run_for(util::seconds_to_micros(180));
+    return fleet.stats_text();
+  };
+  const std::string a = run();
+  const std::string b = run();
+  ASSERT_EQ(a, b) << "two same-seed classifier runs diverged in one process";
+
+  constexpr std::uint64_t kPinned = 0x4df038e3f4c68e09ULL;
+  EXPECT_EQ(fnv1a(a), kPinned)
+      << "classifier stats hash moved: 0x" << std::hex << fnv1a(a)
       << " — if the simulation changed intentionally, re-pin kPinned; "
          "otherwise determinism broke";
 }

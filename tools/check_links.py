@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
 """Check relative markdown links in the repo's documentation.
 
-Scans the given markdown files (default: README.md, DESIGN.md, docs/*.md)
-for inline links and validates every *relative* target against the working
-tree: the file (or directory) must exist, and a `#fragment` into a markdown
-file must match a heading's GitHub-style anchor. External links (http/https/
-mailto) are not fetched — CI must not flake on the network.
+Scans the given markdown files (default: README.md, DESIGN.md,
+EXPERIMENTS.md, docs/*.md) for inline links and validates every *relative*
+target against the working tree: the file (or directory) must exist, and a
+`#fragment` into a markdown file must match a heading's GitHub-style anchor.
+External links (http/https/mailto) are not fetched — CI must not flake on
+the network.
 
-Usage: tools/check_links.py [files...]
+Default mode additionally checks the docs cross-link graph:
+  * docs-coverage — every docs/*.md appears in the README docs index
+  * orphans      — every docs/*.md has an incoming link from at least one
+                   *other* scanned page (a deep-dive nobody points at is
+                   unreachable even if it happens to sit in the index)
+
+Usage: tools/check_links.py [--orphans] [files...]
+  --orphans   run only the cross-link graph checks (coverage + orphans)
 Exit status: 0 if all links resolve, 1 otherwise (one line per bad link).
 """
 
@@ -99,17 +107,52 @@ def check_docs_coverage() -> list:
     ]
 
 
+def default_files() -> list:
+    files = [p for p in ("README.md", "DESIGN.md", "EXPERIMENTS.md")
+             if os.path.exists(p)]
+    return files + sorted(glob.glob("docs/*.md"))
+
+
+def check_orphans(files: list) -> list:
+    """Every docs page needs an incoming link from some *other* page."""
+    incoming = {}  # normalized target path -> set of linking source files
+    for md in files:
+        base = os.path.dirname(md)
+        for _, target in links_of(md):
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue
+            path, _, _ = target.partition("#")
+            if path:
+                resolved = os.path.normpath(os.path.join(base, path))
+                incoming.setdefault(resolved, set()).add(md)
+    return [
+        f"{doc}: orphaned page: no other doc links to it"
+        for doc in sorted(glob.glob("docs/*.md"))
+        if not (incoming.get(os.path.normpath(doc), set()) - {doc})
+    ]
+
+
 def main(argv: list) -> int:
-    files = argv[1:]
+    args = argv[1:]
+    orphans_only = "--orphans" in args
+    files = [a for a in args if a != "--orphans"]
     explicit = bool(files)
     if not files:
-        files = [p for p in ("README.md", "DESIGN.md") if os.path.exists(p)]
-        files += sorted(glob.glob("docs/*.md"))
+        files = default_files()
     all_errors = []
+    if orphans_only:
+        all_errors.extend(check_docs_coverage())
+        all_errors.extend(check_orphans(files))
+        for err in all_errors:
+            print(err)
+        print(f"cross-link graph over {len(files)} files: "
+              f"{'OK' if not all_errors else f'{len(all_errors)} orphans'}")
+        return 1 if all_errors else 0
     for md in files:
         all_errors.extend(check_file(md))
     if not explicit:
         all_errors.extend(check_docs_coverage())
+        all_errors.extend(check_orphans(files))
     for err in all_errors:
         print(err)
     print(f"checked {len(files)} files: "
