@@ -30,6 +30,7 @@
 
 #include "util/bytes.h"
 #include "util/io.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -112,7 +113,7 @@ struct InputState {
     }
   }
 
-  rw::Mutex mu;
+  rw::Mutex mu{"core/stream_input", rw::lockrank::kStreamInput};
   rw::CondVar readable;  // data arrived / state changed
   rw::CondVar writable;  // space freed / reader closed
   rw::CondVar drained;   // ring became empty
@@ -271,7 +272,7 @@ class DetachableOutputStream final : public util::ByteSink {
       RW_EXCLUDES(mu_);
 
   // Lock order: mu_ BEFORE the sink's InputState::mu (always).
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"core/stream_output", rw::lockrank::kStreamOutput};
   rw::CondVar state_cv_;    // writers wait for connect/unpause
   rw::CondVar writers_cv_;  // pause waits for in-flight writes
   std::shared_ptr<detail::InputState> sink_ RW_GUARDED_BY(mu_);

@@ -15,6 +15,7 @@
 
 #include "core/filter.h"
 #include "util/io.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -128,7 +129,7 @@ class QueuePacketSource final : public PacketSource {
   void finish();
 
  private:
-  rw::Mutex mu_;
+  rw::Mutex mu_{"core/packet_queue", rw::lockrank::kPacketQueue};
   rw::CondVar cv_;
   std::deque<util::Bytes> queue_ RW_GUARDED_BY(mu_);
   bool finished_ RW_GUARDED_BY(mu_) = false;
@@ -151,7 +152,7 @@ class CollectingPacketSink final : public PacketSink {
   bool ended() const;
 
  private:
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"core/packet_collector", rw::lockrank::kPacketCollector};
   rw::CondVar cv_;
   std::vector<util::Bytes> packets_ RW_GUARDED_BY(mu_);
   bool ended_ RW_GUARDED_BY(mu_) = false;

@@ -26,6 +26,7 @@
 
 #include "core/filter.h"
 #include "obs/metrics.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -145,7 +146,7 @@ class FilterChain {
   void detach_filter_locked(const Filter& filter) RW_REQUIRES(mu_);
   void record_locked(const std::string& text) RW_REQUIRES(mu_);
 
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"core/filter_chain", rw::lockrank::kFilterChain};
   const std::shared_ptr<Filter> head_;  // immutable after construction
   const std::shared_ptr<Filter> tail_;  // immutable after construction
   std::vector<std::shared_ptr<Filter>> filters_ RW_GUARDED_BY(mu_);

@@ -22,6 +22,7 @@
 
 #include "core/filter.h"
 #include "util/bytes.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -60,7 +61,7 @@ class FilterRegistry {
   void register_alias(std::string name, FilterSpec base);
 
  private:
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"core/filter_registry", rw::lockrank::kFilterRegistry};
   std::map<std::string, Factory> factories_ RW_GUARDED_BY(mu_);
   std::map<std::string, FilterSpec> aliases_ RW_GUARDED_BY(mu_);
 };
@@ -84,7 +85,7 @@ class FilterContainer {
   std::shared_ptr<Filter> take(const std::string& name);
 
  private:
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"core/reconfig_bin", rw::lockrank::kReconfigBin};
   std::vector<std::shared_ptr<Filter>> filters_ RW_GUARDED_BY(mu_);
 };
 

@@ -23,6 +23,7 @@
 
 #include "core/filter_registry.h"
 #include "util/bytes.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -73,7 +74,7 @@ class FilterSpecTable {
   std::uint64_t misses() const;
 
  private:
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"core/spec_table", rw::lockrank::kSpecTable};
   std::map<std::string, ChainSpecRef> interned_ RW_GUARDED_BY(mu_);
   std::uint64_t hits_ RW_GUARDED_BY(mu_) = 0;
   std::uint64_t misses_ RW_GUARDED_BY(mu_) = 0;

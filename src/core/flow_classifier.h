@@ -29,6 +29,7 @@
 #include "core/filter_spec.h"
 #include "obs/metrics.h"
 #include "util/bytes.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -148,7 +149,7 @@ class FlowClassifier {
 
   FilterSpecTable* const table_;  // set at construction, never reseated
 
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"core/flow_classifier", rw::lockrank::kFlowClassifier};
   std::vector<Entry> entries_ RW_GUARDED_BY(mu_);
   ChainSpecRef fallback_ RW_GUARDED_BY(mu_);
   std::uint64_t next_order_ RW_GUARDED_BY(mu_) = 0;

@@ -9,6 +9,7 @@
 
 #include "net/loss.h"
 #include "util/clock.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/rng.h"
 #include "util/thread_annotations.h"
@@ -55,7 +56,7 @@ class Channel {
   void set_average_loss(double p);
 
  private:
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"net/link", rw::lockrank::kLink};
   // config_ itself never changes shape after construction, but its loss
   // model is retuned through set_average_loss(), so the whole struct stays
   // under mu_.

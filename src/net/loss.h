@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/rng.h"
 #include "util/thread_annotations.h"
@@ -47,7 +48,7 @@ class BernoulliLoss final : public LossModel {
   void set_average_loss(double p) override;
 
  private:
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"net/loss_bernoulli", rw::lockrank::kLossModel};
   double p_ RW_GUARDED_BY(mu_);
 };
 
@@ -74,7 +75,7 @@ class GilbertElliottLoss final : public LossModel {
   bool in_bad_state() const;
 
  private:
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"net/loss_gilbert", rw::lockrank::kLossModel};
   double p_gb_ RW_GUARDED_BY(mu_);
   double p_bg_ RW_GUARDED_BY(mu_);
   double loss_in_bad_ RW_GUARDED_BY(mu_);
@@ -91,7 +92,7 @@ class TraceLoss final : public LossModel {
   double average_loss() const override;
 
  private:
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"net/loss_trace", rw::lockrank::kLossModel};
   const std::vector<bool> trace_;  // immutable after construction
   std::size_t pos_ RW_GUARDED_BY(mu_) = 0;
 };

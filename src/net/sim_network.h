@@ -21,6 +21,7 @@
 #include "net/link.h"
 #include "util/bytes.h"
 #include "util/clock.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -78,7 +79,7 @@ class SimSocket {
   // out, read-only afterwards.
   std::weak_ptr<SimSocket> self_;  // rw-lint: allow(RW003) write-once pre-publication
 
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"net/socket", rw::lockrank::kSocket};
   rw::CondVar cv_;
   std::deque<Datagram> queue_ RW_GUARDED_BY(mu_);
   bool closed_ RW_GUARDED_BY(mu_) = false;
@@ -128,7 +129,7 @@ class SimNetwork {
 
   const std::shared_ptr<util::Clock> clock_;
 
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"net/sim_network", rw::lockrank::kSimNetwork};
   util::Rng rng_ RW_GUARDED_BY(mu_);
   std::vector<std::string> nodes_ RW_GUARDED_BY(mu_);
   // weak_ptr registries: routing pins sockets alive for the duration of a

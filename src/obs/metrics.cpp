@@ -170,7 +170,7 @@ std::shared_ptr<T> get_or_create(rw::Mutex& mu,
   // The analysis cannot see that `metrics` is the map `mu` guards (the
   // guarded_by relation does not survive being passed by reference), so it
   // is disabled for this one helper; the MutexLock below is the real guard.
-  rw::MutexLock lk(mu);
+  rw::MutexLock lk(mu);  // lock-graph: holds(obs/registry)
   auto it = metrics.find(name);
   if (it != metrics.end()) {
     if (auto existing = std::dynamic_pointer_cast<T>(it->second)) {

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "util/clock.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -192,7 +193,7 @@ class TraceRing final : public Metric {
 
  private:
   const std::size_t capacity_;
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"obs/trace_ring", rw::lockrank::kObsTrace};
   std::uint64_t next_seq_ RW_GUARDED_BY(mu_) = 0;
   std::deque<Event> ring_ RW_GUARDED_BY(mu_);
 };
@@ -227,7 +228,7 @@ class Registry {
   std::size_t size() const;
 
  private:
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"obs/registry", rw::lockrank::kObsRegistry};
   std::map<std::string, std::shared_ptr<Metric>> metrics_ RW_GUARDED_BY(mu_);
 };
 

@@ -32,13 +32,13 @@ void StatsLogSink::stop() {
   }
   cv_.notify_all();
   if (reaper.joinable()) {
-    reaper.join();
+    reaper.join();  // rw-lint: allow(RW008) stop() runs on the caller, not a dispatcher
     rw::MutexLock lk(mu_);
     stopped_ = true;
     cv_.notify_all();
   } else {
     rw::MutexLock lk(mu_);
-    cv_.wait(mu_, [this] {
+    cv_.wait(mu_, [this] {  // rw-lint: allow(RW008) stop() runs on the caller, not a dispatcher
       mu_.assert_held();
       return stopped_;
     });
@@ -49,7 +49,7 @@ void StatsLogSink::loop() {
   for (;;) {
     {
       rw::MutexLock lk(mu_);
-      if (cv_.wait_for(mu_, period_, [this] {
+      if (cv_.wait_for(mu_, period_, [this] {  // rw-lint: allow(RW008) the sink's own wall-clock pacing thread
             mu_.assert_held();
             return stop_;
           })) {

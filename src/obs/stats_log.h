@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -43,7 +44,7 @@ class StatsLogSink {
   const std::chrono::milliseconds period_;
   const Emit emit_;
 
-  rw::Mutex mu_;
+  rw::Mutex mu_{"obs/stats_log", rw::lockrank::kStatsLog};
   rw::CondVar cv_;
   bool stop_ RW_GUARDED_BY(mu_) = false;
   bool stopped_ RW_GUARDED_BY(mu_) = false;

@@ -44,28 +44,28 @@ FloorControl::FloorControl(std::string member,
 FloorControl::~FloorControl() { stop(); }
 
 void FloorControl::start() {
-  {
-    std::lock_guard lk(mu_);
-    if (running_) return;
-    running_ = true;
-  }
+  rw::MutexLock lk(mu_);
+  if (running_) return;
+  running_ = true;
   thread_ = std::thread([this] { service_loop(); });
 }
 
 void FloorControl::stop() {
+  std::thread reaper;
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     if (!running_) return;
     running_ = false;
+    reaper = std::move(thread_);
   }
   control_->close();
   grant_cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  if (reaper.joinable()) reaper.join();
 }
 
 bool FloorControl::request_floor(net::Address leader_control, int timeout_ms) {
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     if (leader_) return true;  // already holding the floor
     pending_grant_.reset();
   }
@@ -75,18 +75,22 @@ bool FloorControl::request_floor(net::Address leader_control, int timeout_ms) {
   request.reply_to = control_->local();
   control_->send_to(leader_control, request.serialize());
 
-  std::unique_lock lk(mu_);
-  if (!grant_cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
-                          [&] { return pending_grant_.has_value(); })) {
-    return false;
+  std::uint64_t seq = 0;
+  {
+    rw::MutexLock lk(mu_);
+    if (!grant_cv_.wait_for(mu_, std::chrono::milliseconds(timeout_ms), [&] {
+          mu_.assert_held();
+          return pending_grant_.has_value();
+        })) {
+      return false;
+    }
+    // Granted: become leader and announce with the next sequence number.
+    seq = pending_grant_->seq + 1;
+    pending_grant_.reset();
+    leader_ = true;
+    current_leader_ = member_;
+    seq_ = seq;
   }
-  // Granted: become leader and announce with the next sequence number.
-  const std::uint64_t seq = pending_grant_->seq + 1;
-  pending_grant_.reset();
-  leader_ = true;
-  current_leader_ = member_;
-  seq_ = seq;
-  lk.unlock();
   announce_leadership(seq);
   return true;
 }
@@ -101,29 +105,29 @@ void FloorControl::announce_leadership(std::uint64_t seq) {
 }
 
 bool FloorControl::is_leader() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return leader_;
 }
 
 std::string FloorControl::current_leader() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return current_leader_;
 }
 
 std::uint64_t FloorControl::leadership_seq() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return seq_;
 }
 
 void FloorControl::set_on_leader_change(
     std::function<void(const std::string&)> cb) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   on_change_ = std::move(cb);
 }
 
 void FloorControl::set_grant_policy(
     std::function<bool(const std::string&)> policy) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   grant_policy_ = std::move(policy);
 }
 
@@ -145,7 +149,7 @@ void FloorControl::service_loop() {
         bool granted = false;
         std::uint64_t seq = 0;
         {
-          std::lock_guard lk(mu_);
+          rw::MutexLock lk(mu_);
           if (!leader_) break;  // not ours to grant
           if (grant_policy_ && !grant_policy_(message.member)) break;
           leader_ = false;  // hand over the floor
@@ -163,7 +167,7 @@ void FloorControl::service_loop() {
         break;
       }
       case FloorMsg::kGrant: {
-        std::lock_guard lk(mu_);
+        rw::MutexLock lk(mu_);
         if (message.member != member_) break;  // not for us
         pending_grant_ = message;
         grant_cv_.notify_all();
@@ -173,7 +177,7 @@ void FloorControl::service_loop() {
         std::function<void(const std::string&)> notify;
         std::string who;
         {
-          std::lock_guard lk(mu_);
+          rw::MutexLock lk(mu_);
           if (message.seq <= seq_ && !current_leader_.empty()) break;
           seq_ = message.seq;
           current_leader_ = message.member;

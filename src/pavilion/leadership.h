@@ -10,16 +10,17 @@
 // a newer sequence number.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 
 #include "net/sim_network.h"
 #include "util/bytes.h"
+#include "util/lock_rank.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::pavilion {
 
@@ -75,20 +76,22 @@ class FloorControl {
   void service_loop();
   void announce_leadership(std::uint64_t seq);
 
-  std::string member_;
-  std::shared_ptr<net::SimSocket> control_;
-  net::Address announce_group_;
+  const std::string member_;
+  const std::shared_ptr<net::SimSocket> control_;
+  const net::Address announce_group_;
 
-  mutable std::mutex mu_;
-  bool leader_;
-  std::string current_leader_;
-  std::uint64_t seq_ = 0;
-  std::function<void(const std::string&)> on_change_;
-  std::function<bool(const std::string&)> grant_policy_;
-  std::optional<FloorMessage> pending_grant_;
-  std::condition_variable grant_cv_;
-  std::thread thread_;
-  bool running_ = false;
+  mutable rw::Mutex mu_{"pavilion/floor", rw::lockrank::kPavilionFloor};
+  bool leader_ RW_GUARDED_BY(mu_);
+  std::string current_leader_ RW_GUARDED_BY(mu_);
+  std::uint64_t seq_ RW_GUARDED_BY(mu_) = 0;
+  std::function<void(const std::string&)> on_change_ RW_GUARDED_BY(mu_);
+  std::function<bool(const std::string&)> grant_policy_ RW_GUARDED_BY(mu_);
+  std::optional<FloorMessage> pending_grant_ RW_GUARDED_BY(mu_);
+  rw::CondVar grant_cv_;
+  // Joined by whichever stop() wins: the handle moves out under mu_ so
+  // racing stops cannot both reach join() (the StatsLogSink pattern).
+  std::thread thread_ RW_GUARDED_BY(mu_);
+  bool running_ RW_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rapidware::pavilion

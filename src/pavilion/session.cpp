@@ -27,29 +27,32 @@ SessionMember::~SessionMember() { stop(); }
 
 void SessionMember::start() {
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     if (running_) return;
     running_ = true;
+    if (content_socket_) {
+      content_thread_ = std::thread([this] { content_loop(); });
+    } else {
+      data_thread_ = std::thread([this] { data_loop(); });
+    }
   }
   floor_.start();
-  if (content_socket_) {
-    content_thread_ = std::thread([this] { content_loop(); });
-  } else {
-    data_thread_ = std::thread([this] { data_loop(); });
-  }
 }
 
 void SessionMember::stop() {
+  std::thread data_reaper, content_reaper;
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     if (!running_) return;
     running_ = false;
+    data_reaper = std::move(data_thread_);
+    content_reaper = std::move(content_thread_);
   }
   floor_.stop();
   data_socket_->close();
   if (content_socket_) content_socket_->close();
-  if (data_thread_.joinable()) data_thread_.join();
-  if (content_thread_.joinable()) content_thread_.join();
+  if (data_reaper.joinable()) data_reaper.join();
+  if (content_reaper.joinable()) content_reaper.join();
 }
 
 bool SessionMember::navigate(const std::string& url,
@@ -111,7 +114,7 @@ void SessionMember::handle_message(util::ByteSpan payload) {
     const auto kind = static_cast<SessionMsg>(r.u8());
     if (kind == SessionMsg::kUrlAnnounce) {
       const std::string url = r.str();
-      std::lock_guard lk(mu_);
+      rw::MutexLock lk(mu_);
       urls_.push_back(url);
       cv_.notify_all();
       return;
@@ -119,7 +122,7 @@ void SessionMember::handle_message(util::ByteSpan payload) {
     if (kind == SessionMsg::kResource) {
       const ResourcePacket packet = ResourcePacket::parse(
           util::ByteSpan(payload.data() + 1, payload.size() - 1));
-      std::lock_guard lk(mu_);
+      rw::MutexLock lk(mu_);
       bytes_ += packet.body.size();
       pages_[packet.url] = WebResource{packet.content_type, packet.body};
       cv_.notify_all();
@@ -132,31 +135,33 @@ void SessionMember::handle_message(util::ByteSpan payload) {
 }
 
 std::vector<std::string> SessionMember::urls_seen() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return urls_;
 }
 
 std::optional<WebResource> SessionMember::page(const std::string& url) const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   auto it = pages_.find(url);
   if (it == pages_.end()) return std::nullopt;
   return it->second;
 }
 
 std::size_t SessionMember::resources_received() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return pages_.size();
 }
 
 std::uint64_t SessionMember::bytes_received() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return bytes_;
 }
 
 bool SessionMember::wait_for_page(const std::string& url, int timeout_ms) {
-  std::unique_lock lk(mu_);
-  return cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
-                      [&] { return pages_.count(url) != 0; });
+  rw::MutexLock lk(mu_);
+  return cv_.wait_for(mu_, std::chrono::milliseconds(timeout_ms), [&] {
+    mu_.assert_held();
+    return pages_.count(url) != 0;
+  });
 }
 
 }  // namespace rapidware::pavilion

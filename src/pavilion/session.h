@@ -9,17 +9,18 @@
 // RAPIDware proxy chain by passing its own content-delivery socket.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "pavilion/leadership.h"
 #include "pavilion/web.h"
+#include "util/lock_rank.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::pavilion {
 
@@ -82,24 +83,25 @@ class SessionMember {
   void content_loop();
   void handle_message(util::ByteSpan payload);
 
-  std::string name_;
+  const std::string name_;
   net::SimNetwork& net_;
-  SessionGroups groups_;
-  WebServer* web_;
+  const SessionGroups groups_;
+  WebServer* const web_;
 
-  std::shared_ptr<net::SimSocket> floor_socket_;
-  std::shared_ptr<net::SimSocket> data_socket_;
-  std::shared_ptr<net::SimSocket> content_socket_;  // optional proxy feed
-  FloorControl floor_;
+  const std::shared_ptr<net::SimSocket> floor_socket_;
+  const std::shared_ptr<net::SimSocket> data_socket_;
+  const std::shared_ptr<net::SimSocket> content_socket_;  // optional proxy feed
+  FloorControl floor_;  // rw-lint: allow(RW003) internally synchronized
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::string> urls_;
-  std::map<std::string, WebResource> pages_;
-  std::uint64_t bytes_ = 0;
-  std::thread data_thread_;
-  std::thread content_thread_;
-  bool running_ = false;
+  mutable rw::Mutex mu_{"pavilion/session", rw::lockrank::kPavilionSession};
+  rw::CondVar cv_;
+  std::vector<std::string> urls_ RW_GUARDED_BY(mu_);
+  std::map<std::string, WebResource> pages_ RW_GUARDED_BY(mu_);
+  std::uint64_t bytes_ RW_GUARDED_BY(mu_) = 0;
+  // Handles move out under mu_ in stop() so racing stops join exactly once.
+  std::thread data_thread_ RW_GUARDED_BY(mu_);
+  std::thread content_thread_ RW_GUARDED_BY(mu_);
+  bool running_ RW_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rapidware::pavilion

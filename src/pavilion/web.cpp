@@ -7,16 +7,16 @@ namespace rapidware::pavilion {
 WebServer::WebServer(std::uint64_t seed) : rng_(seed) {}
 
 void WebServer::put(const std::string& url, WebResource resource) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   content_[url] = std::move(resource);
 }
 
 std::optional<WebResource> WebServer::get(const std::string& url) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   ++requests_;
   if (auto it = content_.find(url); it != content_.end()) return it->second;
   if (url.size() >= 5 && url.substr(url.size() - 5) == ".html") {
-    WebResource page = synthesize_page(url);
+    WebResource page = synthesize_page_locked(url);
     content_[url] = page;  // stable across repeat fetches
     return page;
   }
@@ -24,11 +24,11 @@ std::optional<WebResource> WebServer::get(const std::string& url) {
 }
 
 std::uint64_t WebServer::requests() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return requests_;
 }
 
-WebResource WebServer::synthesize_page(const std::string& url) {
+WebResource WebServer::synthesize_page_locked(const std::string& url) {
   // Deterministic pseudo-HTML: repetitive structure (compressible, like
   // real markup) with a sprinkle of unique content.
   std::string html = "<html><head><title>" + url + "</title>";

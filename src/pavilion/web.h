@@ -6,12 +6,14 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "util/bytes.h"
+#include "util/lock_rank.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::pavilion {
 
@@ -40,12 +42,12 @@ class WebServer {
   std::uint64_t requests() const;
 
  private:
-  WebResource synthesize_page(const std::string& url);
+  WebResource synthesize_page_locked(const std::string& url) RW_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, WebResource> content_;
-  util::Rng rng_;
-  std::uint64_t requests_ = 0;
+  mutable rw::Mutex mu_{"pavilion/web", rw::lockrank::kPavilionWeb};
+  std::map<std::string, WebResource> content_ RW_GUARDED_BY(mu_);
+  util::Rng rng_ RW_GUARDED_BY(mu_);
+  std::uint64_t requests_ RW_GUARDED_BY(mu_) = 0;
 };
 
 /// The wire form of a multicast resource announcement: URL + content.

@@ -30,6 +30,7 @@
 #include "core/filter_registry.h"
 #include "core/flow_classifier.h"
 #include "obs/metrics.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -112,7 +113,7 @@ class FlowTable {
   core::FilterRegistry& registry_;
   const EndpointFactory endpoints_;
 
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"proxy/flow_table", rw::lockrank::kFlowTable};
   std::map<core::FlowKey, Flow> flows_ RW_GUARDED_BY(mu_);
   std::uint64_t created_ RW_GUARDED_BY(mu_) = 0;
   std::uint64_t expired_ RW_GUARDED_BY(mu_) = 0;

@@ -28,19 +28,19 @@ SocketPacketSink::SocketPacketSink(std::shared_ptr<net::SimSocket> socket,
 void SocketPacketSink::deliver(util::ByteSpan packet) {
   net::Address dst;
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     dst = dst_;
   }
   socket_->send_to(dst, packet);
 }
 
 void SocketPacketSink::set_destination(net::Address dst) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   dst_ = dst;
 }
 
 net::Address SocketPacketSink::destination() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return dst_;
 }
 

@@ -8,6 +8,9 @@
 
 #include "core/endpoint.h"
 #include "net/sim_network.h"
+#include "util/lock_rank.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::proxy {
 
@@ -44,9 +47,9 @@ class SocketPacketSink final : public core::PacketSink {
   net::SimSocket& socket() { return *socket_; }
 
  private:
-  std::shared_ptr<net::SimSocket> socket_;
-  mutable std::mutex mu_;
-  net::Address dst_;
+  const std::shared_ptr<net::SimSocket> socket_;
+  mutable rw::Mutex mu_{"proxy/socket_sink", rw::lockrank::kSocketSink};
+  net::Address dst_ RW_GUARDED_BY(mu_);
 };
 
 /// Builds the endpoint pair for a proxy leg: reads datagrams arriving on

@@ -32,6 +32,7 @@
 #include "core/flow_classifier.h"
 #include "obs/metrics.h"
 #include "raplets/fec_policy.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -115,7 +116,7 @@ class AdaptiveFecController {
 
   const AdaptiveFecControllerConfig config_;
 
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"raplets/fec_controller", rw::lockrank::kFecController};
   std::vector<std::unique_ptr<Flow>> flows_ RW_GUARDED_BY(mu_);
   std::shared_ptr<obs::Counter> inserts_ RW_GUARDED_BY(mu_);
   std::shared_ptr<obs::Counter> retunes_ RW_GUARDED_BY(mu_);

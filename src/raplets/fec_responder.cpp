@@ -18,7 +18,7 @@ FecResponder::FecResponder(core::ControlManager encoder_side,
 
 void FecResponder::on_event(const Event& event) {
   if (event.type != "loss-rate") return;
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   if (ever_changed_ && event.at - last_change_ < config_.cooldown_us) return;
   if (!active_ && event.value >= config_.insert_threshold) {
     activate(event);
@@ -82,12 +82,12 @@ std::optional<std::size_t> FecResponder::find_filter(
 }
 
 bool FecResponder::fec_active() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return active_;
 }
 
 std::vector<FecResponder::Action> FecResponder::history() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return history_;
 }
 

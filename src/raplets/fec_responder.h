@@ -10,13 +10,15 @@
 #pragma once
 
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "core/control.h"
 #include "raplets/raplet.h"
 #include "util/clock.h"
+#include "util/lock_rank.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::raplets {
 
@@ -51,21 +53,21 @@ class FecResponder final : public Responder {
   std::vector<Action> history() const;
 
  private:
-  void activate(const Event& event);
-  void deactivate(const Event& event);
+  void activate(const Event& event) RW_REQUIRES(mu_);
+  void deactivate(const Event& event) RW_REQUIRES(mu_);
   /// Position of the named filter in a chain listing, or nullopt.
   static std::optional<std::size_t> find_filter(
       core::ControlManager& manager, const std::string& name);
 
-  core::ControlManager encoder_side_;
-  std::optional<core::ControlManager> decoder_side_;
-  FecResponderConfig config_;
+  core::ControlManager encoder_side_ RW_GUARDED_BY(mu_);
+  std::optional<core::ControlManager> decoder_side_ RW_GUARDED_BY(mu_);
+  const FecResponderConfig config_;
 
-  mutable std::mutex mu_;
-  bool active_ = false;
-  bool ever_changed_ = false;
-  util::Micros last_change_ = 0;
-  std::vector<Action> history_;
+  mutable rw::Mutex mu_{"raplets/fec_responder", rw::lockrank::kRapletResponder};
+  bool active_ RW_GUARDED_BY(mu_) = false;
+  bool ever_changed_ RW_GUARDED_BY(mu_) = false;
+  util::Micros last_change_ RW_GUARDED_BY(mu_) = 0;
+  std::vector<Action> history_ RW_GUARDED_BY(mu_);
 };
 
 }  // namespace rapidware::raplets

@@ -9,7 +9,7 @@ HandoffCoordinator::HandoffCoordinator(proxy::Proxy& proxy,
     : proxy_(proxy), manager_(std::move(manager)) {}
 
 void HandoffCoordinator::register_device(DeviceProfile profile) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   devices_[profile.name] = std::move(profile);
 }
 
@@ -31,7 +31,7 @@ std::optional<std::size_t> HandoffCoordinator::find_filter(
 
 void HandoffCoordinator::handoff_to(const std::string& device,
                                     double stream_bps) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   const DeviceProfile& profile = devices_.at(device);
 
   // 1. Reshape the chain FIRST, so the new device never sees packets in a
@@ -68,12 +68,12 @@ void HandoffCoordinator::handoff_to(const std::string& device,
 }
 
 std::string HandoffCoordinator::active_device() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return active_;
 }
 
 std::vector<HandoffCoordinator::Event> HandoffCoordinator::history() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return history_;
 }
 

@@ -11,12 +11,14 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/control.h"
 #include "proxy/proxy.h"
+#include "util/lock_rank.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::raplets {
 
@@ -55,15 +57,15 @@ class HandoffCoordinator {
  private:
   /// Desired transcode factor for a budget (1, 2, or 4).
   static int reduction_for(double stream_bps, double budget_bps);
-  std::optional<std::size_t> find_filter(const std::string& name);
+  std::optional<std::size_t> find_filter(const std::string& name) RW_REQUIRES(mu_);
 
   proxy::Proxy& proxy_;
-  core::ControlManager manager_;
+  core::ControlManager manager_ RW_GUARDED_BY(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, DeviceProfile> devices_;
-  std::string active_;
-  std::vector<Event> history_;
+  mutable rw::Mutex mu_{"raplets/handoff", rw::lockrank::kRapletResponder};
+  std::map<std::string, DeviceProfile> devices_ RW_GUARDED_BY(mu_);
+  std::string active_ RW_GUARDED_BY(mu_);
+  std::vector<Event> history_ RW_GUARDED_BY(mu_);
 };
 
 }  // namespace rapidware::raplets

@@ -17,44 +17,44 @@ LossObserver::LossObserver(std::shared_ptr<net::SimSocket> socket,
 LossObserver::~LossObserver() { stop(); }
 
 void LossObserver::set_sink(EventSink sink) {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   sink_ = std::move(sink);
 }
 
 void LossObserver::start() {
-  {
-    std::lock_guard lk(mu_);
-    if (running_) return;
-    running_ = true;
-  }
+  rw::MutexLock lk(mu_);
+  if (running_) return;
+  running_ = true;
   thread_ = std::thread([this] { service_loop(); });
 }
 
 void LossObserver::stop() {
+  std::thread reaper;
   {
-    std::lock_guard lk(mu_);
+    rw::MutexLock lk(mu_);
     if (!running_) return;
     running_ = false;
+    reaper = std::move(thread_);
   }
   socket_->close();
-  if (thread_.joinable()) thread_.join();
+  if (reaper.joinable()) reaper.join();
 }
 
 double LossObserver::loss_for(const std::string& receiver) const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   auto it = smoothed_.find(receiver);
   return it == smoothed_.end() ? 0.0 : it->second;
 }
 
 double LossObserver::worst_loss() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   double worst = 0.0;
   for (const auto& [_, loss] : smoothed_) worst = std::max(worst, loss);
   return worst;
 }
 
 std::uint64_t LossObserver::reports_seen() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return reports_;
 }
 
@@ -73,7 +73,7 @@ void LossObserver::service_loop() {
     Event event;
     EventSink sink;
     {
-      std::lock_guard lk(mu_);
+      rw::MutexLock lk(mu_);
       ++reports_;
       // Prefer the raw link-loss measurement when the receiver supplies
       // one; post-recovery loss hides the very condition FEC should react

@@ -4,11 +4,13 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "raplets/raplet.h"
 #include "raplets/receiver_report.h"
+#include "util/lock_rank.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::raplets {
 
@@ -36,15 +38,16 @@ class LossObserver final : public Observer {
  private:
   void service_loop();
 
-  std::shared_ptr<net::SimSocket> socket_;
-  double alpha_;
+  const std::shared_ptr<net::SimSocket> socket_;
+  const double alpha_;
 
-  mutable std::mutex mu_;
-  EventSink sink_;
-  std::map<std::string, double> smoothed_;
-  std::uint64_t reports_ = 0;
-  std::thread thread_;
-  bool running_ = false;
+  mutable rw::Mutex mu_{"raplets/loss_observer", rw::lockrank::kRapletObserver};
+  EventSink sink_ RW_GUARDED_BY(mu_);
+  std::map<std::string, double> smoothed_ RW_GUARDED_BY(mu_);
+  std::uint64_t reports_ RW_GUARDED_BY(mu_) = 0;
+  // Moves out under mu_ in stop() so racing stops join exactly once.
+  std::thread thread_ RW_GUARDED_BY(mu_);
+  bool running_ RW_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rapidware::raplets

@@ -19,6 +19,7 @@
 
 #include "raplets/raplet.h"
 #include "util/clock.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -60,7 +61,7 @@ class ThroughputObserver final : public Observer {
   const double alpha_;
   util::WallClock wall_;  // rw-lint: allow(RW003) stateless
 
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"raplets/throughput_observer", rw::lockrank::kRapletObserver};
   EventSink sink_ RW_GUARDED_BY(mu_);
   std::uint64_t last_bytes_ RW_GUARDED_BY(mu_) = 0;
   util::Micros last_at_ RW_GUARDED_BY(mu_) = 0;

@@ -24,7 +24,7 @@ int TranscodeResponder::desired_reduction(double demand_bps) const {
 
 void TranscodeResponder::on_event(const Event& event) {
   if (event.type != "throughput-bps") return;
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   if (ever_changed_ && event.at - last_change_ < config_.cooldown_us) return;
 
   const int desired = desired_reduction(event.value);
@@ -79,12 +79,12 @@ std::optional<std::size_t> TranscodeResponder::find_filter() {
 }
 
 int TranscodeResponder::current_reduction() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return reduction_;
 }
 
 std::vector<TranscodeResponder::Action> TranscodeResponder::history() const {
-  std::lock_guard lk(mu_);
+  rw::MutexLock lk(mu_);
   return history_;
 }
 

@@ -11,12 +11,14 @@
 // responder's loss adaptation.
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "core/control.h"
 #include "raplets/raplet.h"
+#include "util/lock_rank.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rapidware::raplets {
 
@@ -53,17 +55,17 @@ class TranscodeResponder final : public Responder {
  private:
   /// Smallest ladder step whose reduced rate fits the budget.
   int desired_reduction(double demand_bps) const;
-  void apply(int reduction, const Event& event);
-  std::optional<std::size_t> find_filter();
+  void apply(int reduction, const Event& event) RW_REQUIRES(mu_);
+  std::optional<std::size_t> find_filter() RW_REQUIRES(mu_);
 
-  core::ControlManager manager_;
-  TranscodeResponderConfig config_;
+  core::ControlManager manager_ RW_GUARDED_BY(mu_);
+  const TranscodeResponderConfig config_;
 
-  mutable std::mutex mu_;
-  int reduction_ = 1;
-  bool ever_changed_ = false;
-  util::Micros last_change_ = 0;
-  std::vector<Action> history_;
+  mutable rw::Mutex mu_{"raplets/transcode_responder", rw::lockrank::kRapletResponder};
+  int reduction_ RW_GUARDED_BY(mu_) = 1;
+  bool ever_changed_ RW_GUARDED_BY(mu_) = false;
+  util::Micros last_change_ RW_GUARDED_BY(mu_) = 0;
+  std::vector<Action> history_ RW_GUARDED_BY(mu_);
 };
 
 }  // namespace rapidware::raplets

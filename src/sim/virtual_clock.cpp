@@ -1,3 +1,4 @@
+#include "util/lock_rank.h"
 #include "sim/virtual_clock.h"
 
 #include <algorithm>
@@ -87,7 +88,7 @@ struct PeriodicTask::State {
   VirtualClock* clock;
   util::Micros period;
   Fn fn;
-  mutable rw::Mutex mu;
+  mutable rw::Mutex mu{"sim/periodic_task", rw::lockrank::kPeriodicTask};
   bool stopped RW_GUARDED_BY(mu) = false;
   VirtualClock::EventId current RW_GUARDED_BY(mu);
 };

@@ -35,6 +35,7 @@
 #include <utility>
 
 #include "util/clock.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -100,7 +101,7 @@ class VirtualClock final : public util::Clock {
   /// time; returns nullptr when none is due.
   Callback pop_due(util::Micros t);
 
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"sim/clock", rw::lockrank::kSimClock};
   std::map<Key, Callback> events_ RW_GUARDED_BY(mu_);
   std::uint64_t next_seq_ RW_GUARDED_BY(mu_) = 0;
   std::atomic<util::Micros> now_{0};

@@ -24,6 +24,7 @@
 #include "net/loss.h"
 #include "util/clock.h"
 #include "util/io.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/rng.h"
 #include "util/thread_annotations.h"
@@ -101,7 +102,7 @@ class FaultInjector {
   friend class FaultyByteSink;
   friend class LinkFaults;
 
-  rw::Mutex mu_;
+  rw::Mutex mu_{"testing/fault_injector", rw::lockrank::kFaultInjector};
   util::Rng rng_ RW_GUARDED_BY(mu_);
   const FaultPlan plan_;
   const std::uint64_t seed_;
@@ -164,7 +165,7 @@ class LinkFaults final : public net::LossModel {
  private:
   const std::shared_ptr<net::LossModel> inner_;
   const std::shared_ptr<FaultInjector> faults_;
-  rw::Mutex mu_;
+  rw::Mutex mu_{"testing/link_faults", rw::lockrank::kLinkFaults};
   bool down_ RW_GUARDED_BY(mu_) = false;
   int outage_left_ RW_GUARDED_BY(mu_) = 0;
 };

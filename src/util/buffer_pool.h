@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "util/bytes.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -93,7 +94,7 @@ class BufferPool {
 
   const Config config_;
   const std::size_t bucket_count_;
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"util/buffer_pool", rw::lockrank::kBufferPool};
   std::vector<std::vector<Bytes>> free_ RW_GUARDED_BY(mu_);
 
   std::atomic<std::uint64_t> hits_{0};

@@ -1,13 +1,15 @@
 #include "util/logging.h"
 
 #include <atomic>
-#include <mutex>
+
+#include "util/lock_rank.h"
+#include "util/mutex.h"
 
 namespace rapidware::util {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_emit_mutex;
+rw::Mutex g_emit_mutex{"util/log_emit", rw::lockrank::kLogging};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -33,7 +35,7 @@ LogLevel log_level() {
 void log_message(LogLevel level, std::string_view component,
                  std::string_view message) {
   if (!log_enabled(level)) return;
-  std::lock_guard lock(g_emit_mutex);
+  rw::MutexLock lock(g_emit_mutex);
   std::fprintf(stderr, "[%s %.*s] %.*s\n", level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());

@@ -17,6 +17,7 @@
 
 #include "net/sim_network.h"
 #include "obs/metrics.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 #include "wireless/path_loss.h"
@@ -86,7 +87,7 @@ class WirelessLan {
   const net::NodeId ap_;
   const WlanConfig config_;  // read-only after construction: lock-free reads
 
-  mutable rw::Mutex mu_;
+  mutable rw::Mutex mu_{"wireless/wlan", rw::lockrank::kWlan};
   std::map<net::NodeId, double> distance_m_ RW_GUARDED_BY(mu_);
   std::optional<obs::Scope> scope_ RW_GUARDED_BY(mu_);
   std::shared_ptr<obs::TraceRing> m_events_ RW_GUARDED_BY(mu_);

@@ -1,0 +1,528 @@
+#!/usr/bin/env python3
+"""lock_graph: static lock-order DAG extraction and baseline ratchet.
+
+The runtime checker (-DRW_DEADLOCK_CHECK=ON, src/util/deadlock.h) proves
+every *exercised* path deadlock-free; this tool covers the paths a test run
+might miss. It parses, with no compiler and no third-party imports:
+
+  * the declared rank table (src/util/lock_rank.h);
+  * every named rw::Mutex declaration in src/
+    (`rw::Mutex mu_{"subsystem/lock", rw::lockrank::kFoo};`);
+  * every lexically-nested rw::MutexLock acquisition, including locks
+    implied held by RW_REQUIRES on the enclosing method (declarations are
+    read from headers, so an out-of-line *_locked body still counts);
+
+and derives the static acquisition-order graph: an edge A -> B means some
+function acquires B while holding A. The graph is compared against the
+committed baseline (tools/lock_order.json) as a ratchet:
+
+  * a CYCLE (in the union of found + baseline edges) fails — that is an
+    ABBA deadlock waiting for the right schedule;
+  * a RANK INVERSION fails — an edge from a higher-ranked lock to a
+    lower-ranked one contradicts src/util/lock_rank.h;
+  * a NEW EDGE not in the baseline fails — run `--write` after review, so
+    every acquisition-order extension is a deliberate, diffed decision;
+  * a REMOVED edge is free (the baseline shrinks on the next --write).
+
+Modes
+  --emit        print the extracted graph as JSON to stdout
+  --write       rewrite tools/lock_order.json from the current tree
+  --check       validate against the baseline (the CI mode; default)
+  --self-check  run the extractor + validators against built-in fixtures,
+                including an injected ABBA cycle and a rank inversion that
+                MUST be caught (a checker that cannot fail is no checker)
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE_REL = "tools/lock_order.json"
+
+RANK_CONST_RE = re.compile(r"inline constexpr int k(\w+) = (-?\d+);")
+MUTEX_DECL_RE = re.compile(
+    r"rw::Mutex\s+(\w+)\s*\{\s*\"([^\"]+)\"\s*,\s*rw::lockrank::k(\w+)\s*\}")
+CLASS_RE = re.compile(r"\b(?:class|struct)\s+(?:RW_\w+(?:\([^)]*\))?\s+)?(\w+)"
+                      r"[^;{]*\{")
+METHOD_DEF_RE = re.compile(r"\b(\w+)::(\w+)\s*\(")
+MUTEXLOCK_RE = re.compile(r"\brw::MutexLock\s+\w+\s*\(\s*([\w.>\-]+?)\s*[),]")
+# `rw::MutexLock lk(mu);  // lock-graph: holds(obs/registry)` pins the lock
+# name when the mutex arrives by reference and cannot be resolved statically.
+HOLDS_RE = re.compile(r"//\s*lock-graph:\s*holds\(([^)]+)\)")
+REQUIRES_DECL_RE = re.compile(
+    r"\b(\w+)\s*\([^;{]*?\)\s*(?:const\s*)?RW_REQUIRES\(\s*([\w.>\-]+)\s*\)")
+
+
+def strip_code_line(line: str) -> str:
+    """Drops // comments, ignoring comment-lookalikes inside literals."""
+    quote = None
+    i = 0
+    while i < len(line):
+        c = line[i]
+        if quote:
+            if c == "\\":
+                i += 1
+            elif c == quote:
+                quote = None
+        elif c in "\"'":
+            quote = c
+        elif c == "/" and line.startswith("//", i):
+            return line[:i]
+        i += 1
+    return line
+
+
+def member_ident(expr: str) -> str:
+    """`st_->mu` -> `mu`; `other.mu_` -> `mu_`; `mu_` -> `mu_`."""
+    return re.split(r"->|\.", expr)[-1]
+
+
+def src_files(repo: Path):
+    for path in sorted((repo / "src").rglob("*")):
+        if path.suffix in (".h", ".cpp") and path.is_file():
+            yield path
+
+
+def parse_ranks(repo: Path) -> dict[str, int]:
+    text = (repo / "src/util/lock_rank.h").read_text()
+    return {name: int(val) for name, val in RANK_CONST_RE.findall(text)}
+
+
+class LockTable:
+    """Every named rw::Mutex declaration, indexed for expression lookup."""
+
+    def __init__(self) -> None:
+        self.locks: dict[str, dict] = {}          # lock name -> info
+        self.by_class: dict[tuple[str, str], str] = {}  # (class, member) -> name
+        self.by_stem: dict[tuple[str, str], set[str]] = {}  # (stem, member)
+        self.by_member: dict[str, set[str]] = {}  # member -> names
+
+    def add(self, name: str, rank_const: str, rank: int, cls: str,
+            member: str, rel: str) -> None:
+        self.locks[name] = {"rank": rank, "rank_const": "k" + rank_const,
+                            "class": cls, "member": member, "file": rel}
+        if cls:
+            self.by_class[(cls, member)] = name
+        stem = Path(rel).stem
+        self.by_stem.setdefault((stem, member), set()).add(name)
+        self.by_member.setdefault(member, set()).add(name)
+
+    def resolve(self, expr: str, cls: str | None, stem: str) -> str | None:
+        """Best-effort lock name for an acquisition expression: the current
+        class's member, else a unique same-file-stem member, else a
+        globally-unique member of that identifier."""
+        ident = member_ident(expr)
+        if cls and (cls, ident) in self.by_class:
+            return self.by_class[(cls, ident)]
+        stem_hits = self.by_stem.get((stem, ident), set())
+        if len(stem_hits) == 1:
+            return next(iter(stem_hits))
+        global_hits = self.by_member.get(ident, set())
+        if len(global_hits) == 1:
+            return next(iter(global_hits))
+        return None
+
+
+def parse_locks(repo: Path, ranks: dict[str, int]) -> tuple[LockTable, list[str]]:
+    table = LockTable()
+    problems: list[str] = []
+    for path in src_files(repo):
+        rel = str(path.relative_to(repo))
+        class_stack: list[tuple[int, str]] = []  # (depth-at-open, name)
+        depth = 0
+        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+            code = strip_code_line(raw)
+            cm = CLASS_RE.search(code)
+            if cm:
+                class_stack.append((depth, cm.group(1)))
+            for dm in MUTEX_DECL_RE.finditer(code):
+                member, name, rank_const = dm.groups()
+                if rank_const not in ranks:
+                    problems.append(f"{rel}:{lineno}: unknown rank constant "
+                                    f"k{rank_const}")
+                    continue
+                if name in table.locks:
+                    problems.append(f"{rel}:{lineno}: duplicate lock name "
+                                    f'"{name}" (first declared in '
+                                    f"{table.locks[name]['file']})")
+                    continue
+                cls = class_stack[-1][1] if class_stack else ""
+                table.add(name, rank_const, ranks[rank_const], cls, member, rel)
+            depth += code.count("{") - code.count("}")
+            while class_stack and depth <= class_stack[-1][0]:
+                class_stack.pop()
+    return table, problems
+
+
+def parse_requires(repo: Path) -> dict[tuple[str, str], str]:
+    """(class, method) -> member expression the method requires held."""
+    out: dict[tuple[str, str], str] = {}
+    for path in src_files(repo):
+        class_stack: list[tuple[int, str]] = []
+        depth = 0
+        # Join continuation lines so `void f(...)\n    RW_REQUIRES(mu_);` parses.
+        prev = ""
+        for raw in path.read_text().splitlines():
+            code = strip_code_line(raw)
+            cm = CLASS_RE.search(code)
+            if cm:
+                class_stack.append((depth, cm.group(1)))
+            joined = (prev + " " + code).strip()
+            for rm in REQUIRES_DECL_RE.finditer(joined):
+                cls = class_stack[-1][1] if class_stack else ""
+                out[(cls, rm.group(1))] = rm.group(2)
+            prev = code if not code.rstrip().endswith((";", "{", "}")) else ""
+            depth += code.count("{") - code.count("}")
+            while class_stack and depth <= class_stack[-1][0]:
+                class_stack.pop()
+    return out
+
+
+def parse_edges(repo: Path, table: LockTable,
+                requires: dict[tuple[str, str], str]
+                ) -> tuple[dict[tuple[str, str], str], list[str]]:
+    """Edges {(from, to): first site} from lexical MutexLock nesting plus
+    RW_REQUIRES-implied holds. Unresolvable expressions are reported, not
+    silently dropped."""
+    edges: dict[tuple[str, str], str] = {}
+    problems: list[str] = []
+    for path in src_files(repo):
+        rel = str(path.relative_to(repo))
+        stem = Path(rel).stem
+        class_stack: list[tuple[int, str]] = []
+        held: list[tuple[int, str]] = []   # (depth-at-acquire, lock name)
+        method_cls = None  # class of the out-of-line body being scanned
+        depth = 0
+        ns_depth = 0  # braces opened by namespace blocks
+        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+            code = strip_code_line(raw)
+            if re.search(r"\bnamespace\b[^;]*\{", code):
+                ns_depth += code.count("{")
+            cm = CLASS_RE.search(code)
+            if cm:
+                class_stack.append((depth, cm.group(1)))
+
+            mm = METHOD_DEF_RE.search(code)
+            if mm and depth == ns_depth and ";" not in code:
+                # Out-of-line definition: remember the class for member
+                # resolution and seed RW_REQUIRES-implied holds.
+                mcls, method = mm.group(1), mm.group(2)
+                method_cls = mcls
+                req = requires.get((mcls, method))
+                held = []
+                if req:
+                    name = table.resolve(req, mcls, stem)
+                    if name:
+                        # Implied held for the whole body (depth 1 once the
+                        # definition's opening brace is counted).
+                        held.append((depth + 1, name))
+            cls = (class_stack[-1][1] if class_stack else None) or method_cls
+
+            pinned = HOLDS_RE.search(raw)
+            for lm in MUTEXLOCK_RE.finditer(code):
+                if pinned and pinned.group(1) in table.locks:
+                    name = pinned.group(1)
+                else:
+                    name = table.resolve(lm.group(1), cls, stem)
+                if name is None:
+                    problems.append(
+                        f"{rel}:{lineno}: cannot resolve MutexLock "
+                        f"argument '{lm.group(1)}' to a named lock")
+                    continue
+                if held:
+                    key = (held[-1][1], name)
+                    if key[0] != key[1]:
+                        edges.setdefault(key, f"{rel}:{lineno}")
+                held.append((depth, name))
+
+            depth += code.count("{") - code.count("}")
+            # A lock acquired at depth d dies when its block closes
+            # (depth drops below d).
+            held = [h for h in held if depth >= h[0]]
+            if depth <= ns_depth and code.count("}") > code.count("{"):
+                # A body (not a multi-line signature) just closed.
+                method_cls = None
+                ns_depth = min(ns_depth, depth)
+            while class_stack and depth <= class_stack[-1][0]:
+                class_stack.pop()
+    return edges, problems
+
+
+def find_cycle(edges: set[tuple[str, str]]) -> list[str]:
+    adj: dict[str, list[str]] = {}
+    for a, b in edges:
+        adj.setdefault(a, []).append(b)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[str, int] = {}
+    stack: list[str] = []
+
+    def dfs(node: str) -> list[str]:
+        color[node] = GRAY
+        stack.append(node)
+        for nxt in adj.get(node, ()):
+            if color.get(nxt, WHITE) == GRAY:
+                return stack[stack.index(nxt):] + [nxt]
+            if color.get(nxt, WHITE) == WHITE:
+                cyc = dfs(nxt)
+                if cyc:
+                    return cyc
+        stack.pop()
+        color[node] = BLACK
+        return []
+
+    for node in list(adj):
+        if color.get(node, WHITE) == WHITE:
+            cyc = dfs(node)
+            if cyc:
+                return cyc
+    return []
+
+
+def extract(repo: Path):
+    ranks = parse_ranks(repo)
+    table, problems = parse_locks(repo, ranks)
+    requires = parse_requires(repo)
+    edges, edge_problems = parse_edges(repo, table, requires)
+    return table, edges, problems + edge_problems
+
+
+def graph_json(table: LockTable, edges: dict[tuple[str, str], str]) -> dict:
+    return {
+        "_comment": "Static lock-order baseline - regenerate with "
+                    "tools/lock_graph.py --write after review "
+                    "(docs/static_analysis.md).",
+        "locks": {name: info["rank"] for name, info in
+                  sorted(table.locks.items())},
+        "edges": sorted([a, b] for a, b in edges),
+    }
+
+
+def validate(table: LockTable, edges: dict[tuple[str, str], str],
+             baseline: dict | None) -> list[str]:
+    failures: list[str] = []
+
+    for (a, b), site in sorted(edges.items()):
+        ra = table.locks.get(a, {}).get("rank", -1)
+        rb = table.locks.get(b, {}).get("rank", -1)
+        if ra >= 0 and rb >= 0 and ra >= rb:
+            failures.append(
+                f"RANK INVERSION: \"{a}\" (rank {ra}) is held while "
+                f"acquiring \"{b}\" (rank {rb}) at {site}; ranks must "
+                f"strictly ascend (src/util/lock_rank.h)")
+
+    union = set(edges)
+    baseline_edges: set[tuple[str, str]] = set()
+    if baseline is not None:
+        baseline_edges = {(a, b) for a, b in baseline.get("edges", [])}
+        union |= baseline_edges
+    cycle = find_cycle(union)
+    if cycle:
+        failures.append("LOCK ORDER CYCLE: " + " -> ".join(
+            f'"{n}"' for n in cycle) + " — an ABBA deadlock waiting for "
+            "the right schedule")
+
+    if baseline is not None:
+        for (a, b), site in sorted(edges.items()):
+            if (a, b) not in baseline_edges:
+                failures.append(
+                    f"NEW EDGE not in {BASELINE_REL}: \"{a}\" -> \"{b}\" "
+                    f"(first seen at {site}); review the nesting, then "
+                    f"run tools/lock_graph.py --write")
+        base_locks = baseline.get("locks", {})
+        now_locks = {name: info["rank"] for name, info in table.locks.items()}
+        if base_locks != now_locks:
+            gone = sorted(set(base_locks) - set(now_locks))
+            new = sorted(set(now_locks) - set(base_locks))
+            moved = sorted(k for k in set(base_locks) & set(now_locks)
+                           if base_locks[k] != now_locks[k])
+            failures.append(
+                f"LOCK TABLE DRIFT vs {BASELINE_REL}: added={new} "
+                f"removed={gone} reranked={moved}; review, then run "
+                f"tools/lock_graph.py --write")
+    return failures
+
+
+def run(repo: Path, mode: str) -> int:
+    table, edges, problems = extract(repo)
+    for p in problems:
+        print(f"lock_graph: warning: {p}", file=sys.stderr)
+
+    if mode == "--emit":
+        print(json.dumps(graph_json(table, edges), indent=2))
+        return 0
+
+    if mode == "--write":
+        out = repo / BASELINE_REL
+        out.write_text(json.dumps(graph_json(table, edges), indent=2) + "\n")
+        print(f"lock_graph: wrote {len(table.locks)} locks, "
+              f"{len(edges)} edges to {BASELINE_REL}")
+        return 0
+
+    # --check
+    baseline_path = repo / BASELINE_REL
+    if not baseline_path.exists():
+        print(f"lock_graph: {BASELINE_REL} missing; run --write first",
+              file=sys.stderr)
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    failures = validate(table, edges, baseline)
+    removed = {(a, b) for a, b in baseline.get("edges", [])} - set(edges)
+    if removed and not failures:
+        print(f"lock_graph: note: {len(removed)} baseline edge(s) no longer "
+              "found; removals are free — --write will shrink the baseline")
+    if failures:
+        print("\n".join(failures))
+        print(f"\nlock_graph --check: {len(failures)} failure(s)")
+        return 1
+    print(f"lock_graph --check: OK ({len(table.locks)} locks, "
+          f"{len(edges)} static edges, acyclic, rank-consistent)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# --self-check fixtures
+
+FIXTURE_RANKS = """\
+namespace rw::lockrank {
+inline constexpr int kUnranked = -1;
+inline constexpr int kLow = 100;
+inline constexpr int kHigh = 200;
+}
+"""
+
+FIXTURE_CLEAN = """\
+#include "util/lock_rank.h"
+class Alpha {
+  void nest();
+  rw::Mutex mu_{"fix/alpha", rw::lockrank::kLow};
+};
+class Beta {
+  rw::Mutex mu_{"fix/beta", rw::lockrank::kHigh};
+};
+void Alpha::nest() {
+  rw::MutexLock lk(mu_);
+  rw::MutexLock lk2(other_->mu_);  // resolves to fix/beta: unique global mu_? no - two mu_
+}
+"""
+
+FIXTURE_ABBA = """\
+#include "util/lock_rank.h"
+class Alpha {
+ public:
+  void a_then_b();
+  rw::Mutex a_{"fix/a", rw::lockrank::kUnranked};
+  rw::Mutex b_{"fix/b", rw::lockrank::kUnranked};
+};
+void Alpha::a_then_b() {
+  rw::MutexLock lk(a_);
+  rw::MutexLock lk2(b_);
+}
+void other(Alpha& x) {
+  rw::MutexLock lk(x.b_);
+  rw::MutexLock lk2(x.a_);
+}
+"""
+
+FIXTURE_INVERSION = """\
+#include "util/lock_rank.h"
+class Gamma {
+  void wrong_way();
+  rw::Mutex high_{"fix/high", rw::lockrank::kHigh};
+  rw::Mutex low_{"fix/low", rw::lockrank::kLow};
+};
+void Gamma::wrong_way() {
+  rw::MutexLock lk(high_);
+  rw::MutexLock lk2(low_);
+}
+"""
+
+FIXTURE_REQUIRES = """\
+#include "util/lock_rank.h"
+class Delta {
+  void helper_locked() RW_REQUIRES(low_);
+  rw::Mutex low_{"fix/low", rw::lockrank::kLow};
+  rw::Mutex high_{"fix/high", rw::lockrank::kHigh};
+};
+void Delta::helper_locked() {
+  rw::MutexLock lk(high_);
+}
+"""
+
+
+def self_check() -> int:
+    import tempfile
+
+    def build(tree: dict[str, str]) -> Path:
+        root = Path(tempfile.mkdtemp(prefix="lock_graph_fix_"))
+        (root / "src/util").mkdir(parents=True)
+        (root / "tools").mkdir()
+        (root / "src/util/lock_rank.h").write_text(FIXTURE_RANKS)
+        for rel, content in tree.items():
+            f = root / rel
+            f.parent.mkdir(parents=True, exist_ok=True)
+            f.write_text(content)
+        return root
+
+    failures: list[str] = []
+
+    # 1. The injected ABBA cycle must be caught even with no ranks involved.
+    root = build({"src/fix/abba.cpp": FIXTURE_ABBA})
+    table, edges, _ = extract(root)
+    got = validate(table, edges, {"locks": {n: i["rank"] for n, i in
+                                            table.locks.items()},
+                                  "edges": sorted(list(e) for e in edges)})
+    if not any("CYCLE" in f for f in got):
+        failures.append(f"injected ABBA cycle not detected: {got}")
+
+    # 2. A rank inversion must be caught without any baseline at all.
+    root = build({"src/fix/inversion.cpp": FIXTURE_INVERSION})
+    table, edges, _ = extract(root)
+    got = validate(table, edges, None)
+    if not any("RANK INVERSION" in f for f in got):
+        failures.append(f"rank inversion not detected: {got}")
+
+    # 3. RW_REQUIRES on an out-of-line body must imply the held lock.
+    root = build({"src/fix/requires.cpp": FIXTURE_REQUIRES})
+    table, edges, _ = extract(root)
+    if ("fix/low", "fix/high") not in edges:
+        failures.append(f"RW_REQUIRES-implied edge missed: {sorted(edges)}")
+
+    # 4. A consistent tree must pass --check against its own baseline, and
+    #    fail when the baseline omits the edge (the ratchet).
+    root = build({"src/fix/requires.cpp": FIXTURE_REQUIRES})
+    table, edges, _ = extract(root)
+    ok_baseline = json.loads(json.dumps(graph_json(table, edges)))
+    if validate(table, edges, ok_baseline):
+        failures.append("consistent tree failed its own baseline")
+    stale = dict(ok_baseline)
+    stale["edges"] = []
+    got = validate(table, edges, stale)
+    if not any("NEW EDGE" in f for f in got):
+        failures.append(f"baseline ratchet did not flag a new edge: {got}")
+
+    if failures:
+        print("lock_graph --self-check FAILED")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("lock_graph --self-check: OK (ABBA cycle, rank inversion, "
+          "RW_REQUIRES edge, and baseline ratchet all detected)")
+    return 0
+
+
+def main() -> int:
+    mode = sys.argv[1] if len(sys.argv) > 1 else "--check"
+    if mode == "--self-check":
+        return self_check()
+    if mode not in ("--emit", "--write", "--check"):
+        print(__doc__)
+        return 2
+    return run(REPO, mode)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,9 +8,11 @@ with no third-party imports, so it works in CI and as a local ctest.
 
 Rules
   RW001  No naked std::mutex / std::condition_variable outside the rw::
-         wrapper (src/util/mutex.h). New concurrent code must use rw::Mutex
-         so it participates in the analysis. Legacy files are listed in
-         LEGACY_STD_MUTEX below — a ratchet: shrink it, never grow it.
+         wrapper (src/util/mutex.h). All concurrent code uses rw::Mutex so
+         it participates in the analysis and the deadlock checker; the only
+         raw-primitive holdouts are the wrapper itself and the checker
+         internals (src/util/deadlock.cpp), which carry reasoned waivers
+         because the checker cannot be built on the type it instruments.
   RW002  No condition-variable wait without a predicate: every .wait(...)
          needs a predicate argument and every .wait_for/.wait_until needs
          (lock, time, predicate). Naked waits are how missed-wakeup and
@@ -38,6 +40,21 @@ Rules
          virtual scheduling instead. Genuine wall-clock needs (e.g. a
          watchdog that must fire even when the virtual loop wedges) carry a
          reasoned waiver.
+  RW008  No blocking calls in run-to-completion dispatch contexts: the
+         virtual-time layer (src/sim/), the observability snapshot/render
+         paths (src/obs/), and the control-protocol dispatch code
+         (src/core/control.*) must not join threads, wait on condition
+         variables, or receive with an infinite timeout. These bodies run
+         inline under a dispatcher's lock or clock step; one blocked
+         callback stalls every queued event behind it, and under
+         sim::VirtualClock it wedges virtual time itself. A worker thread
+         that deliberately paces on a CV inside one of these directories
+         (e.g. the stats log's wall-clock emitter) carries a reasoned
+         waiver.
+
+Run `rw_lint.py --self-check` to exercise every rule against built-in
+fixtures (each rule must fire on a bad twin and stay silent on a waivered
+or conforming twin); CI runs this before trusting a clean report.
 
 Suppression: append  `// rw-lint: allow(RWxxx) <reason>`  to the offending
 line (the reason is mandatory).
@@ -50,20 +67,6 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-
-# RW001 ratchet. Files that still declare raw std::mutex members from before
-# the rw:: conversion (PR: lock-discipline enforcement). Shrink, never grow.
-LEGACY_STD_MUTEX = {
-    "src/pavilion/leadership.h",
-    "src/pavilion/session.h",
-    "src/pavilion/web.h",
-    "src/proxy/socket_endpoints.h",
-    "src/raplets/fec_responder.h",
-    "src/raplets/handoff.h",
-    "src/raplets/loss_observer.h",
-    "src/raplets/transcode_responder.h",
-    "src/util/logging.cpp",
-}
 
 ALLOW_RE = re.compile(r"//\s*rw-lint:\s*allow\((RW\d{3})\)\s*\S")
 
@@ -79,9 +82,24 @@ def report(path: Path, lineno: int, rule: str, msg: str, line: str) -> None:
 
 
 def strip_comments(line: str) -> str:
-    """Drops // comments but keeps the text for suppression matching."""
-    i = line.find("//")
-    return line if i < 0 else line[:i]
+    """Drops // comments, ignoring comment-lookalikes inside string and
+    character literals (a "tcp://host" URL must not hide the rest of the
+    line from the checks)."""
+    quote = None  # the open quote character, if inside a literal
+    i = 0
+    while i < len(line):
+        c = line[i]
+        if quote:
+            if c == "\\":
+                i += 1  # skip the escaped character
+            elif c == quote:
+                quote = None
+        elif c in "\"'":
+            quote = c
+        elif c == "/" and line.startswith("//", i):
+            return line[:i]
+        i += 1
+    return line
 
 
 def src_files(*suffixes: str):
@@ -99,7 +117,7 @@ RAW_SYNC_RE = re.compile(r"\bstd::(mutex|condition_variable(_any)?|shared_mutex|
 def check_rw001() -> None:
     for path in src_files(".h", ".cpp"):
         rel = str(path.relative_to(REPO))
-        if rel == "src/util/mutex.h" or rel in LEGACY_STD_MUTEX:
+        if rel == "src/util/mutex.h":
             continue
         for lineno, line in enumerate(path.read_text().splitlines(), 1):
             if RAW_SYNC_RE.search(strip_comments(line)):
@@ -361,7 +379,34 @@ def check_rw007() -> None:
                        "steady_clock::now()/sleep_for", line)
 
 
-def main() -> int:
+# ---------------------------------------------------------------------------
+# RW008: no blocking calls in run-to-completion dispatch contexts
+
+RW008_CONTEXTS = ("src/sim/", "src/obs/", "src/core/control.")
+RW008_RE = re.compile(
+    r"\.\s*join\s*\(\s*\)|\.\s*(wait|wait_for|wait_until)\s*\(|"
+    r"\brecv\s*\(\s*-1\b")
+
+
+def check_rw008() -> None:
+    for path in src_files(".h", ".cpp"):
+        rel = str(path.relative_to(REPO))
+        if not rel.startswith(RW008_CONTEXTS):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if RW008_RE.search(strip_comments(line)):
+                report(path, lineno, "RW008",
+                       "blocking call in a run-to-completion dispatch "
+                       "context (sim callbacks, obs snapshot paths, control "
+                       "dispatch); restructure so the dispatcher never "
+                       "blocks, or waive with the reason it cannot stall "
+                       "the event loop", line)
+
+
+def run_checks() -> list[str]:
+    """Runs every rule against the current REPO; returns the error list."""
+    global errors
+    errors = []
     check_rw001()
     check_rw002()
     check_rw003()
@@ -369,6 +414,161 @@ def main() -> int:
     check_rw005()
     check_rw006()
     check_rw007()
+    check_rw008()
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# --self-check: every rule must fire on a bad fixture and stay silent on a
+# waivered or conforming twin. A linter whose rules silently stopped firing
+# is worse than none, so CI runs this before trusting a clean report.
+
+# One bad/good fixture pair per rule. Paths are repo-relative; the self-check
+# materializes each tree in a temp dir and points REPO at it.
+SELF_CHECK_DIRTY = {
+    "src/dirty/legacy.h": (
+        "#pragma once\n"
+        "std::mutex bad_mutex_;\n"
+        # Regression for the strip_comments string bug: the // inside the
+        # literal must not hide the std::mutex after it.
+        'inline std::string url_ = "tcp://host"; std::mutex sneaky_;\n'
+    ),
+    "src/dirty/waits.cpp": (
+        "void f() {\n"
+        "  cv_.wait(lk);\n"
+        "  cv_.wait_for(lk, timeout);\n"
+        "}\n"
+    ),
+    "src/dirty/klass.h": (
+        "#pragma once\n"
+        "class K {\n"
+        "  void poke_locked();\n"
+        "  rw::Mutex mu_;\n"
+        "  int unguarded_;\n"
+        "};\n"
+    ),
+    "src/core/control.h": (
+        "enum class ControlOp {\n  kInsert = 1,\n  kRemove = 3,\n};\n"
+    ),
+    "docs/control_protocol.md": "no op table here\n",
+    "bench/bench_dirty.cpp": "int main() { return 0; }\n",
+    "src/dirty/hot.cpp": (
+        "void Filt::run(core::PacketContext& ctx) {\n"
+        "  util::Bytes fresh(16);\n"
+        "}\n"
+    ),
+    "src/net/dirty_clock.cpp": (
+        "void nap() { std::this_thread::sleep_for(t); }\n"
+    ),
+    "src/sim/dirty_block.cpp": "void drain() { worker_.join(); }\n",
+}
+
+# (file, rule) pairs the dirty tree must produce — nothing more, nothing less.
+SELF_CHECK_EXPECTED = sorted([
+    ("src/dirty/legacy.h", "RW001"), ("src/dirty/legacy.h", "RW001"),
+    ("src/dirty/waits.cpp", "RW002"), ("src/dirty/waits.cpp", "RW002"),
+    ("src/dirty/klass.h", "RW003"), ("src/dirty/klass.h", "RW003"),
+    ("src/core/control.h", "RW004"), ("docs/control_protocol.md", "RW004"),
+    ("bench/bench_dirty.cpp", "RW005"),
+    ("src/dirty/hot.cpp", "RW006"),
+    ("src/net/dirty_clock.cpp", "RW007"),
+    ("src/sim/dirty_block.cpp", "RW008"),
+])
+
+SELF_CHECK_CLEAN = {
+    "src/clean/legacy.h": (
+        "#pragma once\n"
+        "std::mutex waived_;  // rw-lint: allow(RW001) self-check fixture\n"
+    ),
+    "src/clean/waits.cpp": (
+        "void f() {\n"
+        "  cv_.wait(mu_, [this] { return ready_; });\n"
+        "  cv_.wait(lk);  // rw-lint: allow(RW002) self-check fixture\n"
+        "}\n"
+    ),
+    "src/clean/klass.h": (
+        "#pragma once\n"
+        "class K {\n"
+        "  void poke_locked() RW_REQUIRES(mu_);\n"
+        "  rw::Mutex mu_;\n"
+        "  int guarded_ RW_GUARDED_BY(mu_);\n"
+        "  int waived_;  // rw-lint: allow(RW003) self-check fixture\n"
+        "};\n"
+    ),
+    "src/core/control.h": (
+        "enum class ControlOp {\n  kInsert = 1,\n  kRemove = 2,\n};\n"
+    ),
+    "docs/control_protocol.md": (
+        "| Insert | 1 |\n| Remove | 2 |\n"
+    ),
+    "bench/bench_clean.cpp": "int main() { JsonSummary(); }\n",
+    "src/clean/hot.cpp": (
+        "void Filt::run(core::PacketContext& ctx) {\n"
+        "  out = std::move(ctx.packet);\n"
+        "  util::Bytes w(4);  // rw-lint: allow(RW006) self-check fixture\n"
+        "}\n"
+    ),
+    "src/net/clean_clock.cpp": (
+        "void nap() { std::this_thread::sleep_for(t); }"
+        "  // rw-lint: allow(RW007) self-check fixture\n"
+    ),
+    "src/sim/clean_block.cpp": (
+        "void drain() { worker_.join(); }"
+        "  // rw-lint: allow(RW008) self-check fixture\n"
+    ),
+}
+
+
+def self_check() -> int:
+    import tempfile
+
+    global REPO
+    real_repo = REPO
+
+    def run_tree(tree: dict[str, str]) -> list[tuple[str, str]]:
+        global REPO
+        with tempfile.TemporaryDirectory() as td:
+            root = Path(td)
+            for rel, content in tree.items():
+                f = root / rel
+                f.parent.mkdir(parents=True, exist_ok=True)
+                f.write_text(content)
+            REPO = root
+            try:
+                found = run_checks()
+            finally:
+                REPO = real_repo
+            out = []
+            for e in found:
+                loc, rule, _ = e.split(": ", 2)
+                out.append((loc.rsplit(":", 1)[0], rule))
+            return sorted(out)
+
+    failures = []
+    got = run_tree(SELF_CHECK_DIRTY)
+    if got != SELF_CHECK_EXPECTED:
+        missing = [x for x in SELF_CHECK_EXPECTED if x not in got]
+        extra = [x for x in got if x not in SELF_CHECK_EXPECTED]
+        failures.append(f"dirty tree mismatch: missing={missing} extra={extra}")
+    got_clean = run_tree(SELF_CHECK_CLEAN)
+    if got_clean:
+        failures.append(f"clean tree not clean: {got_clean}")
+
+    if failures:
+        print("rw_lint --self-check FAILED")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"rw_lint --self-check: OK "
+          f"({len(SELF_CHECK_EXPECTED)} expected findings fired, "
+          f"clean twins silent)")
+    return 0
+
+
+def main() -> int:
+    if "--self-check" in sys.argv[1:]:
+        return self_check()
+    run_checks()
     if errors:
         print("\n".join(errors))
         print(f"\nrw_lint: {len(errors)} error(s). "
