@@ -83,6 +83,52 @@ std::size_t DetachableInputStream::read_borrow(std::size_t max,
   }
 }
 
+std::size_t DetachableInputStream::poll_read_borrow(std::size_t max,
+                                                    util::SpanVisitor visit,
+                                                    bool* end) {
+  *end = false;
+  rw::MutexLock lk(st_->mu);
+  if (!st_->ring.empty()) {
+    auto spans = st_->ring.read_spans();
+    if (max != 0 && max < spans[0].size() + spans[1].size()) {
+      if (max <= spans[0].size()) {
+        spans[0] = spans[0].first(max);
+        spans[1] = {};
+      } else {
+        spans[1] = spans[1].first(max - spans[0].size());
+      }
+    }
+    const std::size_t consumed = visit(spans[0], spans[1]);
+    if (consumed == 0) {
+      throw StreamError("DIS::poll_read_borrow: visitor made no progress");
+    }
+    if (consumed > spans[0].size() + spans[1].size()) {
+      throw StreamError("DIS::poll_read_borrow: visitor over-consumed");
+    }
+    st_->ring.consume(consumed);
+    st_->bytes_out += consumed;
+    st_->notify_data_writable();
+    if (st_->ring.empty()) st_->notify_drained();
+    return consumed;
+  }
+  if (st_->write_closed || st_->soft_eof || st_->reader_closed) {
+    *end = true;
+    return 0;
+  }
+  // Empty but open: report would-block. Tell a pending pauser the buffer is
+  // drained (exactly like the blocking paths), then arm the watcher so the
+  // next arrival — or EOF/splice — re-drives the owner.
+  st_->notify_drained();
+  if (st_->read_sched != nullptr) st_->read_armed = true;
+  return 0;
+}
+
+void DetachableInputStream::set_read_scheduler(Scheduler* sched) {
+  rw::MutexLock lk(st_->mu);
+  st_->read_sched = sched;
+  if (sched == nullptr) st_->read_armed = false;
+}
+
 std::size_t DetachableInputStream::available() const {
   rw::MutexLock lk(st_->mu);
   return st_->ring.size();
@@ -118,6 +164,7 @@ void DetachableInputStream::mark_soft_eof() {
   rw::MutexLock lk(st_->mu);
   st_->soft_eof = true;
   st_->readable.notify_all();
+  st_->fire_readable();  // event-hosted owner must drain and observe EOF
 }
 
 std::uint64_t DetachableInputStream::bytes_received() const {
@@ -246,6 +293,87 @@ void DetachableOutputStream::flush() {
   if (st) {
     rw::MutexLock slk(st->mu);
     st->readable.notify_all();
+    st->fire_readable();
+  }
+}
+
+bool DetachableOutputStream::try_write_vec(
+    std::span<const util::ByteSpan> segments) {
+  std::size_t total = 0;
+  for (const util::ByteSpan seg : segments) total += seg.size();
+  rw::MutexLock lk(mu_);
+  if (closed_) throw BrokenPipe("DOS::try_write: stream closed");
+  if (!connected_ || swflag_) {
+    // Mid-splice or never connected: arm at this DOS — there is no sink
+    // whose reader could fire us; reconnect()/close() will.
+    if (write_sched_ != nullptr) write_armed_ = true;
+    return false;
+  }
+  const std::shared_ptr<InputState>& st = sink_;
+  // Lock order: DOS::mu_ before InputState::mu (always). Holding mu_ for
+  // the whole transaction keeps pause() out until every segment landed.
+  rw::MutexLock slk(st->mu);
+  if (st->reader_closed) {
+    throw BrokenPipe("DOS::try_write: reader closed the stream");
+  }
+  if (st->write_closed) {
+    throw BrokenPipe("DOS::try_write: stream closed during write");
+  }
+  if (total > st->ring.capacity()) {
+    // All-or-nothing can never succeed: waiting for space that cannot
+    // exist would park the chain forever.
+    throw StreamError("DOS::try_write_vec: write larger than ring capacity");
+  }
+  if (st->ring.free_space() < total) {
+    if (st->write_sched != nullptr) st->write_armed = true;
+    return false;
+  }
+  for (const util::ByteSpan seg : segments) {
+    st->ring.write(seg);
+    st->bytes_in += seg.size();
+  }
+#if RW_OBS_ENABLED
+  bytes_sent_.fetch_add(total, std::memory_order_relaxed);
+#endif
+  st->notify_data_readable();
+  return true;
+}
+
+std::size_t DetachableOutputStream::try_write_some(util::ByteSpan in) {
+  rw::MutexLock lk(mu_);
+  if (closed_) throw BrokenPipe("DOS::try_write: stream closed");
+  if (!connected_ || swflag_) {
+    if (write_sched_ != nullptr) write_armed_ = true;
+    return 0;
+  }
+  const std::shared_ptr<InputState>& st = sink_;
+  rw::MutexLock slk(st->mu);
+  if (st->reader_closed) {
+    throw BrokenPipe("DOS::try_write: reader closed the stream");
+  }
+  if (st->write_closed) {
+    throw BrokenPipe("DOS::try_write: stream closed during write");
+  }
+  const std::size_t n = st->ring.write(in);
+  if (n > 0) {
+    st->bytes_in += n;
+#if RW_OBS_ENABLED
+    bytes_sent_.fetch_add(n, std::memory_order_relaxed);
+#endif
+    st->notify_data_readable();
+  }
+  if (n < in.size() && st->write_sched != nullptr) st->write_armed = true;
+  return n;
+}
+
+void DetachableOutputStream::set_write_scheduler(Scheduler* sched) {
+  rw::MutexLock lk(mu_);
+  write_sched_ = sched;
+  if (sched == nullptr) write_armed_ = false;
+  if (sink_) {
+    rw::MutexLock slk(sink_->mu);
+    sink_->write_sched = sched;
+    if (sched == nullptr) sink_->write_armed = false;
   }
 }
 
@@ -266,6 +394,11 @@ void DetachableOutputStream::pause() {
       st->swflag = true;
       st->writable.notify_all();
       st->readable.notify_all();
+      // An event-hosted reader must drain the ring so this pause can
+      // complete; a hosted writer re-polls, sees swflag, and re-arms at
+      // the DOS level where reconnect() will fire it.
+      st->fire_readable();
+      st->fire_writable();
     }
     // Let in-flight writes land in full. Register first so writer_done's
     // suppressed notify fires for us.
@@ -283,6 +416,7 @@ void DetachableOutputStream::pause() {
     // Wait for the reader to drain the buffer (the paper's checkBuf/wait).
     rw::MutexLock slk(st->mu);
     st->readable.notify_all();
+    st->fire_readable();
     ++st->drain_waiting;
     st->drained.wait(st->mu, [st = st.get()] {
       st->mu.assert_held();
@@ -311,13 +445,21 @@ void DetachableOutputStream::reconnect(DetachableInputStream& dis) {
     st->swflag = false;
     st->soft_eof = false;
     st->write_closed = false;
+    // The writable watcher follows this DOS to its new sink; an armed
+    // reader on the new sink may now have data (or a source to wait on)
+    // and is re-driven to find out.
+    st->write_sched = write_sched_;
     st->readable.notify_all();
     st->writable.notify_all();
+    st->fire_readable();
+    st->fire_writable();
   }
   sink_ = st;
   connected_ = true;
   swflag_ = false;
   state_cv_.notify_all();
+  // A hosted writer that armed while we were detached can write again.
+  fire_write_ready_locked();
 }
 
 void DetachableOutputStream::close() {
@@ -330,6 +472,8 @@ void DetachableOutputStream::close() {
     sink_.reset();
     connected_ = false;
     state_cv_.notify_all();
+    // A hosted writer armed at this DOS must observe BrokenPipe, not park.
+    fire_write_ready_locked();
   }
   if (st) {
     rw::MutexLock slk(st->mu);

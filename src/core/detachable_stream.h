@@ -51,6 +51,25 @@ class BrokenPipe : public StreamError {
 class DetachableOutputStream;
 class DetachableInputStream;
 
+/// Readiness-notification target for event-driven stream consumers and
+/// producers (docs/data_plane.md, "Worker model"). A stream fires a
+/// callback at most once per arming: the watcher arms itself by returning
+/// would-block from a poll (poll_read_borrow / try_write_*), and the next
+/// state change that could clear the block — data arrival, space freed,
+/// reconnect, EOF, close — disarms and fires. Callbacks run UNDER the
+/// stream lock that noticed the change, so implementations must only post
+/// to their worker's queue; they must never call back into a stream.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// The watched input may now have data or a final EOF to report.
+  virtual void on_readable() = 0;
+
+  /// The watched output may now accept a write it previously refused.
+  virtual void on_writable() = 0;
+};
+
 namespace detail {
 
 /// Shared state of one pipe; owned by the DIS (the paper buffers at the
@@ -61,10 +80,32 @@ struct InputState {
   explicit InputState(std::size_t capacity) : ring(capacity) {}
 
   /// Marks the pipe disconnected from its source. The shared tail of
-  /// DOS::pause() and DOS::close().
+  /// DOS::pause() and DOS::close(). The writable watcher travels with the
+  /// DOS, so it is uninstalled here; the readable watcher belongs to the
+  /// DIS side and survives (the DIS owns this state for its lifetime).
   void detach_source() RW_REQUIRES(mu) {
     connected = false;
     source = nullptr;
+    write_sched = nullptr;
+    write_armed = false;
+  }
+
+  /// Fires the armed readable watcher, if any. One shot: re-armed only by
+  /// the next would-block poll. Runs the callback under mu (contract in
+  /// core::Scheduler).
+  void fire_readable() RW_REQUIRES(mu) {
+    if (read_sched != nullptr && read_armed) {
+      read_armed = false;
+      read_sched->on_readable();
+    }
+  }
+
+  /// Same for the armed writable watcher of the connected event-mode DOS.
+  void fire_writable() RW_REQUIRES(mu) {
+    if (write_sched != nullptr && write_armed) {
+      write_armed = false;
+      write_sched->on_writable();
+    }
   }
 
   /// Wakes every waiter class: readers, blocked writers, and a pauser
@@ -73,6 +114,8 @@ struct InputState {
     readable.notify_all();
     writable.notify_all();
     drained.notify_all();
+    fire_readable();
+    fire_writable();
   }
 
   /// Data-path notify with wakeup suppression: the one-reader contract
@@ -88,6 +131,7 @@ struct InputState {
     } else {
       ++wakeups_suppressed;
     }
+    fire_readable();
   }
 
   /// Same suppression for the single writer parked on `writable`.
@@ -98,6 +142,7 @@ struct InputState {
     } else {
       ++wakeups_suppressed;
     }
+    fire_writable();
   }
 
   /// A pauser waiting in drained is rare; when none is registered the
@@ -127,6 +172,17 @@ struct InputState {
                                                 // drained; cleared by the next
                                                 // reconnect (filter removal)
   bool reader_closed RW_GUARDED_BY(mu) = false;
+
+  // Readiness watchers (event-driven mode). The readable watcher is
+  // installed by the DIS owner and stays for the filter's hosted lifetime;
+  // the writable watcher follows the connected DOS across reconnects. The
+  // armed flags implement the one-shot contract: set by a would-block poll
+  // under mu, cleared by the fire under the same mu — the serialization
+  // that makes lost wakeups impossible.
+  Scheduler* read_sched RW_GUARDED_BY(mu) = nullptr;
+  bool read_armed RW_GUARDED_BY(mu) = false;
+  Scheduler* write_sched RW_GUARDED_BY(mu) = nullptr;
+  bool write_armed RW_GUARDED_BY(mu) = false;
 
   // Parked-thread registry for the suppression helpers above. Maintained
   // (++/-- under mu) around every predicate wait on the matching CV.
@@ -166,6 +222,18 @@ class DetachableInputStream final : public util::ByteSource {
   /// runs with the stream lock held — it must not call back into this
   /// stream or its peer, and must consume at least one byte.
   std::size_t read_borrow(std::size_t max, util::SpanVisitor visit) override;
+
+  /// Non-blocking read for the event-driven drive mode: like read_borrow()
+  /// when data is buffered; otherwise returns 0 immediately, reporting
+  /// end-of-stream via `*end` and arming the readable watcher when the
+  /// stream is merely empty (so the owning worker is re-driven on arrival).
+  std::size_t poll_read_borrow(std::size_t max, util::SpanVisitor visit,
+                               bool* end) override;
+
+  /// Installs (or, with nullptr, removes) the readiness watcher fired when
+  /// an armed poll_read_borrow() would now make progress. The watcher
+  /// persists across reconnects — the buffer state belongs to this DIS.
+  void set_read_scheduler(Scheduler* sched);
 
   /// Bytes currently buffered.
   std::size_t available() const;
@@ -227,6 +295,26 @@ class DetachableOutputStream final : public util::ByteSink {
   /// Wakes the reader so buffered bytes are noticed promptly.
   void flush() override;
 
+  /// Non-blocking all-or-nothing vectored write (event-driven drive mode):
+  /// every segment lands back to back under one lock transaction, or
+  /// nothing lands and the writable watcher is armed (paused/disconnected
+  /// arms at this DOS; a full ring arms at the sink). Because mu_ is held
+  /// across the whole transaction, a concurrent pause() can never splice
+  /// between segments — the no-torn-frames contract without the in-flight
+  /// writer window. Throws BrokenPipe like write(); throws StreamError if
+  /// the segments can never fit (total exceeds the sink ring's capacity).
+  bool try_write_vec(std::span<const util::ByteSpan> segments) override;
+
+  /// Non-blocking partial write: accepts what fits now, returns the count,
+  /// and arms the writable watcher on any shortfall. Byte chunks may split
+  /// across a reconnect (order is still preserved); framed data must use
+  /// try_write_vec.
+  std::size_t try_write_some(util::ByteSpan in) override;
+
+  /// Installs (or removes) the watcher fired when an armed try_write_*
+  /// would now make progress. Travels with this DOS across reconnects.
+  void set_write_scheduler(Scheduler* sched);
+
   /// Establishes the initial connection (alias for reconnect, kept for
   /// symmetry with the paper's connect()/reconnect() pair).
   void connect(DetachableInputStream& dis) { reconnect(dis); }
@@ -271,6 +359,15 @@ class DetachableOutputStream final : public util::ByteSink {
   void write_segments(std::span<const util::ByteSpan> segments)
       RW_EXCLUDES(mu_);
 
+  /// Fires the armed DOS-level writable watcher (paused/disconnected arm
+  /// site); the sink-level arm site lives in InputState.
+  void fire_write_ready_locked() RW_REQUIRES(mu_) {
+    if (write_sched_ != nullptr && write_armed_) {
+      write_armed_ = false;
+      write_sched_->on_writable();
+    }
+  }
+
   // Lock order: mu_ BEFORE the sink's InputState::mu (always).
   mutable rw::Mutex mu_{"core/stream_output", rw::lockrank::kStreamOutput};
   rw::CondVar state_cv_;    // writers wait for connect/unpause
@@ -281,6 +378,13 @@ class DetachableOutputStream final : public util::ByteSink {
   bool closed_ RW_GUARDED_BY(mu_) = false;
   int active_writers_ RW_GUARDED_BY(mu_) = 0;
   int pause_waiters_ RW_GUARDED_BY(mu_) = 0;  // pauses parked in writers_cv_
+
+  // Event-mode writable watcher. Armed here when a try_write_* found the
+  // stream paused or disconnected (no sink to arm); reconnect() and
+  // close() fire it. While connected the same watcher is mirrored into the
+  // sink's InputState so a full-ring arm is fired by the draining reader.
+  Scheduler* write_sched_ RW_GUARDED_BY(mu_) = nullptr;
+  bool write_armed_ RW_GUARDED_BY(mu_) = false;
 
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::uint64_t pauses_ RW_GUARDED_BY(mu_) = 0;

@@ -1,6 +1,7 @@
 #include "core/endpoint.h"
 
 #include <chrono>
+#include <stdexcept>
 
 #include "util/buffer_pool.h"
 #include "util/frame_reader.h"
@@ -8,9 +9,14 @@
 
 namespace rapidware::core {
 
+std::optional<util::Bytes> PacketSource::poll_packet(bool* /*finished*/) {
+  throw std::logic_error("packet source is not pollable");
+}
+
 PacketReaderEndpoint::PacketReaderEndpoint(std::string name,
-                                           std::shared_ptr<PacketSource> source)
-    : Filter(std::move(name)), source_(std::move(source)) {}
+                                           std::shared_ptr<PacketSource> source,
+                                           std::size_t buffer_capacity)
+    : Filter(std::move(name), buffer_capacity), source_(std::move(source)) {}
 
 void PacketReaderEndpoint::run() {
   for (;;) {
@@ -26,6 +32,43 @@ void PacketReaderEndpoint::run() {
   }
 }
 
+void PacketReaderEndpoint::event_start() {
+  ev_parked_.reset();
+  source_->set_scheduler(event_scheduler());
+}
+
+void PacketReaderEndpoint::event_stop() {
+  source_->set_scheduler(nullptr);
+  if (ev_parked_) {
+    util::default_pool().release(std::move(*ev_parked_));
+    ev_parked_.reset();
+  }
+}
+
+Filter::Drive PacketReaderEndpoint::on_ready() {
+  // Backpressure first: a parked payload must reach the ring before any new
+  // packet, or frames would reorder.
+  if (ev_parked_) {
+    if (!util::try_write_frame(dos(), *ev_parked_)) return Drive::kIdle;
+    util::default_pool().release(std::move(*ev_parked_));
+    ev_parked_.reset();
+  }
+  for (int budget = 0; budget < kDriveBudget; ++budget) {
+    bool finished = false;
+    auto packet = source_->poll_packet(&finished);
+    // Exhausted means run() would have returned: kDone without closing the
+    // DOS, so downstream stays connected (removal protocol).
+    if (!packet) return finished ? Drive::kDone : Drive::kIdle;
+    packets_.fetch_add(1, std::memory_order_relaxed);
+    if (!util::try_write_frame(dos(), *packet)) {
+      ev_parked_ = std::move(packet);
+      return Drive::kIdle;
+    }
+    util::default_pool().release(std::move(*packet));
+  }
+  return Drive::kMore;
+}
+
 void PacketReaderEndpoint::register_metrics(obs::Scope scope) {
   Filter::register_metrics(scope);
   scope.callback("packets",
@@ -33,8 +76,9 @@ void PacketReaderEndpoint::register_metrics(obs::Scope scope) {
 }
 
 PacketWriterEndpoint::PacketWriterEndpoint(std::string name,
-                                           std::shared_ptr<PacketSink> sink)
-    : Filter(std::move(name)), sink_(std::move(sink)) {}
+                                           std::shared_ptr<PacketSink> sink,
+                                           std::size_t buffer_capacity)
+    : Filter(std::move(name), buffer_capacity), sink_(std::move(sink)) {}
 
 void PacketWriterEndpoint::run() {
   util::FrameReader frames(dis());
@@ -48,6 +92,33 @@ void PacketWriterEndpoint::run() {
     util::default_pool().release(std::move(*packet));
   }
   sink_->on_end();
+}
+
+void PacketWriterEndpoint::event_start() {
+  ev_frames_ = std::make_unique<util::FrameReader>(dis());
+  ev_ended_ = false;
+}
+
+void PacketWriterEndpoint::event_stop() { ev_frames_.reset(); }
+
+Filter::Drive PacketWriterEndpoint::on_ready() {
+  for (int budget = 0; budget < kDriveBudget; ++budget) {
+    bool end = false;
+    auto packet = ev_frames_->poll(&end);
+    if (!packet) {
+      if (!end) return Drive::kIdle;
+      if (!ev_ended_) {
+        ev_ended_ = true;
+        sink_->on_end();
+      }
+      return Drive::kDone;
+    }
+    // Same ordering contract as run(): count before delivery.
+    packets_.fetch_add(1, std::memory_order_relaxed);
+    sink_->deliver(*packet);
+    util::default_pool().release(std::move(*packet));
+  }
+  return Drive::kMore;
 }
 
 void PacketWriterEndpoint::register_metrics(obs::Scope scope) {
@@ -106,17 +177,53 @@ std::optional<util::Bytes> QueuePacketSource::next_packet() {
 
 void QueuePacketSource::interrupt() { finish(); }
 
+std::optional<util::Bytes> QueuePacketSource::poll_packet(bool* finished) {
+  rw::MutexLock lk(mu_);
+  *finished = false;
+  if (!queue_.empty()) {
+    util::Bytes packet = std::move(queue_.front());
+    queue_.pop_front();
+    return packet;
+  }
+  if (finished_) {
+    *finished = true;
+    return std::nullopt;
+  }
+  // Would-block: arm the one-shot wakeup. push()/finish() fire it under
+  // this same mutex, so the arm/fire pair serializes — no lost wakeups.
+  if (sched_) sched_armed_ = true;
+  return std::nullopt;
+}
+
+void QueuePacketSource::set_scheduler(Scheduler* sched) {
+  rw::MutexLock lk(mu_);
+  sched_ = sched;
+  if (sched == nullptr) sched_armed_ = false;
+}
+
+void QueuePacketSource::fire_readable_locked() {
+  mu_.assert_held();
+  if (sched_ != nullptr && sched_armed_) {
+    sched_armed_ = false;
+    // Contract: on_readable only posts to a worker queue; it must not call
+    // back into this source (mu_ is held).
+    sched_->on_readable();
+  }
+}
+
 void QueuePacketSource::push(util::Bytes packet) {
   rw::MutexLock lk(mu_);
   queue_.push_back(std::move(packet));
   // Single consumer; skip the notify syscall when it is not parked.
   if (waiters_ > 0) cv_.notify_one();
+  fire_readable_locked();
 }
 
 void QueuePacketSource::finish() {
   {
     rw::MutexLock lk(mu_);
     finished_ = true;
+    fire_readable_locked();
   }
   cv_.notify_all();
 }

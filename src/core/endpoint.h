@@ -33,6 +33,26 @@ class PacketSource {
   /// Unblocks a pending or future next_packet() call, making it return
   /// nullopt. Called from another thread to stop the endpoint.
   virtual void interrupt() {}
+
+  // Optional non-blocking surface (event-hosted reader endpoints). A source
+  // that returns true from pollable() must implement poll_packet() and
+  // set_scheduler(): a poll that finds the queue empty arms the registered
+  // scheduler, whose on_readable() fires exactly once when a packet (or
+  // the finished flag) arrives — the same one-shot contract the detachable
+  // streams use.
+
+  /// Whether this source supports the poll_packet()/set_scheduler() pair.
+  virtual bool pollable() const { return false; }
+
+  /// Non-blocking next_packet(): nullopt with *finished=false means
+  /// would-block (the scheduler is now armed); nullopt with *finished=true
+  /// means exhausted/interrupted.
+  virtual std::optional<util::Bytes> poll_packet(bool* finished);
+
+  /// Registers (or, with nullptr, clears) the readiness target for
+  /// poll_packet() would-blocks. The callback runs under the source's
+  /// internal lock and must only post, never re-enter the source.
+  virtual void set_scheduler(Scheduler*) {}
 };
 
 /// Packet consumer for writer endpoints.
@@ -48,10 +68,19 @@ class PacketSink {
 /// framed messages (the paper's EndPointSocketReader shape).
 class PacketReaderEndpoint final : public Filter {
  public:
-  PacketReaderEndpoint(std::string name, std::shared_ptr<PacketSource> source);
+  /// `buffer_capacity` sizes this endpoint's own (unused) input ring; it
+  /// exists so dense many-chain deployments can shrink the per-stage ring
+  /// footprint (bench_many_chains runs thousands of chains per worker).
+  PacketReaderEndpoint(std::string name, std::shared_ptr<PacketSource> source,
+                       std::size_t buffer_capacity =
+                           DetachableInputStream::kDefaultCapacity);
 
   /// Asks the source to stop; run() then exits after the current packet.
   void interrupt() override { source_->interrupt(); }
+
+  /// Event-hostable only when the source offers the non-blocking surface;
+  /// otherwise start_on() falls back to the thread shim.
+  bool event_capable() const override { return source_->pollable(); }
 
   std::uint64_t packets_read() const noexcept {
     return packets_.load(std::memory_order_relaxed);
@@ -62,16 +91,31 @@ class PacketReaderEndpoint final : public Filter {
  protected:
   void run() override;
 
+  /// Event drive: poll packets from the source and frame them downstream.
+  /// A frame that finds the ring full is parked (one-deep stash) and
+  /// retried on the writable callback; source exhaustion reaches kDone
+  /// without closing the DOS — exactly like run() returning.
+  Drive on_ready() override;
+  void event_start() override;
+  void event_stop() override;
+
  private:
   std::shared_ptr<PacketSource> source_;
   std::atomic<std::uint64_t> packets_{0};
+  // Event-mode state; loop-thread-only between event_start() and the final
+  // drive.
+  std::optional<util::Bytes> ev_parked_;  // payload awaiting ring space
 };
 
 /// Reads framed messages from the chain and delivers them to a PacketSink
 /// (the paper's EndPointSocketWriter shape).
 class PacketWriterEndpoint final : public Filter {
  public:
-  PacketWriterEndpoint(std::string name, std::shared_ptr<PacketSink> sink);
+  PacketWriterEndpoint(std::string name, std::shared_ptr<PacketSink> sink,
+                       std::size_t buffer_capacity =
+                           DetachableInputStream::kDefaultCapacity);
+
+  bool event_capable() const override { return true; }
 
   std::uint64_t packets_written() const noexcept {
     return packets_.load(std::memory_order_relaxed);
@@ -82,9 +126,20 @@ class PacketWriterEndpoint final : public Filter {
  protected:
   void run() override;
 
+  /// Event drive: batched FrameReader::poll() pulls, each frame delivered
+  /// to the sink inline (sinks are non-blocking consumers by contract).
+  /// EOF calls on_end() once, then kDone.
+  Drive on_ready() override;
+  void event_start() override;
+  void event_stop() override;
+
  private:
   std::shared_ptr<PacketSink> sink_;
   std::atomic<std::uint64_t> packets_{0};
+  // Event-mode state; loop-thread-only between event_start() and the final
+  // drive.
+  std::unique_ptr<util::FrameReader> ev_frames_;
+  bool ev_ended_ = false;  // on_end() already delivered this run
 };
 
 /// Byte-oriented reader endpoint over any util::ByteSource (the paper's
@@ -125,15 +180,25 @@ class QueuePacketSource final : public PacketSource {
   std::optional<util::Bytes> next_packet() override;
   void interrupt() override;
 
+  bool pollable() const override { return true; }
+  std::optional<util::Bytes> poll_packet(bool* finished) override;
+  void set_scheduler(Scheduler* sched) override;
+
   void push(util::Bytes packet);
   void finish();
 
  private:
+  /// Fires the armed scheduler (one-shot) under mu_; push()/finish() call
+  /// this so an event-hosted consumer wakes exactly like a parked thread.
+  void fire_readable_locked() RW_REQUIRES(mu_);
+
   rw::Mutex mu_{"core/packet_queue", rw::lockrank::kPacketQueue};
   rw::CondVar cv_;
   std::deque<util::Bytes> queue_ RW_GUARDED_BY(mu_);
   bool finished_ RW_GUARDED_BY(mu_) = false;
   int waiters_ RW_GUARDED_BY(mu_) = 0;  // consumers parked in next_packet()
+  Scheduler* sched_ RW_GUARDED_BY(mu_) = nullptr;
+  bool sched_armed_ RW_GUARDED_BY(mu_) = false;  // one-shot, armed by poll
 };
 
 /// In-memory packet sink collecting everything it receives.

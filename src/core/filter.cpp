@@ -1,11 +1,56 @@
 #include "core/filter.h"
 
+#include <cstring>
+
+#include "core/event_loop.h"
 #include "util/buffer_pool.h"
 #include "util/frame_reader.h"
 #include "util/framing.h"
+#include "util/lock_rank.h"
 #include "util/logging.h"
 
 namespace rapidware::core {
+
+namespace detail {
+
+/// Shared hosting state of one event-mode filter run. Tasks capture a
+/// shared_ptr, so a late readiness fire can never dangle: `alive` flips
+/// false in finish_event() ON the loop thread, and because all of a core's
+/// tasks serialize on that one thread, any task posted after the final
+/// drive observes it and returns without touching the filter.
+struct FilterEventCore final : Scheduler,
+                               std::enable_shared_from_this<FilterEventCore> {
+  FilterEventCore(Filter* filter, EventLoop* loop)
+      : filter(filter), loop(loop) {}
+
+  /// Coalescing re-drive: at most one task in flight per core. The flag
+  /// clears at task START, so a fire during a drive posts a fresh task —
+  /// the armed-under-the-stream-lock protocol makes lost wakeups
+  /// impossible.
+  void schedule() {
+    if (scheduled.exchange(true, std::memory_order_acq_rel)) return;
+    loop->post([self = shared_from_this()] {
+      self->scheduled.store(false, std::memory_order_release);
+      if (!self->alive.load(std::memory_order_acquire)) return;
+      self->filter->drive_event(*self);
+    });
+  }
+
+  // Fired under a stream lock (core::Scheduler contract): post only.
+  void on_readable() override { schedule(); }
+  void on_writable() override { schedule(); }
+
+  Filter* const filter;
+  EventLoop* const loop;
+  std::atomic<bool> alive{true};
+  std::atomic<bool> scheduled{false};
+
+  rw::Mutex mu{"core/filter_event", rw::lockrank::kFilterEvent};
+  rw::CondVar done_cv;
+  bool done RW_GUARDED_BY(mu) = false;  // the run's join()/destructor gate
+};
+
+}  // namespace detail
 
 Filter::Filter(std::string name, std::size_t buffer_capacity)
     : name_(std::move(name)),
@@ -15,7 +60,20 @@ Filter::Filter(std::string name, std::size_t buffer_capacity)
 Filter::~Filter() {
   // Unblock and reap the processing thread if the owner forgot to.
   dis_->close();
+  if (event_core_ && event_hosted_.load(std::memory_order_acquire)) {
+    // A hosted drive parked on downstream backpressure holds no thread we
+    // could join; closing the DOS turns its parked try_write into
+    // BrokenPipe so the final drive reaches Drive::kDone.
+    dos_->close();
+  }
   if (thread_.joinable()) thread_.join();
+  if (const std::shared_ptr<detail::FilterEventCore> core = event_core_) {
+    rw::MutexLock lk(core->mu);
+    core->done_cv.wait(core->mu, [c = core.get()] {
+      c->mu.assert_held();
+      return c->done;
+    });
+  }
 }
 
 void Filter::start() {
@@ -23,12 +81,89 @@ void Filter::start() {
     throw StreamError("Filter::start: already running");
   }
   if (thread_.joinable()) thread_.join();  // reap a previous run
+  event_core_.reset();  // a previous hosted run is fully finished here
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { thread_main(); });
 }
 
+void Filter::start_on(EventLoop& loop) {
+  if (!event_capable()) {
+    // Blocking shim: subclasses without a non-blocking drive keep their
+    // thread, and the chain transparently mixes both styles.
+    start();
+    return;
+  }
+  if (running_.load(std::memory_order_acquire)) {
+    throw StreamError("Filter::start: already running");
+  }
+  if (thread_.joinable()) thread_.join();  // reap a previous thread run
+  event_core_ = std::make_shared<detail::FilterEventCore>(this, &loop);
+  running_.store(true, std::memory_order_release);
+  event_hosted_.store(true, std::memory_order_release);
+  event_start();
+  dis_->set_read_scheduler(event_core_.get());
+  dos_->set_write_scheduler(event_core_.get());
+  event_core_->schedule();  // input (or an EOF) may already be waiting
+}
+
 void Filter::join() {
   if (thread_.joinable()) thread_.join();
+  if (const std::shared_ptr<detail::FilterEventCore> core = event_core_) {
+    // Must not be called from the filter's own worker: the drive that
+    // would set `done` runs behind this very task. Control-plane threads
+    // only (FilterChain serializes them), like thread-mode join().
+    rw::MutexLock lk(core->mu);
+    core->done_cv.wait(core->mu, [c = core.get()] {
+      c->mu.assert_held();
+      return c->done;
+    });
+  }
+}
+
+Scheduler* Filter::event_scheduler() const noexcept {
+  return event_core_.get();
+}
+
+void Filter::drive_event(detail::FilterEventCore& core) {
+  Drive drive;
+  try {
+    drive = on_ready();
+  } catch (const BrokenPipe&) {
+    // Downstream went away; normal during teardown. Mirror thread_main:
+    // close the input so upstream writers cannot wedge against a ring
+    // nobody will drain.
+    dis_->close();
+    drive = Drive::kDone;
+  } catch (const std::exception& e) {
+    RW_ERROR(name_) << "filter loop failed: " << e.what();
+    dis_->close();
+    drive = Drive::kDone;
+  }
+  switch (drive) {
+    case Drive::kIdle:
+      return;  // a watcher is armed; its fire posts the next drive
+    case Drive::kMore:
+      core.schedule();  // yield the worker, continue in a later batch
+      return;
+    case Drive::kDone:
+      finish_event(core);
+      return;
+  }
+}
+
+void Filter::finish_event(detail::FilterEventCore& core) {
+  // Uninstall the watchers first (under the stream locks) so a concurrent
+  // notify cannot arm against a finished run, then flip alive: any task
+  // already queued behind this one sees it and returns.
+  dis_->set_read_scheduler(nullptr);
+  dos_->set_write_scheduler(nullptr);
+  event_stop();
+  core.alive.store(false, std::memory_order_release);
+  event_hosted_.store(false, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+  rw::MutexLock lk(core.mu);
+  core.done = true;
+  core.done_cv.notify_all();
 }
 
 void Filter::detach_request() { dis_->mark_soft_eof(); }
@@ -97,6 +232,78 @@ void ByteFilter::run() {
   pool.release(std::move(buf));
 }
 
+void ByteFilter::event_start() {
+  ev_buf_ = util::default_pool().acquire(kChunk);
+  ev_out_.clear();
+  ev_out_off_ = 0;
+  ev_tail_done_ = false;
+}
+
+void ByteFilter::event_stop() {
+  util::default_pool().release(std::move(ev_buf_));
+  ev_out_.clear();
+  ev_out_off_ = 0;
+}
+
+bool ByteFilter::flush_ev_out() {
+  while (!ev_out_.empty()) {
+    util::Bytes& front = ev_out_.front();
+    const std::size_t w =
+        dos().try_write_some(util::ByteSpan(front).subspan(ev_out_off_));
+    ev_out_off_ += w;
+    if (ev_out_off_ < front.size()) return false;  // writable watcher armed
+    util::default_pool().release(std::move(front));
+    ev_out_.pop_front();
+    ev_out_off_ = 0;
+  }
+  return true;
+}
+
+Filter::Drive ByteFilter::on_ready() {
+  if (!flush_ev_out()) return Drive::kIdle;
+  for (int budget = 0; budget < kDriveBudget; ++budget) {
+    bool end = false;
+    ev_buf_.resize(kChunk);
+    const std::size_t n = dis().poll_read_borrow(
+        kChunk,
+        [this](util::ByteSpan a, util::ByteSpan b) -> std::size_t {
+          // One copy into the recycled chunk buffer — the event-mode twin
+          // of read_some()'s copy in run().
+          std::memcpy(ev_buf_.data(), a.data(), a.size());
+          if (!b.empty()) {
+            std::memcpy(ev_buf_.data() + a.size(), b.data(), b.size());
+          }
+          return a.size() + b.size();
+        },
+        &end);
+    if (n == 0) {
+      ev_buf_.clear();
+      if (!end) return Drive::kIdle;  // readable watcher armed
+      if (!ev_tail_done_) {
+        ev_tail_done_ = true;
+        util::Bytes tail = flush_tail();
+        if (!tail.empty()) ev_out_.push_back(std::move(tail));
+      }
+      return flush_ev_out() ? Drive::kDone : Drive::kIdle;
+    }
+    ev_buf_.resize(n);
+    util::Bytes out = process(std::move(ev_buf_));
+    if (!out.empty()) {
+      const std::size_t w = dos().try_write_some(out);
+      if (w < out.size()) {
+        // Parked behind backpressure: keep the unwritten suffix, stop
+        // reading input until the writable callback drains it.
+        ev_out_.push_back(std::move(out));
+        ev_out_off_ = w;
+        ev_buf_ = util::Bytes();
+        return Drive::kIdle;
+      }
+    }
+    ev_buf_ = std::move(out);  // recycle the returned capacity
+  }
+  return Drive::kMore;
+}
+
 void PacketFilter::run() {
   // FrameReader batches frame parsing (many frames per stream-lock
   // acquisition) and draws payload buffers from the pool; emit(Bytes&&)
@@ -111,15 +318,78 @@ void PacketFilter::run() {
   on_flush();
 }
 
+void PacketFilter::event_start() {
+  ev_frames_ = std::make_unique<util::FrameReader>(dis());
+  ev_pending_.clear();
+  ev_flushed_ = false;
+}
+
+void PacketFilter::event_stop() { ev_frames_.reset(); }
+
+bool PacketFilter::flush_ev_pending() {
+  while (!ev_pending_.empty()) {
+    if (!util::try_write_frame(dos(), ev_pending_.front())) {
+      return false;  // writable watcher armed
+    }
+    util::default_pool().release(std::move(ev_pending_.front()));
+    ev_pending_.pop_front();
+  }
+  return true;
+}
+
+void PacketFilter::ev_emit(util::Bytes&& packet) {
+  // Frames stay whole: all-or-nothing try_write_frame, with the packet
+  // parked (move, no copy) when downstream is full or mid-splice. Input is
+  // not consumed while anything is parked, so the backlog is bounded by
+  // one on_packet()'s emissions.
+  if (ev_pending_.empty() && util::try_write_frame(dos(), packet)) {
+    util::default_pool().release(std::move(packet));
+    return;
+  }
+  ev_pending_.push_back(std::move(packet));
+}
+
+Filter::Drive PacketFilter::on_ready() {
+  if (!flush_ev_pending()) return Drive::kIdle;
+  for (int budget = 0; budget < kDriveBudget; ++budget) {
+    bool end = false;
+    auto packet = ev_frames_->poll(&end);
+    if (!packet) {
+      if (!end) return Drive::kIdle;  // readable watcher armed
+      if (!ev_flushed_) {
+        ev_flushed_ = true;
+        on_flush();
+      }
+      return flush_ev_pending() ? Drive::kDone : Drive::kIdle;
+    }
+    packets_in_.fetch_add(1, std::memory_order_relaxed);
+    on_packet(std::move(*packet));
+    if (!flush_ev_pending()) return Drive::kIdle;
+  }
+  return Drive::kMore;
+}
+
 void PacketFilter::emit(util::ByteSpan packet) {
   // Count before the frame becomes observable downstream so a STATS read
   // triggered by the packet's arrival never sees the counter lagging it.
   packets_out_.fetch_add(1, std::memory_order_relaxed);
+  if (event_hosted()) {
+    util::Bytes copy = util::default_pool().acquire(packet.size());
+    if (!packet.empty()) {
+      std::memcpy(copy.data(), packet.data(), packet.size());
+    }
+    ev_emit(std::move(copy));
+    return;
+  }
   util::write_frame(dos(), packet);
 }
 
 void PacketFilter::emit(util::Bytes&& packet) {
   packets_out_.fetch_add(1, std::memory_order_relaxed);
+  if (event_hosted()) {
+    ev_emit(std::move(packet));
+    return;
+  }
   util::write_frame(dos(), packet);
   util::default_pool().release(std::move(packet));
 }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -25,8 +26,15 @@
 #include "core/detachable_stream.h"
 #include "obs/metrics.h"
 #include "util/bytes.h"
+#include "util/frame_reader.h"
 
 namespace rapidware::core {
+
+class EventLoop;
+
+namespace detail {
+struct FilterEventCore;
+}  // namespace detail
 
 /// Free-form key/value parameters a filter exposes for the control manager.
 using ParamMap = std::map<std::string, std::string>;
@@ -50,6 +58,25 @@ class Filter {
   /// run exited (filters are restartable so a removed filter can be
   /// re-inserted elsewhere in the chain).
   void start();
+
+  /// Hosts the filter on an event loop instead of a thread: the loop
+  /// drives on_ready() whenever a stream readiness callback fires, so the
+  /// filter consumes no OS thread while idle. Falls back to start() when
+  /// the subclass is not event_capable() — that is the blocking shim that
+  /// keeps thread-per-filter code working unchanged. Restartable exactly
+  /// like start().
+  void start_on(EventLoop& loop);
+
+  /// Whether this subclass implements the non-blocking on_ready() drive.
+  /// Event-incapable filters hosted via start_on() silently run in thread
+  /// mode (the shim), so a chain may mix both styles.
+  virtual bool event_capable() const { return false; }
+
+  /// True while hosted on an event loop (between start_on() and the drive
+  /// reaching Drive::kDone).
+  bool event_hosted() const noexcept {
+    return event_hosted_.load(std::memory_order_acquire);
+  }
 
   /// True while the processing loop is executing.
   bool running() const noexcept {
@@ -96,17 +123,55 @@ class Filter {
   /// The processing loop body; runs on the filter's thread.
   virtual void run() = 0;
 
+  /// What one on_ready() drive concluded (event-hosted mode).
+  enum class Drive {
+    kIdle,  // would-block: a readiness watcher is armed, wait for it
+    kMore,  // work budget exhausted; re-post so other chains get a turn
+    kDone,  // stream ended (run() returning, in thread terms)
+  };
+
+  /// One non-blocking drive: pull input via the poll APIs until would-block
+  /// or the per-iteration budget is spent. Runs on the loop thread; must
+  /// never block (the whole point — rw_lint RW008 polices the loop).
+  /// Subclasses that return true from event_capable() must override.
+  virtual Drive on_ready() { return Drive::kDone; }
+
+  /// Hosted-run lifecycle hooks, called on the control thread in start_on()
+  /// (before the first drive) and on the loop thread after the final one.
+  /// Reset per-run decode state here (FrameReader, pending buffers).
+  virtual void event_start() {}
+  virtual void event_stop() {}
+
+  /// The readiness target for auxiliary inputs (endpoint packet sources
+  /// register this with set_scheduler). Valid between event_start() and
+  /// event_stop(); null in thread mode.
+  Scheduler* event_scheduler() const noexcept;
+
+  /// Per-drive work budget: after this many packets/chunks the drive
+  /// returns kMore, yielding the worker to other chains (fairness under
+  /// run-to-completion dispatch).
+  static constexpr int kDriveBudget = 64;
+
  private:
+  friend struct detail::FilterEventCore;
+
   void thread_main();
+  void drive_event(detail::FilterEventCore& core);
+  void finish_event(detail::FilterEventCore& core);
 
   std::string name_;
   std::unique_ptr<DetachableInputStream> dis_;
   std::unique_ptr<DetachableOutputStream> dos_;
   // Not mutex-guarded by design: start()/join() are control-plane calls,
   // serialized externally (FilterChain holds its mu_ across every splice).
-  // Only `running_` may be read concurrently, hence atomic.
+  // Only `running_` and `event_hosted_` may be read concurrently, hence
+  // atomic. `event_core_` is written by start_on() and read by join()/the
+  // destructor — both control-plane — and by loop tasks that hold their
+  // own shared_ptr copy.
   std::thread thread_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> event_hosted_{false};
+  std::shared_ptr<detail::FilterEventCore> event_core_;
 };
 
 /// Transforms raw byte chunks.
@@ -114,8 +179,19 @@ class ByteFilter : public Filter {
  public:
   using Filter::Filter;
 
+  bool event_capable() const override { return true; }
+
  protected:
   void run() final;
+
+  /// Event-hosted drive: same process()/flush_tail() contract as run(),
+  /// fed by poll_read_borrow and drained by try_write_some. A chunk that
+  /// does not fit downstream is parked in ev_out_ and retried on the
+  /// writable callback; input is not read while output is parked, so the
+  /// parked backlog is bounded by one process() result.
+  Drive on_ready() override;
+  void event_start() override;
+  void event_stop() override;
 
   /// Transforms `in`; whatever it returns is written downstream. The default
   /// passes data through unchanged.
@@ -130,6 +206,17 @@ class ByteFilter : public Filter {
   /// when the writer is parked, a wakeup), so bigger chunks directly cut
   /// per-byte synchronization on pass-through hops.
   static constexpr std::size_t kChunk = 32768;
+
+ private:
+  bool flush_ev_out();
+
+  // Event-mode state; touched only on the loop thread between
+  // event_start() and the final drive (single-consumer, like run()'s
+  // locals in thread mode).
+  util::Bytes ev_buf_;                 // recycled read/process buffer
+  std::deque<util::Bytes> ev_out_;     // output parked behind backpressure
+  std::size_t ev_out_off_ = 0;         // bytes of ev_out_.front() written
+  bool ev_tail_done_ = false;          // flush_tail() already ran this run
 };
 
 /// Transforms whole framed packets; may emit zero or more packets per input.
@@ -140,8 +227,18 @@ class PacketFilter : public Filter {
  public:
   void register_metrics(obs::Scope scope) override;
 
+  bool event_capable() const override { return true; }
+
  protected:
   void run() final;
+
+  /// Event-hosted drive: batched frames via FrameReader::poll(), the same
+  /// on_packet()/on_flush() contract as run(). Emits that find the
+  /// downstream ring full (or mid-splice) are parked in ev_pending_ and
+  /// retried on the writable callback before any new input is taken.
+  Drive on_ready() override;
+  void event_start() override;
+  void event_stop() override;
 
   /// Handles one input packet; call emit() for each output packet.
   virtual void on_packet(util::Bytes packet) = 0;
@@ -168,9 +265,18 @@ class PacketFilter : public Filter {
   }
 
  private:
+  bool flush_ev_pending();
+  void ev_emit(util::Bytes&& packet);
+
   // Atomic so snapshot readers can observe them while the loop runs.
   std::atomic<std::uint64_t> packets_in_{0};
   std::atomic<std::uint64_t> packets_out_{0};
+
+  // Event-mode state; loop-thread-only between event_start() and the final
+  // drive.
+  std::unique_ptr<util::FrameReader> ev_frames_;
+  std::deque<util::Bytes> ev_pending_;  // emits parked behind backpressure
+  bool ev_flushed_ = false;             // on_flush() already ran this run
 };
 
 /// The "null" filter: forwards bytes untouched. Two EndPoints plus a null

@@ -4,13 +4,25 @@
 #include <chrono>
 #include <stdexcept>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "core/composability.h"
+#include "core/worker_pool.h"
 #include "util/buffer_pool.h"
 #include "util/logging.h"
 
 namespace rapidware::core {
 
 namespace {
+
+/// RW_DISPATCH=event flips un-hosted chains onto the default worker pool
+/// (the CI matrix runs the whole tier-1 suite this way); anything else
+/// keeps thread-per-filter.
+bool dispatch_default_event() {
+  const char* mode = std::getenv("RW_DISPATCH");
+  return mode != nullptr && std::strcmp(mode, "event") == 0;
+}
 
 /// Reconfiguration events retained by the chain's trace ring: enough to
 /// reconstruct a whole adaptation episode, small enough to dump over STATS.
@@ -56,9 +68,31 @@ FilterChain::~FilterChain() {
   }
 }
 
+void FilterChain::host_on(EventLoop& loop) {
+  rw::MutexLock lk(mu_);
+  if (started_) throw StreamError("FilterChain::host_on: already started");
+  host_ = &loop;
+}
+
+EventLoop* FilterChain::host() const {
+  rw::MutexLock lk(mu_);
+  return host_;
+}
+
+void FilterChain::start_filter_locked(Filter& f) {
+  if (host_ != nullptr) {
+    f.start_on(*host_);
+  } else {
+    f.start();
+  }
+}
+
 void FilterChain::start() {
   rw::MutexLock lk(mu_);
   if (started_) throw StreamError("FilterChain::start: already started");
+  if (host_ == nullptr && dispatch_default_event()) {
+    host_ = &default_worker_pool().next();
+  }
   // Wire head -> [pre-inserted filters] -> tail, then start consumers
   // before producers so no write ever lacks a reader.
   Filter* prev = head_.get();
@@ -67,11 +101,11 @@ void FilterChain::start() {
     prev = f.get();
   }
   prev->dos().connect(tail_->dis());
-  tail_->start();
+  start_filter_locked(*tail_);
   for (auto it = filters_.rbegin(); it != filters_.rend(); ++it) {
-    (*it)->start();
+    start_filter_locked(**it);
   }
-  head_->start();
+  start_filter_locked(*head_);
   started_ = true;
   record_locked("start");
 }
@@ -141,7 +175,7 @@ void FilterChain::insert(std::shared_ptr<Filter> filter, std::size_t pos) {
     restore_or_abandon_splice(left, right);
     throw;
   }
-  filter->start();
+  start_filter_locked(*filter);
 
   filters_.insert(filters_.begin() + static_cast<std::ptrdiff_t>(pos),
                   std::move(filter));
@@ -355,7 +389,19 @@ void FilterChain::drain_shutdown() {
 
 void FilterChain::shutdown() {
   rw::MutexLock lk(mu_);
-  if (!started_ || shut_down_) return;
+  if (!started_) return;
+  if (shut_down_) {
+    // A begin_shutdown() already rippled EOF through the chain, but its
+    // final drives may still be retiring on their workers. A synchronous
+    // shutdown (the destructor in particular) must wait for every member:
+    // destroying one filter's streams while its upstream neighbor is
+    // mid-write into them is a use-after-free. Each join returns
+    // immediately once that member's run has finished.
+    head_->join();
+    for (auto& f : filters_) f->join();
+    tail_->join();
+    return;
+  }
   shut_down_ = true;
   record_locked("shutdown");
 
@@ -369,6 +415,32 @@ void FilterChain::shutdown() {
     f->dos().close();
   }
   tail_->join();
+}
+
+void FilterChain::begin_shutdown() {
+  rw::MutexLock lk(mu_);
+  if (!started_ || shut_down_) return;
+  shut_down_ = true;
+  record_locked("begin_shutdown");
+
+  // Same EOF ripple as shutdown(), minus every join: interrupt the
+  // producer and hard-close all outputs, then let the workers run each
+  // member's final drive at their own pace. Nothing here blocks — this is
+  // called from worker timers (idle-flow eviction), where waiting on
+  // another filter's progress would stall the very loop that must make it.
+  head_->interrupt();
+  head_->dos().close();
+  for (auto& f : filters_) f->dos().close();
+}
+
+bool FilterChain::finished() const {
+  rw::MutexLock lk(mu_);
+  if (!started_ || !shut_down_) return false;
+  if (head_->running() || tail_->running()) return false;
+  for (const auto& f : filters_) {
+    if (f->running()) return false;
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------

@@ -42,8 +42,22 @@ class FilterChain {
   FilterChain(const FilterChain&) = delete;
   FilterChain& operator=(const FilterChain&) = delete;
 
+  /// Hosts every member on `loop` instead of per-filter threads: start()
+  /// and later insert()s call Filter::start_on(loop), so the whole chain
+  /// runs on one worker (chain affinity — members never race, and a
+  /// worker's chains share its thread). Event-incapable members keep their
+  /// thread via the start_on() shim. Must be called before start(); the
+  /// loop must outlive the chain.
+  void host_on(EventLoop& loop);
+
+  /// The hosting loop, or nullptr in thread-per-filter mode.
+  EventLoop* host() const;
+
   /// Connects head directly to tail (the "null proxy") and starts both
-  /// endpoint threads.
+  /// endpoints. Without an explicit host_on(), the RW_DISPATCH environment
+  /// variable picks the mode: "event" hosts the chain on the process-wide
+  /// default_worker_pool(); anything else (or unset) keeps the classic
+  /// thread-per-filter dispatch.
   void start();
 
   /// Inserts a filter at `pos` (0 = immediately after the head endpoint;
@@ -113,6 +127,21 @@ class FilterChain {
   /// composite filter (PipelineFilter) tears down its nested chain.
   void drain_shutdown();
 
+  /// Non-blocking shutdown initiation for event-hosted chains: interrupts
+  /// the head and hard-closes every member's output so EOF/BrokenPipe
+  /// ripples through the workers, then returns WITHOUT waiting. Poll
+  /// finished() to learn when every member's final drive has run — a
+  /// worker must never block on another chain's teardown (the idle-flow
+  /// eviction sweep runs this from a worker timer). Idempotent. After
+  /// begin_shutdown() no further control operations may touch the chain.
+  void begin_shutdown();
+
+  /// True once a shutdown was initiated and every member has stopped
+  /// running. Cheap; safe to poll from a worker timer for chains that are
+  /// past begin_shutdown() (no control op blocks on worker progress once
+  /// the chain is shut down).
+  bool finished() const;
+
   // --- Observability (src/obs) -------------------------------------------
 
   /// Publishes chain metrics under "<name>/..." in `reg` and per-member
@@ -139,6 +168,8 @@ class FilterChain {
   Filter& right_of_locked(std::size_t pos) RW_REQUIRES(mu_);
   void check_pos_locked(std::size_t pos, bool inclusive) const
       RW_REQUIRES(mu_);
+  /// Starts `f` in the chain's dispatch mode (hosted or thread).
+  void start_filter_locked(Filter& f) RW_REQUIRES(mu_);
 
   // Metrics plumbing; all require mu_. Lock order: mu_ before the registry
   // mutex, and registered callbacks never take mu_ (src/obs/metrics.h).
@@ -149,6 +180,7 @@ class FilterChain {
   mutable rw::Mutex mu_{"core/filter_chain", rw::lockrank::kFilterChain};
   const std::shared_ptr<Filter> head_;  // immutable after construction
   const std::shared_ptr<Filter> tail_;  // immutable after construction
+  EventLoop* host_ RW_GUARDED_BY(mu_) = nullptr;
   std::vector<std::shared_ptr<Filter>> filters_ RW_GUARDED_BY(mu_);
   bool started_ RW_GUARDED_BY(mu_) = false;
   bool shut_down_ RW_GUARDED_BY(mu_) = false;

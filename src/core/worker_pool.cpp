@@ -1,0 +1,46 @@
+#include "core/worker_pool.h"
+
+#include <cstdlib>
+
+namespace rapidware::core {
+
+WorkerPool::WorkerPool(std::size_t workers) {
+  if (workers == 0) {
+    if (const char* env = std::getenv("RW_WORKERS")) {
+      workers = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    }
+  }
+  if (workers == 0) workers = std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  loops_.reserve(workers);
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>());
+  }
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([loop = loops_[i].get()] { loop->run(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+EventLoop& WorkerPool::next() {
+  const std::size_t i =
+      rr_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+  return *loops_[i];
+}
+
+void WorkerPool::stop() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  for (auto& loop : loops_) loop->stop();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();  // rw-lint: allow(RW008) control-plane shutdown, loops already asked to stop
+  }
+}
+
+WorkerPool& default_worker_pool() {
+  static WorkerPool pool;
+  return pool;
+}
+
+}  // namespace rapidware::core

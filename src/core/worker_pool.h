@@ -1,0 +1,53 @@
+// N core::EventLoop workers on N OS threads (docs/data_plane.md, "Worker
+// model"). Chains are pinned whole to one worker (round-robin via next(),
+// or sharded placement in proxy::FlowTable), so the pool is the modern
+// worker model over the paper's thread-per-filter proxy: chains*filters
+// logical flows multiplexed onto min(cores, N) threads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/event_loop.h"
+
+namespace rapidware::core {
+
+class WorkerPool {
+ public:
+  /// workers == 0 picks RW_WORKERS from the environment, else the hardware
+  /// core count (at least 1).
+  explicit WorkerPool(std::size_t workers = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t size() const noexcept { return loops_.size(); }
+
+  EventLoop& worker(std::size_t i) { return *loops_[i]; }
+
+  /// Round-robin placement for the next hosted chain.
+  EventLoop& next();
+
+  /// Stops every loop and joins the worker threads. Idempotent. Chains
+  /// hosted on the pool must be shut down FIRST: a stopped loop never
+  /// drives again, so a filter still waiting on readiness would leave its
+  /// join()/destructor waiting forever.
+  void stop();
+
+ private:
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::size_t> rr_{0};
+  std::atomic<bool> stopped_{false};
+};
+
+/// Process-wide pool used when RW_DISPATCH=event selects event dispatch
+/// without an explicit pool (FilterChain::start). Constructed on first
+/// use, stopped at static destruction.
+WorkerPool& default_worker_pool();
+
+}  // namespace rapidware::core

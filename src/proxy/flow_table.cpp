@@ -1,7 +1,11 @@
 #include "proxy/flow_table.h"
 
+#include <functional>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "util/logging.h"
 
 namespace rapidware::proxy {
 
@@ -22,18 +26,60 @@ FlowTable::EndpointFactory FlowTable::queue_endpoints(
 }
 
 FlowTable::FlowTable(core::FlowClassifier& classifier,
-                     core::FilterRegistry& registry, EndpointFactory endpoints)
+                     core::FilterRegistry& registry, EndpointFactory endpoints,
+                     core::WorkerPool* pool, std::uint64_t idle_timeout_ms)
     : classifier_(classifier),
       registry_(registry),
-      endpoints_(std::move(endpoints)) {
+      endpoints_(std::move(endpoints)),
+      pool_(pool),
+      idle_timeout_ms_(idle_timeout_ms) {
   if (!endpoints_) {
     throw std::invalid_argument("FlowTable: null endpoint factory");
   }
+  const std::size_t n = pool_ != nullptr ? pool_->size() : 1;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (pool_ != nullptr && idle_timeout_ms_ > 0) {
+    // Sweep at half the timeout on each shard's own worker clock: two
+    // consecutive quiet sweeps span at least one full timeout.
+    const util::Micros period =
+        static_cast<util::Micros>(idle_timeout_ms_ * 1000 / 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      shards_[i]->sweeper = std::make_unique<sim::PeriodicTask>(
+          pool_->worker(i).clock(), period > 0 ? period : 1,
+          [this, i](util::Micros) { sweep_shard(i); });
+      pool_->worker(i).wake();  // parked loops re-read the timer horizon
+    }
+  }
 }
 
-FlowTable::~FlowTable() { shutdown_all(); }
+FlowTable::~FlowTable() {
+  // Teardown order matters: stop the sweep timers, then barrier every
+  // worker so no in-flight tick still references this table, and only then
+  // tear the flows down.
+  for (auto& shard : shards_) {
+    if (shard->sweeper) shard->sweeper->stop();
+  }
+  if (pool_ != nullptr) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) pool_->worker(i).sync();
+  }
+  shutdown_all();
+}
 
-FlowTable::Flow FlowTable::make_flow_locked(const core::FlowKey& key) {
+std::size_t FlowTable::shard_of(const core::FlowKey& key) const {
+  if (shards_.size() == 1) return 0;
+  std::size_t h = std::hash<std::uint32_t>{}(key.station);
+  h = h * 31 + std::hash<std::string>{}(key.stream_type);
+  h = h * 31 + static_cast<std::size_t>(key.regime);
+  return h % shards_.size();
+}
+
+FlowTable::Flow FlowTable::make_flow_locked(Shard& shard,
+                                            std::size_t shard_idx,
+                                            const core::FlowKey& key) {
+  shard.mu.assert_held();
   Flow flow;
   flow.spec = classifier_.resolve(key);
   Endpoints eps = endpoints_(key);
@@ -46,70 +92,104 @@ FlowTable::Flow FlowTable::make_flow_locked(const core::FlowKey& key) {
   for (auto& filter : core::instantiate_chain(*flow.spec, registry_)) {
     flow.chain->append(std::move(filter));
   }
+  // Chain affinity: the whole chain lives on this shard's worker, so its
+  // members multiplex with every other chain of the shard instead of each
+  // holding an OS thread.
+  if (pool_ != nullptr) flow.chain->host_on(pool_->worker(shard_idx));
   flow.chain->start();
+  flow.activity = 1;  // creation counts as activity
   return flow;
 }
 
 std::shared_ptr<core::FilterChain> FlowTable::acquire(
     const core::FlowKey& key) {
-  rw::MutexLock lk(mu_);
-  auto it = flows_.find(key);
-  if (it == flows_.end()) {
-    it = flows_.emplace(key, make_flow_locked(key)).first;
-    ++created_;
-    if (m_created_) m_created_->add();
-    if (m_flows_) m_flows_->set(static_cast<std::int64_t>(flows_.size()));
+  const std::size_t idx = shard_of(key);
+  Shard& shard = *shards_[idx];
+  std::shared_ptr<core::FilterChain> chain;
+  bool fresh = false;
+  {
+    rw::MutexLock lk(shard.mu);
+    auto it = shard.flows.find(key);
+    if (it == shard.flows.end()) {
+      it = shard.flows.emplace(key, make_flow_locked(shard, idx, key)).first;
+      fresh = true;
+    } else {
+      ++it->second.activity;
+    }
+    chain = it->second.chain;
   }
-  return it->second.chain;
+  if (fresh) {
+    created_.fetch_add(1, std::memory_order_relaxed);
+    rw::MutexLock lk(mu_);
+    if (m_created_) m_created_->add();
+  }
+  if (fresh) publish_flow_count();
+  return chain;
 }
 
 std::shared_ptr<core::FilterChain> FlowTable::find(
     const core::FlowKey& key) const {
-  rw::MutexLock lk(mu_);
-  auto it = flows_.find(key);
-  return it == flows_.end() ? nullptr : it->second.chain;
+  const Shard& shard = *shards_[shard_of(key)];
+  rw::MutexLock lk(shard.mu);
+  auto it = shard.flows.find(key);
+  return it == shard.flows.end() ? nullptr : it->second.chain;
 }
 
 void FlowTable::push(const core::FlowKey& key, util::Bytes packet) {
+  const std::size_t idx = shard_of(key);
+  Shard& shard = *shards_[idx];
   std::shared_ptr<core::QueuePacketSource> source;
+  bool fresh = false;
   {
-    rw::MutexLock lk(mu_);
-    auto it = flows_.find(key);
-    if (it == flows_.end()) {
-      it = flows_.emplace(key, make_flow_locked(key)).first;
-      ++created_;
-      if (m_created_) m_created_->add();
-      if (m_flows_) m_flows_->set(static_cast<std::int64_t>(flows_.size()));
+    rw::MutexLock lk(shard.mu);
+    auto it = shard.flows.find(key);
+    if (it == shard.flows.end()) {
+      it = shard.flows.emplace(key, make_flow_locked(shard, idx, key)).first;
+      fresh = true;
+    } else {
+      ++it->second.activity;
     }
     source = it->second.source;
   }
+  if (fresh) {
+    created_.fetch_add(1, std::memory_order_relaxed);
+    rw::MutexLock lk(mu_);
+    if (m_created_) m_created_->add();
+  }
+  if (fresh) publish_flow_count();
   if (!source) {
     throw std::logic_error("FlowTable::push: flow endpoints are not queue-fed");
   }
-  // Push outside the table lock: the queue is unbounded and never blocks,
-  // but keeping the data path off mu_ means a slow reconfigure (reresolve
-  // holds mu_ across chain splices) cannot stall unrelated flows' feeders.
+  // Push outside the shard lock: the queue is unbounded and never blocks,
+  // but keeping the data path off the lock means a slow reconfigure
+  // (reresolve holds it across chain splices) cannot stall this shard's
+  // other feeders longer than the lookup.
   source->push(std::move(packet));
 }
 
 core::ChainSpecRef FlowTable::spec_of(const core::FlowKey& key) const {
-  rw::MutexLock lk(mu_);
-  auto it = flows_.find(key);
-  return it == flows_.end() ? nullptr : it->second.spec;
+  const Shard& shard = *shards_[shard_of(key)];
+  rw::MutexLock lk(shard.mu);
+  auto it = shard.flows.find(key);
+  return it == shard.flows.end() ? nullptr : it->second.spec;
 }
 
 bool FlowTable::expire(const core::FlowKey& key) {
+  Shard& shard = *shards_[shard_of(key)];
   Flow flow;
   {
-    rw::MutexLock lk(mu_);
-    auto it = flows_.find(key);
-    if (it == flows_.end()) return false;
+    rw::MutexLock lk(shard.mu);
+    auto it = shard.flows.find(key);
+    if (it == shard.flows.end()) return false;
     flow = std::move(it->second);
-    flows_.erase(it);
-    ++expired_;
-    if (m_expired_) m_expired_->add();
-    if (m_flows_) m_flows_->set(static_cast<std::int64_t>(flows_.size()));
+    shard.flows.erase(it);
   }
+  expired_.fetch_add(1, std::memory_order_relaxed);
+  {
+    rw::MutexLock lk(mu_);
+    if (m_expired_) m_expired_->add();
+  }
+  publish_flow_count();
   // Drain outside the lock: teardown waits for in-flight packets to flush.
   if (flow.source) {
     flow.source->finish();
@@ -134,65 +214,158 @@ void FlowTable::reconfigure_locked(Flow& flow, const core::ChainSpecRef& spec) {
 }
 
 std::size_t FlowTable::reresolve() {
-  rw::MutexLock lk(mu_);
   std::size_t changed = 0;
-  for (auto& [key, flow] : flows_) {
-    core::ChainSpecRef spec = classifier_.resolve(key);
-    if (spec == flow.spec) continue;  // flyweight: pointer == means same spec
-    reconfigure_locked(flow, spec);
-    ++changed;
-    ++reconfigured_;
-    if (m_reconfigured_) m_reconfigured_->add();
+  // One shard at a time (never two shard locks at once): a slow splice on
+  // one worker's flows leaves every other shard's data path untouched.
+  for (auto& shard : shards_) {
+    rw::MutexLock lk(shard->mu);
+    for (auto& [key, flow] : shard->flows) {
+      core::ChainSpecRef spec = classifier_.resolve(key);
+      if (spec == flow.spec) continue;  // flyweight: pointer == is same spec
+      reconfigure_locked(flow, spec);
+      ++changed;
+    }
+  }
+  if (changed > 0) {
+    reconfigured_.fetch_add(changed, std::memory_order_relaxed);
+    rw::MutexLock lk(mu_);
+    if (m_reconfigured_) m_reconfigured_->add(changed);
   }
   return changed;
 }
 
+void FlowTable::sweep_shard(std::size_t idx) {
+  Shard& shard = *shards_[idx];
+  // Never block the worker: a control op holding the shard (reresolve
+  // mid-splice, an expire) just means this round is skipped.
+  if (!shard.mu.try_lock()) return;
+  std::size_t n_evicted = 0;
+  try {
+    for (auto it = shard.flows.begin(); it != shard.flows.end();) {
+      Flow& flow = it->second;
+      if (flow.activity != flow.seen_activity) {
+        flow.seen_activity = flow.activity;
+        flow.idle_sweeps = 0;
+        ++it;
+        continue;
+      }
+      if (++flow.idle_sweeps < 2) {
+        ++it;
+        continue;
+      }
+      // Idle for a full timeout: shut the chain down asynchronously and
+      // park it for reaping. begin_shutdown never waits — the final drives
+      // run on this very worker, behind this timer callback.
+      if (flow.source) flow.source->finish();
+      flow.chain->begin_shutdown();
+      shard.draining.push_back(std::move(flow));
+      it = shard.flows.erase(it);
+      ++n_evicted;
+    }
+    // Reap drains whose every member has run its final drive. Destruction
+    // is cheap here: shutdown already happened, the done-gates are set.
+    std::erase_if(shard.draining, [](const Flow& flow) {
+      return flow.chain->finished();
+    });
+  } catch (const std::exception& e) {
+    // A timer callback must not throw into the worker loop.
+    RW_ERROR("flow_table") << "idle sweep failed: " << e.what();
+  }
+  shard.mu.unlock();
+  if (n_evicted > 0) {
+    evicted_.fetch_add(n_evicted, std::memory_order_relaxed);
+    {
+      rw::MutexLock lk(mu_);
+      if (m_evicted_) m_evicted_->add(n_evicted);
+    }
+    publish_flow_count();
+  }
+}
+
 std::size_t FlowTable::size() const {
-  rw::MutexLock lk(mu_);
-  return flows_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    rw::MutexLock lk(shard->mu);
+    total += shard->flows.size();
+  }
+  return total;
 }
 
 std::vector<core::FlowKey> FlowTable::keys() const {
-  rw::MutexLock lk(mu_);
   std::vector<core::FlowKey> out;
-  out.reserve(flows_.size());
-  for (const auto& [key, flow] : flows_) out.push_back(key);
+  for (const auto& shard : shards_) {
+    rw::MutexLock lk(shard->mu);
+    for (const auto& [key, flow] : shard->flows) out.push_back(key);
+  }
   return out;
 }
 
 std::uint64_t FlowTable::created() const {
-  rw::MutexLock lk(mu_);
-  return created_;
+  return created_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t FlowTable::expired() const {
-  rw::MutexLock lk(mu_);
-  return expired_;
+  return expired_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t FlowTable::reconfigured() const {
-  rw::MutexLock lk(mu_);
-  return reconfigured_;
+  return reconfigured_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FlowTable::flows_evicted() const {
+  return evicted_.load(std::memory_order_relaxed);
 }
 
 void FlowTable::shutdown_all() {
-  std::map<core::FlowKey, Flow> doomed;
+  std::vector<Flow> doomed;
+  std::size_t dropped = 0;
+  for (auto& shard : shards_) {
+    rw::MutexLock lk(shard->mu);
+    dropped += shard->flows.size();
+    for (auto& [key, flow] : shard->flows) doomed.push_back(std::move(flow));
+    shard->flows.clear();
+    for (auto& flow : shard->draining) doomed.push_back(std::move(flow));
+    shard->draining.clear();
+  }
+  expired_.fetch_add(dropped, std::memory_order_relaxed);
   {
     rw::MutexLock lk(mu_);
-    doomed.swap(flows_);
-    expired_ += doomed.size();
     if (m_flows_) m_flows_->set(0);
   }
-  for (auto& [key, flow] : doomed) flow.chain->shutdown();
+  // shutdown() blocks until each member stopped; for already-draining
+  // chains it is a no-op and the Flow destructor's done-gate wait covers
+  // the final drives still in flight on the workers.
+  for (auto& flow : doomed) flow.chain->shutdown();
+}
+
+void FlowTable::publish_flow_count() {
+  std::shared_ptr<obs::Gauge> gauge;
+  {
+    rw::MutexLock lk(mu_);
+    gauge = m_flows_;
+  }
+  if (gauge) gauge->set(static_cast<std::int64_t>(size()));
 }
 
 void FlowTable::bind_metrics(obs::Scope scope) {
   rw::MutexLock lk(mu_);
   m_flows_ = scope.gauge("flows");
-  m_flows_->set(static_cast<std::int64_t>(flows_.size()));
   m_created_ = scope.counter("created");
   m_expired_ = scope.counter("expired");
   m_reconfigured_ = scope.counter("reconfigured");
+  m_evicted_ = scope.counter("evicted");
+  m_created_->add(created_.load(std::memory_order_relaxed));
+  m_expired_->add(expired_.load(std::memory_order_relaxed));
+  m_reconfigured_->add(reconfigured_.load(std::memory_order_relaxed));
+  m_evicted_->add(evicted_.load(std::memory_order_relaxed));
+  // Rank note: mu_ (kFlowTable) is below the shard locks, so summing the
+  // shards while holding it is in order.
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    rw::MutexLock slk(shard->mu);
+    total += shard->flows.size();
+  }
+  m_flows_->set(static_cast<std::int64_t>(total));
 }
 
 }  // namespace rapidware::proxy

@@ -8,6 +8,18 @@
 // same spec share the ChainSpec object (flyweight) but own their chains —
 // chains hold live per-flow state (FEC groups, compression dictionaries).
 //
+// Worker model (docs/data_plane.md): constructed over a core::WorkerPool,
+// the table shards its flow map one shard per worker. A flow's key hashes
+// to a shard, and the flow's whole chain is hosted on that shard's worker
+// (chain affinity), so the classic thread-per-filter proxy becomes
+// chains*filters logical flows multiplexed onto N event loops. Each worker
+// also runs a periodic idle sweep on its own shard: a flow that sees no
+// push()/acquire() activity for the idle timeout is evicted — its chain is
+// shut down asynchronously (FilterChain::begin_shutdown) and reaped once
+// every member's final drive has run, without the sweep ever blocking the
+// worker. Without a pool the table degenerates to one shard, no sweeps,
+// and thread-per-filter chains: the exact pre-worker behaviour.
+//
 // Live rule updates: after the control server applies RULE_ADD / RULE_DEL
 // it calls reresolve(), which re-runs every active flow's key against the
 // new table. A flow whose resolved spec is pointer-identical keeps its
@@ -19,6 +31,7 @@
 // tests/flow_classifier_test.cpp under randomized stress schedules).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -29,7 +42,9 @@
 #include "core/filter_chain.h"
 #include "core/filter_registry.h"
 #include "core/flow_classifier.h"
+#include "core/worker_pool.h"
 #include "obs/metrics.h"
+#include "sim/virtual_clock.h"
 #include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -53,15 +68,24 @@ class FlowTable {
   static EndpointFactory queue_endpoints(
       std::shared_ptr<core::PacketSink> sink);
 
+  /// Idle sweep default: a flow untouched for this long is evicted.
+  static constexpr std::uint64_t kDefaultIdleTimeoutMs = 30'000;
+
+  /// With a `pool`, flows shard across its workers (one shard per worker),
+  /// each chain is hosted whole on its shard's worker, and a per-worker
+  /// timer evicts flows idle longer than `idle_timeout_ms`. The pool must
+  /// outlive the table. Without a pool: single shard, thread-per-filter
+  /// chains, no eviction.
   FlowTable(core::FlowClassifier& classifier, core::FilterRegistry& registry,
-            EndpointFactory endpoints);
+            EndpointFactory endpoints, core::WorkerPool* pool = nullptr,
+            std::uint64_t idle_timeout_ms = kDefaultIdleTimeoutMs);
   ~FlowTable();
 
   FlowTable(const FlowTable&) = delete;
   FlowTable& operator=(const FlowTable&) = delete;
 
   /// The flow's chain, instantiated from the classifier-resolved spec and
-  /// started on first use.
+  /// started on first use. Counts as flow activity for the idle sweep.
   std::shared_ptr<core::FilterChain> acquire(const core::FlowKey& key);
 
   /// The flow's chain if it exists; null otherwise (never instantiates).
@@ -90,12 +114,17 @@ class FlowTable {
   std::uint64_t created() const;
   std::uint64_t expired() const;
   std::uint64_t reconfigured() const;
+  /// Flows removed by the idle sweep (not counted in expired()).
+  std::uint64_t flows_evicted() const;
+
+  /// The worker pool flows are sharded over; null in single-shard mode.
+  core::WorkerPool* pool() const noexcept { return pool_; }
 
   /// Hard-stops and forgets every flow (fast teardown; no flush guarantee).
   void shutdown_all();
 
-  /// Publishes "flows" gauge and created/expired/reconfigured counters
-  /// under `scope`.
+  /// Publishes "flows" gauge and created/expired/reconfigured/evicted
+  /// counters under `scope`.
   void bind_metrics(obs::Scope scope);
 
  private:
@@ -103,25 +132,57 @@ class FlowTable {
     std::shared_ptr<core::FilterChain> chain;
     std::shared_ptr<core::QueuePacketSource> source;
     core::ChainSpecRef spec;
+    // Idle-sweep bookkeeping: push()/acquire() bump `activity`; the sweep
+    // compares it against what it saw last round. Two consecutive quiet
+    // sweeps (= one idle timeout, sweeps run every timeout/2) evict.
+    std::uint64_t activity = 0;
+    std::uint64_t seen_activity = 0;
+    int idle_sweeps = 0;
   };
 
-  Flow make_flow_locked(const core::FlowKey& key) RW_REQUIRES(mu_);
-  void reconfigure_locked(Flow& flow, const core::ChainSpecRef& spec)
-      RW_REQUIRES(mu_);
+  /// One per worker. Operations on different shards never contend; a
+  /// shard's flows all live on the same worker as its sweep timer.
+  struct Shard {
+    mutable rw::Mutex mu{"proxy/flow_shard", rw::lockrank::kFlowShard};
+    std::map<core::FlowKey, Flow> flows RW_GUARDED_BY(mu);
+    // Evicted flows whose chains are still running their final drives;
+    // reaped by the next sweep once FilterChain::finished().
+    std::vector<Flow> draining RW_GUARDED_BY(mu);
+    // Control-plane only (created in the constructor, stopped in the
+    // destructor before any shard state is torn down).
+    std::unique_ptr<sim::PeriodicTask> sweeper;
+  };
+
+  std::size_t shard_of(const core::FlowKey& key) const;
+  Flow make_flow_locked(Shard& shard, std::size_t shard_idx,
+                        const core::FlowKey& key) RW_REQUIRES(shard.mu);
+  void reconfigure_locked(Flow& flow, const core::ChainSpecRef& spec);  // rw-lint: allow(RW003) caller holds the flow's shard lock, passed implicitly via the Flow&
+  /// The per-worker timer body: evict idle flows, reap finished drains.
+  /// Runs on shard `idx`'s worker; never blocks (try_lock, skip on miss).
+  void sweep_shard(std::size_t idx);
+  void publish_flow_count();
 
   core::FlowClassifier& classifier_;
   core::FilterRegistry& registry_;
   const EndpointFactory endpoints_;
+  core::WorkerPool* const pool_;
+  const std::uint64_t idle_timeout_ms_;
 
+  std::vector<std::unique_ptr<Shard>> shards_;  // rw-lint: allow(RW003) immutable after the constructor; each shard locks itself
+
+  std::atomic<std::uint64_t> created_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> reconfigured_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+
+  // Metric handles only; never held together with a shard lock (counter
+  // updates re-acquire it after the shard op completes).
   mutable rw::Mutex mu_{"proxy/flow_table", rw::lockrank::kFlowTable};
-  std::map<core::FlowKey, Flow> flows_ RW_GUARDED_BY(mu_);
-  std::uint64_t created_ RW_GUARDED_BY(mu_) = 0;
-  std::uint64_t expired_ RW_GUARDED_BY(mu_) = 0;
-  std::uint64_t reconfigured_ RW_GUARDED_BY(mu_) = 0;
   std::shared_ptr<obs::Gauge> m_flows_ RW_GUARDED_BY(mu_);
   std::shared_ptr<obs::Counter> m_created_ RW_GUARDED_BY(mu_);
   std::shared_ptr<obs::Counter> m_expired_ RW_GUARDED_BY(mu_);
   std::shared_ptr<obs::Counter> m_reconfigured_ RW_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Counter> m_evicted_ RW_GUARDED_BY(mu_);
 };
 
 }  // namespace rapidware::proxy

@@ -10,6 +10,7 @@
 
 #include "core/endpoint.h"
 #include "core/filter_chain.h"
+#include "core/worker_pool.h"
 #include "testing/sequence_stream.h"
 #include "util/rng.h"
 
@@ -180,6 +181,7 @@ ScheduleResult StressDriver::run_schedule(std::uint64_t schedule_seed) {
   if (opts_.metrics != nullptr) {
     chain.bind_metrics(*opts_.metrics, opts_.metrics_scope);
   }
+  if (opts_.pool != nullptr) chain.host_on(opts_.pool->next());
   chain.start();
 
   auto control_faults = make_injector(0xc0deULL);

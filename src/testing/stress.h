@@ -32,6 +32,10 @@ namespace rapidware::obs {
 class Registry;
 }
 
+namespace rapidware::core {
+class WorkerPool;
+}
+
 namespace rapidware::testing {
 
 // ---------------------------------------------------------------------------
@@ -88,6 +92,13 @@ struct StressOptions {
   /// schedules — the metrics layer's own concurrency stress.
   obs::Registry* metrics = nullptr;
   std::string metrics_scope = "stress/chain";
+  /// When non-null, every schedule's chain is hosted on the pool (one
+  /// worker per chain, round-robin): event-capable members run as
+  /// multiplexed on_ready() drives, endpoints keep their threads via the
+  /// blocking shim, and the whole randomized control schedule (insert /
+  /// remove / reorder / pause+reconnect) runs against pool-hosted chains —
+  /// the multiplexed scheduler's byte-exactness stress.
+  core::WorkerPool* pool = nullptr;
 };
 
 struct ScheduleResult {

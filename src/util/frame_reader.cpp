@@ -86,22 +86,25 @@ void FrameReader::ingest(ByteSpan a, ByteSpan b) {
   stash_ = std::move(tail);
 }
 
+std::optional<Bytes> FrameReader::take_ready() {
+  Bytes out = std::move(ready_[ready_pos_++]);
+  if (ready_pos_ == ready_.size()) {
+    ready_.clear();
+    ready_pos_ = 0;
+  }
+  return out;
+}
+
+void FrameReader::throw_torn() const {
+  throw SerialError("framing: stream ended mid-frame (torn frame, " +
+                    std::to_string(stash_.size()) + " byte tail)");
+}
+
 std::optional<Bytes> FrameReader::next() {
   while (true) {
-    if (ready_pos_ < ready_.size()) {
-      Bytes out = std::move(ready_[ready_pos_++]);
-      if (ready_pos_ == ready_.size()) {
-        ready_.clear();
-        ready_pos_ = 0;
-      }
-      return out;
-    }
+    if (ready_pos_ < ready_.size()) return take_ready();
     if (eof_) {
-      if (!stash_.empty()) {
-        throw SerialError(
-            "framing: stream ended mid-frame (torn frame, " +
-            std::to_string(stash_.size()) + " byte tail)");
-      }
+      if (!stash_.empty()) throw_torn();
       return std::nullopt;
     }
     ++refills_;
@@ -111,6 +114,32 @@ std::optional<Bytes> FrameReader::next() {
           return a.size() + b.size();  // everything parsed or stashed
         });
     if (n == 0) eof_ = true;
+  }
+}
+
+std::optional<Bytes> FrameReader::poll(bool* end) {
+  *end = false;
+  while (true) {
+    if (ready_pos_ < ready_.size()) return take_ready();
+    if (eof_) {
+      if (!stash_.empty()) throw_torn();
+      *end = true;
+      return std::nullopt;
+    }
+    bool src_end = false;
+    const std::size_t n = source_.poll_read_borrow(
+        0,
+        [this](ByteSpan a, ByteSpan b) -> std::size_t {
+          ingest(a, b);
+          return a.size() + b.size();
+        },
+        &src_end);
+    if (n == 0) {
+      if (!src_end) return std::nullopt;  // would-block: watcher armed
+      eof_ = true;
+      continue;
+    }
+    ++refills_;
   }
 }
 

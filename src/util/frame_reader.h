@@ -36,6 +36,13 @@ class FrameReader {
   /// ends mid-frame (torn frame).
   std::optional<Bytes> next();
 
+  /// Non-blocking next() for event-driven consumers over a pollable source:
+  /// nullopt with *end == false means would-block (the source armed its
+  /// readiness watcher — re-drive from the callback); nullopt with
+  /// *end == true is clean end-of-stream. Torn-frame and corruption errors
+  /// throw exactly like next().
+  std::optional<Bytes> poll(bool* end);
+
   /// Frames decoded so far.
   std::uint64_t frames() const noexcept { return frames_; }
 
@@ -48,6 +55,9 @@ class FrameReader {
   /// Parses every complete frame in stash_ + a + b; the incomplete tail (if
   /// any) becomes the new stash_. Consumes all offered bytes.
   void ingest(ByteSpan a, ByteSpan b);
+
+  std::optional<Bytes> take_ready();
+  [[noreturn]] void throw_torn() const;
 
   ByteSource& source_;
   BufferPool& pool_;

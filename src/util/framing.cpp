@@ -4,8 +4,9 @@
 
 namespace rapidware::util {
 
-void write_frame(ByteSink& sink, ByteSpan payload) {
-  std::uint8_t header[kFrameHeaderSize];
+namespace {
+
+void fill_header(std::uint8_t (&header)[kFrameHeaderSize], ByteSpan payload) {
   header[0] = static_cast<std::uint8_t>(kFrameMagic & 0xff);
   header[1] = static_cast<std::uint8_t>(kFrameMagic >> 8);
   const auto len = static_cast<std::uint32_t>(payload.size());
@@ -13,8 +14,22 @@ void write_frame(ByteSink& sink, ByteSpan payload) {
   header[3] = static_cast<std::uint8_t>((len >> 8) & 0xff);
   header[4] = static_cast<std::uint8_t>((len >> 16) & 0xff);
   header[5] = static_cast<std::uint8_t>((len >> 24) & 0xff);
+}
+
+}  // namespace
+
+void write_frame(ByteSink& sink, ByteSpan payload) {
+  std::uint8_t header[kFrameHeaderSize];
+  fill_header(header, payload);
   const std::array<ByteSpan, 2> segments = {ByteSpan(header), payload};
   sink.write_vec(segments);
+}
+
+bool try_write_frame(ByteSink& sink, ByteSpan payload) {
+  std::uint8_t header[kFrameHeaderSize];
+  fill_header(header, payload);
+  const std::array<ByteSpan, 2> segments = {ByteSpan(header), payload};
+  return sink.try_write_vec(segments);
 }
 
 std::optional<Bytes> read_frame(ByteSource& source) {

@@ -30,6 +30,14 @@ inline constexpr std::size_t kFrameHeaderSize = 6;
 /// is never interleaved even if multiple writers share a sink.
 void write_frame(ByteSink& sink, ByteSpan payload);
 
+/// Non-blocking variant for event-driven producers: the frame lands whole
+/// (header + payload in one try_write_vec transaction) or not at all. A
+/// false return means the sink had no room or was mid-splice; the sink's
+/// writable watcher is armed, so retry from the readiness callback. Frames
+/// larger than the sink's buffer capacity are a StreamError from the sink —
+/// an all-or-nothing write can never succeed for them.
+bool try_write_frame(ByteSink& sink, ByteSpan payload);
+
 /// Reads one framed message. Returns nullopt on clean end-of-stream before
 /// the first header byte. Throws SerialError on a torn/corrupt frame.
 ///

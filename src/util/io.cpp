@@ -1,5 +1,7 @@
 #include "util/io.h"
 
+#include <stdexcept>
+
 #include "util/serial.h"
 
 namespace rapidware::util {
@@ -47,6 +49,14 @@ bool ByteSource::read_full(MutableByteSpan out, const char* what) {
                     std::to_string(out.size()) + " bytes)");
 }
 
+std::size_t ByteSource::poll_read_borrow(std::size_t max, SpanVisitor visit,
+                                         bool* end) {
+  (void)max;
+  (void)visit;
+  (void)end;
+  throw std::logic_error("poll_read_borrow: source is not pollable");
+}
+
 void ByteSink::write_vec(std::span<const ByteSpan> segments) {
   if (segments.size() == 1) {
     write(segments[0]);
@@ -62,6 +72,16 @@ void ByteSink::write_vec(std::span<const ByteSpan> segments) {
     assembled.insert(assembled.end(), seg.begin(), seg.end());
   }
   write(assembled);
+}
+
+bool ByteSink::try_write_vec(std::span<const ByteSpan> segments) {
+  (void)segments;
+  throw std::logic_error("try_write_vec: sink is not pollable");
+}
+
+std::size_t ByteSink::try_write_some(ByteSpan in) {
+  (void)in;
+  throw std::logic_error("try_write_some: sink is not pollable");
 }
 
 }  // namespace rapidware::util

@@ -66,6 +66,16 @@ class ByteSource {
   /// stream ends after at least one byte landed (a torn read — e.g. a
   /// detach EOF raised between a frame's header and its payload).
   bool read_full(MutableByteSpan out, const char* what);
+
+  /// Non-blocking read_borrow for event-driven consumers. Offers whatever
+  /// is immediately available exactly like read_borrow(); when nothing is
+  /// buffered it returns 0 without blocking and sets `*end` to whether the
+  /// stream has ended. A pollable source arms its registered readiness
+  /// watcher on the empty-and-open case so the consumer is re-driven when
+  /// data (or EOF) arrives. Sources that cannot poll keep the throwing
+  /// default — only the detachable streams implement this today.
+  virtual std::size_t poll_read_borrow(std::size_t max, SpanVisitor visit,
+                                       bool* end);
 };
 
 /// Blocking byte consumer.
@@ -86,6 +96,19 @@ class ByteSink {
 
   /// Pushes any buffered bytes toward the consumer. Default: no-op.
   virtual void flush() {}
+
+  /// Non-blocking all-or-nothing vectored write for event-driven producers:
+  /// either every segment lands back to back (one transaction, same
+  /// atomicity as write_vec) and the call returns true, or nothing is
+  /// accepted and the call returns false after arming the sink's registered
+  /// writable watcher. Sinks that cannot poll keep the throwing default.
+  virtual bool try_write_vec(std::span<const ByteSpan> segments);
+
+  /// Non-blocking partial write: accepts as much of `in` as fits right now
+  /// and returns the count (0 when nothing fits). A short write arms the
+  /// writable watcher. Byte streams may legally split a chunk across a
+  /// reconnect this way; framed data must use try_write_vec instead.
+  virtual std::size_t try_write_some(ByteSpan in);
 };
 
 }  // namespace rapidware::util

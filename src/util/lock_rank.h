@@ -37,7 +37,8 @@ inline constexpr int kPavilionFloor = 140;    // FloorControl
 inline constexpr int kPavilionWeb = 150;      // WebServer
 
 // --- Flow-management plane --------------------------------------------------
-inline constexpr int kFlowTable = 200;       // proxy::FlowTable
+inline constexpr int kFlowTable = 200;       // proxy::FlowTable (meta: metric handles)
+inline constexpr int kFlowShard = 205;       // proxy::FlowTable per-worker shard
 inline constexpr int kFlowClassifier = 210;  // core::FlowClassifier
 inline constexpr int kSpecTable = 220;       // core::FilterSpecTable
 inline constexpr int kFilterRegistry = 230;  // core::FilterRegistry
@@ -55,6 +56,15 @@ inline constexpr int kPacketQueue = 350;     // core::PacketQueueSource
 inline constexpr int kPacketCollector = 360; // core::CollectingPacketSink
 inline constexpr int kStreamOutput = 400;    // DetachableOutputStream::mu_
 inline constexpr int kStreamInput = 410;     // detail::InputState::mu (always after its writer)
+// Event-driven dispatch sits BELOW the streams: readiness callbacks fire
+// under a stream lock and post to the owning worker, so both event locks
+// must be acquirable while kStreamOutput/kStreamInput are held. The filter
+// event-core lock (join/finish handshake) is also taken under kFilterChain
+// during splices, hence > 410 would be wrong for it — it nests only under
+// the chain lock and never under a stream lock, but keeping it between the
+// streams and the loop keeps the band readable.
+inline constexpr int kFilterEvent = 430;     // core::detail::FilterEventCore
+inline constexpr int kEventLoop = 450;       // core::EventLoop task queue
 
 // --- Observability sinks -----------------------------------------------------
 inline constexpr int kStatsLog = 500;  // obs::StatsLogSink (snapshots outside mu_)

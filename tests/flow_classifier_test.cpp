@@ -4,6 +4,8 @@
 // live rule-swap byte-exactness under a seeded concurrent schedule.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <set>
@@ -14,6 +16,7 @@
 #include "core/endpoint.h"
 #include "core/filter_spec.h"
 #include "core/flow_classifier.h"
+#include "core/worker_pool.h"
 #include "filters/registry.h"
 #include "proxy/flow_table.h"
 #include "testing/sequence_stream.h"
@@ -308,9 +311,14 @@ struct FlowHarness {
   FlowClassifier clf{&table};
   std::map<std::uint32_t, std::shared_ptr<core::CollectingPacketSink>> sinks;
 
-  proxy::FlowTable make_table() {
+  /// With a pool, every flow's chain is hosted whole on its shard's worker
+  /// and the per-worker idle sweep runs (docs/data_plane.md).
+  proxy::FlowTable make_table(
+      core::WorkerPool* pool = nullptr,
+      std::uint64_t idle_timeout_ms = proxy::FlowTable::kDefaultIdleTimeoutMs) {
     return proxy::FlowTable(
-        clf, test_registry(), [this](const FlowKey& key) {
+        clf, test_registry(),
+        [this](const FlowKey& key) {
           proxy::FlowTable::Endpoints eps;
           eps.source = std::make_shared<core::QueuePacketSource>();
           eps.head = std::make_shared<core::PacketReaderEndpoint>("rx",
@@ -318,9 +326,24 @@ struct FlowHarness {
           eps.tail = std::make_shared<core::PacketWriterEndpoint>(
               "tx", sinks.at(key.station));
           return eps;
-        });
+        },
+        pool, idle_timeout_ms);
   }
 };
+
+/// Polls `pred` until true or `timeout`: the worker-hosted table is
+/// asynchronous (sweeps and final drives run on the pool), so tests wait
+/// on observable state.
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds timeout =
+                               std::chrono::milliseconds(5000)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
 
 TEST(FlowTable, AcquireInstantiatesFromResolvedSpecOnce) {
   FlowHarness h;
@@ -463,6 +486,140 @@ TEST(FlowTable, LiveRuleSwapIsByteExactUnderStress) {
     EXPECT_EQ(ledger.reordered(), 0u) << "flow " << f;
     EXPECT_EQ(ledger.corrupt(), 0u) << "flow " << f;
   }
+}
+
+TEST(FlowTable, PoolHostedLiveRuleSwapIsByteExact) {
+  // The LiveRuleSwap schedule with the table sharded over a WorkerPool:
+  // every flow's chain runs as multiplexed on_ready() drives on its
+  // shard's worker while the control thread swaps rules and re-resolves.
+  // The in-place reconfigure protocol must hold byte-exactness under
+  // event dispatch exactly as it does under thread-per-filter.
+  FlowHarness h;
+  constexpr std::uint32_t kFlows = 4;
+  constexpr std::uint32_t kPackets = 1500;
+  constexpr std::uint64_t kSeed = 0x5eed4567;
+  for (std::uint32_t f = 0; f < kFlows; ++f) {
+    h.sinks[f] = std::make_shared<core::CollectingPacketSink>();
+  }
+  core::WorkerPool pool(2);
+  {
+    // No idle eviction here: the control schedule owns flow lifetime.
+    proxy::FlowTable flows = h.make_table(&pool, /*idle_timeout_ms=*/0);
+    EXPECT_EQ(flows.pool(), &pool);
+
+    std::atomic<bool> done{false};
+    std::thread control([&] {
+      util::Rng rng(kSeed);
+      const std::vector<ChainSpec> variants = {
+          make_spec("passthrough"),
+          make_spec("one-null", {{"null", {}}}),
+          make_spec("two-null", {{"null", {}}, {"null", {}}})};
+      while (!done.load()) {
+        FlowRule rule = make_rule(
+            "shape", 10, variants[rng.next_below(variants.size())]);
+        h.clf.add_rule(std::move(rule));
+        flows.reresolve();
+        if (rng.next_below(8) == 0) {
+          h.clf.remove_rule("shape");
+          flows.reresolve();
+        }
+        std::this_thread::yield();
+      }
+    });
+
+    for (std::uint32_t i = 0; i < kPackets; ++i) {
+      for (std::uint32_t f = 0; f < kFlows; ++f) {
+        flows.push({f, "audio", LossRegime::kClean},
+                   testing::make_stamped_packet(kSeed + f, i, 48));
+      }
+    }
+    done.store(true);
+    control.join();
+    for (std::uint32_t f = 0; f < kFlows; ++f) {
+      ASSERT_TRUE(flows.expire({f, "audio", LossRegime::kClean}));
+    }
+
+    for (std::uint32_t f = 0; f < kFlows; ++f) {
+      testing::PacketLedger ledger(kSeed + f, kPackets);
+      for (const auto& p : h.sinks[f]->packets()) ledger.record(p);
+      EXPECT_EQ(ledger.ok(), kPackets) << "flow " << f;
+      EXPECT_EQ(ledger.lost(), 0u) << "flow " << f;
+      EXPECT_EQ(ledger.duplicates(), 0u) << "flow " << f;
+      EXPECT_EQ(ledger.reordered(), 0u) << "flow " << f;
+      EXPECT_EQ(ledger.corrupt(), 0u) << "flow " << f;
+    }
+  }
+  pool.stop();
+}
+
+TEST(FlowTable, IdleFlowsAreEvictedByTheWorkerSweep) {
+  // Three flows go quiet after delivering their packets: the per-worker
+  // sweep must evict all of them (two quiet sweeps at timeout/2 each),
+  // reap the drained chains, and count them in flows_evicted() — without
+  // losing a packet that was delivered before the flows went idle.
+  FlowHarness h;
+  constexpr std::uint32_t kPackets = 50;
+  constexpr std::uint64_t kSeed = 0xe71c7;
+  for (std::uint32_t f = 0; f < 3; ++f) {
+    h.sinks[f] = std::make_shared<core::CollectingPacketSink>();
+  }
+  core::WorkerPool pool(2);
+  {
+    proxy::FlowTable flows = h.make_table(&pool, /*idle_timeout_ms=*/100);
+    for (std::uint32_t i = 0; i < kPackets; ++i) {
+      for (std::uint32_t f = 0; f < 3; ++f) {
+        flows.push({f, "audio", LossRegime::kClean},
+                   testing::make_stamped_packet(kSeed + f, i, 64));
+      }
+    }
+    for (std::uint32_t f = 0; f < 3; ++f) {
+      ASSERT_TRUE(h.sinks[f]->wait_for(kPackets));
+    }
+
+    EXPECT_TRUE(eventually([&] { return flows.size() == 0; }));
+    EXPECT_TRUE(eventually([&] { return flows.flows_evicted() == 3; }));
+    EXPECT_EQ(flows.expired(), 0u);  // eviction is counted separately
+
+    for (std::uint32_t f = 0; f < 3; ++f) {
+      testing::PacketLedger ledger(kSeed + f, kPackets);
+      for (const auto& p : h.sinks[f]->packets()) ledger.record(p);
+      EXPECT_EQ(ledger.ok(), kPackets) << "flow " << f;
+      EXPECT_EQ(ledger.lost(), 0u) << "flow " << f;
+    }
+  }
+  pool.stop();
+}
+
+TEST(FlowTable, ActiveFlowsSurviveTheIdleSweep) {
+  // Activity (push) must reset the idle clock: a flow that keeps receiving
+  // outlives many sweep periods while its silent sibling is evicted.
+  FlowHarness h;
+  h.sinks[1] = std::make_shared<core::CollectingPacketSink>();
+  h.sinks[2] = std::make_shared<core::CollectingPacketSink>();
+  core::WorkerPool pool(1);  // one shard: both flows share the sweep timer
+  {
+    proxy::FlowTable flows = h.make_table(&pool, /*idle_timeout_ms=*/100);
+    const FlowKey active{1, "audio", LossRegime::kClean};
+    const FlowKey idle{2, "audio", LossRegime::kClean};
+    flows.push(idle, testing::make_stamped_packet(0xabc, 0, 64));
+
+    // Keep the active flow warm for ~6 sweep periods.
+    std::uint32_t seq = 0;
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(600);
+    while (std::chrono::steady_clock::now() < until) {
+      flows.push(active, testing::make_stamped_packet(0xdef, seq++, 64));
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    EXPECT_TRUE(eventually([&] { return flows.flows_evicted() >= 1; }));
+    EXPECT_EQ(flows.find(idle), nullptr);
+    EXPECT_NE(flows.find(active), nullptr);
+    EXPECT_EQ(flows.size(), 1u);
+    ASSERT_TRUE(flows.expire(active));
+    EXPECT_TRUE(h.sinks[1]->wait_end());
+  }
+  pool.stop();
 }
 
 }  // namespace

@@ -26,6 +26,7 @@
 
 #include "core/endpoint.h"
 #include "core/filter_chain.h"
+#include "core/worker_pool.h"
 #include "net/link.h"
 #include "testing/fault_injector.h"
 #include "testing/sequence_stream.h"
@@ -187,6 +188,50 @@ TEST(ChainStress, RegressionSchedules) {
     const auto res = driver.run_schedule(seed);
     EXPECT_TRUE(res.ok) << res.describe();
   }
+}
+
+// The same randomized schedules with every chain pinned to a worker
+// (StressOptions.pool): insert / remove / reorder / pause+reconnect run
+// against the multiplexed scheduler, with event-capable pass-through
+// filters multiplexed as on_ready() drives and the byte endpoints carried
+// by the blocking shim — the mixed-dispatch mode a migrating proxy runs
+// in. A fifth of the thread-mode sweep: each schedule covers the same op
+// space, the sweep exists to vary interleavings.
+TEST(ChainStress, PoolHostedSchedulesAreByteExact) {
+  core::WorkerPool pool(2);
+  testing::StressOptions opts;
+  opts.seed = base_seed() ^ 0x9001ULL;
+  opts.schedules = std::max(1, env_int("RW_STRESS_SCHEDULES", 500) / 5);
+  opts.pool = &pool;
+  testing::StressDriver driver(opts);
+  const auto summary = driver.run_all();
+  EXPECT_EQ(summary.failures, 0) << summary.describe();
+  EXPECT_EQ(summary.schedules_run, opts.schedules);
+  EXPECT_GT(summary.control_ops, 0u);
+  EXPECT_EQ(summary.bytes_total,
+            std::uint64_t(opts.schedules) * opts.bytes_per_schedule);
+  pool.stop();
+}
+
+// The pinned thread-mode regression schedules replayed on pool-hosted
+// chains: the dispatch mode must not change any schedule's verdict.
+TEST(ChainStress, PoolHostedRegressionSchedules) {
+  const std::uint64_t pinned[] = {
+      0x7aa96a482cbd41bfULL,
+      0x2f1d9f4bb6f0a3e1ULL,
+      0x00000000000001a7ULL,
+  };
+  core::WorkerPool pool(2);
+  testing::StressOptions opts;
+  opts.pool = &pool;
+  testing::StressDriver driver(opts);
+  for (const std::uint64_t seed : pinned) {
+    SCOPED_TRACE(::testing::Message()
+                 << "replay with chain schedule seed 0x" << std::hex << seed);
+    const auto res = driver.run_schedule(seed);
+    EXPECT_TRUE(res.ok) << res.describe();
+  }
+  pool.stop();
 }
 
 // Wall-clock smoke subset: a handful of schedules with real sleeps (both

@@ -382,7 +382,8 @@ def check_rw007() -> None:
 # ---------------------------------------------------------------------------
 # RW008: no blocking calls in run-to-completion dispatch contexts
 
-RW008_CONTEXTS = ("src/sim/", "src/obs/", "src/core/control.")
+RW008_CONTEXTS = ("src/sim/", "src/obs/", "src/core/control.",
+                  "src/core/event_loop.", "src/core/worker_pool.")
 RW008_RE = re.compile(
     r"\.\s*join\s*\(\s*\)|\.\s*(wait|wait_for|wait_until)\s*\(|"
     r"\brecv\s*\(\s*-1\b")
