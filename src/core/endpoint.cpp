@@ -1,6 +1,7 @@
 #include "core/endpoint.h"
 
 #include <chrono>
+#include <cstring>
 #include <stdexcept>
 
 #include "util/buffer_pool.h"
@@ -28,7 +29,7 @@ void PacketReaderEndpoint::run() {
     util::write_frame(dos(), *packet);
     // The source's buffer is dead here; recycle it so pool-aware producers
     // (and downstream FrameReaders) stop hitting the allocator.
-    util::default_pool().release(std::move(*packet));
+    util::BufferPool::local().release(std::move(*packet));
   }
 }
 
@@ -40,7 +41,7 @@ void PacketReaderEndpoint::event_start() {
 void PacketReaderEndpoint::event_stop() {
   source_->set_scheduler(nullptr);
   if (ev_parked_) {
-    util::default_pool().release(std::move(*ev_parked_));
+    util::BufferPool::local().release(std::move(*ev_parked_));
     ev_parked_.reset();
   }
 }
@@ -50,7 +51,7 @@ Filter::Drive PacketReaderEndpoint::on_ready() {
   // packet, or frames would reorder.
   if (ev_parked_) {
     if (!util::try_write_frame(dos(), *ev_parked_)) return Drive::kIdle;
-    util::default_pool().release(std::move(*ev_parked_));
+    util::BufferPool::local().release(std::move(*ev_parked_));
     ev_parked_.reset();
   }
   for (int budget = 0; budget < kDriveBudget; ++budget) {
@@ -64,7 +65,7 @@ Filter::Drive PacketReaderEndpoint::on_ready() {
       ev_parked_ = std::move(packet);
       return Drive::kIdle;
     }
-    util::default_pool().release(std::move(*packet));
+    util::BufferPool::local().release(std::move(*packet));
   }
   return Drive::kMore;
 }
@@ -89,7 +90,7 @@ void PacketWriterEndpoint::run() {
     // must never read a metric that lags what the sink already handed out.
     packets_.fetch_add(1, std::memory_order_relaxed);
     sink_->deliver(*packet);
-    util::default_pool().release(std::move(*packet));
+    util::BufferPool::local().release(std::move(*packet));
   }
   sink_->on_end();
 }
@@ -116,7 +117,7 @@ Filter::Drive PacketWriterEndpoint::on_ready() {
     // Same ordering contract as run(): count before delivery.
     packets_.fetch_add(1, std::memory_order_relaxed);
     sink_->deliver(*packet);
-    util::default_pool().release(std::move(*packet));
+    util::BufferPool::local().release(std::move(*packet));
   }
   return Drive::kMore;
 }
@@ -136,12 +137,79 @@ ByteReaderEndpoint::ByteReaderEndpoint(std::string name,
       chunk_(chunk) {}
 
 void ByteReaderEndpoint::run() {
-  util::Bytes buf(chunk_);  // rw-lint: allow(RW006) one buffer, allocated before the loop and reused
+  util::Bytes buf = util::BufferPool::local().acquire(chunk_);
   for (;;) {
+    buf.resize(chunk_);
     const std::size_t n = source_->read_some(buf);
     if (n == 0) break;
     dos().write(util::ByteSpan(buf.data(), n));
   }
+  util::BufferPool::local().release(std::move(buf));
+}
+
+void ByteReaderEndpoint::event_start() {
+  ev_watch_.bind(event_scheduler());
+  source_->set_ready_watcher(&ev_watch_);
+  ev_buf_.clear();
+  ev_off_ = 0;
+  ev_parked_ = false;
+}
+
+void ByteReaderEndpoint::event_stop() {
+  source_->set_ready_watcher(nullptr);
+  util::BufferPool::local().release(std::move(ev_buf_));
+  ev_off_ = 0;
+  ev_parked_ = false;
+}
+
+bool ByteReaderEndpoint::flush_ev_parked() {
+  if (!ev_parked_) return true;
+  const std::size_t w =
+      dos().try_write_some(util::ByteSpan(ev_buf_).subspan(ev_off_));
+  ev_off_ += w;
+  if (ev_off_ < ev_buf_.size()) return false;  // writable watcher armed
+  ev_parked_ = false;
+  ev_off_ = 0;
+  return true;
+}
+
+Filter::Drive ByteReaderEndpoint::on_ready() {
+  // Backpressure first: parked bytes must reach the ring before any new
+  // read, or the stream would reorder.
+  if (!flush_ev_parked()) return Drive::kIdle;
+  if (ev_buf_.capacity() == 0) {
+    // Lazily acquired on the loop thread so the buffer cycles through the
+    // worker's own arena, not the control thread's.
+    ev_buf_ = util::BufferPool::local().acquire(chunk_);
+  }
+  for (int budget = 0; budget < kDriveBudget; ++budget) {
+    bool end = false;
+    ev_buf_.resize(chunk_);
+    const std::size_t n = source_->poll_read_borrow(
+        chunk_,
+        [this](util::ByteSpan a, util::ByteSpan b) -> std::size_t {
+          std::memcpy(ev_buf_.data(), a.data(), a.size());
+          if (!b.empty()) {
+            std::memcpy(ev_buf_.data() + a.size(), b.data(), b.size());
+          }
+          return a.size() + b.size();
+        },
+        &end);
+    if (n == 0) {
+      ev_buf_.clear();
+      // Exhausted means run() would have returned: kDone without closing
+      // the DOS (removal protocol); empty-and-open armed the watcher.
+      return end ? Drive::kDone : Drive::kIdle;
+    }
+    ev_buf_.resize(n);
+    const std::size_t w = dos().try_write_some(ev_buf_);
+    if (w < n) {
+      ev_parked_ = true;
+      ev_off_ = w;
+      return Drive::kIdle;  // writable watcher armed by the short write
+    }
+  }
+  return Drive::kMore;
 }
 
 ByteWriterEndpoint::ByteWriterEndpoint(std::string name,
@@ -149,14 +217,81 @@ ByteWriterEndpoint::ByteWriterEndpoint(std::string name,
                                        std::size_t buffer_capacity)
     : Filter(std::move(name), buffer_capacity), sink_(std::move(sink)) {}
 
+namespace {
+constexpr std::size_t kWriterChunk = 4096;
+}  // namespace
+
 void ByteWriterEndpoint::run() {
-  util::Bytes buf(4096);  // rw-lint: allow(RW006) one buffer, allocated before the loop and reused
+  util::Bytes buf = util::BufferPool::local().acquire(kWriterChunk);
   for (;;) {
+    buf.resize(kWriterChunk);
     const std::size_t n = dis().read_some(buf);
     if (n == 0) break;
     sink_->write(util::ByteSpan(buf.data(), n));
   }
   sink_->flush();
+  util::BufferPool::local().release(std::move(buf));
+}
+
+void ByteWriterEndpoint::event_start() {
+  ev_watch_.bind(event_scheduler());
+  sink_->set_ready_watcher(&ev_watch_);
+  ev_buf_.clear();
+  ev_off_ = 0;
+  ev_parked_ = false;
+}
+
+void ByteWriterEndpoint::event_stop() {
+  sink_->set_ready_watcher(nullptr);
+  util::BufferPool::local().release(std::move(ev_buf_));
+  ev_off_ = 0;
+  ev_parked_ = false;
+}
+
+bool ByteWriterEndpoint::flush_ev_parked() {
+  if (!ev_parked_) return true;
+  const std::size_t w =
+      sink_->try_write_some(util::ByteSpan(ev_buf_).subspan(ev_off_));
+  ev_off_ += w;
+  if (ev_off_ < ev_buf_.size()) return false;  // sink watcher armed
+  ev_parked_ = false;
+  ev_off_ = 0;
+  return true;
+}
+
+Filter::Drive ByteWriterEndpoint::on_ready() {
+  if (!flush_ev_parked()) return Drive::kIdle;
+  if (ev_buf_.capacity() == 0) {
+    ev_buf_ = util::BufferPool::local().acquire(kWriterChunk);
+  }
+  for (int budget = 0; budget < kDriveBudget; ++budget) {
+    bool end = false;
+    ev_buf_.resize(kWriterChunk);
+    const std::size_t n = dis().poll_read_borrow(
+        kWriterChunk,
+        [this](util::ByteSpan a, util::ByteSpan b) -> std::size_t {
+          std::memcpy(ev_buf_.data(), a.data(), a.size());
+          if (!b.empty()) {
+            std::memcpy(ev_buf_.data() + a.size(), b.data(), b.size());
+          }
+          return a.size() + b.size();
+        },
+        &end);
+    if (n == 0) {
+      ev_buf_.clear();
+      if (!end) return Drive::kIdle;  // readable watcher armed
+      sink_->flush();
+      return Drive::kDone;
+    }
+    ev_buf_.resize(n);
+    const std::size_t w = sink_->try_write_some(ev_buf_);
+    if (w < n) {
+      ev_parked_ = true;
+      ev_off_ = w;
+      return Drive::kIdle;  // sink's ready watcher armed by the short write
+    }
+  }
+  return Drive::kMore;
 }
 
 std::optional<util::Bytes> QueuePacketSource::next_packet() {

@@ -142,6 +142,22 @@ class PacketWriterEndpoint final : public Filter {
   bool ev_ended_ = false;  // on_end() already delivered this run
 };
 
+/// Adapts a util::ReadyWatcher fire into a core::Scheduler re-drive —
+/// the bridge that lets event-hosted byte endpoints watch any pollable
+/// util::ByteSource/ByteSink (which cannot reference core::Scheduler from
+/// the util layer). Fired possibly under the source/sink's lock: only
+/// posts, per both contracts.
+class IoReadyForwarder final : public util::ReadyWatcher {
+ public:
+  void bind(Scheduler* target) noexcept { target_ = target; }
+  void on_io_ready() override {
+    if (target_ != nullptr) target_->on_readable();
+  }
+
+ private:
+  Scheduler* target_ = nullptr;
+};
+
 /// Byte-oriented reader endpoint over any util::ByteSource (the paper's
 /// EndPointStreamReader): file, in-memory buffer, generator.
 class ByteReaderEndpoint final : public Filter {
@@ -151,12 +167,33 @@ class ByteReaderEndpoint final : public Filter {
                      std::size_t buffer_capacity =
                          DetachableInputStream::kDefaultCapacity);
 
+  /// Event-hostable only over a pollable source (a blocking one keeps the
+  /// thread shim via start_on's fallback).
+  bool event_capable() const override { return source_->pollable(); }
+
  protected:
   void run() override;
 
+  /// Event drive: poll the source into the recycled chunk buffer, push it
+  /// downstream with try_write_some, park the unwritten suffix on
+  /// backpressure (input is not consumed while anything is parked). EOF
+  /// drains the park, then kDone — like run() returning.
+  Drive on_ready() override;
+  void event_start() override;
+  void event_stop() override;
+
  private:
+  bool flush_ev_parked();
+
   std::shared_ptr<util::ByteSource> source_;
   std::size_t chunk_;
+  // Event-mode state; loop-thread-only between the first drive and the
+  // final one (the chunk buffer is acquired lazily ON the loop thread so
+  // it comes from — and returns to — the worker's arena).
+  IoReadyForwarder ev_watch_;
+  util::Bytes ev_buf_;
+  std::size_t ev_off_ = 0;  // written prefix of the parked ev_buf_
+  bool ev_parked_ = false;
 };
 
 /// Byte-oriented writer endpoint over any util::ByteSink.
@@ -166,11 +203,28 @@ class ByteWriterEndpoint final : public Filter {
                      std::size_t buffer_capacity =
                          DetachableInputStream::kDefaultCapacity);
 
+  /// Event-hostable only over a pollable sink.
+  bool event_capable() const override { return sink_->pollable(); }
+
  protected:
   void run() override;
 
+  /// Event drive: batched poll_read_borrow pulls from the chain, pushed
+  /// into the sink with try_write_some; a short sink write parks the
+  /// suffix until the sink's ready watcher fires. EOF flushes, then kDone.
+  Drive on_ready() override;
+  void event_start() override;
+  void event_stop() override;
+
  private:
+  bool flush_ev_parked();
+
   std::shared_ptr<util::ByteSink> sink_;
+  // Event-mode state; loop-thread-only (see ByteReaderEndpoint).
+  IoReadyForwarder ev_watch_;
+  util::Bytes ev_buf_;
+  std::size_t ev_off_ = 0;
+  bool ev_parked_ = false;
 };
 
 /// In-memory packet source backed by a queue; push() feeds the endpoint,

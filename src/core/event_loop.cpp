@@ -8,6 +8,7 @@
 namespace rapidware::core {
 
 void EventLoop::post(Task task) {
+  queue_depth_.fetch_add(1, std::memory_order_relaxed);
   rw::MutexLock lk(mu_);
   queue_.push_back(std::move(task));
   if (waiters_ > 0) cv_.notify_one();
@@ -15,7 +16,12 @@ void EventLoop::post(Task task) {
 
 void EventLoop::run() {
   thread_id_.store(std::this_thread::get_id(), std::memory_order_release);
+  // This thread's buffer arena for the loop's whole lifetime: every
+  // data-plane BufferPool::local() on this thread now resolves to pool_,
+  // taking zero global-pool locks on the steady-state path.
+  util::BufferPool* prev_pool = util::BufferPool::install_local(&pool_);
   const auto epoch = std::chrono::steady_clock::now();
+  auto window_start = epoch;  // busy-fraction EWMA measurement window
   std::deque<Task> batch;
   for (;;) {
     batch.clear();
@@ -47,17 +53,39 @@ void EventLoop::run() {
     }
     // Count each task as it completes (not the batch at once): a sync()
     // barrier returns mid-batch, and tasks_run() must already cover every
-    // task ordered before it.
+    // task ordered before it. queue_depth_ mirrors that: a task counts as
+    // load until it has retired, so mid-batch snapshots see the backlog.
+    const auto batch_start = std::chrono::steady_clock::now();
     for (Task& task : batch) {
       task();
       tasks_run_.fetch_add(1, std::memory_order_relaxed);
+      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
     }
     // Advance slaved virtual time to the elapsed wall time, firing due
     // timers (idle-flow eviction sweeps and the like) on this thread.
-    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
-        std::chrono::steady_clock::now() - epoch);
+    const auto now = std::chrono::steady_clock::now();
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::microseconds>(now - epoch);
     clock_.run_until(static_cast<util::Micros>(elapsed.count()));
+    // Fold this iteration into the busy-fraction EWMA (alpha 1/8): busy =
+    // time spent executing the batch, window = everything since the last
+    // update including the idle park, so an idle loop decays toward 0.
+    const double window =
+        std::chrono::duration<double>(now - window_start).count();
+    if (window > 0.0) {
+      const double busy =
+          std::chrono::duration<double>(now - batch_start).count();
+      const double sample = busy >= window ? 1.0 : busy / window;
+      const double old =
+          static_cast<double>(busy_ppm_.load(std::memory_order_relaxed)) /
+          1e6;
+      const double next = old + (sample - old) / 8.0;
+      busy_ppm_.store(static_cast<std::uint32_t>(next * 1e6),
+                      std::memory_order_relaxed);
+      window_start = now;
+    }
   }
+  util::BufferPool::install_local(prev_pool);
   thread_id_.store(std::thread::id{}, std::memory_order_release);
 }
 

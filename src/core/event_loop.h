@@ -30,6 +30,7 @@
 #include <thread>
 
 #include "sim/virtual_clock.h"
+#include "util/buffer_pool.h"
 #include "util/clock.h"
 #include "util/lock_rank.h"
 #include "util/mutex.h"
@@ -86,6 +87,33 @@ class EventLoop {
     return tasks_run_.load(std::memory_order_relaxed);
   }
 
+  /// The loop's worker-local buffer arena (rebalances against
+  /// util::default_pool()). run() installs it as the thread's
+  /// util::BufferPool::local() for its whole lifetime, so every
+  /// data-plane acquire/release on the loop thread is worker-local —
+  /// the shared-nothing half of the scaling story (docs/data_plane.md).
+  util::BufferPool& pool() noexcept { return pool_; }
+
+  /// Tasks posted but not yet retired (queued + currently executing).
+  /// A relaxed load — placement reads it as a freshness-tolerant signal.
+  std::size_t queue_depth() const noexcept {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+
+  /// Smoothed fraction of wall time this loop spent executing tasks and
+  /// timers (EWMA, alpha 1/8, updated once per batch; decays while idle).
+  double busy_fraction() const noexcept {
+    return static_cast<double>(busy_ppm_.load(std::memory_order_relaxed)) /
+           1e6;
+  }
+
+  /// The load-aware placement signal: backlog plus smoothed busyness.
+  /// Dimensionally loose by design — queue depth dominates once a worker
+  /// falls behind, busy fraction breaks ties between keeping-up workers.
+  double load() const noexcept {
+    return static_cast<double>(queue_depth()) + busy_fraction();
+  }
+
  private:
   mutable rw::Mutex mu_{"core/event_loop", rw::lockrank::kEventLoop};
   rw::CondVar cv_;
@@ -94,8 +122,12 @@ class EventLoop {
   int waiters_ RW_GUARDED_BY(mu_) = 0;  // the loop thread parked idle
 
   sim::VirtualClock clock_;  // rw-lint: allow(RW003) internally synchronized
+  util::BufferPool pool_{  // rw-lint: allow(RW003) internally synchronized
+      util::BufferPool::Config{}, &util::default_pool()};
   std::atomic<std::thread::id> thread_id_{};
   std::atomic<std::uint64_t> tasks_run_{0};
+  std::atomic<std::size_t> queue_depth_{0};
+  std::atomic<std::uint32_t> busy_ppm_{0};  // busy fraction EWMA, ppm
 };
 
 }  // namespace rapidware::core

@@ -216,7 +216,7 @@ void ByteFilter::run() {
   // process() by value, and whatever process() returns (the same buffer,
   // for pass-through filters) is reused for the next read. Zero per-chunk
   // allocations in steady state.
-  auto& pool = util::default_pool();
+  auto& pool = util::BufferPool::local();
   util::Bytes buf = pool.acquire(kChunk);
   for (;;) {
     buf.resize(kChunk);
@@ -233,14 +233,14 @@ void ByteFilter::run() {
 }
 
 void ByteFilter::event_start() {
-  ev_buf_ = util::default_pool().acquire(kChunk);
+  ev_buf_ = util::BufferPool::local().acquire(kChunk);
   ev_out_.clear();
   ev_out_off_ = 0;
   ev_tail_done_ = false;
 }
 
 void ByteFilter::event_stop() {
-  util::default_pool().release(std::move(ev_buf_));
+  util::BufferPool::local().release(std::move(ev_buf_));
   ev_out_.clear();
   ev_out_off_ = 0;
 }
@@ -252,7 +252,7 @@ bool ByteFilter::flush_ev_out() {
         dos().try_write_some(util::ByteSpan(front).subspan(ev_out_off_));
     ev_out_off_ += w;
     if (ev_out_off_ < front.size()) return false;  // writable watcher armed
-    util::default_pool().release(std::move(front));
+    util::BufferPool::local().release(std::move(front));
     ev_out_.pop_front();
     ev_out_off_ = 0;
   }
@@ -331,7 +331,7 @@ bool PacketFilter::flush_ev_pending() {
     if (!util::try_write_frame(dos(), ev_pending_.front())) {
       return false;  // writable watcher armed
     }
-    util::default_pool().release(std::move(ev_pending_.front()));
+    util::BufferPool::local().release(std::move(ev_pending_.front()));
     ev_pending_.pop_front();
   }
   return true;
@@ -343,7 +343,7 @@ void PacketFilter::ev_emit(util::Bytes&& packet) {
   // not consumed while anything is parked, so the backlog is bounded by
   // one on_packet()'s emissions.
   if (ev_pending_.empty() && util::try_write_frame(dos(), packet)) {
-    util::default_pool().release(std::move(packet));
+    util::BufferPool::local().release(std::move(packet));
     return;
   }
   ev_pending_.push_back(std::move(packet));
@@ -374,7 +374,7 @@ void PacketFilter::emit(util::ByteSpan packet) {
   // triggered by the packet's arrival never sees the counter lagging it.
   packets_out_.fetch_add(1, std::memory_order_relaxed);
   if (event_hosted()) {
-    util::Bytes copy = util::default_pool().acquire(packet.size());
+    util::Bytes copy = util::BufferPool::local().acquire(packet.size());
     if (!packet.empty()) {
       std::memcpy(copy.data(), packet.data(), packet.size());
     }
@@ -391,7 +391,7 @@ void PacketFilter::emit(util::Bytes&& packet) {
     return;
   }
   util::write_frame(dos(), packet);
-  util::default_pool().release(std::move(packet));
+  util::BufferPool::local().release(std::move(packet));
 }
 
 void PacketFilter::register_metrics(obs::Scope scope) {

@@ -250,7 +250,8 @@ class PacketFilter : public Filter {
   void emit(util::ByteSpan packet);
 
   /// Move-through emit: writes the packet, then recycles its capacity
-  /// through util::default_pool(). A pass-through hop — FrameReader
+  /// through the calling thread's arena (util::BufferPool::local() — the
+  /// worker's pool on an event-hosted drive). A pass-through hop — FrameReader
   /// acquires from the pool, on_packet forwards with
   /// emit(std::move(packet)) — touches the allocator zero times per packet
   /// in steady state (asserted by the pool hit-rate test). Prefer this

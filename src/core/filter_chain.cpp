@@ -72,6 +72,7 @@ void FilterChain::host_on(EventLoop& loop) {
   rw::MutexLock lk(mu_);
   if (started_) throw StreamError("FilterChain::host_on: already started");
   host_ = &loop;
+  metrics_pool_.store(&loop.pool(), std::memory_order_release);
 }
 
 EventLoop* FilterChain::host() const {
@@ -91,7 +92,14 @@ void FilterChain::start() {
   rw::MutexLock lk(mu_);
   if (started_) throw StreamError("FilterChain::start: already started");
   if (host_ == nullptr && dispatch_default_event()) {
-    host_ = &default_worker_pool().next();
+    // try_next, not next: a chain started while the default pool is
+    // stopping (static destruction, a test's teardown) falls back to
+    // thread dispatch instead of pinning its filters on a loop that will
+    // never drive them.
+    host_ = default_worker_pool().try_next();
+    if (host_ != nullptr) {
+      metrics_pool_.store(&host_->pool(), std::memory_order_release);
+    }
   }
   // Wire head -> [pre-inserted filters] -> tail, then start consumers
   // before producers so no write ever lacks a reader.
@@ -462,21 +470,30 @@ void FilterChain::bind_metrics(obs::Registry& reg, const std::string& name) {
   m_reconfig_us_ =
       scope_->histogram("reconfig_us", obs::Histogram::latency_us_bounds());
   m_events_ = scope_->trace("events", kEventTraceCapacity);
-  // Data-plane buffer pool health, surfaced per chain (the pool itself is
-  // process-wide): steady-state hit rate near 1.0 means the packet path is
-  // allocation-free (docs/data_plane.md).
+  // Data-plane buffer pool health, surfaced per chain: the host worker's
+  // arena once the chain is event-hosted, the process-wide pool otherwise.
+  // Steady-state hit rate near 1.0 means the packet path is
+  // allocation-free (docs/data_plane.md). `this` captures are safe: the
+  // chain drops this scope (blocking out in-flight snapshots) before
+  // destruction.
   {
+    const auto pool = [this]() -> util::BufferPool& { return recycle_pool(); };
     obs::Scope pool_scope = scope_->child("pool");
-    pool_scope.callback("hits", [] {
-      return static_cast<double>(util::default_pool().stats().hits);
+    pool_scope.callback("hits", [pool] {
+      return static_cast<double>(pool().stats().hits);
     });
-    pool_scope.callback("misses", [] {
-      return static_cast<double>(util::default_pool().stats().misses);
+    pool_scope.callback("misses", [pool] {
+      return static_cast<double>(pool().stats().misses);
     });
-    pool_scope.callback("hit_rate",
-                        [] { return util::default_pool().hit_rate(); });
-    pool_scope.callback("free_buffers", [] {
-      return static_cast<double>(util::default_pool().free_buffers());
+    pool_scope.callback("hit_rate", [pool] { return pool().hit_rate(); });
+    pool_scope.callback("free_buffers", [pool] {
+      return static_cast<double>(pool().free_buffers());
+    });
+    pool_scope.callback("cross_free", [pool] {
+      return static_cast<double>(pool().stats().cross_free);
+    });
+    pool_scope.callback("rebalance", [pool] {
+      return static_cast<double>(pool().stats().rebalanced);
     });
   }
   attach_filter_locked(*head_);

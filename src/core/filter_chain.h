@@ -18,6 +18,7 @@
 // through the untouched part of the chain while an operation runs.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -26,6 +27,7 @@
 
 #include "core/filter.h"
 #include "obs/metrics.h"
+#include "util/buffer_pool.h"
 #include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -52,6 +54,15 @@ class FilterChain {
 
   /// The hosting loop, or nullptr in thread-per-filter mode.
   EventLoop* host() const;
+
+  /// The buffer pool this chain's packets recycle through: the hosting
+  /// worker's arena once event-hosted, util::default_pool() otherwise.
+  /// What the chain's `pool/` metric rows read; tests assert steady-state
+  /// hit rates against it regardless of dispatch mode.
+  util::BufferPool& recycle_pool() const {
+    util::BufferPool* p = metrics_pool_.load(std::memory_order_acquire);
+    return p != nullptr ? *p : util::default_pool();
+  }
 
   /// Connects head directly to tail (the "null proxy") and starts both
   /// endpoints. Without an explicit host_on(), the RW_DISPATCH environment
@@ -181,6 +192,11 @@ class FilterChain {
   const std::shared_ptr<Filter> head_;  // immutable after construction
   const std::shared_ptr<Filter> tail_;  // immutable after construction
   EventLoop* host_ RW_GUARDED_BY(mu_) = nullptr;
+  // The pool the chain's `pool/` gauges report on: the host worker's
+  // arena once hosted, util::default_pool() otherwise. An atomic (not
+  // mu_-guarded) because registry callbacks must never take mu_; nullptr
+  // means "not hosted, read the process pool".
+  std::atomic<util::BufferPool*> metrics_pool_{nullptr};
   std::vector<std::shared_ptr<Filter>> filters_ RW_GUARDED_BY(mu_);
   bool started_ RW_GUARDED_BY(mu_) = false;
   bool shut_down_ RW_GUARDED_BY(mu_) = false;

@@ -1,6 +1,7 @@
 #include "core/worker_pool.h"
 
 #include <cstdlib>
+#include <stdexcept>
 
 namespace rapidware::core {
 
@@ -25,13 +26,58 @@ WorkerPool::WorkerPool(std::size_t workers) {
 WorkerPool::~WorkerPool() { stop(); }
 
 EventLoop& WorkerPool::next() {
-  const std::size_t i =
-      rr_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
-  return *loops_[i];
+  EventLoop* loop = try_next();
+  if (loop == nullptr) {
+    throw std::logic_error(
+        "WorkerPool::next: pool is stopped; a stopped loop never drives "
+        "again (place the chain before stop(), or use try_next)");
+  }
+  return *loop;
+}
+
+EventLoop* WorkerPool::try_next() {
+  // Acquire pairs with the release exchange in stop(): placement observed
+  // after the flag is set must not hand out a loop whose thread is being
+  // joined. (The old round-robin fetch_add also mutated shared state for
+  // callers that then discarded the loop; the load scan is read-only.)
+  if (stopped_.load(std::memory_order_acquire)) return nullptr;
+  EventLoop* best = loops_[0].get();
+  double best_load = best->load();
+  for (std::size_t i = 1; i < loops_.size(); ++i) {
+    const double l = loops_[i]->load();
+    if (l < best_load) {
+      best = loops_[i].get();
+      best_load = l;
+    }
+  }
+  return best;
+}
+
+void WorkerPool::bind_metrics(obs::Registry& reg, const std::string& prefix) {
+  scope_.emplace(reg, prefix);
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    const obs::Scope w = scope_->child("worker/" + std::to_string(i));
+    EventLoop* loop = loops_[i].get();
+    // Callback gauges over relaxed atomics: a STATS snapshot reads live
+    // load without touching any loop or pool mutex.
+    w.callback("tasks_run", [loop] {
+      return static_cast<double>(loop->tasks_run());
+    });
+    w.callback("queue_depth", [loop] {
+      return static_cast<double>(loop->queue_depth());
+    });
+    w.callback("busy", [loop] { return loop->busy_fraction(); });
+  }
 }
 
 void WorkerPool::stop() {
   if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  // Unpublish before the loops die: Scope::drop() blocks out in-flight
+  // snapshots, so no callback can read a loop mid-teardown.
+  if (scope_.has_value()) {
+    scope_->drop();
+    scope_.reset();
+  }
   for (auto& loop : loops_) loop->stop();
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();  // rw-lint: allow(RW008) control-plane shutdown, loops already asked to stop
@@ -40,6 +86,11 @@ void WorkerPool::stop() {
 
 WorkerPool& default_worker_pool() {
   static WorkerPool pool;
+  static const bool bound = [] {
+    pool.bind_metrics(obs::registry(), "workers");
+    return true;
+  }();
+  (void)bound;
   return pool;
 }
 

@@ -1,17 +1,20 @@
 // N core::EventLoop workers on N OS threads (docs/data_plane.md, "Worker
-// model"). Chains are pinned whole to one worker (round-robin via next(),
-// or sharded placement in proxy::FlowTable), so the pool is the modern
-// worker model over the paper's thread-per-filter proxy: chains*filters
-// logical flows multiplexed onto min(cores, N) threads.
+// model"). Chains are pinned whole to one worker (least-loaded placement
+// via next(), or sharded placement in proxy::FlowTable), so the pool is
+// the modern worker model over the paper's thread-per-filter proxy:
+// chains*filters logical flows multiplexed onto min(cores, N) threads.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/event_loop.h"
+#include "obs/metrics.h"
 
 namespace rapidware::core {
 
@@ -29,8 +32,28 @@ class WorkerPool {
 
   EventLoop& worker(std::size_t i) { return *loops_[i]; }
 
-  /// Round-robin placement for the next hosted chain.
+  /// Least-loaded placement for the next hosted chain: scans every
+  /// worker's EventLoop::load() (queue depth + busy-fraction EWMA, all
+  /// relaxed atomics — no lock, no shared counter mutation) and returns
+  /// the lightest, lowest index winning ties. The chain then pins to that
+  /// worker for its lifetime (chain affinity), so placement is a
+  /// once-per-chain decision and a slightly stale load reading only costs
+  /// one suboptimal placement, never correctness. Throws std::logic_error
+  /// after stop() — a stopped loop never drives again, so handing it out
+  /// would hang the caller's chain.
   EventLoop& next();
+
+  /// Stop-safe variant of next(): nullptr once stop() has begun, so a
+  /// hosting decision racing teardown (e.g. FilterChain::start under
+  /// RW_DISPATCH=event during static destruction) can fall back to
+  /// thread dispatch instead of pinning work on a dead loop.
+  EventLoop* try_next();
+
+  /// Publishes per-worker load metrics under `prefix`:
+  /// worker/<i>/tasks_run, worker/<i>/queue_depth, worker/<i>/busy (all
+  /// callback gauges over the loops' relaxed atomics — snapshots never
+  /// touch a pool or loop mutex). Dropped by stop(). Call at most once.
+  void bind_metrics(obs::Registry& reg, const std::string& prefix);
 
   /// Stops every loop and joins the worker threads. Idempotent. Chains
   /// hosted on the pool must be shut down FIRST: a stopped loop never
@@ -41,13 +64,14 @@ class WorkerPool {
  private:
   std::vector<std::unique_ptr<EventLoop>> loops_;
   std::vector<std::thread> threads_;
-  std::atomic<std::size_t> rr_{0};
   std::atomic<bool> stopped_{false};
+  std::optional<obs::Scope> scope_;  // rw-lint: allow(RW003) set before threads observe it, dropped in stop()
 };
 
 /// Process-wide pool used when RW_DISPATCH=event selects event dispatch
 /// without an explicit pool (FilterChain::start). Constructed on first
-/// use, stopped at static destruction.
+/// use (publishing its worker/<i>/ load gauges on obs::registry() under
+/// "workers"), stopped at static destruction.
 WorkerPool& default_worker_pool();
 
 }  // namespace rapidware::core

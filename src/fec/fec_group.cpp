@@ -91,7 +91,7 @@ std::vector<util::Bytes> GroupEncoder::add(util::ByteSpan payload) {
   }
   // Hold a pooled copy: encode_group() releases it back, so steady-state
   // group assembly does not grow the heap.
-  util::Bytes held = util::default_pool().acquire(payload.size());
+  util::Bytes held = util::BufferPool::local().acquire(payload.size());
   if (!payload.empty()) {
     std::memcpy(held.data(), payload.data(), payload.size());
   }
@@ -141,7 +141,7 @@ std::vector<util::Bytes> GroupEncoder::encode_group() {
     w.raw(parity[p]);
     wire.push_back(w.take());
   }
-  for (auto& p : held_) util::default_pool().release(std::move(p));
+  for (auto& p : held_) util::BufferPool::local().release(std::move(p));
   held_.clear();
   ++groups_emitted_;
   return wire;
@@ -162,7 +162,15 @@ std::vector<util::Bytes> GroupDecoder::add(util::ByteSpan wire_packet) {
 
   std::vector<util::Bytes> restart_flushed;
   if (h.group_id < next_release_) {
-    if (next_release_ - h.group_id <= restart_threshold_) {
+    // A fresh encoder's very first emission is always (group 0, symbol 0),
+    // and the in-process transports neither duplicate nor reorder (the
+    // deinterleaver restores order), so that pair below the cursor is an
+    // unambiguous splice signature even when the id distance is small —
+    // without it, a short-lived predecessor sequence (cursor <= threshold)
+    // would get the whole successor's head silently dropped as stale.
+    const bool splice_signature = h.group_id == 0 && h.index == 0;
+    if (!splice_signature &&
+        next_release_ - h.group_id <= restart_threshold_) {
       ++stats_.stale;  // genuinely late packet for a released group
       return {};
     }

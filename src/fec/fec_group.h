@@ -110,7 +110,12 @@ class GroupDecoder {
   /// `restart_threshold` below the release cursor signals a *sequence
   /// restart* (a fresh encoder was spliced into the stream, e.g. by a
   /// demand-driven FEC responder); the decoder flushes and resyncs instead
-  /// of discarding the new stream as stale.
+  /// of discarding the new stream as stale. A below-cursor packet for
+  /// (group 0, symbol 0) is treated as a restart regardless of distance:
+  /// it is the first thing every fresh encoder emits and the in-order,
+  /// duplicate-free transports cannot produce it late, so it disambiguates
+  /// restarts that follow a short-lived (< restart_threshold groups)
+  /// predecessor sequence.
   explicit GroupDecoder(std::size_t window = 2,
                         std::uint32_t restart_threshold = 64);
 

@@ -65,7 +65,7 @@ void FecEncodeFilter::on_packet(util::Bytes packet) {
   // triggered by the parity's arrival must not see the counter lagging.
   auto wire = encoder_->add(packet);
   m_groups_encoded_->add(encoder_->groups_emitted() - before);
-  util::default_pool().release(std::move(packet));
+  util::BufferPool::local().release(std::move(packet));
   for (auto& w : wire) emit(std::move(w));
 }
 
@@ -115,7 +115,7 @@ void FecDecodeFilter::on_packet(util::Bytes packet) {
     return;
   }
   auto out = decoder_.add(packet);
-  util::default_pool().release(std::move(packet));
+  util::BufferPool::local().release(std::move(packet));
   for (auto& payload : out) emit(std::move(payload));
   sync_stats();
 }
@@ -203,7 +203,7 @@ void UepFecEncodeFilter::on_packet(util::Bytes packet) {
   const std::uint64_t before = encoder.groups_emitted();
   auto wire = encoder.add(packet);
   if (encoder.groups_emitted() > before) ++next_group_id_;
-  util::default_pool().release(std::move(packet));
+  util::BufferPool::local().release(std::move(packet));
   emit_wire(std::move(wire), encoder.k());
 }
 

@@ -53,6 +53,27 @@ std::size_t SequenceGenerator::read_some(util::MutableByteSpan out) {
   return n;
 }
 
+std::size_t SequenceGenerator::poll_read_borrow(std::size_t max,
+                                                util::SpanVisitor visit,
+                                                bool* end) {
+  if (next_ >= total_) {
+    *end = true;
+    return 0;
+  }
+  *end = false;
+  std::uint8_t tmp[4096];
+  std::size_t want = sizeof tmp;
+  if (max != 0 && max < want) want = max;
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(want, total_ - next_));
+  fill_pattern(seed_, next_, util::MutableByteSpan(tmp, n));
+  const std::size_t consumed = visit(util::ByteSpan(tmp, n), util::ByteSpan());
+  // Only the consumed prefix leaves the stream: the pattern is recomputed
+  // from the offset, so partial consumption needs no retained tail.
+  next_ += consumed;
+  return consumed;
+}
+
 // ---------------------------------------------------------------------------
 // SequenceChecker
 
@@ -68,6 +89,16 @@ void SequenceChecker::write(util::ByteSpan in) {
     }
     ++received_;
   }
+}
+
+std::size_t SequenceChecker::try_write_some(util::ByteSpan in) {
+  write(in);  // verification is immediate; nothing ever refuses bytes
+  return in.size();
+}
+
+bool SequenceChecker::try_write_vec(std::span<const util::ByteSpan> segments) {
+  for (const util::ByteSpan seg : segments) write(seg);
+  return true;
 }
 
 std::string SequenceChecker::report() const {

@@ -41,6 +41,14 @@ class SequenceGenerator final : public util::ByteSource {
 
   std::size_t read_some(util::MutableByteSpan out) override;
 
+  /// Pollable with no watcher: a computed source always makes progress
+  /// (bytes until total_, then EOF), so a poll can never would-block —
+  /// which is what lets an event-hosted ByteReaderEndpoint run over it
+  /// with zero shim threads.
+  bool pollable() const noexcept override { return true; }
+  std::size_t poll_read_borrow(std::size_t max, util::SpanVisitor visit,
+                               bool* end) override;
+
   std::uint64_t produced() const noexcept { return next_; }
   std::uint64_t total() const noexcept { return total_; }
 
@@ -60,6 +68,12 @@ class SequenceChecker final : public util::ByteSink {
   explicit SequenceChecker(std::uint64_t seed);
 
   void write(util::ByteSpan in) override;
+
+  /// Pollable with no watcher: the checker consumes any amount
+  /// immediately, so a try_write never comes up short.
+  bool pollable() const noexcept override { return true; }
+  std::size_t try_write_some(util::ByteSpan in) override;
+  bool try_write_vec(std::span<const util::ByteSpan> segments) override;
 
   struct Divergence {
     std::uint64_t offset;

@@ -13,17 +13,26 @@ std::size_t floor_log2(std::size_t v) noexcept {
   return b;
 }
 
+// The calling thread's installed arena; null means "use default_pool()".
+// A plain thread_local pointer: install/clear happen only on the owning
+// thread (EventLoop::run's prologue/epilogue), reads are same-thread.
+thread_local BufferPool* tls_pool = nullptr;
+
 }  // namespace
 
 BufferPool::BufferPool() : BufferPool(Config()) {}
 
-BufferPool::BufferPool(Config config)
+BufferPool::BufferPool(Config config) : BufferPool(config, nullptr) {}
+
+BufferPool::BufferPool(Config config, BufferPool* parent)
     : config_(config),
       bucket_count_(floor_log2(config.max_capacity < kMinCapacity
                                    ? kMinCapacity
                                    : config.max_capacity) -
-                    floor_log2(kMinCapacity) + 1) {
-  rw::MutexLock lock(mu_);
+                    floor_log2(kMinCapacity) + 1),
+      parent_(parent),
+      mu_(parent != nullptr ? local_mu_ : global_mu_) {
+  rw::MutexLock lock(mu_);  // lock-graph: holds(util/buffer_pool)
   free_.resize(bucket_count_);
   // Pre-size each free list so release() (noexcept) never grows a vector.
   for (auto& bucket : free_) bucket.reserve(config_.max_buffers_per_bucket);
@@ -45,13 +54,30 @@ std::size_t BufferPool::bucket_for_release(std::size_t capacity) noexcept {
 Bytes BufferPool::acquire(std::size_t size) {
   if (size <= config_.max_capacity) {
     const std::size_t b = bucket_for_acquire(size);
-    rw::MutexLock lock(mu_);
-    if (b < free_.size() && !free_[b].empty()) {
-      Bytes out = std::move(free_[b].back());
-      free_[b].pop_back();
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      out.resize(size);  // capacity >= class size >= size: no reallocation
-      return out;
+    {
+      lock_acquires_.fetch_add(1, std::memory_order_relaxed);
+      rw::MutexLock lock(mu_);  // lock-graph: holds(util/buffer_pool)
+      if (b < free_.size() && !free_[b].empty()) {
+        Bytes out = std::move(free_[b].back());
+        free_[b].pop_back();
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        out.resize(size);  // capacity >= class size >= size: no realloc
+        return out;
+      }
+    }
+    if (parent_ != nullptr) {
+      // Bucket dry: refill a batch from the parent so the next
+      // kRebalanceBatch-1 acquires of this class stay worker-local.
+      Bytes batch[kRebalanceBatch];
+      std::size_t n = parent_->take_batch(b, kRebalanceBatch, batch);
+      if (n > 0) {
+        rebalanced_.fetch_add(1, std::memory_order_relaxed);
+        Bytes out = std::move(batch[--n]);
+        if (n > 0) put_batch(b, batch, n);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        out.resize(size);
+        return out;
+      }
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -73,9 +99,17 @@ void BufferPool::release(Bytes&& b) noexcept {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;  // victim's destructor frees it
   }
+  const auto owner = owner_.load(std::memory_order_relaxed);
+  if (owner != std::thread::id{} && owner != std::this_thread::get_id()) {
+    // A buffer crossing a worker boundary lands in the releasing thread's
+    // pool by the local() contract; a free arriving here from a foreign
+    // thread is the exception worth counting.
+    cross_free_.fetch_add(1, std::memory_order_relaxed);
+  }
   const std::size_t bucket = bucket_for_release(cap);
   {
-    rw::MutexLock lock(mu_);
+    lock_acquires_.fetch_add(1, std::memory_order_relaxed);
+    rw::MutexLock lock(mu_);  // lock-graph: holds(util/buffer_pool)
     if (bucket < free_.size() &&
         free_[bucket].size() < config_.max_buffers_per_bucket) {
       victim.clear();
@@ -84,14 +118,84 @@ void BufferPool::release(Bytes&& b) noexcept {
       return;
     }
   }
+  if (parent_ != nullptr && bucket < bucket_count_) {
+    // Bucket full: donate a batch (plus the victim) back to the parent so
+    // capacity released on this worker is not stranded here while another
+    // worker's bucket runs dry.
+    Bytes batch[kRebalanceBatch];
+    std::size_t n = 0;
+    {
+      lock_acquires_.fetch_add(1, std::memory_order_relaxed);
+      rw::MutexLock lock(mu_);  // lock-graph: holds(util/buffer_pool)
+      auto& fb = free_[bucket];
+      while (n + 1 < kRebalanceBatch && !fb.empty()) {
+        batch[n++] = std::move(fb.back());
+        fb.pop_back();
+      }
+    }
+    victim.clear();
+    batch[n++] = std::move(victim);
+    parent_->put_batch(bucket, batch, n);
+    rebalanced_.fetch_add(1, std::memory_order_relaxed);
+    recycled_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   dropped_.fetch_add(1, std::memory_order_relaxed);
 }
 
+std::size_t BufferPool::take_batch(std::size_t bucket, std::size_t max,
+                                   Bytes* out) {
+  lock_acquires_.fetch_add(1, std::memory_order_relaxed);
+  rw::MutexLock lock(mu_);  // lock-graph: holds(util/buffer_pool)
+  if (bucket >= free_.size()) return 0;
+  auto& fb = free_[bucket];
+  std::size_t n = 0;
+  while (n < max && !fb.empty()) {
+    out[n++] = std::move(fb.back());
+    fb.pop_back();
+  }
+  return n;
+}
+
+void BufferPool::put_batch(std::size_t bucket, Bytes* in,
+                           std::size_t n) noexcept {
+  lock_acquires_.fetch_add(1, std::memory_order_relaxed);
+  rw::MutexLock lock(mu_);  // lock-graph: holds(util/buffer_pool)
+  if (bucket >= free_.size()) {
+    dropped_.fetch_add(n, std::memory_order_relaxed);
+    return;
+  }
+  auto& fb = free_[bucket];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (fb.size() < config_.max_buffers_per_bucket) {
+      fb.push_back(std::move(in[i]));
+      recycled_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
 std::size_t BufferPool::free_buffers() const {
-  rw::MutexLock lock(mu_);
+  lock_acquires_.fetch_add(1, std::memory_order_relaxed);
+  rw::MutexLock lock(mu_);  // lock-graph: holds(util/buffer_pool)
   std::size_t n = 0;
   for (const auto& bucket : free_) n += bucket.size();
   return n;
+}
+
+BufferPool& BufferPool::local() noexcept {
+  return tls_pool != nullptr ? *tls_pool : default_pool();
+}
+
+BufferPool* BufferPool::install_local(BufferPool* pool) noexcept {
+  BufferPool* prev = tls_pool;
+  tls_pool = pool;
+  if (pool != nullptr) {
+    pool->owner_.store(std::this_thread::get_id(),
+                       std::memory_order_relaxed);
+  }
+  return prev;
 }
 
 BufferPool& default_pool() {

@@ -50,8 +50,11 @@ class Cursor {
 
 }  // namespace
 
+FrameReader::FrameReader(ByteSource& source)
+    : source_(source), pool_(nullptr) {}
+
 FrameReader::FrameReader(ByteSource& source, BufferPool& pool)
-    : source_(source), pool_(pool) {}
+    : source_(source), pool_(&pool) {}
 
 void FrameReader::ingest(ByteSpan a, ByteSpan b) {
   Cursor cur(stash_, a, b);
@@ -74,7 +77,7 @@ void FrameReader::ingest(ByteSpan a, ByteSpan b) {
       stash_ = std::move(tail);
       return;
     }
-    Bytes payload = pool_.acquire(len);
+    Bytes payload = arena().acquire(len);
     cur.read(payload);
     ready_.push_back(std::move(payload));
     ++frames_;

@@ -26,9 +26,17 @@ namespace rapidware::util {
 
 class FrameReader {
  public:
-  /// Frames' payload buffers are acquired from `pool`; callers that move
+  /// Frames' payload buffers are acquired from the CALLING thread's
+  /// arena, resolved per refill via BufferPool::local() — a FrameReader
+  /// constructed on a control thread but drained on a worker thread
+  /// (PacketFilter::event_start builds one, on_ready drives it) acquires
+  /// from the worker's pool, not the control thread's. Callers that move
   /// frames along (PacketFilter::emit(Bytes&&)) keep the capacity cycling.
-  explicit FrameReader(ByteSource& source, BufferPool& pool = default_pool());
+  explicit FrameReader(ByteSource& source);
+
+  /// Pins every acquire to `pool` regardless of thread (tests, and
+  /// thread-dispatch paths that want the process pool explicitly).
+  FrameReader(ByteSource& source, BufferPool& pool);
 
   /// Returns the next frame payload, blocking if the source has nothing
   /// buffered. nullopt means clean end-of-stream at a frame boundary.
@@ -59,8 +67,14 @@ class FrameReader {
   std::optional<Bytes> take_ready();
   [[noreturn]] void throw_torn() const;
 
+  /// The thread-appropriate arena for this refill (pinned pool, or the
+  /// calling thread's BufferPool::local()).
+  BufferPool& arena() const noexcept {
+    return pool_ != nullptr ? *pool_ : BufferPool::local();
+  }
+
   ByteSource& source_;
-  BufferPool& pool_;
+  BufferPool* const pool_;  // nullptr = dynamic (thread-local) resolution
   Bytes stash_;  // partial frame carried across refills (header-first bytes)
   std::vector<Bytes> ready_;  // decoded frames, FIFO via ready_pos_
   std::size_t ready_pos_ = 0;

@@ -35,10 +35,35 @@ class SpanVisitor {
   std::size_t (*call_)(void*, ByteSpan, ByteSpan);
 };
 
+/// Readiness callback a pollable ByteSource/ByteSink arms when a poll
+/// comes up empty: the next transition (data arrives, space frees, EOF)
+/// fires on_io_ready() exactly once — the one-shot arm-under-the-lock
+/// protocol detachable streams use for parked threads, exposed here so
+/// event-hosted byte endpoints can watch ANY pollable source or sink.
+/// Fired from the thread that caused the transition, possibly under the
+/// stream's lock: implementations must only post (never block, never
+/// re-enter the stream).
+class ReadyWatcher {
+ public:
+  virtual ~ReadyWatcher() = default;
+  virtual void on_io_ready() = 0;
+};
+
 /// Blocking byte producer.
 class ByteSource {
  public:
   virtual ~ByteSource() = default;
+
+  /// True when poll_read_borrow() is implemented — the source can be
+  /// consumed without a blocking thread. Pairs with set_ready_watcher().
+  virtual bool pollable() const noexcept { return false; }
+
+  /// Registers (nullptr clears) the watcher an empty-and-open
+  /// poll_read_borrow() arms. Call before the first poll and clear only
+  /// when no poll can be in flight. Default: no-op, for sources that are
+  /// pollable but never block (a computed or memory-backed source whose
+  /// polls always make progress has nothing to watch).
+  virtual void set_ready_watcher(ReadyWatcher* watcher) { (void)watcher; }
 
   /// Blocks until at least one byte is available or the stream ends.
   /// Returns the number of bytes placed in `out`; 0 means end-of-stream.
@@ -82,6 +107,14 @@ class ByteSource {
 class ByteSink {
  public:
   virtual ~ByteSink() = default;
+
+  /// True when the try_write_* calls are implemented — the sink can be
+  /// fed without a blocking thread. Pairs with set_ready_watcher().
+  virtual bool pollable() const noexcept { return false; }
+
+  /// Registers (nullptr clears) the watcher a refused/short try_write
+  /// arms. Same contract as ByteSource::set_ready_watcher.
+  virtual void set_ready_watcher(ReadyWatcher* watcher) { (void)watcher; }
 
   /// Blocks until all of `in` is accepted.
   virtual void write(ByteSpan in) = 0;

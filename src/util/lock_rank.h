@@ -84,7 +84,8 @@ inline constexpr int kPeriodicTask = 700;  // sim::PeriodicTask (schedules under
 inline constexpr int kSimClock = 710;      // sim::VirtualClock event queue
 
 // --- Leaf utilities (any layer may call into these) --------------------------
-inline constexpr int kBufferPool = 800;  // util::BufferPool
+inline constexpr int kBufferPoolLocal = 790;  // worker-local BufferPool arena (nests under the global pool for batch rebalance)
+inline constexpr int kBufferPool = 800;       // util::BufferPool (process-wide parent)
 inline constexpr int kLogging = 900;     // util logging emit lock
 
 }  // namespace rw::lockrank

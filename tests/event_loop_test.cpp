@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -111,16 +112,26 @@ TEST(EventLoop, WakeMakesCrossThreadTimerVisibleToAParkedLoop) {
 // ---------------------------------------------------------------------------
 // WorkerPool basics
 
-TEST(WorkerPool, RoundRobinPlacementAndIdempotentStop) {
+TEST(WorkerPool, LeastLoadedPlacementAndIdempotentStop) {
   core::WorkerPool pool(2);
   ASSERT_EQ(pool.size(), 2u);
 
-  core::EventLoop* first = &pool.next();
-  core::EventLoop* second = &pool.next();
-  core::EventLoop* third = &pool.next();
-  EXPECT_NE(first, second);
-  EXPECT_EQ(first, third);  // wrapped around
+  // Pin worker 0 busy: a task that blocks until released, plus queued
+  // backlog behind it, drives its load gauge well above worker 1's.
+  std::atomic<bool> release{false};
+  pool.worker(0).post([&] {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (int i = 0; i < 8; ++i) pool.worker(0).post([] {});
+  ASSERT_TRUE(eventually([&] { return pool.worker(0).queue_depth() >= 1; }));
 
+  // Placement must route around the loaded worker.
+  EXPECT_EQ(&pool.next(), &pool.worker(1));
+  EXPECT_EQ(pool.try_next(), &pool.worker(1));
+
+  release.store(true, std::memory_order_release);
   std::atomic<int> ran{0};
   for (std::size_t i = 0; i < pool.size(); ++i) {
     pool.worker(i).post([&] { ran.fetch_add(1); });
@@ -130,6 +141,18 @@ TEST(WorkerPool, RoundRobinPlacementAndIdempotentStop) {
 
   pool.stop();
   pool.stop();  // idempotent
+}
+
+TEST(WorkerPool, RegressionPlacementAfterStopIsRejectedNotRacy) {
+  // Regression: next() used to fetch_add a shared round-robin cursor and
+  // hand out a loop reference even after stop(), so a caller could post to
+  // a dead worker. Post-stop placement must now fail loudly (next) or
+  // observably (try_next) instead of dangling.
+  core::WorkerPool pool(2);
+  EXPECT_NE(pool.try_next(), nullptr);
+  pool.stop();
+  EXPECT_EQ(pool.try_next(), nullptr);
+  EXPECT_THROW(pool.next(), std::logic_error);
 }
 
 TEST(WorkerPool, SizeZeroPicksAtLeastOneWorker) {
@@ -268,22 +291,52 @@ TEST(HostedChain, LiveInsertRemoveIsByteExact) {
   pool.stop();
 }
 
+/// Wraps a ByteSource but hides its pollable() capability: the classic
+/// blocking stream (a socket wrapper without readiness callbacks, say),
+/// which forces the start_on() shim path now that SequenceGenerator itself
+/// is pollable.
+class BlockingOnlyByteSource final : public util::ByteSource {
+ public:
+  explicit BlockingOnlyByteSource(std::shared_ptr<util::ByteSource> inner)
+      : inner_(std::move(inner)) {}
+  std::size_t read_some(util::MutableByteSpan out) override {
+    return inner_->read_some(out);
+  }
+
+ private:
+  std::shared_ptr<util::ByteSource> inner_;
+};
+
+/// The sink-side twin: write()-only, pollable() stays false.
+class BlockingOnlyByteSink final : public util::ByteSink {
+ public:
+  explicit BlockingOnlyByteSink(std::shared_ptr<util::ByteSink> inner)
+      : inner_(std::move(inner)) {}
+  void write(util::ByteSpan in) override { inner_->write(in); }
+  void flush() override { inner_->flush(); }
+
+ private:
+  std::shared_ptr<util::ByteSink> inner_;
+};
+
 TEST(HostedChain, BlockingShimHostsEventIncapableEndpointsOnThreads) {
-  // Mixed mode: byte endpoints are not event-capable, so start_on() falls
-  // back to the thread-per-filter shim for them, while the NullFilter in
-  // the middle runs event-hosted on the worker. The sequence oracle proves
-  // the two dispatch styles interoperate byte-exactly on one chain.
+  // Mixed mode: byte endpoints over blocking-only streams are not
+  // event-capable, so start_on() falls back to the thread-per-filter shim
+  // for them, while the NullFilter in the middle runs event-hosted on the
+  // worker. The sequence oracle proves the two dispatch styles interoperate
+  // byte-exactly on one chain.
   constexpr std::uint64_t kSeed = 0x0ddba11ULL;
   constexpr std::uint64_t kBytes = 256 * 1024;
   core::WorkerPool pool(1);
   {
     auto generator = std::make_shared<testing::SequenceGenerator>(kSeed, kBytes);
     auto checker = std::make_shared<testing::SequenceChecker>(kSeed);
-    auto head = std::make_shared<core::ByteReaderEndpoint>("head", generator,
-                                                           /*chunk=*/512,
-                                                           /*capacity=*/2048);
-    auto tail =
-        std::make_shared<core::ByteWriterEndpoint>("tail", checker, 2048);
+    auto head = std::make_shared<core::ByteReaderEndpoint>(
+        "head", std::make_shared<BlockingOnlyByteSource>(generator),
+        /*chunk=*/512,
+        /*capacity=*/2048);
+    auto tail = std::make_shared<core::ByteWriterEndpoint>(
+        "tail", std::make_shared<BlockingOnlyByteSink>(checker), 2048);
     core::FilterChain chain(head, tail);
     chain.host_on(pool.worker(0));
     chain.start();

@@ -505,10 +505,11 @@ TEST(FilterChain, ListSnapshotSurvivesConcurrentMutation) {
 
 // ---------------------------------------------------------------------------
 // Zero-allocation steady state (the pool hit-rate test buffer_pool.h
-// promises): once the default pool is warm, a pass-through packet hop
-// serves every per-packet buffer from the free list — the allocator is out
-// of the loop. Measured at the pool: the miss counter must not move during
-// the steady-state window.
+// promises): once the chain's recycle pool is warm — the hosting worker's
+// arena under event dispatch, the process-wide pool otherwise — a
+// pass-through packet hop serves every per-packet buffer from the free
+// list; the allocator is out of the loop. Measured at the pool: the miss
+// counter must not move during the steady-state window.
 
 class PassThroughPacketFilter final : public PacketFilter {
  public:
@@ -539,9 +540,12 @@ TEST(FilterChain, SteadyStatePassThroughHitsPoolEveryTime) {
   };
   pump(kWarmupBatches);  // populate the pool's 512-byte class
 
-  const auto warm = util::default_pool().stats();
+  // Measure the pool the chain actually recycles through: the hosting
+  // worker's arena under RW_DISPATCH=event, the process pool otherwise.
+  util::BufferPool& pool = h.chain->recycle_pool();
+  const auto warm = pool.stats();
   pump(kSteadyBatches);
-  const auto done = util::default_pool().stats();
+  const auto done = pool.stats();
   constexpr std::size_t kSteady = kBatch * kSteadyBatches;
 
   // Every steady-state acquire (FrameReader in both endpoints and both

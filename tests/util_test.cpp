@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <thread>
 
 #include "util/buffer_pool.h"
 #include "util/bytes.h"
@@ -780,6 +781,92 @@ TEST(BufferPool, AcquireZeroIsValid) {
   BufferPool pool;
   Bytes b = pool.acquire(0);
   EXPECT_TRUE(b.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Per-worker arenas (parented pools, local() routing, rebalance)
+
+TEST(BufferPool, LocalResolvesInstalledArenaPerThread) {
+  BufferPool arena;
+  EXPECT_EQ(&BufferPool::local(), &default_pool());
+  std::thread t([&] {
+    BufferPool* prev = BufferPool::install_local(&arena);
+    EXPECT_EQ(prev, nullptr);
+    EXPECT_EQ(&BufferPool::local(), &arena);
+    BufferPool::install_local(prev);
+    EXPECT_EQ(&BufferPool::local(), &default_pool());
+  });
+  t.join();
+  // The installation was thread-local: this thread never saw the arena.
+  EXPECT_EQ(&BufferPool::local(), &default_pool());
+}
+
+TEST(BufferPool, ParentedArenaRefillsFromParentInOneBatch) {
+  BufferPool parent;
+  BufferPool child(BufferPool::Config{}, &parent);
+  for (int i = 0; i < 4; ++i) parent.release(Bytes(512));
+  ASSERT_EQ(parent.free_buffers(), 4u);
+
+  // Child bucket dry: one batch refill migrates the parent's whole stash
+  // (it was smaller than the batch), serves the acquire as a hit, and
+  // banks the rest locally.
+  Bytes b = child.acquire(512);
+  EXPECT_EQ(child.stats().hits, 1u);
+  EXPECT_EQ(child.stats().misses, 0u);
+  EXPECT_EQ(child.stats().rebalanced, 1u);
+  EXPECT_EQ(parent.free_buffers(), 0u);
+  EXPECT_EQ(child.free_buffers(), 3u);
+  child.release(std::move(b));
+
+  // Steady state after the refill: pure local hits, zero parent-lock
+  // acquisitions — the shared-nothing property the scaling bench gates on.
+  const std::uint64_t parent_locks = parent.lock_acquires();
+  for (int i = 0; i < 100; ++i) {
+    Bytes c = child.acquire(512);
+    child.release(std::move(c));
+  }
+  EXPECT_EQ(parent.lock_acquires(), parent_locks);
+  EXPECT_EQ(child.stats().hits, 101u);
+}
+
+TEST(BufferPool, ParentedArenaDonatesOverflowInsteadOfDropping) {
+  BufferPool parent;
+  BufferPool child(BufferPool::Config{.max_buffers_per_bucket = 2,
+                                      .max_capacity = 1024},
+                   &parent);
+  child.release(Bytes(256));
+  child.release(Bytes(256));
+  ASSERT_EQ(child.free_buffers(), 2u);
+
+  // Third release overflows the local bucket: the batch (stash + victim)
+  // is donated to the parent, not dropped — capacity released on one
+  // worker stays available to the others.
+  child.release(Bytes(256));
+  EXPECT_EQ(child.stats().dropped, 0u);
+  EXPECT_EQ(child.stats().rebalanced, 1u);
+  EXPECT_EQ(child.stats().recycled, 3u);
+  EXPECT_EQ(parent.free_buffers() + child.free_buffers(), 3u);
+  EXPECT_GE(parent.free_buffers(), 1u);
+}
+
+TEST(BufferPool, CrossThreadFreeIsCounted) {
+  BufferPool pool;
+  // Claim ownership from a worker thread, then free from this (foreign)
+  // thread: the release still lands, but the boundary crossing is counted.
+  std::thread t([&] { BufferPool::install_local(&pool); });
+  t.join();
+  pool.release(Bytes(256));
+  EXPECT_EQ(pool.stats().cross_free, 1u);
+  EXPECT_EQ(pool.stats().recycled, 1u);
+
+  // Same-thread frees through the owner are not cross-frees.
+  std::thread owner([&] {
+    BufferPool::install_local(&pool);
+    pool.release(Bytes(256));
+    BufferPool::install_local(nullptr);
+  });
+  owner.join();
+  EXPECT_EQ(pool.stats().cross_free, 1u);
 }
 
 }  // namespace
